@@ -1,0 +1,385 @@
+//! The XMAS automaton data model.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use advocat_xmas::ColorId;
+
+/// A state of an [`XmasAutomaton`], identified by index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub(crate) u32);
+
+impl StateId {
+    /// Returns the raw index of the state.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A transition of an [`XmasAutomaton`], identified by index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransitionId(pub(crate) u32);
+
+impl TransitionId {
+    /// Returns the raw index of the transition.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// How a transition fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransitionKind {
+    /// The transition consumes one packet from an in-channel.  The map
+    /// lists every accepted `(in_port, color)` pair (the event ε) and the
+    /// packet emitted for it, if any (the transformation φ).
+    Triggered(BTreeMap<(usize, ColorId), Option<(usize, ColorId)>>),
+    /// The transition fires without consuming input (an internal choice of
+    /// the agent), optionally emitting a packet.
+    Spontaneous(Option<(usize, ColorId)>),
+}
+
+/// A transition between two states.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// Source state.
+    pub from: StateId,
+    /// Destination state.
+    pub to: StateId,
+    /// Trigger and emission behaviour.
+    pub kind: TransitionKind,
+}
+
+impl Transition {
+    /// Returns every packet the transition can emit, together with the
+    /// out-port it is emitted on.
+    pub fn emissions(&self) -> Vec<(usize, ColorId)> {
+        match &self.kind {
+            TransitionKind::Triggered(map) => map.values().flatten().copied().collect(),
+            TransitionKind::Spontaneous(out) => out.iter().copied().collect(),
+        }
+    }
+
+    /// Returns `true` when the transition accepts the given packet on the
+    /// given in-port.
+    pub fn accepts(&self, in_port: usize, color: ColorId) -> bool {
+        match &self.kind {
+            TransitionKind::Triggered(map) => map.contains_key(&(in_port, color)),
+            TransitionKind::Spontaneous(_) => false,
+        }
+    }
+
+    /// Returns the emission produced when consuming the given packet, if the
+    /// transition accepts it.
+    pub fn emission_for(&self, in_port: usize, color: ColorId) -> Option<Option<(usize, ColorId)>> {
+        match &self.kind {
+            TransitionKind::Triggered(map) => map.get(&(in_port, color)).copied(),
+            TransitionKind::Spontaneous(_) => None,
+        }
+    }
+
+    /// Returns `true` for spontaneous transitions.
+    pub fn is_spontaneous(&self) -> bool {
+        matches!(self.kind, TransitionKind::Spontaneous(_))
+    }
+}
+
+/// Errors produced while building or validating an automaton.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AutomatonError {
+    /// The automaton has no states.
+    NoStates,
+    /// A transition refers to an in-port beyond the declared input count.
+    InputPortOutOfRange {
+        /// The automaton name.
+        automaton: String,
+        /// The offending port.
+        port: usize,
+    },
+    /// A transition refers to an out-port beyond the declared output count.
+    OutputPortOutOfRange {
+        /// The automaton name.
+        automaton: String,
+        /// The offending port.
+        port: usize,
+    },
+    /// A triggered transition accepts no packets at all.
+    EmptyTrigger {
+        /// The automaton name.
+        automaton: String,
+    },
+}
+
+impl fmt::Display for AutomatonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutomatonError::NoStates => write!(f, "automaton has no states"),
+            AutomatonError::InputPortOutOfRange { automaton, port } => {
+                write!(f, "automaton `{automaton}` uses unknown input port {port}")
+            }
+            AutomatonError::OutputPortOutOfRange { automaton, port } => {
+                write!(f, "automaton `{automaton}` uses unknown output port {port}")
+            }
+            AutomatonError::EmptyTrigger { automaton } => {
+                write!(f, "automaton `{automaton}` has a triggered transition with an empty event")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AutomatonError {}
+
+/// An XMAS automaton: a finite automaton whose transitions consume and emit
+/// packets on xMAS channels (Definition 1 of the paper).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XmasAutomaton {
+    name: String,
+    states: Vec<String>,
+    initial: StateId,
+    transitions: Vec<Transition>,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl XmasAutomaton {
+    pub(crate) fn from_parts(
+        name: String,
+        states: Vec<String>,
+        initial: StateId,
+        transitions: Vec<Transition>,
+        inputs: usize,
+        outputs: usize,
+    ) -> Result<Self, AutomatonError> {
+        if states.is_empty() {
+            return Err(AutomatonError::NoStates);
+        }
+        let automaton = XmasAutomaton {
+            name,
+            states,
+            initial,
+            transitions,
+            inputs,
+            outputs,
+        };
+        automaton.validate()?;
+        Ok(automaton)
+    }
+
+    fn validate(&self) -> Result<(), AutomatonError> {
+        for t in &self.transitions {
+            match &t.kind {
+                TransitionKind::Triggered(map) => {
+                    if map.is_empty() {
+                        return Err(AutomatonError::EmptyTrigger {
+                            automaton: self.name.clone(),
+                        });
+                    }
+                    for ((port, _), emission) in map {
+                        if *port >= self.inputs {
+                            return Err(AutomatonError::InputPortOutOfRange {
+                                automaton: self.name.clone(),
+                                port: *port,
+                            });
+                        }
+                        if let Some((out, _)) = emission {
+                            if *out >= self.outputs {
+                                return Err(AutomatonError::OutputPortOutOfRange {
+                                    automaton: self.name.clone(),
+                                    port: *out,
+                                });
+                            }
+                        }
+                    }
+                }
+                TransitionKind::Spontaneous(Some((out, _))) => {
+                    if *out >= self.outputs {
+                        return Err(AutomatonError::OutputPortOutOfRange {
+                            automaton: self.name.clone(),
+                            port: *out,
+                        });
+                    }
+                }
+                TransitionKind::Spontaneous(None) => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the automaton's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns the number of transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Returns the declared number of in-channels.
+    pub fn input_count(&self) -> usize {
+        self.inputs
+    }
+
+    /// Returns the declared number of out-channels.
+    pub fn output_count(&self) -> usize {
+        self.outputs
+    }
+
+    /// Returns the initial state.
+    pub fn initial(&self) -> StateId {
+        self.initial
+    }
+
+    /// Returns the name of a state.
+    pub fn state_name(&self, state: StateId) -> &str {
+        &self.states[state.index()]
+    }
+
+    /// Looks a state up by name.
+    pub fn state_by_name(&self, name: &str) -> Option<StateId> {
+        self.states
+            .iter()
+            .position(|s| s == name)
+            .map(|i| StateId(i as u32))
+    }
+
+    /// Iterates over all state ids.
+    pub fn states(&self) -> impl Iterator<Item = StateId> + '_ {
+        (0..self.states.len() as u32).map(StateId)
+    }
+
+    /// Returns all transitions.
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Returns a transition by id.
+    pub fn transition(&self, id: TransitionId) -> &Transition {
+        &self.transitions[id.index()]
+    }
+
+    /// Iterates over all transition ids.
+    pub fn transition_ids(&self) -> impl Iterator<Item = TransitionId> + '_ {
+        (0..self.transitions.len() as u32).map(TransitionId)
+    }
+
+    /// Iterates over the transitions leaving a state.
+    pub fn transitions_from(&self, state: StateId) -> impl Iterator<Item = TransitionId> + '_ {
+        self.transition_ids()
+            .filter(move |id| self.transition(*id).from == state)
+    }
+
+    /// Iterates over the transitions entering a state.
+    pub fn transitions_into(&self, state: StateId) -> impl Iterator<Item = TransitionId> + '_ {
+        self.transition_ids()
+            .filter(move |id| self.transition(*id).to == state)
+    }
+
+    /// Returns `true` when any transition (from any state) accepts the given
+    /// packet on the given in-port.
+    pub fn ever_accepts(&self, in_port: usize, color: ColorId) -> bool {
+        self.transitions.iter().any(|t| t.accepts(in_port, color))
+    }
+
+    /// Returns `true` when any transition can emit the given packet on the
+    /// given out-port.
+    pub fn ever_emits(&self, out_port: usize, color: ColorId) -> bool {
+        self.transitions
+            .iter()
+            .any(|t| t.emissions().contains(&(out_port, color)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::AutomatonBuilder;
+
+    fn color(raw: u32) -> ColorId {
+        // ColorIds are opaque; tests fabricate them through a throwaway
+        // network to stay within the public API.
+        use advocat_xmas::{Network, Packet};
+        let mut net = Network::new();
+        for i in 0..=raw {
+            net.intern(Packet::kind(format!("c{i}")));
+        }
+        net.intern(Packet::kind(format!("c{raw}")))
+    }
+
+    #[test]
+    fn builder_produces_consistent_automaton() {
+        let ack = color(0);
+        let req = color(1);
+        let mut b = AutomatonBuilder::new("S", 1, 1);
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        b.set_initial(s0);
+        b.spontaneous_emit(s0, s1, 0, req);
+        b.on_packet(s1, s0, 0, ack, None);
+        let a = b.build().unwrap();
+        assert_eq!(a.state_count(), 2);
+        assert_eq!(a.transition_count(), 2);
+        assert_eq!(a.initial(), s0);
+        assert!(a.ever_accepts(0, ack));
+        assert!(!a.ever_accepts(0, req));
+        assert!(a.ever_emits(0, req));
+        assert_eq!(a.transitions_from(s0).count(), 1);
+        assert_eq!(a.transitions_into(s0).count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_ports_are_rejected() {
+        let c = color(0);
+        let mut b = AutomatonBuilder::new("bad", 1, 1);
+        let s0 = b.state("s0");
+        b.set_initial(s0);
+        b.on_packet(s0, s0, 3, c, None);
+        assert!(matches!(
+            b.build(),
+            Err(AutomatonError::InputPortOutOfRange { port: 3, .. })
+        ));
+
+        let mut b = AutomatonBuilder::new("bad2", 1, 1);
+        let s0 = b.state("s0");
+        b.set_initial(s0);
+        b.spontaneous_emit(s0, s0, 9, c);
+        assert!(matches!(
+            b.build(),
+            Err(AutomatonError::OutputPortOutOfRange { port: 9, .. })
+        ));
+    }
+
+    #[test]
+    fn state_lookup_by_name() {
+        let mut b = AutomatonBuilder::new("A", 0, 0);
+        let i = b.state("I");
+        let m = b.state("M");
+        b.set_initial(i);
+        let a = b.build().unwrap();
+        assert_eq!(a.state_by_name("M"), Some(m));
+        assert_eq!(a.state_by_name("Z"), None);
+        assert_eq!(a.state_name(i), "I");
+    }
+
+    #[test]
+    fn transition_emissions_and_acceptance() {
+        let inv = color(0);
+        let put = color(1);
+        let mut b = AutomatonBuilder::new("cache", 1, 1);
+        let m = b.state("M");
+        let mi = b.state("MI");
+        b.set_initial(m);
+        b.on_packet(m, mi, 0, inv, Some((0, put)));
+        let a = b.build().unwrap();
+        let t = &a.transitions()[0];
+        assert!(t.accepts(0, inv));
+        assert_eq!(t.emission_for(0, inv), Some(Some((0, put))));
+        assert_eq!(t.emissions(), vec![(0, put)]);
+        assert!(!t.is_spontaneous());
+    }
+}

@@ -1,0 +1,213 @@
+//! Fluent construction of [`XmasAutomaton`]s.
+
+use std::collections::BTreeMap;
+
+use advocat_xmas::ColorId;
+
+use crate::automaton::{
+    AutomatonError, StateId, Transition, TransitionKind, XmasAutomaton,
+};
+
+/// Builder for [`XmasAutomaton`]s.
+///
+/// States are interned by name; the first state created becomes the initial
+/// state unless [`AutomatonBuilder::set_initial`] is called.
+///
+/// # Examples
+///
+/// ```
+/// use advocat_automata::AutomatonBuilder;
+/// use advocat_xmas::{Network, Packet};
+///
+/// let mut net = Network::new();
+/// let inv = net.intern(Packet::kind("inv"));
+/// let put = net.intern(Packet::kind("put"));
+/// let ack = net.intern(Packet::kind("ack"));
+///
+/// // A cache fragment: M --inv?/put!--> MI --ack?--> I
+/// let mut b = AutomatonBuilder::new("cache", 1, 1);
+/// let m = b.state("M");
+/// let mi = b.state("MI");
+/// let i = b.state("I");
+/// b.set_initial(i);
+/// b.on_packet(m, mi, 0, inv, Some((0, put)));
+/// b.on_packet(mi, i, 0, ack, None);
+/// let cache = b.build()?;
+/// assert_eq!(cache.state_count(), 3);
+/// # Ok::<(), advocat_automata::AutomatonError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct AutomatonBuilder {
+    name: String,
+    states: Vec<String>,
+    initial: Option<StateId>,
+    transitions: Vec<Transition>,
+    inputs: usize,
+    outputs: usize,
+}
+
+impl AutomatonBuilder {
+    /// Creates a builder for an automaton with the given port counts.
+    pub fn new(name: impl Into<String>, inputs: usize, outputs: usize) -> Self {
+        AutomatonBuilder {
+            name: name.into(),
+            states: Vec::new(),
+            initial: None,
+            transitions: Vec::new(),
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Interns a state by name, returning its id (idempotent).
+    pub fn state(&mut self, name: impl Into<String>) -> StateId {
+        let name = name.into();
+        if let Some(pos) = self.states.iter().position(|s| *s == name) {
+            return StateId(pos as u32);
+        }
+        let id = StateId(self.states.len() as u32);
+        self.states.push(name);
+        id
+    }
+
+    /// Sets the initial state.
+    pub fn set_initial(&mut self, state: StateId) {
+        self.initial = Some(state);
+    }
+
+    /// Adds a transition that consumes `color` on `in_port` and optionally
+    /// emits a packet.
+    pub fn on_packet(
+        &mut self,
+        from: StateId,
+        to: StateId,
+        in_port: usize,
+        color: ColorId,
+        emit: Option<(usize, ColorId)>,
+    ) {
+        let mut map = BTreeMap::new();
+        map.insert((in_port, color), emit);
+        self.transitions.push(Transition {
+            from,
+            to,
+            kind: TransitionKind::Triggered(map),
+        });
+    }
+
+    /// Adds a transition accepting several `(in_port, color)` pairs, each
+    /// with its own optional emission (a single transition with a wider
+    /// event ε).
+    pub fn on_any(
+        &mut self,
+        from: StateId,
+        to: StateId,
+        triggers: impl IntoIterator<Item = ((usize, ColorId), Option<(usize, ColorId)>)>,
+    ) {
+        let map: BTreeMap<_, _> = triggers.into_iter().collect();
+        self.transitions.push(Transition {
+            from,
+            to,
+            kind: TransitionKind::Triggered(map),
+        });
+    }
+
+    /// Adds a spontaneous transition emitting a packet on `out_port`.
+    pub fn spontaneous_emit(&mut self, from: StateId, to: StateId, out_port: usize, color: ColorId) {
+        self.transitions.push(Transition {
+            from,
+            to,
+            kind: TransitionKind::Spontaneous(Some((out_port, color))),
+        });
+    }
+
+    /// Adds a silent spontaneous transition (no input, no output).
+    pub fn spontaneous(&mut self, from: StateId, to: StateId) {
+        self.transitions.push(Transition {
+            from,
+            to,
+            kind: TransitionKind::Spontaneous(None),
+        });
+    }
+
+    /// Returns the number of states added so far.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Finalises the automaton.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AutomatonError`] when the automaton has no states, a
+    /// transition references an out-of-range port, or a triggered transition
+    /// has an empty event.
+    pub fn build(self) -> Result<XmasAutomaton, AutomatonError> {
+        let initial = self.initial.unwrap_or(StateId(0));
+        XmasAutomaton::from_parts(
+            self.name,
+            self.states,
+            initial,
+            self.transitions,
+            self.inputs,
+            self.outputs,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advocat_xmas::{Network, Packet};
+
+    #[test]
+    fn states_are_interned_by_name() {
+        let mut b = AutomatonBuilder::new("A", 0, 0);
+        let a1 = b.state("I");
+        let a2 = b.state("I");
+        let other = b.state("M");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, other);
+        assert_eq!(b.state_count(), 2);
+    }
+
+    #[test]
+    fn default_initial_is_first_state() {
+        let mut b = AutomatonBuilder::new("A", 0, 0);
+        let first = b.state("first");
+        b.state("second");
+        let a = b.build().unwrap();
+        assert_eq!(a.initial(), first);
+    }
+
+    #[test]
+    fn empty_automaton_is_rejected() {
+        let b = AutomatonBuilder::new("empty", 0, 0);
+        assert!(matches!(b.build(), Err(AutomatonError::NoStates)));
+    }
+
+    #[test]
+    fn on_any_groups_multiple_triggers_into_one_transition() {
+        let mut net = Network::new();
+        let inv = net.intern(Packet::kind("inv"));
+        let repl = net.intern(Packet::kind("repl"));
+        let put = net.intern(Packet::kind("put"));
+        let mut b = AutomatonBuilder::new("cache", 2, 1);
+        let m = b.state("M");
+        let mi = b.state("MI");
+        b.set_initial(m);
+        b.on_any(
+            m,
+            mi,
+            [
+                ((0, inv), Some((0, put))),
+                ((1, repl), Some((0, put))),
+            ],
+        );
+        let a = b.build().unwrap();
+        assert_eq!(a.transition_count(), 1);
+        let t = &a.transitions()[0];
+        assert!(t.accepts(0, inv));
+        assert!(t.accepts(1, repl));
+        assert!(!t.accepts(0, repl));
+    }
+}

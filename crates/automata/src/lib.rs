@@ -1,0 +1,64 @@
+//! XMAS automata: IO state automata with an xMAS channel interface.
+//!
+//! ADVOCAT models protocol agents (L2 caches, directories, DMA engines) as
+//! *XMAS automata*: finite state automata whose transitions are labelled
+//! with an **event** ε — a predicate over an in-channel and a packet that
+//! says when the transition may consume a packet — and a **transformation**
+//! φ — an optional packet emitted on an out-channel when the transition
+//! fires (Definition 1 of the paper).  Because all packet colors in a model
+//! are finite, both ε and φ are represented extensionally: a transition
+//! carries an explicit map from accepted `(in_port, color)` pairs to the
+//! optional `(out_port, color)` emission.
+//!
+//! ADVOCAT's directory "may decide at any time to send an invalidate"; to
+//! model such internal choices without a dummy trigger source this crate
+//! also supports *spontaneous* transitions that consume no input.
+//!
+//! The crate provides:
+//!
+//! * [`XmasAutomaton`] / [`AutomatonBuilder`] — the automaton data model,
+//! * [`System`] — an xMAS [`advocat_xmas::Network`] together with the
+//!   automata bound to its opaque automaton nodes,
+//! * [`derive_colors`] — the whole-system `T`-derivation (color
+//!   over-approximation) used by both the invariant generator and the
+//!   deadlock encoder.
+//!
+//! # Examples
+//!
+//! Building the left automaton `S` of the paper's running example (Fig. 1):
+//! it injects `req`s from state `s0` and consumes `ack`s in state `s1`.
+//!
+//! ```
+//! use advocat_automata::AutomatonBuilder;
+//! use advocat_xmas::{ColorId, Network, Packet};
+//!
+//! let mut net = Network::new();
+//! let req = net.intern(Packet::kind("req"));
+//! let ack = net.intern(Packet::kind("ack"));
+//! // 1 in-channel (acks), 1 out-channel (reqs); plus a core-side trigger
+//! // channel would be port 1 in a richer model.
+//! let mut b = AutomatonBuilder::new("S", 1, 1);
+//! let s0 = b.state("s0");
+//! let s1 = b.state("s1");
+//! b.set_initial(s0);
+//! b.spontaneous_emit(s0, s1, 0, req);
+//! b.on_packet(s1, s0, 0, ack, None);
+//! let automaton = b.build()?;
+//! assert_eq!(automaton.state_count(), 2);
+//! # Ok::<(), advocat_automata::AutomatonError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod automaton;
+mod builder;
+mod system;
+mod tderive;
+
+pub use automaton::{
+    AutomatonError, StateId, Transition, TransitionId, TransitionKind, XmasAutomaton,
+};
+pub use builder::AutomatonBuilder;
+pub use system::{System, SystemError, SystemStats};
+pub use tderive::derive_colors;

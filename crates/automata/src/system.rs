@@ -1,0 +1,291 @@
+//! A `System` couples an xMAS network with the automata bound to its
+//! automaton nodes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use advocat_xmas::{Network, NetworkError, PrimitiveId};
+
+use crate::automaton::XmasAutomaton;
+
+/// Errors raised when assembling or validating a [`System`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SystemError {
+    /// The underlying network is structurally invalid.
+    Network(NetworkError),
+    /// The primitive is not an automaton node.
+    NotAnAutomatonNode {
+        /// Name of the primitive.
+        primitive: String,
+    },
+    /// An automaton node has no attached automaton.
+    MissingAutomaton {
+        /// Name of the primitive.
+        primitive: String,
+    },
+    /// The attached automaton's port counts do not match the node.
+    PortMismatch {
+        /// Name of the primitive.
+        primitive: String,
+        /// Name of the automaton.
+        automaton: String,
+    },
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::Network(e) => write!(f, "invalid network: {e}"),
+            SystemError::NotAnAutomatonNode { primitive } => {
+                write!(f, "primitive `{primitive}` is not an automaton node")
+            }
+            SystemError::MissingAutomaton { primitive } => {
+                write!(f, "automaton node `{primitive}` has no attached automaton")
+            }
+            SystemError::PortMismatch {
+                primitive,
+                automaton,
+            } => write!(
+                f,
+                "automaton `{automaton}` does not match the port counts of node `{primitive}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<NetworkError> for SystemError {
+    fn from(value: NetworkError) -> Self {
+        SystemError::Network(value)
+    }
+}
+
+/// Size statistics of a system, matching the figures the paper reports
+/// (primitive, queue and automaton counts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SystemStats {
+    /// Total number of xMAS primitives (including automaton nodes).
+    pub primitives: usize,
+    /// Number of queues.
+    pub queues: usize,
+    /// Number of automata.
+    pub automata: usize,
+    /// Number of channels.
+    pub channels: usize,
+    /// Number of distinct packet colors.
+    pub colors: usize,
+}
+
+/// An xMAS network together with the automata attached to its automaton
+/// nodes — the full cross-layer model ADVOCAT verifies.
+///
+/// # Examples
+///
+/// ```
+/// use advocat_automata::{AutomatonBuilder, System};
+/// use advocat_xmas::{Network, Packet};
+///
+/// let mut net = Network::new();
+/// let ping = net.intern(Packet::kind("ping"));
+/// let agent_node = net.add_automaton_node("agent", 1, 0);
+/// let src = net.add_source("src", vec![ping]);
+/// net.connect(src, 0, agent_node, 0);
+///
+/// let mut b = AutomatonBuilder::new("agent", 1, 0);
+/// let idle = b.state("idle");
+/// b.on_packet(idle, idle, 0, ping, None);
+/// let agent = b.build()?;
+///
+/// let mut system = System::new(net);
+/// system.attach(agent_node, agent)?;
+/// system.validate()?;
+/// assert_eq!(system.stats().automata, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct System {
+    network: Network,
+    automata: BTreeMap<PrimitiveId, XmasAutomaton>,
+}
+
+impl System {
+    /// Creates a system around a network with no automata attached yet.
+    pub fn new(network: Network) -> Self {
+        System {
+            network,
+            automata: BTreeMap::new(),
+        }
+    }
+
+    /// Returns the underlying network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Returns a mutable reference to the underlying network.
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.network
+    }
+
+    /// Attaches an automaton to an automaton node.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the primitive is not an automaton node or the port counts
+    /// disagree.
+    pub fn attach(
+        &mut self,
+        node: PrimitiveId,
+        automaton: XmasAutomaton,
+    ) -> Result<(), SystemError> {
+        let prim = self.network.primitive(node);
+        if !prim.is_automaton() {
+            return Err(SystemError::NotAnAutomatonNode {
+                primitive: self.network.name(node).to_owned(),
+            });
+        }
+        if prim.input_count() != automaton.input_count()
+            || prim.output_count() != automaton.output_count()
+        {
+            return Err(SystemError::PortMismatch {
+                primitive: self.network.name(node).to_owned(),
+                automaton: automaton.name().to_owned(),
+            });
+        }
+        self.automata.insert(node, automaton);
+        Ok(())
+    }
+
+    /// Returns the automaton attached to a node, if any.
+    pub fn automaton(&self, node: PrimitiveId) -> Option<&XmasAutomaton> {
+        self.automata.get(&node)
+    }
+
+    /// Iterates over `(node, automaton)` pairs in node order.
+    pub fn automata(&self) -> impl Iterator<Item = (PrimitiveId, &XmasAutomaton)> + '_ {
+        self.automata.iter().map(|(id, a)| (*id, a))
+    }
+
+    /// Returns the number of attached automata.
+    pub fn automaton_count(&self) -> usize {
+        self.automata.len()
+    }
+
+    /// Validates the network structure and that every automaton node has a
+    /// matching automaton attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found.
+    pub fn validate(&self) -> Result<(), SystemError> {
+        self.network.validate()?;
+        for node in self.network.automaton_ids() {
+            match self.automata.get(&node) {
+                None => {
+                    return Err(SystemError::MissingAutomaton {
+                        primitive: self.network.name(node).to_owned(),
+                    })
+                }
+                Some(a) => {
+                    let prim = self.network.primitive(node);
+                    if prim.input_count() != a.input_count()
+                        || prim.output_count() != a.output_count()
+                    {
+                        return Err(SystemError::PortMismatch {
+                            primitive: self.network.name(node).to_owned(),
+                            automaton: a.name().to_owned(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns size statistics (primitive/queue/automaton/channel counts).
+    pub fn stats(&self) -> SystemStats {
+        SystemStats {
+            primitives: self.network.primitive_count(),
+            queues: self.network.queue_ids().count(),
+            automata: self.automata.len(),
+            channels: self.network.channel_count(),
+            colors: self.network.colors().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::AutomatonBuilder;
+    use advocat_xmas::Packet;
+
+    fn simple_agent(inputs: usize, outputs: usize) -> XmasAutomaton {
+        let mut b = AutomatonBuilder::new("agent", inputs, outputs);
+        let s = b.state("idle");
+        b.set_initial(s);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn attach_rejects_non_automaton_nodes() {
+        let mut net = Network::new();
+        let q = net.add_queue("q", 1);
+        let mut sys = System::new(net);
+        assert!(matches!(
+            sys.attach(q, simple_agent(0, 0)),
+            Err(SystemError::NotAnAutomatonNode { .. })
+        ));
+    }
+
+    #[test]
+    fn attach_rejects_port_mismatch() {
+        let mut net = Network::new();
+        let c = net.intern(Packet::kind("x"));
+        let node = net.add_automaton_node("agent", 1, 0);
+        let src = net.add_source("src", vec![c]);
+        net.connect(src, 0, node, 0);
+        let mut sys = System::new(net);
+        assert!(matches!(
+            sys.attach(node, simple_agent(2, 0)),
+            Err(SystemError::PortMismatch { .. })
+        ));
+        assert!(sys.attach(node, simple_agent(1, 0)).is_ok());
+    }
+
+    #[test]
+    fn validate_requires_all_automata_attached() {
+        let mut net = Network::new();
+        let c = net.intern(Packet::kind("x"));
+        let node = net.add_automaton_node("agent", 1, 0);
+        let src = net.add_source("src", vec![c]);
+        net.connect(src, 0, node, 0);
+        let mut sys = System::new(net);
+        assert!(matches!(
+            sys.validate(),
+            Err(SystemError::MissingAutomaton { .. })
+        ));
+        sys.attach(node, simple_agent(1, 0)).unwrap();
+        assert!(sys.validate().is_ok());
+    }
+
+    #[test]
+    fn stats_count_components() {
+        let mut net = Network::new();
+        let c = net.intern(Packet::kind("x"));
+        let node = net.add_automaton_node("agent", 1, 0);
+        let src = net.add_source("src", vec![c]);
+        let q = net.add_queue("q", 2);
+        net.connect(src, 0, q, 0);
+        net.connect(q, 0, node, 0);
+        let mut sys = System::new(net);
+        sys.attach(node, simple_agent(1, 0)).unwrap();
+        let stats = sys.stats();
+        assert_eq!(stats.primitives, 3);
+        assert_eq!(stats.queues, 1);
+        assert_eq!(stats.automata, 1);
+        assert_eq!(stats.channels, 2);
+        assert_eq!(stats.colors, 1);
+    }
+}

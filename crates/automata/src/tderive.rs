@@ -1,0 +1,193 @@
+//! Whole-system color derivation (`T`-derivation).
+//!
+//! Computes, for every channel, an over-approximation of the set of packet
+//! colors that may travel through it.  Basic primitives are handled by
+//! [`advocat_xmas::propagate_basic_primitive`]; automaton nodes propagate
+//! colors according to their transitions' transformations φ: whenever a
+//! packet accepted by some transition may arrive on an in-channel, the
+//! corresponding emission is added to the respective out-channel.
+//! Spontaneous emissions are always possible.
+//!
+//! State reachability is deliberately ignored — `T` must over-approximate.
+
+use advocat_xmas::{propagate_basic_primitive, ColorMap, PrimitiveId};
+
+use crate::automaton::TransitionKind;
+use crate::system::System;
+
+/// Computes the per-channel color over-approximation of a system.
+///
+/// # Examples
+///
+/// ```
+/// use advocat_automata::{derive_colors, AutomatonBuilder, System};
+/// use advocat_xmas::{Network, Packet};
+///
+/// // An agent that answers every `req` with an `ack`.
+/// let mut net = Network::new();
+/// let req = net.intern(Packet::kind("req"));
+/// let ack = net.intern(Packet::kind("ack"));
+/// let src = net.add_source("src", vec![req]);
+/// let agent = net.add_automaton_node("agent", 1, 1);
+/// let snk = net.add_sink("snk");
+/// net.connect(src, 0, agent, 0);
+/// let out = net.connect(agent, 0, snk, 0);
+///
+/// let mut b = AutomatonBuilder::new("agent", 1, 1);
+/// let idle = b.state("idle");
+/// b.on_packet(idle, idle, 0, req, Some((0, ack)));
+/// let mut system = System::new(net);
+/// system.attach(agent, b.build()?)?;
+///
+/// let colors = derive_colors(&system);
+/// assert!(colors.contains(out, ack));
+/// assert!(!colors.contains(out, req));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn derive_colors(system: &System) -> ColorMap {
+    let network = system.network();
+    let mut colors = ColorMap::empty(network);
+    loop {
+        let mut changed = false;
+        for id in network.primitive_ids() {
+            if network.primitive(id).is_automaton() {
+                changed |= propagate_automaton(system, id, &mut colors);
+            } else {
+                changed |= propagate_basic_primitive(network, id, &mut colors);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    colors
+}
+
+fn propagate_automaton(system: &System, node: PrimitiveId, colors: &mut ColorMap) -> bool {
+    let network = system.network();
+    let Some(automaton) = system.automaton(node) else {
+        return false;
+    };
+    let mut changed = false;
+    for transition in automaton.transitions() {
+        match &transition.kind {
+            TransitionKind::Spontaneous(Some((out_port, color))) => {
+                if let Some(out) = network.out_channel(node, *out_port) {
+                    changed |= colors.insert(out, *color);
+                }
+            }
+            TransitionKind::Spontaneous(None) => {}
+            TransitionKind::Triggered(map) => {
+                for ((in_port, in_color), emission) in map {
+                    let Some((out_port, out_color)) = emission else {
+                        continue;
+                    };
+                    let Some(in_channel) = network.in_channel(node, *in_port) else {
+                        continue;
+                    };
+                    if colors.contains(in_channel, *in_color) {
+                        if let Some(out) = network.out_channel(node, *out_port) {
+                            changed |= colors.insert(out, *out_color);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::AutomatonBuilder;
+    use advocat_xmas::{Network, Packet};
+
+    /// The running example of the paper (Fig. 1): automata S and T joined
+    /// by two queues carrying requests and acknowledgments.
+    fn running_example() -> (System, advocat_xmas::ChannelId, advocat_xmas::ChannelId) {
+        let mut net = Network::new();
+        let req = net.intern(Packet::kind("req"));
+        let ack = net.intern(Packet::kind("ack"));
+        let s_node = net.add_automaton_node("S", 1, 1);
+        let t_node = net.add_automaton_node("T", 1, 1);
+        let q0 = net.add_queue("q0", 2);
+        let q1 = net.add_queue("q1", 2);
+        net.connect(s_node, 0, q0, 0);
+        let q0_out = net.connect(q0, 0, t_node, 0);
+        net.connect(t_node, 0, q1, 0);
+        let q1_out = net.connect(q1, 0, s_node, 0);
+
+        let mut sb = AutomatonBuilder::new("S", 1, 1);
+        let s0 = sb.state("s0");
+        let s1 = sb.state("s1");
+        sb.set_initial(s0);
+        sb.spontaneous_emit(s0, s1, 0, req);
+        sb.on_packet(s1, s0, 0, ack, None);
+
+        let mut tb = AutomatonBuilder::new("T", 1, 1);
+        let t0 = tb.state("t0");
+        let t1 = tb.state("t1");
+        tb.set_initial(t0);
+        tb.on_packet(t0, t1, 0, req, None);
+        tb.spontaneous_emit(t1, t0, 0, ack);
+
+        let mut system = System::new(net);
+        system.attach(s_node, sb.build().unwrap()).unwrap();
+        system.attach(t_node, tb.build().unwrap()).unwrap();
+        system.validate().unwrap();
+        (system, q0_out, q1_out)
+    }
+
+    #[test]
+    fn running_example_colors_are_separated_per_queue() {
+        let (system, q0_out, q1_out) = running_example();
+        let colors = derive_colors(&system);
+        let net = system.network();
+        let req = net.colors().lookup(&Packet::kind("req")).unwrap();
+        let ack = net.colors().lookup(&Packet::kind("ack")).unwrap();
+        assert!(colors.contains(q0_out, req));
+        assert!(!colors.contains(q0_out, ack));
+        assert!(colors.contains(q1_out, ack));
+        assert!(!colors.contains(q1_out, req));
+    }
+
+    #[test]
+    fn triggered_emission_requires_input_color_to_be_possible() {
+        // The agent would emit `rsp` on seeing `trigger`, but no source ever
+        // injects `trigger`, so `rsp` must not appear.
+        let mut net = Network::new();
+        let other = net.intern(Packet::kind("other"));
+        let trigger = net.intern(Packet::kind("trigger"));
+        let rsp = net.intern(Packet::kind("rsp"));
+        let src = net.add_source("src", vec![other]);
+        let agent = net.add_automaton_node("agent", 1, 1);
+        let snk = net.add_sink("snk");
+        net.connect(src, 0, agent, 0);
+        let out = net.connect(agent, 0, snk, 0);
+        let mut b = AutomatonBuilder::new("agent", 1, 1);
+        let idle = b.state("idle");
+        b.on_packet(idle, idle, 0, trigger, Some((0, rsp)));
+        b.on_packet(idle, idle, 0, other, None);
+        let mut system = System::new(net);
+        system.attach(agent, b.build().unwrap()).unwrap();
+        let colors = derive_colors(&system);
+        assert!(!colors.contains(out, rsp));
+    }
+
+    #[test]
+    fn spontaneous_emissions_are_always_possible() {
+        let mut net = Network::new();
+        let hello = net.intern(Packet::kind("hello"));
+        let agent = net.add_automaton_node("agent", 0, 1);
+        let snk = net.add_sink("snk");
+        let out = net.connect(agent, 0, snk, 0);
+        let mut b = AutomatonBuilder::new("agent", 0, 1);
+        let s = b.state("s");
+        b.spontaneous_emit(s, s, 0, hello);
+        let mut system = System::new(net);
+        system.attach(agent, b.build().unwrap()).unwrap();
+        let colors = derive_colors(&system);
+        assert!(colors.contains(out, hello));
+    }
+}

@@ -1,0 +1,55 @@
+//! E3 — minimal deadlock-free queue sizes (Figure 4).
+//!
+//! For each mesh size and directory position the harness searches for the
+//! smallest queue size that ADVOCAT proves deadlock-free.  The paper's
+//! absolute values (15/19/23/29/39/58) belong to its own fabric model; the
+//! reproduced *shape* is that the required size grows with the mesh and
+//! with the directory's distance from the centre.  Larger meshes are
+//! exercised by `examples/queue_sizing.rs` (they take minutes).
+
+use advocat_bench::minimal_size;
+use criterion::{criterion_group, Criterion};
+
+fn print_table() {
+    println!("== E3: minimal deadlock-free queue sizes (Fig. 4) ==");
+    println!("{:<8} {:<12} minimal queue size", "mesh", "directory");
+    let cases = [
+        (2u32, 2u32, (0u32, 0u32)),
+        (2, 2, (1, 0)),
+        (2, 2, (1, 1)),
+        (3, 2, (0, 0)),
+        (3, 2, (1, 0)),
+    ];
+    for (w, h, dir) in cases {
+        let min = minimal_size(w, h, dir, false, 10);
+        println!(
+            "{:<8} {:<12} {}",
+            format!("{w}x{h}"),
+            format!("({},{})", dir.0, dir.1),
+            min.map(|s| s.to_string()).unwrap_or_else(|| "> 10".into())
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("sizing_2x2_corner_directory", |b| {
+        b.iter(|| minimal_size(2, 2, (0, 0), false, 6))
+    });
+    group.bench_function("sizing_2x2_center_directory", |b| {
+        b.iter(|| minimal_size(2, 2, (1, 1), false, 6))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_table();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,62 @@
+//! Shared helpers for the ADVOCAT benchmark harness.
+//!
+//! Each Criterion bench target under `benches/` regenerates one table or
+//! figure of the paper's evaluation: it first prints the regenerated
+//! rows/series (computed once), then measures representative
+//! configurations with Criterion.  The printed output is what
+//! `EXPERIMENTS.md` records as "measured".
+
+use advocat::prelude::*;
+use advocat::SizingOptions;
+
+/// Builds the abstract-MI mesh used throughout the evaluation section.
+pub fn abstract_mesh(width: u32, height: u32, queue_size: usize, dir: (u32, u32)) -> System {
+    build_mesh(
+        &MeshConfig::new(width, height, queue_size)
+            .with_directory(dir.0, dir.1)
+            .with_protocol(ProtocolKind::AbstractMi),
+    )
+    .expect("mesh configuration is valid")
+}
+
+/// Builds the full-MI mesh of the "MI Protocol" paragraph.
+pub fn full_mi_mesh(width: u32, height: u32, queue_size: usize, dir: (u32, u32)) -> System {
+    build_mesh(
+        &MeshConfig::new(width, height, queue_size)
+            .with_directory(dir.0, dir.1)
+            .with_protocol(ProtocolKind::FullMi),
+    )
+    .expect("mesh configuration is valid")
+}
+
+/// Runs the minimal-queue-size search used by the Fig. 4 and VC-ablation
+/// benches.
+pub fn minimal_size(
+    width: u32,
+    height: u32,
+    dir: (u32, u32),
+    vcs: bool,
+    max: usize,
+) -> Option<usize> {
+    let config = MeshConfig::new(width, height, 1)
+        .with_directory(dir.0, dir.1)
+        .with_protocol(ProtocolKind::AbstractMi)
+        .with_virtual_channels(vcs);
+    let options = SizingOptions {
+        min: 2,
+        max,
+        ..SizingOptions::default()
+    };
+    advocat::minimal_queue_size(&config, &options)
+        .expect("valid mesh configuration")
+        .minimal_queue_size
+}
+
+/// Formats a verdict for the printed tables.
+pub fn verdict_label(report: &Report) -> &'static str {
+    if report.is_deadlock_free() {
+        "deadlock-free"
+    } else {
+        "deadlock candidate"
+    }
+}

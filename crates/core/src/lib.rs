@@ -1,0 +1,64 @@
+//! ADVOCAT — Automated Deadlock Verification for On-chip Cache coherence
+//! and inTerconnects.
+//!
+//! This crate is the public facade of the ADVOCAT reproduction (Verbeek,
+//! Yaghini, Eghbal, Bagherzadeh — DATE 2016).  It ties together the
+//! substrate crates into the paper's fully automatic pipeline:
+//!
+//! 1. model the communication fabric in xMAS (`advocat-xmas`,
+//!    `advocat-noc`) and the protocol agents as XMAS automata
+//!    (`advocat-automata`, `advocat-protocols`),
+//! 2. derive the per-channel color over-approximation `T`
+//!    ([`advocat_automata::derive_colors`]),
+//! 3. derive cross-layer invariants relating automaton states to en-route
+//!    packets (`advocat-invariants`),
+//! 4. encode the block/idle deadlock equations plus the invariants as an
+//!    SMT instance and solve it (`advocat-deadlock`, `advocat-logic`),
+//! 5. optionally confirm candidates by explicit-state exploration
+//!    (`advocat-explorer`).
+//!
+//! The two main entry points are [`Verifier`] (one verification run,
+//! returning a [`Report`]) and [`minimal_queue_size`] (the queue-sizing
+//! search behind Figure 4 of the paper).
+//!
+//! # Examples
+//!
+//! Verify a 2×2 mesh running the abstract MI protocol (Fig. 3 of the
+//! paper): queues of size 2 admit a cross-layer deadlock, size 3 does not.
+//!
+//! ```
+//! use advocat::prelude::*;
+//!
+//! let deadlocking = build_mesh(&MeshConfig::new(2, 2, 2).with_directory(1, 1))?;
+//! let report = Verifier::new().analyze(&deadlocking);
+//! assert!(!report.is_deadlock_free());
+//!
+//! let safe = build_mesh(&MeshConfig::new(2, 2, 3).with_directory(1, 1))?;
+//! let report = Verifier::new().analyze(&safe);
+//! assert!(report.is_deadlock_free());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod prelude;
+mod report;
+mod sizing;
+mod verifier;
+
+pub use report::Report;
+pub use sizing::{minimal_queue_size, SizingOptions, SizingResult};
+pub use verifier::Verifier;
+
+// Re-export the building blocks so downstream users only need one
+// dependency for common workflows.
+pub use advocat_automata as automata;
+pub use advocat_deadlock as deadlock;
+pub use advocat_explorer as explorer;
+pub use advocat_invariants as invariants;
+pub use advocat_logic as logic;
+pub use advocat_noc as noc;
+pub use advocat_num as num;
+pub use advocat_protocols as protocols;
+pub use advocat_xmas as xmas;

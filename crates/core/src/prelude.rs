@@ -1,0 +1,20 @@
+//! Convenience re-exports for the common ADVOCAT workflows.
+//!
+//! ```
+//! use advocat::prelude::*;
+//!
+//! let system = build_mesh(&MeshConfig::new(2, 2, 3).with_directory(1, 1))?;
+//! let report = Verifier::new().analyze(&system);
+//! assert!(report.is_deadlock_free());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use crate::{minimal_queue_size, Report, SizingOptions, SizingResult, Verifier};
+
+pub use advocat_automata::{derive_colors, AutomatonBuilder, System};
+pub use advocat_deadlock::{verify_system, DeadlockSpec, Verdict};
+pub use advocat_explorer::{explore, random_walk, ExplorerConfig};
+pub use advocat_invariants::{derive_invariants, format_invariant};
+pub use advocat_noc::{build_mesh, MeshConfig, ProtocolKind};
+pub use advocat_protocols::{AbstractMi, FullMi};
+pub use advocat_xmas::{Network, Packet};

@@ -1,0 +1,116 @@
+//! Verification reports.
+
+use advocat_automata::{System, SystemStats};
+use advocat_deadlock::{Analysis, Counterexample, Verdict};
+use advocat_invariants::{format_invariant, InvariantSet};
+
+/// Everything a verification run produced: the verdict and its statistics,
+/// the derived invariants (already rendered to text), and the size of the
+/// verified model.
+#[derive(Clone, Debug)]
+pub struct Report {
+    invariants: InvariantSet,
+    invariant_text: Vec<String>,
+    analysis: Analysis,
+    system_stats: SystemStats,
+}
+
+impl Report {
+    pub(crate) fn new(system: &System, invariants: InvariantSet, analysis: Analysis) -> Report {
+        let invariant_text = invariants
+            .iter()
+            .map(|inv| format_invariant(system, inv))
+            .collect();
+        Report {
+            invariants,
+            invariant_text,
+            analysis,
+            system_stats: system.stats(),
+        }
+    }
+
+    /// Returns `true` when the system was proven deadlock-free.
+    pub fn is_deadlock_free(&self) -> bool {
+        self.analysis.verdict.is_deadlock_free()
+    }
+
+    /// Returns the verdict.
+    pub fn verdict(&self) -> &Verdict {
+        &self.analysis.verdict
+    }
+
+    /// Returns the deadlock candidate, if one was found.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        self.analysis.verdict.counterexample()
+    }
+
+    /// Returns the derived cross-layer invariants.
+    pub fn invariants(&self) -> &InvariantSet {
+        &self.invariants
+    }
+
+    /// Returns the invariants rendered as human-readable equalities.
+    pub fn invariant_text(&self) -> &[String] {
+        &self.invariant_text
+    }
+
+    /// Returns the full deadlock analysis (verdict plus solver statistics).
+    pub fn analysis(&self) -> &Analysis {
+        &self.analysis
+    }
+
+    /// Returns the size statistics of the verified system.
+    pub fn system_stats(&self) -> SystemStats {
+        self.system_stats
+    }
+
+    /// Renders a short multi-line summary in the style of the paper's
+    /// experimental-results paragraphs.
+    pub fn summary(&self) -> String {
+        let verdict = match &self.analysis.verdict {
+            Verdict::DeadlockFree => "deadlock-free".to_owned(),
+            Verdict::PotentialDeadlock(_) => "potential deadlock".to_owned(),
+            Verdict::Unknown => "unknown (resource limit)".to_owned(),
+        };
+        format!(
+            "{} primitives, {} automata, {} queues; {} invariants; verdict: {} in {:.2?} \
+             ({} refinements)",
+            self.system_stats.primitives,
+            self.system_stats.automata,
+            self.system_stats.queues,
+            self.invariants.len(),
+            verdict,
+            self.analysis.stats.elapsed,
+            self.analysis.stats.refinements,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Verifier;
+    use advocat_noc::{build_mesh, MeshConfig};
+
+    #[test]
+    fn report_exposes_invariants_and_summary() {
+        let system = build_mesh(&MeshConfig::new(2, 2, 3).with_directory(1, 1)).unwrap();
+        let report = Verifier::new().analyze(&system);
+        assert!(report.is_deadlock_free());
+        assert!(report.counterexample().is_none());
+        assert_eq!(report.invariants().len(), report.invariant_text().len());
+        assert!(report.invariant_text().iter().any(|t| t.contains('=')));
+        let summary = report.summary();
+        assert!(summary.contains("deadlock-free"));
+        assert!(summary.contains("4 automata"));
+    }
+
+    #[test]
+    fn report_carries_the_counterexample_when_deadlocking() {
+        let system = build_mesh(&MeshConfig::new(2, 2, 2).with_directory(1, 1)).unwrap();
+        let report = Verifier::new().analyze(&system);
+        assert!(!report.is_deadlock_free());
+        let cex = report.counterexample().expect("candidate present");
+        assert!(cex.total_packets() >= 1 || !cex.dead_automata.is_empty());
+        assert!(report.summary().contains("potential deadlock"));
+    }
+}

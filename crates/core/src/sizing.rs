@@ -1,0 +1,139 @@
+//! Minimal-queue-size search (Figure 4 of the paper).
+
+use advocat_deadlock::DeadlockSpec;
+use advocat_logic::CheckConfig;
+use advocat_noc::{build_mesh, MeshConfig, MeshError};
+
+use crate::verifier::Verifier;
+
+/// Options for the queue-sizing search.
+#[derive(Clone, Debug)]
+pub struct SizingOptions {
+    /// Smallest queue size to try (inclusive).
+    pub min: usize,
+    /// Largest queue size to try (inclusive).
+    pub max: usize,
+    /// Deadlock specification to verify against.
+    pub spec: DeadlockSpec,
+    /// SMT resource limits per verification.
+    pub config: CheckConfig,
+}
+
+impl Default for SizingOptions {
+    fn default() -> Self {
+        SizingOptions {
+            min: 1,
+            max: 16,
+            spec: DeadlockSpec::default(),
+            config: CheckConfig::default(),
+        }
+    }
+}
+
+/// The outcome of a queue-sizing search.
+#[derive(Clone, Debug)]
+pub struct SizingResult {
+    /// The smallest queue size proven deadlock-free, if any size in range
+    /// was.
+    pub minimal_queue_size: Option<usize>,
+    /// Every `(queue size, deadlock-free?)` pair evaluated, in order.
+    pub evaluations: Vec<(usize, bool)>,
+}
+
+impl SizingResult {
+    /// Returns `true` when the given size was evaluated and found
+    /// deadlock-free.
+    pub fn is_free_at(&self, queue_size: usize) -> bool {
+        self.evaluations
+            .iter()
+            .any(|(size, free)| *size == queue_size && *free)
+    }
+}
+
+/// Finds the smallest queue size in `[options.min, options.max]` for which
+/// the mesh described by `config` (ignoring its own `queue_size`) is proven
+/// deadlock-free — the computation behind Figure 4 of the paper.
+///
+/// Sizes are scanned in increasing order; the scan stops at the first size
+/// proven deadlock-free (verification time does not depend on whether even
+/// larger sizes would also be free).
+///
+/// # Errors
+///
+/// Returns a [`MeshError`] when the mesh configuration is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use advocat::{minimal_queue_size, SizingOptions};
+/// use advocat_noc::MeshConfig;
+///
+/// let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+/// let result = minimal_queue_size(&config, &SizingOptions { min: 2, max: 4, ..Default::default() })?;
+/// assert_eq!(result.minimal_queue_size, Some(3));
+/// # Ok::<(), advocat_noc::MeshError>(())
+/// ```
+pub fn minimal_queue_size(
+    config: &MeshConfig,
+    options: &SizingOptions,
+) -> Result<SizingResult, MeshError> {
+    let mut evaluations = Vec::new();
+    let mut minimal = None;
+    for queue_size in options.min..=options.max {
+        let mesh = config.with_queue_size(queue_size);
+        let system = build_mesh(&mesh)?;
+        let report = Verifier::new()
+            .with_spec(options.spec)
+            .with_config(options.config)
+            .analyze(&system);
+        let free = report.is_deadlock_free();
+        evaluations.push((queue_size, free));
+        if free {
+            minimal = Some(queue_size);
+            break;
+        }
+    }
+    Ok(SizingResult {
+        minimal_queue_size: minimal,
+        evaluations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_by_two_mesh_needs_queues_of_three() {
+        let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+        let options = SizingOptions {
+            min: 2,
+            max: 5,
+            ..SizingOptions::default()
+        };
+        let result = minimal_queue_size(&config, &options).unwrap();
+        assert_eq!(result.minimal_queue_size, Some(3));
+        assert_eq!(result.evaluations, vec![(2, false), (3, true)]);
+        assert!(result.is_free_at(3));
+        assert!(!result.is_free_at(2));
+    }
+
+    #[test]
+    fn search_reports_failure_when_the_range_is_too_small() {
+        let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+        let options = SizingOptions {
+            min: 1,
+            max: 2,
+            ..SizingOptions::default()
+        };
+        let result = minimal_queue_size(&config, &options).unwrap();
+        assert_eq!(result.minimal_queue_size, None);
+        assert_eq!(result.evaluations.len(), 2);
+    }
+
+    #[test]
+    fn invalid_mesh_configurations_error_out() {
+        let config = MeshConfig::new(1, 1, 1);
+        assert!(minimal_queue_size(&config, &SizingOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Deadlock candidates extracted from SMT models.
+
+use std::fmt;
+
+/// A deadlock candidate: a (possibly unreachable) configuration in which
+/// the block/idle equations admit a permanent standstill.
+///
+/// The configuration lists queue occupancies per packet color, the state of
+/// every automaton, and which automata are dead.  Because ADVOCAT is sound
+/// but incomplete, a candidate may be unreachable; `advocat-explorer` can be
+/// used to confirm candidates on small systems.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counterexample {
+    /// `(queue name, packet, count)` entries with a non-zero count.
+    pub queue_contents: Vec<(String, String, i64)>,
+    /// `(automaton name, state name)` for every automaton.
+    pub automaton_states: Vec<(String, String)>,
+    /// Names of the automata that are dead in this configuration.
+    pub dead_automata: Vec<String>,
+}
+
+impl Counterexample {
+    /// Returns the total number of en-route packets in the configuration.
+    pub fn total_packets(&self) -> i64 {
+        self.queue_contents.iter().map(|(_, _, n)| n).sum()
+    }
+
+    /// Returns the state an automaton occupies, if it is listed.
+    pub fn state_of(&self, automaton: &str) -> Option<&str> {
+        self.automaton_states
+            .iter()
+            .find(|(name, _)| name == automaton)
+            .map(|(_, state)| state.as_str())
+    }
+
+    /// Returns the number of packets of the given kind across all queues.
+    pub fn packets_of_kind(&self, kind: &str) -> i64 {
+        self.queue_contents
+            .iter()
+            .filter(|(_, packet, _)| packet.starts_with(kind))
+            .map(|(_, _, n)| n)
+            .sum()
+    }
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "deadlock candidate:")?;
+        if self.queue_contents.is_empty() {
+            writeln!(f, "  (all queues empty)")?;
+        }
+        for (queue, packet, count) in &self.queue_contents {
+            writeln!(f, "  {queue}: {count} × {packet}")?;
+        }
+        for (automaton, state) in &self.automaton_states {
+            writeln!(f, "  {automaton} in state {state}")?;
+        }
+        if !self.dead_automata.is_empty() {
+            writeln!(f, "  dead automata: {}", self.dead_automata.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Counterexample {
+        Counterexample {
+            queue_contents: vec![
+                ("qs".into(), "inv[dst=2]".into(), 2),
+                ("qe".into(), "getX[0→3]".into(), 1),
+            ],
+            automaton_states: vec![
+                ("cache(0,0)".into(), "MI".into()),
+                ("dir".into(), "M(1,0)".into()),
+            ],
+            dead_automata: vec!["cache(1,0)".into()],
+        }
+    }
+
+    #[test]
+    fn totals_and_lookups() {
+        let cex = sample();
+        assert_eq!(cex.total_packets(), 3);
+        assert_eq!(cex.packets_of_kind("inv"), 2);
+        assert_eq!(cex.packets_of_kind("getX"), 1);
+        assert_eq!(cex.state_of("dir"), Some("M(1,0)"));
+        assert_eq!(cex.state_of("unknown"), None);
+    }
+
+    #[test]
+    fn display_mentions_queues_states_and_dead_automata() {
+        let text = sample().to_string();
+        assert!(text.contains("qs: 2 × inv"));
+        assert!(text.contains("cache(0,0) in state MI"));
+        assert!(text.contains("dead automata: cache(1,0)"));
+    }
+
+    #[test]
+    fn empty_counterexample_displays_gracefully() {
+        let text = Counterexample::default().to_string();
+        assert!(text.contains("all queues empty"));
+    }
+}

@@ -1,0 +1,261 @@
+//! The deadlock verification driver.
+
+use std::time::{Duration, Instant};
+
+use advocat_automata::{derive_colors, System};
+use advocat_invariants::{derive_invariants, InvariantSet};
+use advocat_logic::{CheckConfig, SmtResult};
+use advocat_xmas::ColorMap;
+
+use crate::counterexample::Counterexample;
+use crate::encode::{build_encoding, DeadlockSpec, Encoding};
+
+/// The verdict of a deadlock analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Verdict {
+    /// No assignment satisfies the deadlock equations: the system is
+    /// deadlock-free (the method is sound).
+    DeadlockFree,
+    /// The equations are satisfiable; the model is a deadlock candidate
+    /// (possibly a false negative, i.e. unreachable).
+    PotentialDeadlock(Counterexample),
+    /// The solver exhausted its resource budget.
+    Unknown,
+}
+
+impl Verdict {
+    /// Returns `true` for [`Verdict::DeadlockFree`].
+    pub fn is_deadlock_free(&self) -> bool {
+        matches!(self, Verdict::DeadlockFree)
+    }
+
+    /// Returns the counterexample of a [`Verdict::PotentialDeadlock`].
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            Verdict::PotentialDeadlock(cex) => Some(cex),
+            _ => None,
+        }
+    }
+}
+
+/// Statistics of one deadlock analysis.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AnalysisStats {
+    /// Number of cross-layer invariants used.
+    pub invariants: usize,
+    /// Number of integer variables (queue occupancies + state indicators).
+    pub int_vars: usize,
+    /// Number of Boolean variables (block/idle/dead indicators).
+    pub bool_vars: usize,
+    /// Number of linear atoms in the SMT encoding.
+    pub linear_atoms: usize,
+    /// Number of SAT/theory refinement iterations performed.
+    pub refinements: u64,
+    /// Wall-clock time of the analysis.
+    pub elapsed: Duration,
+}
+
+/// The result of a deadlock analysis.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Analysis {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Statistics about the run.
+    pub stats: AnalysisStats,
+}
+
+/// Runs the full ADVOCAT pipeline on a system: `T`-derivation, invariant
+/// generation, deadlock-equation encoding and SMT solving.
+///
+/// Use [`verify_with`] to supply a precomputed color map and invariant set
+/// (e.g. when sweeping queue sizes) or a custom solver configuration.
+///
+/// # Examples
+///
+/// See the crate-level documentation.
+pub fn verify_system(system: &System, spec: &DeadlockSpec) -> Analysis {
+    let colors = derive_colors(system);
+    let invariants = derive_invariants(system, &colors);
+    verify_with(system, &colors, &invariants, spec, &CheckConfig::default())
+}
+
+/// Runs the deadlock analysis with explicit inputs.
+///
+/// `colors` must be the `T`-derivation of `system` and `invariants` the
+/// invariant set derived for the same color map; supplying mismatching
+/// inputs yields meaningless (though still over-approximate) results.
+pub fn verify_with(
+    system: &System,
+    colors: &ColorMap,
+    invariants: &InvariantSet,
+    spec: &DeadlockSpec,
+    config: &CheckConfig,
+) -> Analysis {
+    let start = Instant::now();
+    let Encoding { mut smt, vars } = build_encoding(system, colors, invariants, spec);
+    let result = smt.check_with(config);
+    let solver_stats = smt.stats();
+    let verdict = match result {
+        SmtResult::Unsat => Verdict::DeadlockFree,
+        SmtResult::Unknown => Verdict::Unknown,
+        SmtResult::Sat(model) => {
+            let network = system.network();
+            let mut cex = Counterexample::default();
+            for ((queue, color), var) in &vars.occupancy {
+                let count = model.int_value(*var);
+                if count > 0 {
+                    cex.queue_contents.push((
+                        network.name(*queue).to_owned(),
+                        network.colors().packet(*color).to_string(),
+                        count,
+                    ));
+                }
+            }
+            cex.queue_contents.sort();
+            for ((node, state), var) in &vars.state {
+                if model.int_value(*var) == 1 {
+                    let automaton = system.automaton(*node).expect("state var for automaton");
+                    cex.automaton_states.push((
+                        network.name(*node).to_owned(),
+                        automaton.state_name(*state).to_owned(),
+                    ));
+                }
+            }
+            cex.automaton_states.sort();
+            for (node, var) in &vars.dead {
+                if model.bool_value(*var) {
+                    cex.dead_automata.push(network.name(*node).to_owned());
+                }
+            }
+            cex.dead_automata.sort();
+            Verdict::PotentialDeadlock(cex)
+        }
+    };
+    Analysis {
+        verdict,
+        stats: AnalysisStats {
+            invariants: invariants.len(),
+            int_vars: vars.occupancy.len() + vars.state.len(),
+            bool_vars: vars.block.len() + vars.idle.len() + vars.dead.len(),
+            linear_atoms: solver_stats.linear_atoms,
+            refinements: solver_stats.refinements,
+            elapsed: start.elapsed(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advocat_automata::AutomatonBuilder;
+    use advocat_xmas::{Network, Packet};
+
+    /// The running example of the paper (Fig. 1): deadlock-free thanks to
+    /// the derived cross-layer invariant.
+    fn running_example(queue_size: usize) -> System {
+        let mut net = Network::new();
+        let req = net.intern(Packet::kind("req"));
+        let ack = net.intern(Packet::kind("ack"));
+        let s_node = net.add_automaton_node("S", 1, 1);
+        let t_node = net.add_automaton_node("T", 1, 1);
+        let q0 = net.add_queue("q0", queue_size);
+        let q1 = net.add_queue("q1", queue_size);
+        net.connect(s_node, 0, q0, 0);
+        net.connect(q0, 0, t_node, 0);
+        net.connect(t_node, 0, q1, 0);
+        net.connect(q1, 0, s_node, 0);
+
+        let mut sb = AutomatonBuilder::new("S", 1, 1);
+        let s0 = sb.state("s0");
+        let s1 = sb.state("s1");
+        sb.set_initial(s0);
+        sb.spontaneous_emit(s0, s1, 0, req);
+        sb.on_packet(s1, s0, 0, ack, None);
+
+        let mut tb = AutomatonBuilder::new("T", 1, 1);
+        let t0 = tb.state("t0");
+        let t1 = tb.state("t1");
+        tb.set_initial(t0);
+        tb.on_packet(t0, t1, 0, req, None);
+        tb.spontaneous_emit(t1, t0, 0, ack);
+
+        let mut system = System::new(net);
+        system.attach(s_node, sb.build().unwrap()).unwrap();
+        system.attach(t_node, tb.build().unwrap()).unwrap();
+        system.validate().unwrap();
+        system
+    }
+
+    #[test]
+    fn running_example_is_deadlock_free_with_invariants() {
+        let system = running_example(2);
+        let analysis = verify_system(&system, &DeadlockSpec::default());
+        assert!(analysis.verdict.is_deadlock_free(), "{:?}", analysis.verdict);
+        assert!(analysis.stats.invariants >= 1);
+        assert!(analysis.stats.int_vars >= 6);
+    }
+
+    #[test]
+    fn running_example_without_invariants_reports_candidates() {
+        // Section 3 of the paper: without the invariants, unfolding the
+        // block/idle equations yields (unreachable) deadlock candidates.
+        let system = running_example(2);
+        let colors = derive_colors(&system);
+        let empty = InvariantSet::default();
+        let analysis = verify_with(
+            &system,
+            &colors,
+            &empty,
+            &DeadlockSpec::default(),
+            &CheckConfig::default(),
+        );
+        assert!(matches!(analysis.verdict, Verdict::PotentialDeadlock(_)));
+    }
+
+    #[test]
+    fn dead_sink_deadlock_is_detected_with_counterexample_details() {
+        let mut net = Network::new();
+        let pkt = net.intern(Packet::kind("pkt"));
+        let src = net.add_source("src", vec![pkt]);
+        let q = net.add_queue("q", 2);
+        let dead = net.add_dead_sink("dead");
+        net.connect(src, 0, q, 0);
+        net.connect(q, 0, dead, 0);
+        let system = System::new(net);
+        let analysis = verify_system(&system, &DeadlockSpec::default());
+        let cex = analysis
+            .verdict
+            .counterexample()
+            .expect("a stuck packet must be reported");
+        assert!(cex.total_packets() >= 1);
+        assert_eq!(cex.packets_of_kind("pkt"), cex.total_packets());
+    }
+
+    #[test]
+    fn stuck_packet_target_can_be_disabled() {
+        let mut net = Network::new();
+        let pkt = net.intern(Packet::kind("pkt"));
+        let src = net.add_source("src", vec![pkt]);
+        let q = net.add_queue("q", 2);
+        let dead = net.add_dead_sink("dead");
+        net.connect(src, 0, q, 0);
+        net.connect(q, 0, dead, 0);
+        let system = System::new(net);
+        // With both targets disabled there is nothing to look for.
+        let spec = DeadlockSpec {
+            stuck_packet: false,
+            dead_automaton: false,
+        };
+        let analysis = verify_system(&system, &spec);
+        assert!(analysis.verdict.is_deadlock_free());
+    }
+
+    #[test]
+    fn verdict_helpers_behave() {
+        assert!(Verdict::DeadlockFree.is_deadlock_free());
+        assert!(Verdict::DeadlockFree.counterexample().is_none());
+        let v = Verdict::PotentialDeadlock(Counterexample::default());
+        assert!(!v.is_deadlock_free());
+        assert!(v.counterexample().is_some());
+    }
+}

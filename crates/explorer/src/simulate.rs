@@ -1,0 +1,107 @@
+//! Random simulation for systems too large to explore exhaustively.
+
+use advocat_automata::System;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::state::GlobalState;
+use crate::transfer::enabled_events;
+
+/// The result of a random walk.
+#[derive(Clone, Debug)]
+pub struct SimulationReport {
+    /// Number of steps actually taken.
+    pub steps_taken: usize,
+    /// The state in which the walk got stuck, if it did.
+    pub deadlock: Option<GlobalState>,
+    /// The final state of the walk (equal to the deadlock state when stuck).
+    pub final_state: GlobalState,
+}
+
+impl SimulationReport {
+    /// Returns `true` when the walk ended in a state with no enabled event.
+    pub fn deadlocked(&self) -> bool {
+        self.deadlock.is_some()
+    }
+}
+
+/// Performs a uniformly random walk of at most `max_steps` steps from the
+/// initial state, using the stalling queue semantics.
+///
+/// Random walks cannot prove deadlock freedom, but on large meshes they are
+/// a cheap way to exhibit reachable deadlocks reported by the SMT analysis
+/// and to smoke-test generated fabrics.
+pub fn random_walk(system: &System, max_steps: usize, seed: u64) -> SimulationReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state = GlobalState::initial(system);
+    for step in 0..max_steps {
+        let events = enabled_events(system, &state, true);
+        if events.is_empty() {
+            return SimulationReport {
+                steps_taken: step,
+                deadlock: Some(state.clone()),
+                final_state: state,
+            };
+        }
+        let pick = rng.gen_range(0..events.len());
+        state = events[pick].apply(&state);
+    }
+    SimulationReport {
+        steps_taken: max_steps,
+        deadlock: None,
+        final_state: state,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advocat_xmas::{Network, Packet};
+
+    #[test]
+    fn walk_on_a_live_pipeline_never_deadlocks() {
+        let mut net = Network::new();
+        let p = net.intern(Packet::kind("p"));
+        let src = net.add_source("src", vec![p]);
+        let q = net.add_queue("q", 2);
+        let snk = net.add_sink("snk");
+        net.connect(src, 0, q, 0);
+        net.connect(q, 0, snk, 0);
+        let system = System::new(net);
+        let report = random_walk(&system, 500, 7);
+        assert!(!report.deadlocked());
+        assert_eq!(report.steps_taken, 500);
+    }
+
+    #[test]
+    fn walk_into_a_dead_sink_gets_stuck_quickly() {
+        let mut net = Network::new();
+        let p = net.intern(Packet::kind("p"));
+        let src = net.add_source("src", vec![p]);
+        let q = net.add_queue("q", 3);
+        let dead = net.add_dead_sink("dead");
+        net.connect(src, 0, q, 0);
+        net.connect(q, 0, dead, 0);
+        let system = System::new(net);
+        let report = random_walk(&system, 100, 42);
+        assert!(report.deadlocked());
+        assert_eq!(report.steps_taken, 3);
+        assert_eq!(report.final_state.queue_len(q), 3);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_walks() {
+        let mut net = Network::new();
+        let a = net.intern(Packet::kind("a"));
+        let b = net.intern(Packet::kind("b"));
+        let src = net.add_source("src", vec![a, b]);
+        let q = net.add_queue("q", 4);
+        let snk = net.add_sink("snk");
+        net.connect(src, 0, q, 0);
+        net.connect(q, 0, snk, 0);
+        let system = System::new(net);
+        let r1 = random_walk(&system, 200, 11);
+        let r2 = random_walk(&system, 200, 11);
+        assert_eq!(r1.final_state, r2.final_state);
+    }
+}

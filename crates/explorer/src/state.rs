@@ -1,0 +1,133 @@
+//! Global states of a system.
+
+use std::collections::BTreeMap;
+
+use advocat_automata::{StateId, System};
+use advocat_xmas::{ColorId, Primitive, PrimitiveId};
+
+/// A global state: the content of every queue (front first) and the state
+/// of every automaton.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalState {
+    queues: BTreeMap<PrimitiveId, Vec<ColorId>>,
+    automata: BTreeMap<PrimitiveId, StateId>,
+}
+
+impl GlobalState {
+    /// Returns the initial state of a system: queues hold their declared
+    /// initial content, automata are in their initial states.
+    pub fn initial(system: &System) -> GlobalState {
+        let network = system.network();
+        let mut queues = BTreeMap::new();
+        for q in network.queue_ids() {
+            let init = match network.primitive(q) {
+                Primitive::Queue { init, .. } => init.clone(),
+                _ => Vec::new(),
+            };
+            queues.insert(q, init);
+        }
+        let mut automata = BTreeMap::new();
+        for (node, automaton) in system.automata() {
+            automata.insert(node, automaton.initial());
+        }
+        GlobalState { queues, automata }
+    }
+
+    /// Returns the content of a queue (front first).
+    pub fn queue(&self, queue: PrimitiveId) -> &[ColorId] {
+        self.queues
+            .get(&queue)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Returns the number of packets of the given color in a queue.
+    pub fn queue_count(&self, queue: PrimitiveId, color: ColorId) -> usize {
+        self.queue(queue).iter().filter(|c| **c == color).count()
+    }
+
+    /// Returns the total number of packets in a queue.
+    pub fn queue_len(&self, queue: PrimitiveId) -> usize {
+        self.queue(queue).len()
+    }
+
+    /// Returns the total number of en-route packets.
+    pub fn total_packets(&self) -> usize {
+        self.queues.values().map(|v| v.len()).sum()
+    }
+
+    /// Returns the current state of an automaton node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has no attached automaton.
+    pub fn automaton_state(&self, node: PrimitiveId) -> StateId {
+        *self
+            .automata
+            .get(&node)
+            .expect("automaton node present in the state")
+    }
+
+    /// Returns `true` when the automaton at `node` is in `state`.
+    pub fn is_in_state(&self, node: PrimitiveId, state: StateId) -> bool {
+        self.automata.get(&node) == Some(&state)
+    }
+
+    pub(crate) fn push_packet(&mut self, queue: PrimitiveId, color: ColorId) {
+        self.queues.entry(queue).or_default().push(color);
+    }
+
+    /// Removes the first occurrence of `color` from the queue.
+    pub(crate) fn remove_packet(&mut self, queue: PrimitiveId, color: ColorId) {
+        let content = self.queues.entry(queue).or_default();
+        if let Some(pos) = content.iter().position(|c| *c == color) {
+            content.remove(pos);
+        }
+    }
+
+    pub(crate) fn set_automaton_state(&mut self, node: PrimitiveId, state: StateId) {
+        self.automata.insert(node, state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advocat_xmas::{Network, Packet};
+
+    #[test]
+    fn initial_state_reflects_queue_init_and_automaton_initial() {
+        let mut net = Network::new();
+        let a = net.intern(Packet::kind("a"));
+        let src = net.add_source("src", vec![a]);
+        let q = net.add_queue_with_init("q", 3, vec![a, a]);
+        let snk = net.add_sink("snk");
+        net.connect(src, 0, q, 0);
+        net.connect(q, 0, snk, 0);
+        let system = System::new(net);
+        let state = GlobalState::initial(&system);
+        assert_eq!(state.queue_len(q), 2);
+        assert_eq!(state.queue_count(q, a), 2);
+        assert_eq!(state.total_packets(), 2);
+    }
+
+    #[test]
+    fn packet_mutations_preserve_order() {
+        let mut net = Network::new();
+        let a = net.intern(Packet::kind("a"));
+        let b = net.intern(Packet::kind("b"));
+        let src = net.add_source("src", vec![a, b]);
+        let q = net.add_queue("q", 3);
+        let snk = net.add_sink("snk");
+        net.connect(src, 0, q, 0);
+        net.connect(q, 0, snk, 0);
+        let system = System::new(net);
+        let mut state = GlobalState::initial(&system);
+        state.push_packet(q, a);
+        state.push_packet(q, b);
+        state.push_packet(q, a);
+        assert_eq!(state.queue(q), &[a, b, a]);
+        state.remove_packet(q, a);
+        assert_eq!(state.queue(q), &[b, a]);
+    }
+}

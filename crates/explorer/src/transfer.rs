@@ -1,0 +1,371 @@
+//! Transfer resolution: the executable step semantics.
+//!
+//! A *step* is either one packet transfer — from a sequential producer
+//! (source, queue, or an automaton emission) through the combinational
+//! primitives (function, switch, merge, fork) into sequential consumers
+//! (queue, sink, automaton) — or one spontaneous automaton transition.
+//! This interleaving abstraction preserves reachability of the
+//! configurations the deadlock analysis cares about (queue contents and
+//! automaton states).
+
+use advocat_automata::{StateId, System, TransitionKind};
+use advocat_xmas::{ChannelId, ColorId, Primitive, PrimitiveId};
+
+use crate::state::GlobalState;
+
+/// One atomic effect of an event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Effect {
+    /// Append a packet to a queue.
+    Push(PrimitiveId, ColorId),
+    /// Remove the first occurrence of a packet from a queue.
+    Remove(PrimitiveId, ColorId),
+    /// Move an automaton to a new state.
+    SetState(PrimitiveId, StateId),
+}
+
+/// An enabled event: a short description plus its effects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Human-readable description (for traces and debugging).
+    pub description: String,
+    pub(crate) effects: Vec<Effect>,
+}
+
+impl Event {
+    /// Applies the event to a state, returning the successor state.
+    pub fn apply(&self, state: &GlobalState) -> GlobalState {
+        let mut next = state.clone();
+        for effect in &self.effects {
+            match effect {
+                Effect::Push(queue, color) => next.push_packet(*queue, *color),
+                Effect::Remove(queue, color) => next.remove_packet(*queue, *color),
+                Effect::SetState(node, new_state) => next.set_automaton_state(*node, *new_state),
+            }
+        }
+        next
+    }
+}
+
+const MAX_COMBINATIONAL_DEPTH: usize = 64;
+
+/// Returns every alternative set of effects by which a packet of color
+/// `color` offered on `channel` can be consumed in `state`.
+fn offer(
+    system: &System,
+    state: &GlobalState,
+    channel: ChannelId,
+    color: ColorId,
+    depth: usize,
+) -> Vec<Vec<Effect>> {
+    if depth > MAX_COMBINATIONAL_DEPTH {
+        return Vec::new();
+    }
+    let network = system.network();
+    let target = network.channel(channel).target;
+    let node = target.primitive;
+    match network.primitive(node) {
+        Primitive::Queue { size, .. } => {
+            if state.queue_len(node) < *size {
+                vec![vec![Effect::Push(node, color)]]
+            } else {
+                Vec::new()
+            }
+        }
+        Primitive::Sink { fair } => {
+            if *fair {
+                vec![Vec::new()]
+            } else {
+                Vec::new()
+            }
+        }
+        Primitive::Function { .. } => {
+            let mapped = network
+                .primitive(node)
+                .function_apply(color)
+                .expect("function primitive");
+            match network.out_channel(node, 0) {
+                Some(out) => offer(system, state, out, mapped, depth + 1),
+                None => Vec::new(),
+            }
+        }
+        Primitive::Switch { .. } => {
+            let port = network
+                .primitive(node)
+                .switch_route(color)
+                .expect("switch primitive");
+            match network.out_channel(node, port) {
+                Some(out) => offer(system, state, out, color, depth + 1),
+                None => Vec::new(),
+            }
+        }
+        Primitive::Merge { .. } => match network.out_channel(node, 0) {
+            Some(out) => offer(system, state, out, color, depth + 1),
+            None => Vec::new(),
+        },
+        Primitive::Fork => {
+            let (Some(a), Some(b)) = (network.out_channel(node, 0), network.out_channel(node, 1))
+            else {
+                return Vec::new();
+            };
+            let left = offer(system, state, a, color, depth + 1);
+            let right = offer(system, state, b, color, depth + 1);
+            let mut alternatives = Vec::new();
+            for l in &left {
+                for r in &right {
+                    let mut combined = l.clone();
+                    combined.extend(r.clone());
+                    alternatives.push(combined);
+                }
+            }
+            alternatives
+        }
+        Primitive::Join => {
+            // Joins are not used by the generated fabrics; a conservative
+            // "cannot accept" keeps exploration sound for models that do use
+            // them (it only under-approximates reachability).
+            Vec::new()
+        }
+        Primitive::Automaton { .. } => {
+            let Some(automaton) = system.automaton(node) else {
+                return Vec::new();
+            };
+            let current = state.automaton_state(node);
+            let mut alternatives = Vec::new();
+            for t in automaton.transitions_from(current) {
+                let transition = automaton.transition(t);
+                let Some(emission) = transition.emission_for(target.port, color) else {
+                    continue;
+                };
+                match emission {
+                    None => alternatives.push(vec![Effect::SetState(node, transition.to)]),
+                    Some((out_port, out_color)) => {
+                        let Some(out) = network.out_channel(node, out_port) else {
+                            continue;
+                        };
+                        for downstream in offer(system, state, out, out_color, depth + 1) {
+                            let mut effects = downstream;
+                            effects.push(Effect::SetState(node, transition.to));
+                            alternatives.push(effects);
+                        }
+                    }
+                }
+            }
+            alternatives
+        }
+        Primitive::Source { .. } => Vec::new(),
+    }
+}
+
+/// Enumerates every event enabled in `state`.
+///
+/// `requeue_stalled` selects the paper's stalling semantics for queues: any
+/// packet of a queue (not only the head) may be offered to the consumer,
+/// modelling packets that are "stalled and moved to the end of the queue".
+pub fn enabled_events(system: &System, state: &GlobalState, requeue_stalled: bool) -> Vec<Event> {
+    let network = system.network();
+    let mut events = Vec::new();
+
+    // Source injections.
+    for id in network.primitive_ids() {
+        if let Primitive::Source { colors } = network.primitive(id) {
+            let Some(out) = network.out_channel(id, 0) else {
+                continue;
+            };
+            for color in colors {
+                for effects in offer(system, state, out, *color, 0) {
+                    events.push(Event {
+                        description: format!(
+                            "{} injects {}",
+                            network.name(id),
+                            network.colors().packet(*color)
+                        ),
+                        effects,
+                    });
+                }
+            }
+        }
+    }
+
+    // Queue head (or any stalled packet) advances.
+    for queue in network.queue_ids() {
+        let content = state.queue(queue);
+        if content.is_empty() {
+            continue;
+        }
+        let Some(out) = network.out_channel(queue, 0) else {
+            continue;
+        };
+        let candidates: Vec<ColorId> = if requeue_stalled {
+            let mut distinct = content.to_vec();
+            distinct.sort();
+            distinct.dedup();
+            distinct
+        } else {
+            vec![content[0]]
+        };
+        for color in candidates {
+            for mut effects in offer(system, state, out, color, 0) {
+                effects.push(Effect::Remove(queue, color));
+                events.push(Event {
+                    description: format!(
+                        "{} forwards {}",
+                        network.name(queue),
+                        network.colors().packet(color)
+                    ),
+                    effects,
+                });
+            }
+        }
+    }
+
+    // Spontaneous automaton transitions.
+    for (node, automaton) in system.automata() {
+        let current = state.automaton_state(node);
+        for t in automaton.transitions_from(current) {
+            let transition = automaton.transition(t);
+            let TransitionKind::Spontaneous(emission) = &transition.kind else {
+                continue;
+            };
+            match emission {
+                None => events.push(Event {
+                    description: format!(
+                        "{} moves to {}",
+                        network.name(node),
+                        automaton.state_name(transition.to)
+                    ),
+                    effects: vec![Effect::SetState(node, transition.to)],
+                }),
+                Some((out_port, out_color)) => {
+                    let Some(out) = network.out_channel(node, *out_port) else {
+                        continue;
+                    };
+                    for downstream in offer(system, state, out, *out_color, 0) {
+                        let mut effects = downstream;
+                        effects.push(Effect::SetState(node, transition.to));
+                        events.push(Event {
+                            description: format!(
+                                "{} emits {}",
+                                network.name(node),
+                                network.colors().packet(*out_color)
+                            ),
+                            effects,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advocat_automata::AutomatonBuilder;
+    use advocat_xmas::{Network, Packet};
+
+    #[test]
+    fn source_injection_fills_a_queue_until_capacity() {
+        let mut net = Network::new();
+        let p = net.intern(Packet::kind("p"));
+        let src = net.add_source("src", vec![p]);
+        let q = net.add_queue("q", 2);
+        let dead = net.add_dead_sink("dead");
+        net.connect(src, 0, q, 0);
+        net.connect(q, 0, dead, 0);
+        let system = System::new(net);
+        let mut state = GlobalState::initial(&system);
+        for expected_len in 1..=2 {
+            let events = enabled_events(&system, &state, true);
+            assert_eq!(events.len(), 1, "only the injection is enabled");
+            state = events[0].apply(&state);
+            assert_eq!(state.queue_len(q), expected_len);
+        }
+        // Queue full and sink dead: deadlock.
+        assert!(enabled_events(&system, &state, true).is_empty());
+    }
+
+    #[test]
+    fn stalling_lets_later_packets_overtake() {
+        // An automaton that only accepts `b`; the queue head is `a`.
+        let mut net = Network::new();
+        let a = net.intern(Packet::kind("a"));
+        let b = net.intern(Packet::kind("b"));
+        let q = net.add_queue_with_init("q", 2, vec![a, b]);
+        let agent = net.add_automaton_node("agent", 1, 0);
+        net.connect(q, 0, agent, 0);
+        let mut builder = AutomatonBuilder::new("agent", 1, 0);
+        let s = builder.state("s");
+        builder.on_packet(s, s, 0, b, None);
+        let mut system = System::new(net);
+        system.attach(agent, builder.build().unwrap()).unwrap();
+        let state = GlobalState::initial(&system);
+        // FIFO semantics: the head `a` is not consumable, so nothing happens.
+        assert!(enabled_events(&system, &state, false).is_empty());
+        // Stalling semantics: `b` overtakes the stalled `a`.
+        let events = enabled_events(&system, &state, true);
+        assert_eq!(events.len(), 1);
+        let next = events[0].apply(&state);
+        assert_eq!(next.queue(q), &[a]);
+    }
+
+    #[test]
+    fn automaton_emission_requires_downstream_space() {
+        // agent: on `go`, emit `out` into a size-1 queue feeding a dead sink.
+        let mut net = Network::new();
+        let go = net.intern(Packet::kind("go"));
+        let out_pkt = net.intern(Packet::kind("out"));
+        let src = net.add_source("src", vec![go]);
+        let agent = net.add_automaton_node("agent", 1, 1);
+        let q = net.add_queue("q", 1);
+        let dead = net.add_dead_sink("dead");
+        net.connect(src, 0, agent, 0);
+        net.connect(agent, 0, q, 0);
+        net.connect(q, 0, dead, 0);
+        let mut builder = AutomatonBuilder::new("agent", 1, 1);
+        let s = builder.state("s");
+        builder.on_packet(s, s, 0, go, Some((0, out_pkt)));
+        let mut system = System::new(net);
+        system.attach(agent, builder.build().unwrap()).unwrap();
+
+        let state = GlobalState::initial(&system);
+        let events = enabled_events(&system, &state, true);
+        assert_eq!(events.len(), 1, "the injection through the agent is enabled");
+        let next = events[0].apply(&state);
+        assert_eq!(next.queue_len(q), 1);
+        // Queue now full: the agent can no longer accept `go`.
+        assert!(enabled_events(&system, &next, true).is_empty());
+    }
+
+    #[test]
+    fn spontaneous_transitions_are_events() {
+        let mut net = Network::new();
+        let ping = net.intern(Packet::kind("ping"));
+        let agent = net.add_automaton_node("agent", 0, 1);
+        let q = net.add_queue("q", 5);
+        let snk = net.add_sink("snk");
+        net.connect(agent, 0, q, 0);
+        net.connect(q, 0, snk, 0);
+        let mut builder = AutomatonBuilder::new("agent", 0, 1);
+        let s0 = builder.state("s0");
+        let s1 = builder.state("s1");
+        builder.set_initial(s0);
+        builder.spontaneous_emit(s0, s1, 0, ping);
+        builder.spontaneous(s1, s0);
+        let mut system = System::new(net);
+        system.attach(agent, builder.build().unwrap()).unwrap();
+
+        let state = GlobalState::initial(&system);
+        let events = enabled_events(&system, &state, true);
+        assert_eq!(events.len(), 1);
+        let next = events[0].apply(&state);
+        assert_eq!(next.queue_len(q), 1);
+        assert!(next.is_in_state(agent, s1));
+        // From s1 the silent transition back to s0 is enabled, and the
+        // packet in the queue can advance into the sink.
+        let followups = enabled_events(&system, &next, true);
+        assert_eq!(followups.len(), 2);
+    }
+}

@@ -1,0 +1,334 @@
+//! The four automaton equation families of ADVOCAT (Section 4).
+
+use std::collections::BTreeSet;
+
+use advocat_automata::{System, TransitionKind, XmasAutomaton};
+use advocat_num::{LinearRow, Rational};
+use advocat_xmas::{ColorId, ColorMap, PrimitiveId};
+
+use crate::partition::partition_by_groups;
+use crate::vars::VarRegistry;
+
+/// Emits all invariant equations for one automaton node into `rows`.
+pub(crate) fn automaton_rows(
+    system: &System,
+    colors: &ColorMap,
+    node: PrimitiveId,
+    registry: &mut VarRegistry,
+    rows: &mut Vec<LinearRow>,
+) {
+    let Some(automaton) = system.automaton(node) else {
+        return;
+    };
+    one_state_row(automaton, node, registry, rows);
+    state_balance_rows(automaton, node, registry, rows);
+    in_channel_rows(system, colors, node, automaton, registry, rows);
+    out_channel_rows(system, colors, node, automaton, registry, rows);
+}
+
+/// `Σ_s A.s = 1` — every automaton is in exactly one state.
+fn one_state_row(
+    automaton: &XmasAutomaton,
+    node: PrimitiveId,
+    registry: &mut VarRegistry,
+    rows: &mut Vec<LinearRow>,
+) {
+    let mut row = LinearRow::new();
+    for state in automaton.states() {
+        row.add_term(registry.automaton_state(node, state), Rational::ONE);
+    }
+    row.add_constant(Rational::from_integer(-1));
+    rows.push(row);
+}
+
+/// Equation 1: per state, firings of incoming transitions balance firings of
+/// outgoing transitions up to the state indicator and the initial state.
+fn state_balance_rows(
+    automaton: &XmasAutomaton,
+    node: PrimitiveId,
+    registry: &mut VarRegistry,
+    rows: &mut Vec<LinearRow>,
+) {
+    let one = Rational::ONE;
+    let minus_one = Rational::from_integer(-1);
+    for state in automaton.states() {
+        let mut row = LinearRow::new();
+        for t in automaton.transitions_into(state) {
+            row.add_term(registry.kappa(node, t.index() as u32), one);
+        }
+        for t in automaton.transitions_from(state) {
+            row.add_term(registry.kappa(node, t.index() as u32), minus_one);
+        }
+        row.add_term(registry.automaton_state(node, state), minus_one);
+        if state == automaton.initial() {
+            row.add_constant(one);
+        }
+        rows.push(row);
+    }
+}
+
+/// Equation 2: packets arriving on in-channels balance firings of the
+/// transitions they can enable, per event-equivalence class.
+fn in_channel_rows(
+    system: &System,
+    colors: &ColorMap,
+    node: PrimitiveId,
+    automaton: &XmasAutomaton,
+    registry: &mut VarRegistry,
+    rows: &mut Vec<LinearRow>,
+) {
+    let network = system.network();
+    // Enumerate the (in_port, color) tuples that can actually occur.
+    let mut tuples: Vec<(usize, ColorId)> = Vec::new();
+    for port in 0..automaton.input_count() {
+        if let Some(channel) = network.in_channel(node, port) {
+            for color in colors.colors(channel).iter() {
+                tuples.push((port, *color));
+            }
+        }
+    }
+    if tuples.is_empty() {
+        return;
+    }
+    let tuple_index = |tuple: &(usize, ColorId)| tuples.iter().position(|t| t == tuple);
+
+    // Group tuples accepted by the same transition.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for transition in automaton.transitions() {
+        if let TransitionKind::Triggered(map) = &transition.kind {
+            let members: Vec<usize> = map
+                .keys()
+                .filter_map(|key| tuple_index(key))
+                .collect();
+            if members.len() > 1 {
+                groups.push(members);
+            }
+        }
+    }
+    let classes = partition_by_groups(tuples.len(), &groups);
+
+    for class in classes {
+        let mut row = LinearRow::new();
+        let mut enabled: BTreeSet<usize> = BTreeSet::new();
+        for &member in &class {
+            let (port, color) = tuples[member];
+            let channel = network
+                .in_channel(node, port)
+                .expect("tuple enumerated from a connected port");
+            row.add_term(registry.lambda(channel, color), Rational::ONE);
+            for (idx, transition) in automaton.transitions().iter().enumerate() {
+                if transition.accepts(port, color) {
+                    enabled.insert(idx);
+                }
+            }
+        }
+        for t in enabled {
+            row.add_term(
+                registry.kappa(node, t as u32),
+                Rational::from_integer(-1),
+            );
+        }
+        rows.push(row);
+    }
+}
+
+/// Equation 4 (the out-channel analogue of Equation 2): packets produced on
+/// out-channels balance firings of the transitions that produce them.
+///
+/// A class is only emitted when every producing transition emits into the
+/// class on *every* firing; otherwise the relation would be an inequality,
+/// which the equality-based elimination cannot use soundly.
+fn out_channel_rows(
+    system: &System,
+    colors: &ColorMap,
+    node: PrimitiveId,
+    automaton: &XmasAutomaton,
+    registry: &mut VarRegistry,
+    rows: &mut Vec<LinearRow>,
+) {
+    let network = system.network();
+    let mut tuples: Vec<(usize, ColorId)> = Vec::new();
+    for port in 0..automaton.output_count() {
+        if let Some(channel) = network.out_channel(node, port) {
+            for color in colors.colors(channel).iter() {
+                tuples.push((port, *color));
+            }
+        }
+    }
+    if tuples.is_empty() {
+        return;
+    }
+    let tuple_index = |tuple: &(usize, ColorId)| tuples.iter().position(|t| t == tuple);
+
+    // Group tuples produced by the same transition.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for transition in automaton.transitions() {
+        let members: Vec<usize> = transition
+            .emissions()
+            .iter()
+            .filter_map(|e| tuple_index(e))
+            .collect();
+        if members.len() > 1 {
+            groups.push(members);
+        }
+    }
+    let classes = partition_by_groups(tuples.len(), &groups);
+
+    for class in classes {
+        let class_tuples: BTreeSet<(usize, ColorId)> =
+            class.iter().map(|&m| tuples[m]).collect();
+        // Producers: transitions that can emit some tuple of the class.
+        let mut producers: BTreeSet<usize> = BTreeSet::new();
+        for (idx, transition) in automaton.transitions().iter().enumerate() {
+            if transition
+                .emissions()
+                .iter()
+                .any(|e| class_tuples.contains(e))
+            {
+                producers.insert(idx);
+            }
+        }
+        // Soundness check: every firing of every producer must emit into the
+        // class.
+        let mut always_emits = true;
+        for &p in &producers {
+            let transition = &automaton.transitions()[p];
+            match &transition.kind {
+                TransitionKind::Spontaneous(Some(e)) => {
+                    if !class_tuples.contains(e) {
+                        always_emits = false;
+                    }
+                }
+                TransitionKind::Spontaneous(None) => always_emits = false,
+                TransitionKind::Triggered(map) => {
+                    for emission in map.values() {
+                        match emission {
+                            Some(e) if class_tuples.contains(e) => {}
+                            _ => always_emits = false,
+                        }
+                    }
+                }
+            }
+        }
+        if !always_emits && !producers.is_empty() {
+            continue;
+        }
+        let mut row = LinearRow::new();
+        for (port, color) in &class_tuples {
+            let channel = network
+                .out_channel(node, *port)
+                .expect("tuple enumerated from a connected port");
+            row.add_term(registry.lambda(channel, *color), Rational::ONE);
+        }
+        for p in producers {
+            row.add_term(
+                registry.kappa(node, p as u32),
+                Rational::from_integer(-1),
+            );
+        }
+        rows.push(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advocat_automata::{derive_colors, AutomatonBuilder};
+    use advocat_xmas::{Network, Packet};
+
+    /// A single automaton that consumes `req` and emits `ack`.
+    fn responder_system() -> System {
+        let mut net = Network::new();
+        let req = net.intern(Packet::kind("req"));
+        let ack = net.intern(Packet::kind("ack"));
+        let src = net.add_source("src", vec![req]);
+        let agent = net.add_automaton_node("agent", 1, 1);
+        let q = net.add_queue("q", 2);
+        let snk = net.add_sink("snk");
+        net.connect(src, 0, agent, 0);
+        net.connect(agent, 0, q, 0);
+        net.connect(q, 0, snk, 0);
+
+        let mut b = AutomatonBuilder::new("agent", 1, 1);
+        let idle = b.state("idle");
+        let busy = b.state("busy");
+        b.set_initial(idle);
+        b.on_packet(idle, busy, 0, req, Some((0, ack)));
+        b.on_packet(busy, idle, 0, req, None);
+        let mut system = System::new(net);
+        system.attach(agent, b.build().unwrap()).unwrap();
+        system
+    }
+
+    #[test]
+    fn automaton_rows_cover_all_four_families() {
+        let system = responder_system();
+        let colors = derive_colors(&system);
+        let node = system.network().automaton_ids().next().unwrap();
+        let mut registry = VarRegistry::new();
+        let mut rows = Vec::new();
+        automaton_rows(&system, &colors, node, &mut registry, &mut rows);
+        // 1 (one-state) + 2 (state balance) + 1 (in-class: both transitions
+        // share the single (port, req) tuple) + 1 (out-class).
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn state_balance_mentions_initial_state_constant() {
+        let system = responder_system();
+        let colors = derive_colors(&system);
+        let node = system.network().automaton_ids().next().unwrap();
+        let mut registry = VarRegistry::new();
+        let mut rows = Vec::new();
+        automaton_rows(&system, &colors, node, &mut registry, &mut rows);
+        // Exactly one row carries the `+1` constant of the initial state and
+        // one carries the `-1` of the one-state equation.
+        let plus = rows
+            .iter()
+            .filter(|r| r.constant() == Rational::ONE)
+            .count();
+        let minus = rows
+            .iter()
+            .filter(|r| r.constant() == Rational::from_integer(-1))
+            .count();
+        assert_eq!(plus, 1);
+        assert_eq!(minus, 1);
+    }
+
+    #[test]
+    fn out_rows_skip_transitions_that_do_not_always_emit() {
+        // An automaton where the same transition sometimes emits and
+        // sometimes does not: the production equation must be suppressed.
+        let mut net = Network::new();
+        let a = net.intern(Packet::kind("a"));
+        let b_pkt = net.intern(Packet::kind("b"));
+        let out_pkt = net.intern(Packet::kind("out"));
+        let src = net.add_source("src", vec![a, b_pkt]);
+        let agent = net.add_automaton_node("agent", 1, 1);
+        let snk = net.add_sink("snk");
+        net.connect(src, 0, agent, 0);
+        net.connect(agent, 0, snk, 0);
+        let mut builder = AutomatonBuilder::new("agent", 1, 1);
+        let s = builder.state("s");
+        builder.on_any(
+            s,
+            s,
+            [((0, a), Some((0, out_pkt))), ((0, b_pkt), None)],
+        );
+        let mut system = System::new(net);
+        system.attach(agent, builder.build().unwrap()).unwrap();
+        let colors = derive_colors(&system);
+        let node = system.network().automaton_ids().next().unwrap();
+        let mut registry = VarRegistry::new();
+        let mut rows = Vec::new();
+        out_channel_rows(
+            &system,
+            &colors,
+            node,
+            system.automaton(node).unwrap(),
+            &mut registry,
+            &mut rows,
+        );
+        assert!(rows.is_empty());
+    }
+}

@@ -1,0 +1,213 @@
+//! The invariant-derivation driver.
+
+use advocat_automata::System;
+use advocat_num::{eliminate, LinearRow};
+use advocat_xmas::ColorMap;
+
+use crate::automaton_eqs::automaton_rows;
+use crate::flow::primitive_flow_rows;
+use crate::vars::{Invariant, InvariantVar, VarRegistry};
+
+/// The set of cross-layer invariants derived for a system.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct InvariantSet {
+    invariants: Vec<Invariant>,
+}
+
+impl InvariantSet {
+    /// Returns the invariants.
+    pub fn invariants(&self) -> &[Invariant] {
+        &self.invariants
+    }
+
+    /// Returns the number of invariants.
+    pub fn len(&self) -> usize {
+        self.invariants.len()
+    }
+
+    /// Returns `true` when no invariants were derived.
+    pub fn is_empty(&self) -> bool {
+        self.invariants.is_empty()
+    }
+
+    /// Iterates over the invariants.
+    pub fn iter(&self) -> impl Iterator<Item = &Invariant> + '_ {
+        self.invariants.iter()
+    }
+}
+
+impl IntoIterator for InvariantSet {
+    type Item = Invariant;
+    type IntoIter = std::vec::IntoIter<Invariant>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.invariants.into_iter()
+    }
+}
+
+/// Derives the cross-layer invariants of a system.
+///
+/// Collects the flow equations of every basic primitive and the four
+/// automaton equation families, then eliminates all `λ` (channel flow) and
+/// `κ` (transition firing) variables by Gaussian elimination.  The rows that
+/// survive relate only queue occupancies `#q.d` and automaton state
+/// indicators `A.s` — the invariants of Section 4 of the paper.
+///
+/// `colors` must be the `T`-derivation of the same system (see
+/// [`advocat_automata::derive_colors`]).
+///
+/// # Examples
+///
+/// See the crate-level documentation and the `running_example` integration
+/// test; for the paper's Fig. 1 system this derives
+/// `#q0 + #q1 = S.s1 + T.t0 − 1`.
+pub fn derive_invariants(system: &System, colors: &ColorMap) -> InvariantSet {
+    let network = system.network();
+    let mut registry = VarRegistry::new();
+    let mut rows: Vec<LinearRow> = Vec::new();
+
+    for id in network.primitive_ids() {
+        if network.primitive(id).is_automaton() {
+            automaton_rows(system, colors, id, &mut registry, &mut rows);
+        } else {
+            primitive_flow_rows(network, colors, id, &mut registry, &mut rows);
+        }
+    }
+
+    let kept_rows = eliminate(rows, |v| registry.is_eliminated(v));
+
+    let mut invariants = Vec::with_capacity(kept_rows.len());
+    for row in kept_rows {
+        if let Some(invariant) = row_to_invariant(&row, &registry) {
+            invariants.push(invariant);
+        }
+    }
+    InvariantSet { invariants }
+}
+
+fn row_to_invariant(row: &LinearRow, registry: &VarRegistry) -> Option<Invariant> {
+    let mut terms: Vec<(InvariantVar, i128)> = Vec::with_capacity(row.len());
+    for (var, coef) in row.iter() {
+        let kept = registry.kept(var)?;
+        let coef = coef.to_integer()?;
+        terms.push((kept, coef));
+    }
+    let constant = row.constant().to_integer()?;
+    Some(Invariant { terms, constant })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advocat_automata::{derive_colors, AutomatonBuilder};
+    use advocat_xmas::{Network, Packet, PrimitiveId};
+
+    /// Builds the running example of the paper (Fig. 1).
+    fn running_example() -> (System, PrimitiveId, PrimitiveId, PrimitiveId, PrimitiveId) {
+        let mut net = Network::new();
+        let req = net.intern(Packet::kind("req"));
+        let ack = net.intern(Packet::kind("ack"));
+        let s_node = net.add_automaton_node("S", 1, 1);
+        let t_node = net.add_automaton_node("T", 1, 1);
+        let q0 = net.add_queue("q0", 2);
+        let q1 = net.add_queue("q1", 2);
+        net.connect(s_node, 0, q0, 0);
+        net.connect(q0, 0, t_node, 0);
+        net.connect(t_node, 0, q1, 0);
+        net.connect(q1, 0, s_node, 0);
+
+        let mut sb = AutomatonBuilder::new("S", 1, 1);
+        let s0 = sb.state("s0");
+        let s1 = sb.state("s1");
+        sb.set_initial(s0);
+        sb.spontaneous_emit(s0, s1, 0, req);
+        sb.on_packet(s1, s0, 0, ack, None);
+
+        let mut tb = AutomatonBuilder::new("T", 1, 1);
+        let t0 = tb.state("t0");
+        let t1 = tb.state("t1");
+        tb.set_initial(t0);
+        tb.on_packet(t0, t1, 0, req, None);
+        tb.spontaneous_emit(t1, t0, 0, ack);
+
+        let mut system = System::new(net);
+        system.attach(s_node, sb.build().unwrap()).unwrap();
+        system.attach(t_node, tb.build().unwrap()).unwrap();
+        (system, s_node, t_node, q0, q1)
+    }
+
+    #[test]
+    fn running_example_reproduces_the_paper_invariant() {
+        let (system, s_node, t_node, q0, q1) = running_example();
+        let colors = derive_colors(&system);
+        let set = derive_invariants(&system, &colors);
+        assert!(!set.is_empty());
+
+        let s = system.automaton(s_node).unwrap();
+        let t = system.automaton(t_node).unwrap();
+        let s1 = s.state_by_name("s1").unwrap();
+        let t0 = t.state_by_name("t0").unwrap();
+
+        // The paper's invariant:  S.s1 + T.t0 - 1 = #q0 + #q1.
+        // Check it semantically: every derived invariant must hold both in
+        // the initial state (s0, t0, queues empty) and in the state
+        // (s1, t0, one request in q0); and at least one derived invariant
+        // must *fail* in the unreachable configuration (s0, t1, empty).
+        let eval = |set: &InvariantSet,
+                    in_s1: bool,
+                    in_t0: bool,
+                    q0_req: i128,
+                    q1_ack: i128|
+         -> Vec<bool> {
+            set.iter()
+                .map(|inv| {
+                    inv.holds(
+                        |queue, _color| {
+                            if queue == q0 {
+                                q0_req
+                            } else if queue == q1 {
+                                q1_ack
+                            } else {
+                                0
+                            }
+                        },
+                        |node, state| {
+                            if node == s_node {
+                                (state == s1) == in_s1
+                            } else if node == t_node {
+                                (state == t0) == in_t0
+                            } else {
+                                false
+                            }
+                        },
+                    )
+                })
+                .collect()
+        };
+
+        // Initial configuration (s0, t0), queues empty: all invariants hold.
+        assert!(eval(&set, false, true, 0, 0).iter().all(|b| *b));
+        // Reachable configuration (s1, t0) with one request en route.
+        assert!(eval(&set, true, true, 1, 0).iter().all(|b| *b));
+        // Reachable configuration (s1, t1) with empty queues (request
+        // consumed, acknowledgment not yet emitted).
+        assert!(eval(&set, true, false, 0, 0).iter().all(|b| *b));
+        // Reachable configuration (s1, t0) with the acknowledgment en route.
+        assert!(eval(&set, true, true, 0, 1).iter().all(|b| *b));
+        // Unreachable configuration (s0, t1) with empty queues violates at
+        // least one invariant (the paper's: LHS would be -1).
+        assert!(eval(&set, false, false, 0, 0).iter().any(|b| !*b));
+        // Unreachable configuration with both queues full violates too.
+        assert!(eval(&set, true, true, 2, 2).iter().any(|b| !*b));
+    }
+
+    #[test]
+    fn invariant_set_iteration_and_len_agree() {
+        let (system, ..) = running_example();
+        let colors = derive_colors(&system);
+        let set = derive_invariants(&system, &colors);
+        assert_eq!(set.iter().count(), set.len());
+        let collected: Vec<_> = set.clone().into_iter().collect();
+        assert_eq!(collected.len(), set.len());
+    }
+}

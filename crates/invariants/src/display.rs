@@ -1,0 +1,127 @@
+//! Human-readable rendering of derived invariants.
+
+use std::fmt::Write as _;
+
+use advocat_automata::System;
+
+use crate::vars::{Invariant, InvariantVar};
+
+/// Renders an invariant in the style used by the paper, e.g.
+/// `#q0.req + #q1.ack = S.s1 + T.t0 - 1`.
+///
+/// Terms with positive coefficients are gathered on the left-hand side and
+/// terms with negative coefficients (sign-flipped) on the right-hand side,
+/// together with the constant.
+pub fn format_invariant(system: &System, invariant: &Invariant) -> String {
+    let network = system.network();
+    let name_of = |var: &InvariantVar| -> String {
+        match var {
+            InvariantVar::QueueCount { queue, color } => {
+                let packet = network.colors().packet(*color);
+                format!("#{}.{}", network.name(*queue), packet)
+            }
+            InvariantVar::AutomatonState { node, state } => {
+                let automaton = system.automaton(*node);
+                let state_name = automaton
+                    .map(|a| a.state_name(*state).to_owned())
+                    .unwrap_or_else(|| format!("s{}", state.index()));
+                format!("{}.{}", network.name(*node), state_name)
+            }
+        }
+    };
+
+    let mut lhs = String::new();
+    let mut rhs = String::new();
+    let append = |side: &mut String, coef: i128, name: &str| {
+        if !side.is_empty() {
+            side.push_str(" + ");
+        }
+        if coef == 1 {
+            side.push_str(name);
+        } else {
+            let _ = write!(side, "{coef}·{name}");
+        }
+    };
+    for (var, coef) in &invariant.terms {
+        let name = name_of(var);
+        if *coef > 0 {
+            append(&mut lhs, *coef, &name);
+        } else {
+            append(&mut rhs, -coef, &name);
+        }
+    }
+    // constant belongs to the right-hand side with its sign flipped:
+    //   Σ terms + c = 0   ≡   lhs = rhs - c
+    let constant = -invariant.constant;
+    if lhs.is_empty() {
+        lhs.push('0');
+    }
+    match constant.cmp(&0) {
+        std::cmp::Ordering::Equal => {
+            if rhs.is_empty() {
+                rhs.push('0');
+            }
+        }
+        std::cmp::Ordering::Greater => {
+            if rhs.is_empty() {
+                let _ = write!(rhs, "{constant}");
+            } else {
+                let _ = write!(rhs, " + {constant}");
+            }
+        }
+        std::cmp::Ordering::Less => {
+            if rhs.is_empty() {
+                let _ = write!(rhs, "{constant}");
+            } else {
+                let _ = write!(rhs, " - {}", -constant);
+            }
+        }
+    }
+    format!("{lhs} = {rhs}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advocat_automata::{AutomatonBuilder, System};
+    use advocat_xmas::{Network, Packet};
+
+    #[test]
+    fn formatting_mentions_queue_packet_and_state_names() {
+        let mut net = Network::new();
+        let req = net.intern(Packet::kind("req"));
+        let node = net.add_automaton_node("S", 0, 1);
+        let q0 = net.add_queue("q0", 2);
+        let snk = net.add_sink("snk");
+        net.connect(node, 0, q0, 0);
+        net.connect(q0, 0, snk, 0);
+        let mut b = AutomatonBuilder::new("S", 0, 1);
+        let s0 = b.state("s0");
+        let s1 = b.state("s1");
+        b.set_initial(s0);
+        b.spontaneous_emit(s0, s1, 0, req);
+        let mut system = System::new(net);
+        system.attach(node, b.build().unwrap()).unwrap();
+
+        let invariant = Invariant {
+            terms: vec![
+                (InvariantVar::QueueCount { queue: q0, color: req }, 1),
+                (InvariantVar::AutomatonState { node, state: s1 }, -1),
+            ],
+            constant: 1,
+        };
+        let text = format_invariant(&system, &invariant);
+        assert_eq!(text, "#q0.req = S.s1 - 1");
+    }
+
+    #[test]
+    fn zero_sides_render_as_zero() {
+        let net = Network::new();
+        let system = System::new(net);
+        let invariant = Invariant {
+            terms: vec![],
+            constant: 0,
+        };
+        assert_eq!(format_invariant(&system, &invariant), "0 = 0");
+    }
+}

@@ -1,0 +1,43 @@
+//! Automatic derivation of cross-layer invariants.
+//!
+//! This crate implements Section 4 of the ADVOCAT paper: it extends the flow
+//! method of Chatterjee & Kishinevsky — which derives inductive invariants
+//! for xMAS fabrics from per-primitive conservation equations over flow
+//! counters `λ` — with four equation families for XMAS automata:
+//!
+//! 1. every automaton is in exactly one state: `Σ_s A.s = 1`,
+//! 2. per state, firings of incoming transitions balance firings of
+//!    outgoing transitions up to the state indicator (Equation 1 of the
+//!    paper),
+//! 3. packets arriving on in-channels balance firings of the transitions
+//!    they can enable, grouped by event-equivalence classes (Equation 2),
+//! 4. packets produced on out-channels balance firings of the transitions
+//!    that can produce them, grouped by production-equivalence classes.
+//!
+//! All equations are collected as sparse linear rows; Gaussian elimination
+//! (from `advocat-num`) sweeps away the `λ` (channel-flow) and `κ`
+//! (transition-firing) variables, leaving *cross-layer invariants*: linear
+//! equalities over queue occupancies `#q.d` and automaton state indicators
+//! `A.s`.  These are exactly the invariants the deadlock checker conjoins
+//! to the block/idle equations to rule out unreachable deadlock candidates.
+//!
+//! # Examples
+//!
+//! For the running example of the paper (two automata joined by two queues)
+//! the derived invariants include `#q0 + #q1 = S.s1 + T.t0 − 1`, which is
+//! the invariant displayed in Section 1 of the paper.  See
+//! `tests/` of this crate and the `advocat` facade for end-to-end usage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod automaton_eqs;
+mod derive;
+mod display;
+mod flow;
+mod partition;
+mod vars;
+
+pub use derive::{derive_invariants, InvariantSet};
+pub use display::format_invariant;
+pub use vars::{Invariant, InvariantVar};

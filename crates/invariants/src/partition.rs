@@ -1,0 +1,98 @@
+//! Event/production equivalence classes of automaton channel tuples.
+//!
+//! Equation 2 of the paper groups the `(in_channel, color)` tuples of an
+//! automaton into the finest partition such that two tuples enabling the
+//! same transition land in the same class; the analogous partition over
+//! `(out_channel, color)` tuples groups tuples that can be produced by the
+//! same transition.  Both are computed with a small union–find.
+
+use std::collections::BTreeMap;
+
+/// A small union–find over `usize` elements.
+#[derive(Clone, Debug)]
+pub(crate) struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    pub(crate) fn new(size: usize) -> Self {
+        UnionFind {
+            parent: (0..size).collect(),
+        }
+    }
+
+    pub(crate) fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    pub(crate) fn union(&mut self, a: usize, b: usize) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+
+    /// Returns the classes as lists of member indices, keyed by root.
+    pub(crate) fn classes(&mut self) -> Vec<Vec<usize>> {
+        let mut map: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for x in 0..self.parent.len() {
+            let root = self.find(x);
+            map.entry(root).or_default().push(x);
+        }
+        map.into_values().collect()
+    }
+}
+
+/// Computes the finest partition of `elements.len()` items such that all
+/// items sharing a group (as listed in `groups`) are in the same class.
+pub(crate) fn partition_by_groups(num_elements: usize, groups: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut uf = UnionFind::new(num_elements);
+    for group in groups {
+        for window in group.windows(2) {
+            uf.union(window[0], window[1]);
+        }
+    }
+    uf.classes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_merges_transitively() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_ne!(uf.find(0), uf.find(3));
+        let classes = uf.classes();
+        assert_eq!(classes.len(), 3);
+    }
+
+    #[test]
+    fn partition_by_groups_produces_finest_partition() {
+        // Elements 0..4; groups {0,1} and {2,3} leave 4 alone.
+        let classes = partition_by_groups(5, &[vec![0, 1], vec![2, 3]]);
+        assert_eq!(classes.len(), 3);
+        assert!(classes.iter().any(|c| c.len() == 1 && c[0] == 4));
+    }
+
+    #[test]
+    fn overlapping_groups_collapse_into_one_class() {
+        let classes = partition_by_groups(4, &[vec![0, 1], vec![1, 2], vec![2, 3]]);
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].len(), 4);
+    }
+
+    #[test]
+    fn empty_groups_leave_singletons() {
+        let classes = partition_by_groups(3, &[]);
+        assert_eq!(classes.len(), 3);
+    }
+}

@@ -1,0 +1,197 @@
+//! Variable bookkeeping for invariant derivation.
+
+use std::collections::HashMap;
+
+use advocat_automata::StateId;
+use advocat_xmas::{ChannelId, ColorId, PrimitiveId};
+
+/// A variable that may appear in a derived invariant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InvariantVar {
+    /// `#q.d` — the number of packets of color `color` in queue `queue`.
+    QueueCount {
+        /// The queue primitive.
+        queue: PrimitiveId,
+        /// The packet color.
+        color: ColorId,
+    },
+    /// `A.s` — 1 when automaton node `node` is in state `state`, else 0.
+    AutomatonState {
+        /// The automaton node.
+        node: PrimitiveId,
+        /// The state.
+        state: StateId,
+    },
+}
+
+/// A derived cross-layer invariant: the linear equality
+/// `Σ coefᵢ · varᵢ + constant = 0`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Invariant {
+    /// Terms of the equality.
+    pub terms: Vec<(InvariantVar, i128)>,
+    /// Constant offset.
+    pub constant: i128,
+}
+
+impl Invariant {
+    /// Evaluates the invariant under an assignment of queue occupancies and
+    /// automaton states, returning `true` when the equality holds.
+    ///
+    /// Used by the explorer-backed tests: every derived invariant must hold
+    /// in every reachable state of the system.
+    pub fn holds<FQ, FA>(&self, mut queue_count: FQ, mut in_state: FA) -> bool
+    where
+        FQ: FnMut(PrimitiveId, ColorId) -> i128,
+        FA: FnMut(PrimitiveId, StateId) -> bool,
+    {
+        let mut acc = self.constant;
+        for (var, coef) in &self.terms {
+            let value = match var {
+                InvariantVar::QueueCount { queue, color } => queue_count(*queue, *color),
+                InvariantVar::AutomatonState { node, state } => {
+                    if in_state(*node, *state) {
+                        1
+                    } else {
+                        0
+                    }
+                }
+            };
+            acc += coef * value;
+        }
+        acc == 0
+    }
+
+    /// Returns `true` when the invariant mentions the given queue.
+    pub fn mentions_queue(&self, queue: PrimitiveId) -> bool {
+        self.terms
+            .iter()
+            .any(|(v, _)| matches!(v, InvariantVar::QueueCount { queue: q, .. } if *q == queue))
+    }
+
+    /// Returns `true` when the invariant mentions the given automaton node.
+    pub fn mentions_automaton(&self, node: PrimitiveId) -> bool {
+        self.terms
+            .iter()
+            .any(|(v, _)| matches!(v, InvariantVar::AutomatonState { node: n, .. } if *n == node))
+    }
+}
+
+/// Internal classification of the raw variables of the equation system.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum RawVar {
+    /// `λ_c.d` — number of transfers of color `d` through channel `c`.
+    Lambda(ChannelId, ColorId),
+    /// `κ_t` — number of firings of transition `t` of automaton node `n`.
+    Kappa(PrimitiveId, u32),
+    /// A variable kept in the final invariants.
+    Kept(InvariantVar),
+}
+
+/// Dense numbering of [`RawVar`]s used by the sparse linear rows.
+#[derive(Debug, Default)]
+pub(crate) struct VarRegistry {
+    vars: Vec<RawVar>,
+    index: HashMap<RawVar, usize>,
+}
+
+impl VarRegistry {
+    pub(crate) fn new() -> Self {
+        VarRegistry::default()
+    }
+
+    pub(crate) fn intern(&mut self, var: RawVar) -> usize {
+        if let Some(&idx) = self.index.get(&var) {
+            return idx;
+        }
+        let idx = self.vars.len();
+        self.index.insert(var, idx);
+        self.vars.push(var);
+        idx
+    }
+
+    pub(crate) fn lambda(&mut self, channel: ChannelId, color: ColorId) -> usize {
+        self.intern(RawVar::Lambda(channel, color))
+    }
+
+    pub(crate) fn kappa(&mut self, node: PrimitiveId, transition: u32) -> usize {
+        self.intern(RawVar::Kappa(node, transition))
+    }
+
+    pub(crate) fn queue_count(&mut self, queue: PrimitiveId, color: ColorId) -> usize {
+        self.intern(RawVar::Kept(InvariantVar::QueueCount { queue, color }))
+    }
+
+    pub(crate) fn automaton_state(&mut self, node: PrimitiveId, state: StateId) -> usize {
+        self.intern(RawVar::Kept(InvariantVar::AutomatonState { node, state }))
+    }
+
+    pub(crate) fn is_eliminated(&self, idx: usize) -> bool {
+        !matches!(self.vars[idx], RawVar::Kept(_))
+    }
+
+    pub(crate) fn kept(&self, idx: usize) -> Option<InvariantVar> {
+        match self.vars[idx] {
+            RawVar::Kept(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_ids() -> (PrimitiveId, ChannelId, ColorId, StateId) {
+        // Fabricate ids through public constructors of the owning crates.
+        use advocat_automata::AutomatonBuilder;
+        use advocat_xmas::{Network, Packet};
+        let mut net = Network::new();
+        let color = net.intern(Packet::kind("c"));
+        let q = net.add_queue("q", 1);
+        let src = net.add_source("s", vec![color]);
+        let ch = net.connect(src, 0, q, 0);
+        let mut b = AutomatonBuilder::new("a", 0, 0);
+        let st = b.state("only");
+        let _ = b.build().unwrap();
+        (q, ch, color, st)
+    }
+
+    #[test]
+    fn registry_interning_is_stable() {
+        let (q, ch, color, st) = sample_ids();
+        let mut reg = VarRegistry::new();
+        let l1 = reg.lambda(ch, color);
+        let l2 = reg.lambda(ch, color);
+        let k = reg.kappa(q, 0);
+        let qc = reg.queue_count(q, color);
+        let a = reg.automaton_state(q, st);
+        assert_eq!(l1, l2);
+        assert!(reg.is_eliminated(l1));
+        assert!(reg.is_eliminated(k));
+        assert!(!reg.is_eliminated(qc));
+        assert_eq!(
+            reg.kept(a),
+            Some(InvariantVar::AutomatonState { node: q, state: st })
+        );
+        assert_eq!(reg.kept(l1), None);
+    }
+
+    #[test]
+    fn invariant_holds_checks_the_equality() {
+        let (q, _ch, color, st) = sample_ids();
+        // #q.c - A.s = 0  (queue holds a packet exactly when in state st)
+        let inv = Invariant {
+            terms: vec![
+                (InvariantVar::QueueCount { queue: q, color }, 1),
+                (InvariantVar::AutomatonState { node: q, state: st }, -1),
+            ],
+            constant: 0,
+        };
+        assert!(inv.holds(|_, _| 1, |_, _| true));
+        assert!(inv.holds(|_, _| 0, |_, _| false));
+        assert!(!inv.holds(|_, _| 1, |_, _| false));
+        assert!(inv.mentions_queue(q));
+        assert!(inv.mentions_automaton(q));
+    }
+}

@@ -1,0 +1,536 @@
+//! Variables, linear expressions and formulas.
+
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// A Boolean SMT variable.
+///
+/// Boolean variables represent the *block*, *idle* and *dead* predicates of
+/// the deadlock equations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BoolVar(pub(crate) u32);
+
+impl BoolVar {
+    /// Returns the raw index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A bounded integer SMT variable.
+///
+/// Integer variables represent queue occupancies and automaton state
+/// indicators; every integer variable carries static lower/upper bounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IntVar(pub(crate) u32);
+
+impl IntVar {
+    /// Returns the raw index of the variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Declarations of all variables of an SMT problem.
+///
+/// The pool owns the names and bounds; formulas refer to variables by the
+/// lightweight [`BoolVar`] / [`IntVar`] handles.
+#[derive(Clone, Debug, Default)]
+pub struct VarPool {
+    bools: Vec<String>,
+    ints: Vec<IntDecl>,
+}
+
+#[derive(Clone, Debug)]
+struct IntDecl {
+    name: String,
+    lo: i64,
+    hi: i64,
+}
+
+impl VarPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        VarPool::default()
+    }
+
+    /// Declares a fresh Boolean variable.
+    pub fn new_bool(&mut self, name: impl Into<String>) -> BoolVar {
+        let v = BoolVar(self.bools.len() as u32);
+        self.bools.push(name.into());
+        v
+    }
+
+    /// Declares a fresh bounded integer variable with inclusive bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new_int(&mut self, name: impl Into<String>, lo: i64, hi: i64) -> IntVar {
+        assert!(lo <= hi, "integer variable must have a non-empty domain");
+        let v = IntVar(self.ints.len() as u32);
+        self.ints.push(IntDecl {
+            name: name.into(),
+            lo,
+            hi,
+        });
+        v
+    }
+
+    /// Returns the number of Boolean variables.
+    pub fn bool_count(&self) -> usize {
+        self.bools.len()
+    }
+
+    /// Returns the number of integer variables.
+    pub fn int_count(&self) -> usize {
+        self.ints.len()
+    }
+
+    /// Returns the name of a Boolean variable.
+    pub fn bool_name(&self, v: BoolVar) -> &str {
+        &self.bools[v.index()]
+    }
+
+    /// Returns the name of an integer variable.
+    pub fn int_name(&self, v: IntVar) -> &str {
+        &self.ints[v.index()].name
+    }
+
+    /// Returns the inclusive `(lo, hi)` bounds of an integer variable.
+    pub fn int_bounds(&self, v: IntVar) -> (i64, i64) {
+        let d = &self.ints[v.index()];
+        (d.lo, d.hi)
+    }
+
+    /// Iterates over all integer variables.
+    pub fn int_vars(&self) -> impl Iterator<Item = IntVar> + '_ {
+        (0..self.ints.len() as u32).map(IntVar)
+    }
+
+    /// Iterates over all Boolean variables.
+    pub fn bool_vars(&self) -> impl Iterator<Item = BoolVar> + '_ {
+        (0..self.bools.len() as u32).map(BoolVar)
+    }
+}
+
+/// A linear integer expression `Σ aᵢ·xᵢ + c`.
+///
+/// # Examples
+///
+/// ```
+/// use advocat_logic::{LinExpr, VarPool};
+///
+/// let mut pool = VarPool::new();
+/// let x = pool.new_int("x", 0, 10);
+/// let y = pool.new_int("y", 0, 10);
+/// let e = LinExpr::var(x) + LinExpr::var(y).scaled(2) - LinExpr::constant(3);
+/// assert_eq!(e.constant_part(), -3);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinExpr {
+    terms: Vec<(i64, IntVar)>,
+    constant: i64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        LinExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(value: i64) -> Self {
+        LinExpr {
+            terms: Vec::new(),
+            constant: value,
+        }
+    }
+
+    /// The expression `1·x`.
+    pub fn var(x: IntVar) -> Self {
+        LinExpr {
+            terms: vec![(1, x)],
+            constant: 0,
+        }
+    }
+
+    /// The expression `coef·x`.
+    pub fn term(coef: i64, x: IntVar) -> Self {
+        LinExpr {
+            terms: vec![(coef, x)],
+            constant: 0,
+        }
+    }
+
+    /// Sums a collection of expressions.
+    pub fn sum<I: IntoIterator<Item = LinExpr>>(items: I) -> Self {
+        let mut acc = LinExpr::zero();
+        for item in items {
+            acc = acc + item;
+        }
+        acc
+    }
+
+    /// Returns the expression multiplied by a scalar.
+    pub fn scaled(mut self, factor: i64) -> Self {
+        for (c, _) in &mut self.terms {
+            *c *= factor;
+        }
+        self.constant *= factor;
+        self
+    }
+
+    /// Adds `coef·x` in place.
+    pub fn add_term(&mut self, coef: i64, x: IntVar) {
+        if coef != 0 {
+            self.terms.push((coef, x));
+        }
+    }
+
+    /// Adds a constant in place.
+    pub fn add_constant(&mut self, value: i64) {
+        self.constant += value;
+    }
+
+    /// Returns the constant part of the expression.
+    pub fn constant_part(&self) -> i64 {
+        self.constant
+    }
+
+    /// Returns the (unsimplified) list of terms.
+    pub fn terms(&self) -> &[(i64, IntVar)] {
+        &self.terms
+    }
+
+    /// Collapses duplicate variables and removes zero coefficients,
+    /// returning sorted `(coef, var)` pairs plus the constant.
+    pub fn canonical(&self) -> (Vec<(i64, IntVar)>, i64) {
+        let mut terms = self.terms.clone();
+        terms.sort_by_key(|(_, v)| *v);
+        let mut out: Vec<(i64, IntVar)> = Vec::with_capacity(terms.len());
+        for (c, v) in terms {
+            match out.last_mut() {
+                Some((lc, lv)) if *lv == v => *lc += c,
+                _ => out.push((c, v)),
+            }
+        }
+        out.retain(|(c, _)| *c != 0);
+        (out, self.constant)
+    }
+
+    /// Evaluates the expression under an assignment.
+    pub fn evaluate<F: FnMut(IntVar) -> i64>(&self, mut value_of: F) -> i64 {
+        let mut acc = self.constant;
+        for (c, v) in &self.terms {
+            acc += c * value_of(*v);
+        }
+        acc
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        self.terms.extend(rhs.terms);
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + rhs.neg()
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+
+    fn neg(self) -> LinExpr {
+        self.scaled(-1)
+    }
+}
+
+impl From<IntVar> for LinExpr {
+    fn from(value: IntVar) -> Self {
+        LinExpr::var(value)
+    }
+}
+
+impl From<i64> for LinExpr {
+    fn from(value: i64) -> Self {
+        LinExpr::constant(value)
+    }
+}
+
+/// Comparison operators between linear expressions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `lhs ≤ rhs`
+    Le,
+    /// `lhs < rhs`
+    Lt,
+    /// `lhs ≥ rhs`
+    Ge,
+    /// `lhs > rhs`
+    Gt,
+    /// `lhs = rhs`
+    Eq,
+    /// `lhs ≠ rhs`
+    Ne,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Le => "<=",
+            CmpOp::Lt => "<",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A quantifier-free formula over Boolean variables and linear integer
+/// comparisons.
+///
+/// Construct formulas with the associated functions ([`Formula::and`],
+/// [`Formula::or`], [`Formula::eq`], …); the deadlock encoder in
+/// `advocat-deadlock` builds one big conjunction out of these.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Formula {
+    /// The constant `true`.
+    True,
+    /// The constant `false`.
+    False,
+    /// A Boolean variable.
+    Bool(BoolVar),
+    /// A comparison between two linear expressions.
+    Cmp(LinExpr, CmpOp, LinExpr),
+    /// Negation.
+    Not(Box<Formula>),
+    /// N-ary conjunction.
+    And(Vec<Formula>),
+    /// N-ary disjunction.
+    Or(Vec<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+    /// Bi-implication.
+    Iff(Box<Formula>, Box<Formula>),
+}
+
+impl Formula {
+    /// Conjunction of the given formulas (`true` when empty).
+    pub fn and<I: IntoIterator<Item = Formula>>(items: I) -> Formula {
+        let mut parts: Vec<Formula> = Vec::new();
+        for f in items {
+            match f {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(inner) => parts.extend(inner),
+                other => parts.push(other),
+            }
+        }
+        match parts.len() {
+            0 => Formula::True,
+            1 => parts.pop().expect("length checked"),
+            _ => Formula::And(parts),
+        }
+    }
+
+    /// Disjunction of the given formulas (`false` when empty).
+    pub fn or<I: IntoIterator<Item = Formula>>(items: I) -> Formula {
+        let mut parts: Vec<Formula> = Vec::new();
+        for f in items {
+            match f {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(inner) => parts.extend(inner),
+                other => parts.push(other),
+            }
+        }
+        match parts.len() {
+            0 => Formula::False,
+            1 => parts.pop().expect("length checked"),
+            _ => Formula::Or(parts),
+        }
+    }
+
+    /// Negation, with light simplification.
+    pub fn not(f: Formula) -> Formula {
+        match f {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Implication `lhs → rhs`.
+    pub fn implies(lhs: Formula, rhs: Formula) -> Formula {
+        match (&lhs, &rhs) {
+            (Formula::True, _) => rhs,
+            (Formula::False, _) => Formula::True,
+            (_, Formula::True) => Formula::True,
+            _ => Formula::Implies(Box::new(lhs), Box::new(rhs)),
+        }
+    }
+
+    /// Bi-implication `lhs ↔ rhs`.
+    pub fn iff(lhs: Formula, rhs: Formula) -> Formula {
+        match (&lhs, &rhs) {
+            (Formula::True, _) => rhs,
+            (_, Formula::True) => lhs,
+            (Formula::False, _) => Formula::not(rhs),
+            (_, Formula::False) => Formula::not(lhs),
+            _ => Formula::Iff(Box::new(lhs), Box::new(rhs)),
+        }
+    }
+
+    /// The atom for a Boolean variable.
+    pub fn bool_var(v: BoolVar) -> Formula {
+        Formula::Bool(v)
+    }
+
+    /// `lhs ≤ rhs`.
+    pub fn le(lhs: impl Into<LinExpr>, rhs: impl Into<LinExpr>) -> Formula {
+        Formula::Cmp(lhs.into(), CmpOp::Le, rhs.into())
+    }
+
+    /// `lhs < rhs`.
+    pub fn lt(lhs: impl Into<LinExpr>, rhs: impl Into<LinExpr>) -> Formula {
+        Formula::Cmp(lhs.into(), CmpOp::Lt, rhs.into())
+    }
+
+    /// `lhs ≥ rhs`.
+    pub fn ge(lhs: impl Into<LinExpr>, rhs: impl Into<LinExpr>) -> Formula {
+        Formula::Cmp(lhs.into(), CmpOp::Ge, rhs.into())
+    }
+
+    /// `lhs > rhs`.
+    pub fn gt(lhs: impl Into<LinExpr>, rhs: impl Into<LinExpr>) -> Formula {
+        Formula::Cmp(lhs.into(), CmpOp::Gt, rhs.into())
+    }
+
+    /// `lhs = rhs`.
+    pub fn eq(lhs: impl Into<LinExpr>, rhs: impl Into<LinExpr>) -> Formula {
+        Formula::Cmp(lhs.into(), CmpOp::Eq, rhs.into())
+    }
+
+    /// `lhs ≠ rhs`.
+    pub fn ne(lhs: impl Into<LinExpr>, rhs: impl Into<LinExpr>) -> Formula {
+        Formula::Cmp(lhs.into(), CmpOp::Ne, rhs.into())
+    }
+
+    /// Evaluates the formula under full Boolean and integer assignments.
+    ///
+    /// Used by tests and by counterexample validation.
+    pub fn evaluate<FB, FI>(&self, bool_of: &mut FB, int_of: &mut FI) -> bool
+    where
+        FB: FnMut(BoolVar) -> bool,
+        FI: FnMut(IntVar) -> i64,
+    {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Bool(v) => bool_of(*v),
+            Formula::Cmp(lhs, op, rhs) => {
+                let l = lhs.evaluate(&mut *int_of);
+                let r = rhs.evaluate(&mut *int_of);
+                match op {
+                    CmpOp::Le => l <= r,
+                    CmpOp::Lt => l < r,
+                    CmpOp::Ge => l >= r,
+                    CmpOp::Gt => l > r,
+                    CmpOp::Eq => l == r,
+                    CmpOp::Ne => l != r,
+                }
+            }
+            Formula::Not(f) => !f.evaluate(bool_of, int_of),
+            Formula::And(fs) => fs.iter().all(|f| f.evaluate(bool_of, int_of)),
+            Formula::Or(fs) => fs.iter().any(|f| f.evaluate(bool_of, int_of)),
+            Formula::Implies(a, b) => !a.evaluate(bool_of, int_of) || b.evaluate(bool_of, int_of),
+            Formula::Iff(a, b) => a.evaluate(bool_of, int_of) == b.evaluate(bool_of, int_of),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_assigns_sequential_indices() {
+        let mut pool = VarPool::new();
+        let a = pool.new_bool("a");
+        let b = pool.new_bool("b");
+        let x = pool.new_int("x", 0, 3);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(x.index(), 0);
+        assert_eq!(pool.bool_name(b), "b");
+        assert_eq!(pool.int_bounds(x), (0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty domain")]
+    fn empty_domain_rejected() {
+        let mut pool = VarPool::new();
+        pool.new_int("x", 2, 1);
+    }
+
+    #[test]
+    fn canonical_merges_duplicate_terms() {
+        let mut pool = VarPool::new();
+        let x = pool.new_int("x", 0, 9);
+        let y = pool.new_int("y", 0, 9);
+        let e = LinExpr::var(x) + LinExpr::term(2, x) - LinExpr::var(y) + LinExpr::var(y);
+        let (terms, c) = e.canonical();
+        assert_eq!(terms, vec![(3, x)]);
+        assert_eq!(c, 0);
+    }
+
+    #[test]
+    fn formula_constructors_simplify() {
+        assert_eq!(Formula::and([Formula::True, Formula::True]), Formula::True);
+        assert_eq!(Formula::or([]), Formula::False);
+        assert_eq!(
+            Formula::and([Formula::False, Formula::True]),
+            Formula::False
+        );
+        assert_eq!(Formula::not(Formula::not(Formula::True)), Formula::True);
+    }
+
+    #[test]
+    fn evaluate_comparisons() {
+        let mut pool = VarPool::new();
+        let x = pool.new_int("x", 0, 9);
+        let f = Formula::and([
+            Formula::le(LinExpr::var(x), LinExpr::constant(5)),
+            Formula::ne(LinExpr::var(x), LinExpr::constant(2)),
+        ]);
+        assert!(f.evaluate(&mut |_| false, &mut |_| 3));
+        assert!(!f.evaluate(&mut |_| false, &mut |_| 2));
+        assert!(!f.evaluate(&mut |_| false, &mut |_| 7));
+    }
+
+    #[test]
+    fn evaluate_boolean_structure() {
+        let mut pool = VarPool::new();
+        let a = pool.new_bool("a");
+        let b = pool.new_bool("b");
+        let f = Formula::iff(
+            Formula::bool_var(a),
+            Formula::not(Formula::bool_var(b)),
+        );
+        assert!(f.evaluate(&mut |v| v == a, &mut |_| 0));
+        assert!(!f.evaluate(&mut |_| true, &mut |_| 0));
+    }
+}

@@ -1,0 +1,126 @@
+//! Satisfying assignments returned by the SMT solver.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::expr::{BoolVar, IntVar, VarPool};
+
+/// A satisfying assignment over the declared SMT variables.
+///
+/// Models are produced by [`crate::SmtSolver::check`]; in ADVOCAT they are
+/// translated back into deadlock *counterexamples* (queue occupancies and
+/// automaton states).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Model {
+    bools: BTreeMap<u32, bool>,
+    ints: BTreeMap<u32, i64>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Records the value of a Boolean variable.
+    pub fn set_bool(&mut self, var: BoolVar, value: bool) {
+        self.bools.insert(var.0, value);
+    }
+
+    /// Records the value of an integer variable.
+    pub fn set_int(&mut self, var: IntVar, value: i64) {
+        self.ints.insert(var.0, value);
+    }
+
+    /// Returns the value of a Boolean variable (`false` when the variable
+    /// did not occur in any asserted formula).
+    pub fn bool_value(&self, var: BoolVar) -> bool {
+        self.bools.get(&var.0).copied().unwrap_or(false)
+    }
+
+    /// Returns the value of an integer variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variable was never declared to the solver that produced
+    /// this model.
+    pub fn int_value(&self, var: IntVar) -> i64 {
+        *self
+            .ints
+            .get(&var.0)
+            .expect("integer variable not present in model")
+    }
+
+    /// Returns the value of an integer variable, if present.
+    pub fn try_int_value(&self, var: IntVar) -> Option<i64> {
+        self.ints.get(&var.0).copied()
+    }
+
+    /// Renders the model using the names from a variable pool, listing only
+    /// non-default values (true Booleans and non-zero integers) to keep the
+    /// output readable.
+    pub fn display<'a>(&'a self, pool: &'a VarPool) -> ModelDisplay<'a> {
+        ModelDisplay { model: self, pool }
+    }
+}
+
+/// Helper returned by [`Model::display`].
+pub struct ModelDisplay<'a> {
+    model: &'a Model,
+    pool: &'a VarPool,
+}
+
+impl fmt::Display for ModelDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (idx, value) in &self.model.ints {
+            if *value != 0 {
+                writeln!(f, "{} = {}", self.pool.int_name(IntVar(*idx)), value)?;
+            }
+        }
+        for (idx, value) in &self.model.bools {
+            if *value {
+                writeln!(f, "{}", self.pool.bool_name(BoolVar(*idx)))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_bool_defaults_to_false() {
+        let mut pool = VarPool::new();
+        let a = pool.new_bool("a");
+        let model = Model::new();
+        assert!(!model.bool_value(a));
+    }
+
+    #[test]
+    fn int_values_roundtrip() {
+        let mut pool = VarPool::new();
+        let x = pool.new_int("x", 0, 5);
+        let mut model = Model::new();
+        model.set_int(x, 3);
+        assert_eq!(model.int_value(x), 3);
+        assert_eq!(model.try_int_value(x), Some(3));
+    }
+
+    #[test]
+    fn display_lists_nonzero_entries_with_names() {
+        let mut pool = VarPool::new();
+        let x = pool.new_int("queue.q0.req", 0, 5);
+        let y = pool.new_int("queue.q1.ack", 0, 5);
+        let b = pool.new_bool("dead.cache0");
+        let mut model = Model::new();
+        model.set_int(x, 2);
+        model.set_int(y, 0);
+        model.set_bool(b, true);
+        let text = model.display(&pool).to_string();
+        assert!(text.contains("queue.q0.req = 2"));
+        assert!(!text.contains("queue.q1.ack"));
+        assert!(text.contains("dead.cache0"));
+    }
+}

@@ -1,0 +1,605 @@
+//! A CDCL SAT solver.
+//!
+//! This is the propositional core of the lazy DPLL(T) loop in [`crate::smt`].
+//! It implements the standard conflict-driven clause-learning algorithm:
+//! two-watched-literal unit propagation, first-UIP conflict analysis with
+//! clause learning and non-chronological backjumping, exponential-decay
+//! variable activities for branching and geometric restarts.
+//!
+//! The solver is incremental in the simple sense required by the lazy SMT
+//! loop: clauses may be added between calls to [`SatSolver::solve`].
+//!
+//! # Examples
+//!
+//! ```
+//! use advocat_logic::sat::{Lit, SatSolver};
+//!
+//! let mut solver = SatSolver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! solver.add_clause(&[Lit::positive(a), Lit::positive(b)]);
+//! solver.add_clause(&[Lit::negative(a)]);
+//! let model = solver.solve().expect("satisfiable");
+//! assert!(!model[a]);
+//! assert!(model[b]);
+//! ```
+
+use std::fmt;
+
+/// A propositional variable, identified by index.
+pub type Var = usize;
+
+/// A literal: a variable together with a polarity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates the positive literal of `var`.
+    pub fn positive(var: Var) -> Lit {
+        Lit((var as u32) << 1)
+    }
+
+    /// Creates the negative literal of `var`.
+    pub fn negative(var: Var) -> Lit {
+        Lit(((var as u32) << 1) | 1)
+    }
+
+    /// Creates a literal from a variable and a sign (`true` = positive).
+    pub fn new(var: Var, positive: bool) -> Lit {
+        if positive {
+            Lit::positive(var)
+        } else {
+            Lit::negative(var)
+        }
+    }
+
+    /// Returns the underlying variable.
+    pub fn var(self) -> Var {
+        (self.0 >> 1) as usize
+    }
+
+    /// Returns `true` for a positive literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Returns the complementary literal.
+    pub fn negated(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "x{}", self.var())
+        } else {
+            write!(f, "¬x{}", self.var())
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+}
+
+/// Statistics collected by the SAT solver.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SatStats {
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of unit propagations performed.
+    pub propagations: u64,
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently stored.
+    pub learnt_clauses: u64,
+}
+
+/// A conflict-driven clause-learning SAT solver.
+#[derive(Clone, Debug, Default)]
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<usize>>,
+    assigns: Vec<Option<bool>>,
+    levels: Vec<u32>,
+    reasons: Vec<Option<usize>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    ok: bool,
+    stats: SatStats,
+}
+
+/// Result returned when the solver proves unsatisfiability.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Unsat;
+
+impl SatSolver {
+    /// Creates an empty solver with no variables or clauses.
+    pub fn new() -> Self {
+        SatSolver {
+            var_inc: 1.0,
+            ok: true,
+            ..SatSolver::default()
+        }
+    }
+
+    /// Allocates a fresh variable and returns it.
+    pub fn new_var(&mut self) -> Var {
+        let v = self.assigns.len();
+        self.assigns.push(None);
+        self.levels.push(0);
+        self.reasons.push(None);
+        self.activity.push(0.0);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Returns the number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Returns solver statistics.
+    pub fn stats(&self) -> SatStats {
+        self.stats
+    }
+
+    /// Adds a clause.  Returns `false` if the solver is already known to be
+    /// unsatisfiable (either before the call or as a result of it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a literal refers to a variable that was never allocated.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.cancel_until(0);
+        // Deduplicate and detect tautologies.
+        let mut clause: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &lit in lits {
+            assert!(lit.var() < self.num_vars(), "literal for unknown variable");
+            if clause.contains(&lit.negated()) {
+                return true; // tautology
+            }
+            if !clause.contains(&lit) {
+                clause.push(lit);
+            }
+        }
+        // Remove literals already false at level 0; detect satisfied clauses.
+        clause.retain(|&l| self.value(l) != Some(false) || self.levels[l.var()] != 0);
+        if clause.iter().any(|&l| self.value(l) == Some(true) && self.levels[l.var()] == 0) {
+            return true;
+        }
+        match clause.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                if !self.enqueue(clause[0], None) {
+                    self.ok = false;
+                    return false;
+                }
+                if self.propagate().is_some() {
+                    self.ok = false;
+                    return false;
+                }
+                true
+            }
+            _ => {
+                self.attach_clause(clause);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>) -> usize {
+        let idx = self.clauses.len();
+        self.watches[lits[0].code()].push(idx);
+        self.watches[lits[1].code()].push(idx);
+        self.clauses.push(Clause { lits });
+        idx
+    }
+
+    fn value(&self, lit: Lit) -> Option<bool> {
+        self.assigns[lit.var()].map(|v| v == lit.is_positive())
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn enqueue(&mut self, lit: Lit, reason: Option<usize>) -> bool {
+        match self.value(lit) {
+            Some(true) => true,
+            Some(false) => false,
+            None => {
+                self.assigns[lit.var()] = Some(lit.is_positive());
+                self.levels[lit.var()] = self.decision_level();
+                self.reasons[lit.var()] = reason;
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    fn propagate(&mut self) -> Option<usize> {
+        while self.qhead < self.trail.len() {
+            let lit = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let falsified = lit.negated();
+            let watch_list = std::mem::take(&mut self.watches[falsified.code()]);
+            let mut kept: Vec<usize> = Vec::with_capacity(watch_list.len());
+            let mut conflict: Option<usize> = None;
+            for (pos, &ci) in watch_list.iter().enumerate() {
+                if conflict.is_some() {
+                    kept.extend_from_slice(&watch_list[pos..]);
+                    break;
+                }
+                // Make sure the falsified literal is at position 1.
+                let (w0, w1) = {
+                    let c = &mut self.clauses[ci];
+                    if c.lits[0] == falsified {
+                        c.lits.swap(0, 1);
+                    }
+                    (c.lits[0], c.lits[1])
+                };
+                debug_assert_eq!(w1, falsified);
+                if self.value(w0) == Some(true) {
+                    kept.push(ci);
+                    continue;
+                }
+                // Look for a new literal to watch.
+                let mut moved = false;
+                let len = self.clauses[ci].lits.len();
+                for k in 2..len {
+                    let cand = self.clauses[ci].lits[k];
+                    if self.value(cand) != Some(false) {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[cand.code()].push(ci);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // Clause is unit or conflicting.
+                kept.push(ci);
+                if !self.enqueue(w0, Some(ci)) {
+                    conflict = Some(ci);
+                }
+            }
+            self.watches[falsified.code()] = kept;
+            if let Some(ci) = conflict {
+                self.qhead = self.trail.len();
+                return Some(ci);
+            }
+        }
+        None
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let keep = self.trail_lim[level as usize];
+        for &lit in &self.trail[keep..] {
+            self.assigns[lit.var()] = None;
+            self.reasons[lit.var()] = None;
+        }
+        self.trail.truncate(keep);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn bump_var(&mut self, var: Var) {
+        self.activity[var] += self.var_inc;
+        if self.activity[var] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= 0.95;
+    }
+
+    fn analyze(&mut self, mut conflict: usize) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit::positive(0)]; // placeholder for the asserting literal
+        let mut seen = vec![false; self.num_vars()];
+        let mut counter = 0usize;
+        let mut trail_idx = self.trail.len();
+        let mut asserting = None;
+
+        loop {
+            let reason_lits: Vec<Lit> = self.clauses[conflict].lits.clone();
+            let skip = usize::from(asserting.is_some());
+            for &lit in reason_lits.iter().skip(skip) {
+                let v = lit.var();
+                if !seen[v] && self.levels[v] > 0 {
+                    seen[v] = true;
+                    self.bump_var(v);
+                    if self.levels[v] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(lit);
+                    }
+                }
+            }
+            // Find the next literal of the current decision level on the trail.
+            loop {
+                trail_idx -= 1;
+                let lit = self.trail[trail_idx];
+                if seen[lit.var()] {
+                    asserting = Some(lit);
+                    break;
+                }
+            }
+            let lit = asserting.expect("found a seen literal");
+            counter -= 1;
+            seen[lit.var()] = false;
+            if counter == 0 {
+                learnt[0] = lit.negated();
+                break;
+            }
+            conflict = self.reasons[lit.var()].expect("non-decision literal has a reason");
+        }
+
+        let backjump = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_idx = 1;
+            for i in 2..learnt.len() {
+                if self.levels[learnt[i].var()] > self.levels[learnt[max_idx].var()] {
+                    max_idx = i;
+                }
+            }
+            learnt.swap(1, max_idx);
+            self.levels[learnt[1].var()]
+        };
+        (learnt, backjump)
+    }
+
+    fn pick_branch_var(&self) -> Option<Var> {
+        let mut best: Option<(Var, f64)> = None;
+        for v in 0..self.num_vars() {
+            if self.assigns[v].is_none() {
+                let act = self.activity[v];
+                match best {
+                    Some((_, b)) if b >= act => {}
+                    _ => best = Some((v, act)),
+                }
+            }
+        }
+        best.map(|(v, _)| v)
+    }
+
+    /// Solves the current clause set.
+    ///
+    /// Returns `Ok(model)` with one Boolean per variable when satisfiable,
+    /// and `Err(Unsat)` otherwise.  The solver always returns to decision
+    /// level zero, so further clauses can be added afterwards.
+    pub fn solve(&mut self) -> Result<Vec<bool>, Unsat> {
+        if !self.ok {
+            return Err(Unsat);
+        }
+        self.cancel_until(0);
+        if self.propagate().is_some() {
+            self.ok = false;
+            return Err(Unsat);
+        }
+        let mut conflicts_since_restart = 0u64;
+        let mut restart_limit = 100u64;
+
+        loop {
+            if let Some(conflict) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Err(Unsat);
+                }
+                let (learnt, backjump) = self.analyze(conflict);
+                self.cancel_until(backjump);
+                if learnt.len() == 1 {
+                    let ok = self.enqueue(learnt[0], None);
+                    debug_assert!(ok, "asserting literal must be enqueueable");
+                } else {
+                    let ci = self.attach_clause(learnt.clone());
+                    self.stats.learnt_clauses += 1;
+                    let ok = self.enqueue(learnt[0], Some(ci));
+                    debug_assert!(ok, "asserting literal must be enqueueable");
+                }
+                self.decay_activities();
+                continue;
+            }
+            if conflicts_since_restart >= restart_limit {
+                conflicts_since_restart = 0;
+                restart_limit = restart_limit + restart_limit / 2;
+                self.stats.restarts += 1;
+                self.cancel_until(0);
+                continue;
+            }
+            match self.pick_branch_var() {
+                None => {
+                    let model: Vec<bool> = self
+                        .assigns
+                        .iter()
+                        .map(|a| a.unwrap_or(false))
+                        .collect();
+                    self.cancel_until(0);
+                    return Ok(model);
+                }
+                Some(v) => {
+                    self.stats.decisions += 1;
+                    self.trail_lim.push(self.trail.len());
+                    // Phase saving would go here; default to negative polarity,
+                    // which is a good default for the mostly-Horn encodings
+                    // produced by the deadlock equations.
+                    let ok = self.enqueue(Lit::negative(v), None);
+                    debug_assert!(ok, "decision variable was unassigned");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: Var, pos: bool) -> Lit {
+        Lit::new(v, pos)
+    }
+
+    #[test]
+    fn literal_encoding_roundtrips() {
+        let l = Lit::positive(7);
+        assert_eq!(l.var(), 7);
+        assert!(l.is_positive());
+        assert_eq!(l.negated().var(), 7);
+        assert!(!l.negated().is_positive());
+        assert_eq!(l.negated().negated(), l);
+    }
+
+    #[test]
+    fn trivially_satisfiable() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(&[lit(a, true)]);
+        let m = s.solve().unwrap();
+        assert!(m[a]);
+    }
+
+    #[test]
+    fn direct_contradiction_is_unsat() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(&[lit(a, true)]);
+        s.add_clause(&[lit(a, false)]);
+        assert_eq!(s.solve(), Err(Unsat));
+    }
+
+    #[test]
+    fn chained_implications_propagate() {
+        // a, a->b, b->c, c->d  =>  d must be true.
+        let mut s = SatSolver::new();
+        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        s.add_clause(&[lit(vars[0], true)]);
+        for w in vars.windows(2) {
+            s.add_clause(&[lit(w[0], false), lit(w[1], true)]);
+        }
+        let m = s.solve().unwrap();
+        assert!(vars.iter().all(|&v| m[v]));
+    }
+
+    #[test]
+    fn pigeonhole_three_pigeons_two_holes_is_unsat() {
+        // p_{i,j}: pigeon i in hole j.  Each pigeon in some hole, no hole
+        // with two pigeons.
+        let mut s = SatSolver::new();
+        let mut p = [[0usize; 2]; 3];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[lit(row[0], true), lit(row[1], true)]);
+        }
+        for j in 0..2 {
+            for i in 0..3 {
+                for k in (i + 1)..3 {
+                    s.add_clause(&[lit(p[i][j], false), lit(p[k][j], false)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), Err(Unsat));
+    }
+
+    #[test]
+    fn incremental_clause_addition_flips_result() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[lit(a, true), lit(b, true)]);
+        assert!(s.solve().is_ok());
+        s.add_clause(&[lit(a, false)]);
+        assert!(s.solve().is_ok());
+        s.add_clause(&[lit(b, false)]);
+        assert_eq!(s.solve(), Err(Unsat));
+    }
+
+    #[test]
+    fn model_satisfies_all_clauses_on_random_instances() {
+        // Small deterministic pseudo-random 3-SAT instances, cross-checked
+        // against brute force.
+        let mut seed = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for instance in 0..30 {
+            let num_vars = 6;
+            let num_clauses = 14 + (instance % 7);
+            let clauses: Vec<Vec<Lit>> = (0..num_clauses)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let v = (next() % num_vars as u64) as usize;
+                            Lit::new(v, next() % 2 == 0)
+                        })
+                        .collect()
+                })
+                .collect();
+            let mut s = SatSolver::new();
+            for _ in 0..num_vars {
+                s.new_var();
+            }
+            for c in &clauses {
+                s.add_clause(c);
+            }
+            let solver_result = s.solve();
+            // Brute force.
+            let mut brute_sat = false;
+            'assignments: for bits in 0..(1u32 << num_vars) {
+                let val = |l: Lit| ((bits >> l.var()) & 1 == 1) == l.is_positive();
+                if clauses.iter().all(|c| c.iter().any(|&l| val(l))) {
+                    brute_sat = true;
+                    break 'assignments;
+                }
+            }
+            match solver_result {
+                Ok(model) => {
+                    assert!(brute_sat, "solver returned SAT on UNSAT instance");
+                    for c in &clauses {
+                        assert!(
+                            c.iter().any(|&l| model[l.var()] == l.is_positive()),
+                            "model does not satisfy clause {c:?}"
+                        );
+                    }
+                }
+                Err(Unsat) => assert!(!brute_sat, "solver returned UNSAT on SAT instance"),
+            }
+        }
+    }
+}

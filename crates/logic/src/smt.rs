@@ -1,0 +1,380 @@
+//! The lazy DPLL(T) loop combining the SAT core with the bounded-LIA
+//! theory solver.
+
+use crate::cnf::Encoder;
+use crate::expr::{BoolVar, Formula, IntVar, VarPool};
+use crate::model::Model;
+use crate::sat::{Lit, SatSolver};
+use crate::theory::{self, Constraint, TheoryVerdict};
+
+/// Resource limits for a satisfiability check.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckConfig {
+    /// Maximum number of theory-driven refinement iterations before the
+    /// solver gives up with [`SmtResult::Unknown`].
+    pub max_refinements: u64,
+    /// Search-node budget for each theory feasibility check.
+    pub theory_node_budget: u64,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            max_refinements: 200_000,
+            theory_node_budget: 2_000_000,
+        }
+    }
+}
+
+/// Statistics of the most recent [`SmtSolver::check`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of SAT/theory refinement iterations performed.
+    pub refinements: u64,
+    /// Number of theory conflicts (blocking clauses added).
+    pub theory_conflicts: u64,
+    /// Number of distinct linear atoms in the encoding.
+    pub linear_atoms: usize,
+    /// Number of propositional variables allocated by the encoding.
+    pub sat_variables: usize,
+}
+
+/// Outcome of a satisfiability check.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SmtResult {
+    /// The assertions are satisfiable; a model is returned.
+    Sat(Model),
+    /// The assertions are unsatisfiable.
+    Unsat,
+    /// The solver exhausted its resource budget.
+    Unknown,
+}
+
+impl SmtResult {
+    /// Returns the model, panicking when the result is not `Sat`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is `Unsat` or `Unknown`.
+    pub fn expect_sat(self) -> Model {
+        match self {
+            SmtResult::Sat(model) => model,
+            other => panic!("expected a satisfiable result, got {other:?}"),
+        }
+    }
+
+    /// Returns `true` when the result is `Unsat`.
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SmtResult::Unsat)
+    }
+
+    /// Returns `true` when the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SmtResult::Sat(_))
+    }
+}
+
+/// An SMT solver for quantifier-free formulas over Booleans and bounded
+/// linear integer arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use advocat_logic::{Formula, LinExpr, SmtSolver};
+///
+/// let mut smt = SmtSolver::new();
+/// let x = smt.new_int_var("x", 0, 3);
+/// smt.assert(Formula::ge(LinExpr::var(x), LinExpr::constant(2)));
+/// smt.assert(Formula::le(LinExpr::var(x), LinExpr::constant(1)));
+/// assert!(smt.check().is_unsat());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SmtSolver {
+    pool: VarPool,
+    assertions: Vec<Formula>,
+    stats: SolverStats,
+}
+
+impl SmtSolver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        SmtSolver::default()
+    }
+
+    /// Declares a fresh Boolean variable.
+    pub fn new_bool_var(&mut self, name: impl Into<String>) -> BoolVar {
+        self.pool.new_bool(name)
+    }
+
+    /// Declares a fresh bounded integer variable (inclusive bounds).
+    pub fn new_int_var(&mut self, name: impl Into<String>, lo: i64, hi: i64) -> IntVar {
+        self.pool.new_int(name, lo, hi)
+    }
+
+    /// Gives read access to the variable pool (names, bounds).
+    pub fn pool(&self) -> &VarPool {
+        &self.pool
+    }
+
+    /// Asserts a formula.
+    pub fn assert(&mut self, formula: Formula) {
+        self.assertions.push(formula);
+    }
+
+    /// Returns the assertions added so far.
+    pub fn assertions(&self) -> &[Formula] {
+        &self.assertions
+    }
+
+    /// Returns statistics about the most recent check.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Checks satisfiability with default resource limits.
+    pub fn check(&mut self) -> SmtResult {
+        self.check_with(&CheckConfig::default())
+    }
+
+    /// Checks satisfiability with the given resource limits.
+    pub fn check_with(&mut self, config: &CheckConfig) -> SmtResult {
+        let mut encoder = Encoder::new();
+        let mut sat = SatSolver::new();
+        for assertion in &self.assertions {
+            encoder.assert(assertion, &mut sat);
+        }
+        self.stats = SolverStats {
+            linear_atoms: encoder.atom_count(),
+            sat_variables: sat.num_vars(),
+            ..SolverStats::default()
+        };
+
+        let bounds: Vec<(i64, i64)> = self.pool.int_vars().map(|v| self.pool.int_bounds(v)).collect();
+
+        loop {
+            if self.stats.refinements >= config.max_refinements {
+                return SmtResult::Unknown;
+            }
+            self.stats.refinements += 1;
+
+            let sat_model = match sat.solve() {
+                Ok(model) => model,
+                Err(_) => return SmtResult::Unsat,
+            };
+
+            // Extract the theory constraints implied by the SAT model.
+            let mut constraints: Vec<Constraint> = Vec::new();
+            let mut atom_lits: Vec<Lit> = Vec::new();
+            for (atom, sat_var) in encoder.linear_atoms() {
+                let assigned_true = sat_model[sat_var];
+                let effective = if assigned_true {
+                    atom.clone()
+                } else {
+                    atom.negated()
+                };
+                constraints.push(Constraint::new(
+                    effective
+                        .terms
+                        .iter()
+                        .map(|(c, v)| (*c, v.index()))
+                        .collect(),
+                    effective.bound,
+                ));
+                atom_lits.push(Lit::new(sat_var, assigned_true));
+            }
+
+            match theory::solve(&bounds, &constraints, config.theory_node_budget) {
+                TheoryVerdict::Sat(values) => {
+                    let mut model = Model::new();
+                    for v in self.pool.int_vars() {
+                        model.set_int(v, values[v.index()]);
+                    }
+                    for v in self.pool.bool_vars() {
+                        if let Some(sat_var) = encoder.lookup_bool(v) {
+                            model.set_bool(v, sat_model[sat_var]);
+                        }
+                    }
+                    debug_assert!(
+                        self.assertions.iter().all(|f| f.evaluate(
+                            &mut |b| model.bool_value(b),
+                            &mut |i| model.int_value(i)
+                        )),
+                        "internal error: SMT model does not satisfy the assertions"
+                    );
+                    return SmtResult::Sat(model);
+                }
+                TheoryVerdict::Unknown => return SmtResult::Unknown,
+                TheoryVerdict::Unsat => {
+                    self.stats.theory_conflicts += 1;
+                    let core = minimize_core(&bounds, &constraints);
+                    if core.is_empty() {
+                        // The theory is unsatisfiable regardless of the
+                        // propositional skeleton: the whole problem is unsat.
+                        return SmtResult::Unsat;
+                    }
+                    let blocking: Vec<Lit> =
+                        core.iter().map(|&idx| atom_lits[idx].negated()).collect();
+                    if !sat.add_clause(&blocking) {
+                        return SmtResult::Unsat;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Deletion-based minimisation of an infeasible constraint set.
+///
+/// Starting from all constraint indices, repeatedly drops constraints whose
+/// removal keeps the set refutable *by interval propagation alone*.  The
+/// result is always a genuinely infeasible subset (possibly not minimal),
+/// which is all that soundness of the blocking clause requires.  When
+/// propagation alone cannot refute even the full set (the conflict was found
+/// by branching), the full index set is returned.
+fn minimize_core(bounds: &[(i64, i64)], constraints: &[Constraint]) -> Vec<usize> {
+    let all: Vec<usize> = (0..constraints.len()).collect();
+    let subset = |keep: &[usize]| -> Vec<Constraint> {
+        keep.iter().map(|&i| constraints[i].clone()).collect()
+    };
+    if !theory::refuted_by_propagation(bounds, &subset(&all)) {
+        return all;
+    }
+    let mut core = all;
+    let mut idx = 0;
+    while idx < core.len() {
+        let mut candidate = core.clone();
+        candidate.remove(idx);
+        if theory::refuted_by_propagation(bounds, &subset(&candidate)) {
+            core = candidate;
+        } else {
+            idx += 1;
+        }
+    }
+    core
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+
+    #[test]
+    fn pure_boolean_problems_work() {
+        let mut smt = SmtSolver::new();
+        let a = smt.new_bool_var("a");
+        let b = smt.new_bool_var("b");
+        smt.assert(Formula::or([Formula::bool_var(a), Formula::bool_var(b)]));
+        smt.assert(Formula::not(Formula::bool_var(a)));
+        let model = smt.check().expect_sat();
+        assert!(!model.bool_value(a));
+        assert!(model.bool_value(b));
+    }
+
+    #[test]
+    fn pure_arithmetic_sat_and_unsat() {
+        let mut smt = SmtSolver::new();
+        let x = smt.new_int_var("x", 0, 10);
+        let y = smt.new_int_var("y", 0, 10);
+        smt.assert(Formula::eq(
+            LinExpr::var(x) + LinExpr::var(y),
+            LinExpr::constant(7),
+        ));
+        smt.assert(Formula::ge(LinExpr::var(x), LinExpr::constant(5)));
+        let model = smt.check().expect_sat();
+        assert_eq!(model.int_value(x) + model.int_value(y), 7);
+        assert!(model.int_value(x) >= 5);
+
+        let mut smt = SmtSolver::new();
+        let x = smt.new_int_var("x", 0, 3);
+        smt.assert(Formula::gt(LinExpr::var(x), LinExpr::constant(3)));
+        assert!(smt.check().is_unsat());
+    }
+
+    #[test]
+    fn mixed_boolean_and_arithmetic() {
+        // b -> x >= 3,  !b -> x = 0,  x >= 1  ==> b and x >= 3.
+        let mut smt = SmtSolver::new();
+        let b = smt.new_bool_var("b");
+        let x = smt.new_int_var("x", 0, 5);
+        smt.assert(Formula::implies(
+            Formula::bool_var(b),
+            Formula::ge(LinExpr::var(x), LinExpr::constant(3)),
+        ));
+        smt.assert(Formula::implies(
+            Formula::not(Formula::bool_var(b)),
+            Formula::eq(LinExpr::var(x), LinExpr::constant(0)),
+        ));
+        smt.assert(Formula::ge(LinExpr::var(x), LinExpr::constant(1)));
+        let model = smt.check().expect_sat();
+        assert!(model.bool_value(b));
+        assert!(model.int_value(x) >= 3);
+    }
+
+    #[test]
+    fn binary_indicator_variables_behave_like_the_paper_examples() {
+        // The running example invariant: s1 + t0 - 1 = #q0 + #q1, with
+        // s0 + s1 = 1 and t0 + t1 = 1 and queue sizes 2.  Asking for a state
+        // where both queues are full must be unsatisfiable.
+        let mut smt = SmtSolver::new();
+        let s0 = smt.new_int_var("S.s0", 0, 1);
+        let s1 = smt.new_int_var("S.s1", 0, 1);
+        let t0 = smt.new_int_var("T.t0", 0, 1);
+        let t1 = smt.new_int_var("T.t1", 0, 1);
+        let q0 = smt.new_int_var("#q0", 0, 2);
+        let q1 = smt.new_int_var("#q1", 0, 2);
+        smt.assert(Formula::eq(
+            LinExpr::var(s0) + LinExpr::var(s1),
+            LinExpr::constant(1),
+        ));
+        smt.assert(Formula::eq(
+            LinExpr::var(t0) + LinExpr::var(t1),
+            LinExpr::constant(1),
+        ));
+        smt.assert(Formula::eq(
+            LinExpr::var(s1) + LinExpr::var(t0) - LinExpr::constant(1),
+            LinExpr::var(q0) + LinExpr::var(q1),
+        ));
+        smt.assert(Formula::ge(
+            LinExpr::var(q0) + LinExpr::var(q1),
+            LinExpr::constant(3),
+        ));
+        assert!(smt.check().is_unsat());
+    }
+
+    #[test]
+    fn unknown_on_zero_refinement_budget() {
+        let mut smt = SmtSolver::new();
+        let x = smt.new_int_var("x", 0, 3);
+        smt.assert(Formula::ge(LinExpr::var(x), LinExpr::constant(1)));
+        let config = CheckConfig {
+            max_refinements: 0,
+            ..CheckConfig::default()
+        };
+        assert_eq!(smt.check_with(&config), SmtResult::Unknown);
+    }
+
+    #[test]
+    fn iff_and_ne_operators_are_supported() {
+        let mut smt = SmtSolver::new();
+        let a = smt.new_bool_var("a");
+        let x = smt.new_int_var("x", 0, 4);
+        smt.assert(Formula::iff(
+            Formula::bool_var(a),
+            Formula::ne(LinExpr::var(x), LinExpr::constant(2)),
+        ));
+        smt.assert(Formula::not(Formula::bool_var(a)));
+        let model = smt.check().expect_sat();
+        assert_eq!(model.int_value(x), 2);
+        assert!(!model.bool_value(a));
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut smt = SmtSolver::new();
+        let x = smt.new_int_var("x", 0, 4);
+        smt.assert(Formula::ge(LinExpr::var(x), LinExpr::constant(1)));
+        let _ = smt.check();
+        assert!(smt.stats().refinements >= 1);
+        assert!(smt.stats().sat_variables >= 1);
+    }
+}

@@ -1,0 +1,307 @@
+//! Bounded linear integer arithmetic: feasibility of conjunctions of
+//! `Σ aᵢ·xᵢ ≤ b` constraints over finite integer domains.
+//!
+//! Because every SMT integer variable produced by the deadlock encoding has
+//! static bounds (queue occupancies are bounded by the queue size, state
+//! indicators by one), a complete decision procedure only needs
+//!
+//! 1. **interval propagation** — repeatedly tighten variable domains from
+//!    the constraints until a fixpoint or an empty domain is reached, and
+//! 2. **branch & bound** — split the domain of an undetermined variable and
+//!    recurse.
+//!
+//! The solver returns an integer model when feasible.  When infeasible it
+//! does not attempt to compute a minimal core itself; the SMT loop
+//! ([`crate::smt`]) performs deletion-based core minimisation using the
+//! cheap [`refuted_by_propagation`] check.
+
+/// A single theory constraint `Σ terms ≤ bound` over integer variables
+/// identified by their index in the domain vector.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Constraint {
+    /// `(coefficient, variable index)` pairs.
+    pub terms: Vec<(i64, usize)>,
+    /// Inclusive upper bound on the weighted sum.
+    pub bound: i64,
+}
+
+impl Constraint {
+    /// Creates a constraint `Σ terms ≤ bound`.
+    pub fn new(terms: Vec<(i64, usize)>, bound: i64) -> Self {
+        Constraint { terms, bound }
+    }
+
+    /// Evaluates whether the constraint holds under the given assignment.
+    pub fn holds(&self, assignment: &[i64]) -> bool {
+        let sum: i64 = self.terms.iter().map(|(c, v)| c * assignment[*v]).sum();
+        sum <= self.bound
+    }
+}
+
+/// Result of a feasibility check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TheoryVerdict {
+    /// The constraints are satisfiable; a witness assignment is returned.
+    Sat(Vec<i64>),
+    /// The constraints are unsatisfiable.
+    Unsat,
+    /// The search budget was exhausted before a verdict was reached.
+    Unknown,
+}
+
+#[derive(Clone, Debug)]
+struct Domains {
+    lo: Vec<i64>,
+    hi: Vec<i64>,
+}
+
+impl Domains {
+    fn is_fixed(&self, v: usize) -> bool {
+        self.lo[v] == self.hi[v]
+    }
+}
+
+/// Tightens the domains using interval propagation.
+///
+/// Returns `Err(())` when some domain becomes empty (a sound proof of
+/// infeasibility), `Ok(())` at fixpoint otherwise.
+fn propagate(domains: &mut Domains, constraints: &[Constraint]) -> Result<(), ()> {
+    loop {
+        let mut changed = false;
+        for c in constraints {
+            // Minimal possible value of the weighted sum.
+            let mut min_sum: i64 = 0;
+            for &(a, v) in &c.terms {
+                min_sum += if a > 0 {
+                    a * domains.lo[v]
+                } else {
+                    a * domains.hi[v]
+                };
+            }
+            if min_sum > c.bound {
+                return Err(());
+            }
+            for &(a, v) in &c.terms {
+                let own_min = if a > 0 {
+                    a * domains.lo[v]
+                } else {
+                    a * domains.hi[v]
+                };
+                let others_min = min_sum - own_min;
+                let budget = c.bound - others_min;
+                if a > 0 {
+                    // a·x ≤ budget  =>  x ≤ floor(budget / a)
+                    let new_hi = budget.div_euclid(a);
+                    if new_hi < domains.hi[v] {
+                        domains.hi[v] = new_hi;
+                        changed = true;
+                        if domains.hi[v] < domains.lo[v] {
+                            return Err(());
+                        }
+                    }
+                } else {
+                    // a·x ≤ budget with a < 0  =>  x ≥ ceil(budget / a)
+                    let new_lo = ceil_div(budget, a);
+                    if new_lo > domains.lo[v] {
+                        domains.lo[v] = new_lo;
+                        changed = true;
+                        if domains.hi[v] < domains.lo[v] {
+                            return Err(());
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            return Ok(());
+        }
+    }
+}
+
+fn ceil_div(a: i64, b: i64) -> i64 {
+    // Rounds a / b towards positive infinity; b may be negative.
+    // `div_euclid` leaves a non-negative remainder, so it floors for b > 0
+    // and already computes the ceiling for b < 0.
+    let q = a.div_euclid(b);
+    let r = a.rem_euclid(b);
+    if r == 0 || b < 0 {
+        q
+    } else {
+        q + 1
+    }
+}
+
+/// Returns `true` when interval propagation alone refutes the constraints.
+///
+/// This is a cheap, sound (but incomplete) infeasibility check used for
+/// conflict-core minimisation.
+pub fn refuted_by_propagation(bounds: &[(i64, i64)], constraints: &[Constraint]) -> bool {
+    let mut domains = Domains {
+        lo: bounds.iter().map(|b| b.0).collect(),
+        hi: bounds.iter().map(|b| b.1).collect(),
+    };
+    propagate(&mut domains, constraints).is_err()
+}
+
+/// Decides feasibility of `constraints` over variables with the given
+/// inclusive `bounds`.
+///
+/// `node_budget` bounds the number of search nodes explored; when exhausted
+/// the verdict is [`TheoryVerdict::Unknown`].
+pub fn solve(
+    bounds: &[(i64, i64)],
+    constraints: &[Constraint],
+    node_budget: u64,
+) -> TheoryVerdict {
+    for c in constraints {
+        for &(_, v) in &c.terms {
+            assert!(v < bounds.len(), "constraint mentions undeclared variable");
+        }
+    }
+    let domains = Domains {
+        lo: bounds.iter().map(|b| b.0).collect(),
+        hi: bounds.iter().map(|b| b.1).collect(),
+    };
+    let mut budget = node_budget;
+    search(domains, constraints, &mut budget)
+}
+
+fn search(mut domains: Domains, constraints: &[Constraint], budget: &mut u64) -> TheoryVerdict {
+    if *budget == 0 {
+        return TheoryVerdict::Unknown;
+    }
+    *budget -= 1;
+    if propagate(&mut domains, constraints).is_err() {
+        return TheoryVerdict::Unsat;
+    }
+    // Pick the unfixed variable with the smallest domain.
+    let mut pick: Option<(usize, i64)> = None;
+    for v in 0..domains.lo.len() {
+        if !domains.is_fixed(v) {
+            let width = domains.hi[v] - domains.lo[v];
+            match pick {
+                Some((_, w)) if w <= width => {}
+                _ => pick = Some((v, width)),
+            }
+        }
+    }
+    let Some((v, _)) = pick else {
+        // All variables fixed: propagation guarantees every constraint's
+        // minimal sum is within bounds, which for fixed domains is the exact
+        // sum, so this is a model.
+        return TheoryVerdict::Sat(domains.lo);
+    };
+    let mid = domains.lo[v] + (domains.hi[v] - domains.lo[v]) / 2;
+
+    // Lower half first: flow-style systems usually admit small solutions.
+    let mut lower = domains.clone();
+    lower.hi[v] = mid;
+    match search(lower, constraints, budget) {
+        TheoryVerdict::Sat(model) => return TheoryVerdict::Sat(model),
+        TheoryVerdict::Unknown => return TheoryVerdict::Unknown,
+        TheoryVerdict::Unsat => {}
+    }
+    let mut upper = domains;
+    upper.lo[v] = mid + 1;
+    search(upper, constraints, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le(terms: Vec<(i64, usize)>, bound: i64) -> Constraint {
+        Constraint::new(terms, bound)
+    }
+
+    fn eq(terms: Vec<(i64, usize)>, value: i64) -> Vec<Constraint> {
+        let neg: Vec<(i64, usize)> = terms.iter().map(|(c, v)| (-c, *v)).collect();
+        vec![le(terms, value), le(neg, -value)]
+    }
+
+    #[test]
+    fn empty_constraint_set_is_feasible() {
+        let verdict = solve(&[(0, 3), (0, 3)], &[], 100);
+        match verdict {
+            TheoryVerdict::Sat(model) => assert_eq!(model.len(), 2),
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_equality_is_solved() {
+        // x + y = 4, x >= 3, domains [0, 5].
+        let mut cs = eq(vec![(1, 0), (1, 1)], 4);
+        cs.push(le(vec![(-1, 0)], -3));
+        match solve(&[(0, 5), (0, 5)], &cs, 1_000) {
+            TheoryVerdict::Sat(m) => {
+                assert_eq!(m[0] + m[1], 4);
+                assert!(m[0] >= 3);
+            }
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_bounds_are_unsat() {
+        // x <= 1 and x >= 2 on domain [0, 5].
+        let cs = vec![le(vec![(1, 0)], 1), le(vec![(-1, 0)], -2)];
+        assert_eq!(solve(&[(0, 5)], &cs, 1_000), TheoryVerdict::Unsat);
+        assert!(refuted_by_propagation(&[(0, 5)], &cs));
+    }
+
+    #[test]
+    fn infeasible_sum_over_binary_variables() {
+        // x0 + x1 + x2 = 5 with all domains {0, 1}.
+        let cs = eq(vec![(1, 0), (1, 1), (1, 2)], 5);
+        assert_eq!(solve(&[(0, 1); 3], &cs, 1_000), TheoryVerdict::Unsat);
+    }
+
+    #[test]
+    fn negative_coefficients_propagate_lower_bounds() {
+        // y - x <= -2  =>  x >= y + 2; with y >= 3 we need x >= 5.
+        let cs = vec![le(vec![(1, 1), (-1, 0)], -2), le(vec![(-1, 1)], -3)];
+        match solve(&[(0, 10), (0, 10)], &cs, 1_000) {
+            TheoryVerdict::Sat(m) => {
+                assert!(m[0] >= m[1] + 2);
+                assert!(m[1] >= 3);
+            }
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        let cs = eq(vec![(1, 0), (1, 1), (1, 2)], 3);
+        assert_eq!(solve(&[(0, 3); 3], &cs, 0), TheoryVerdict::Unknown);
+    }
+
+    #[test]
+    fn model_satisfies_every_constraint() {
+        // A slightly larger random-ish system with a known solution.
+        let cs = vec![
+            le(vec![(2, 0), (3, 1), (-1, 2)], 10),
+            le(vec![(-1, 0), (1, 3)], 2),
+            le(vec![(1, 2), (1, 3)], 7),
+            le(vec![(-2, 1), (-1, 3)], -3),
+        ];
+        match solve(&[(0, 6); 4], &cs, 10_000) {
+            TheoryVerdict::Sat(m) => {
+                for c in &cs {
+                    assert!(c.holds(&m), "violated constraint {c:?} by model {m:?}");
+                }
+            }
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ceil_div_matches_mathematical_ceiling() {
+        assert_eq!(ceil_div(7, 2), 4);
+        assert_eq!(ceil_div(6, 2), 3);
+        assert_eq!(ceil_div(-7, 2), -3);
+        assert_eq!(ceil_div(7, -2), -3);
+        assert_eq!(ceil_div(-7, -2), 4);
+        assert_eq!(ceil_div(6, -2), -3);
+    }
+}

@@ -1,0 +1,139 @@
+//! Dimension-ordered (XY) routing on a 2D mesh.
+
+use crate::mesh::MeshConfig;
+
+/// A router port direction.
+///
+/// `y` grows southwards (row index), `x` grows eastwards (column index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Direction {
+    /// Towards smaller `y`.
+    North,
+    /// Towards larger `x`.
+    East,
+    /// Towards larger `y`.
+    South,
+    /// Towards smaller `x`.
+    West,
+    /// The local agent.
+    Local,
+}
+
+impl Direction {
+    /// All five directions, in a fixed order.
+    pub const ALL: [Direction; 5] = [
+        Direction::North,
+        Direction::East,
+        Direction::South,
+        Direction::West,
+        Direction::Local,
+    ];
+
+    /// A short lowercase label used in generated primitive names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::North => "n",
+            Direction::East => "e",
+            Direction::South => "s",
+            Direction::West => "w",
+            Direction::Local => "local",
+        }
+    }
+}
+
+/// Returns the neighbour of `node` in the given direction, if it exists.
+pub fn neighbor(config: &MeshConfig, node: u32, direction: Direction) -> Option<u32> {
+    let (x, y) = config.coords(node);
+    match direction {
+        Direction::North => (y > 0).then(|| config.node_id(x, y - 1)),
+        Direction::South => (y + 1 < config.height).then(|| config.node_id(x, y + 1)),
+        Direction::East => (x + 1 < config.width).then(|| config.node_id(x + 1, y)),
+        Direction::West => (x > 0).then(|| config.node_id(x - 1, y)),
+        Direction::Local => None,
+    }
+}
+
+/// XY routing: first correct the `x` coordinate, then the `y` coordinate.
+///
+/// Returns the output direction a packet at `node` destined for `dst` must
+/// take ([`Direction::Local`] when it has arrived).  XY routing on a mesh is
+/// well known to be deadlock-free in isolation — the cross-layer deadlocks
+/// of the paper arise only from the interaction with the protocol.
+pub fn xy_route(config: &MeshConfig, node: u32, dst: u32) -> Direction {
+    let (x, y) = config.coords(node);
+    let (dx, dy) = config.coords(dst);
+    if dx > x {
+        Direction::East
+    } else if dx < x {
+        Direction::West
+    } else if dy > y {
+        Direction::South
+    } else if dy < y {
+        Direction::North
+    } else {
+        Direction::Local
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> MeshConfig {
+        MeshConfig::new(3, 3, 2)
+    }
+
+    #[test]
+    fn xy_corrects_x_before_y() {
+        let c = config();
+        // From (0,0) to (2,2): east first.
+        assert_eq!(xy_route(&c, c.node_id(0, 0), c.node_id(2, 2)), Direction::East);
+        // From (2,0) to (2,2): already aligned in x, go south.
+        assert_eq!(xy_route(&c, c.node_id(2, 0), c.node_id(2, 2)), Direction::South);
+        // Arrived.
+        assert_eq!(xy_route(&c, c.node_id(2, 2), c.node_id(2, 2)), Direction::Local);
+        // Westwards and northwards.
+        assert_eq!(xy_route(&c, c.node_id(2, 2), c.node_id(0, 2)), Direction::West);
+        assert_eq!(xy_route(&c, c.node_id(2, 2), c.node_id(2, 0)), Direction::North);
+    }
+
+    #[test]
+    fn routing_always_reaches_the_destination() {
+        let c = config();
+        for from in 0..c.num_nodes() {
+            for to in 0..c.num_nodes() {
+                let mut at = from;
+                let mut hops = 0;
+                loop {
+                    let dir = xy_route(&c, at, to);
+                    if dir == Direction::Local {
+                        break;
+                    }
+                    at = neighbor(&c, at, dir).expect("XY routing never leaves the mesh");
+                    hops += 1;
+                    assert!(hops <= 4, "XY route longer than the mesh diameter");
+                }
+                assert_eq!(at, to);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_respect_the_borders() {
+        let c = config();
+        let corner = c.node_id(0, 0);
+        assert_eq!(neighbor(&c, corner, Direction::North), None);
+        assert_eq!(neighbor(&c, corner, Direction::West), None);
+        assert_eq!(neighbor(&c, corner, Direction::East), Some(c.node_id(1, 0)));
+        assert_eq!(neighbor(&c, corner, Direction::South), Some(c.node_id(0, 1)));
+        assert_eq!(neighbor(&c, corner, Direction::Local), None);
+    }
+
+    #[test]
+    fn direction_labels_are_unique() {
+        let mut labels: Vec<&str> = Direction::ALL.iter().map(|d| d.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 5);
+    }
+}

@@ -1,0 +1,202 @@
+//! Sparse Gaussian elimination with a variable elimination predicate.
+
+use crate::{LinearRow, Rational};
+
+/// Eliminates every variable for which `should_eliminate` returns `true`
+/// from the given system of equations, returning only the resulting rows
+/// that are completely free of eliminated variables.
+///
+/// This is the "sweep away the λ and κ variables" step of the invariant
+/// derivation: rows that still depend on an eliminated variable after the
+/// sweep merely *define* that variable and carry no information about the
+/// kept variables, so they are dropped.  Trivial `0 = 0` rows are dropped
+/// too.  Rows that reduce to `c = 0` with `c ≠ 0` are kept (callers treat
+/// them as evidence of an inconsistent model).
+///
+/// # Examples
+///
+/// ```
+/// use advocat_num::{eliminate, LinearRow};
+///
+/// // λ0 = λ1 + q      (flow through a queue)
+/// // λ0 = κ0          (flow feeds transition firings)
+/// // λ1 = κ0 - s      (transition firings drain into the state counter)
+/// // Eliminating λ and κ leaves the cross-layer fact  q - s = 0.
+/// let rows = vec![
+///     LinearRow::from_terms([(0, 1), (1, -1), (10, -1)], 0),
+///     LinearRow::from_terms([(0, 1), (2, -1)], 0),
+///     LinearRow::from_terms([(1, 1), (2, -1), (11, 1)], 0),
+/// ];
+/// let kept = eliminate(rows, |v| v < 10);
+/// assert_eq!(kept.len(), 1);
+/// let inv = &kept[0];
+/// assert!(inv.contains(10) && inv.contains(11));
+/// ```
+pub fn eliminate<F>(rows: Vec<LinearRow>, should_eliminate: F) -> Vec<LinearRow>
+where
+    F: Fn(usize) -> bool,
+{
+    let mut rows: Vec<LinearRow> = rows.into_iter().filter(|r| !r.is_zero()).collect();
+    let mut kept: Vec<LinearRow> = Vec::new();
+
+    loop {
+        // Find a row that still mentions a variable to eliminate.
+        let mut pivot_idx = None;
+        let mut pivot_var = 0usize;
+        'outer: for (idx, row) in rows.iter().enumerate() {
+            for var in row.variables() {
+                if should_eliminate(var) {
+                    pivot_idx = Some(idx);
+                    pivot_var = var;
+                    break 'outer;
+                }
+            }
+        }
+        let Some(idx) = pivot_idx else { break };
+        let mut pivot = rows.swap_remove(idx);
+        let coef = pivot.coefficient(pivot_var);
+        pivot.scale(coef.recip());
+        // Remove pivot_var from every remaining row.
+        for row in rows.iter_mut() {
+            let c = row.coefficient(pivot_var);
+            if !c.is_zero() {
+                row.add_scaled(&pivot, -c);
+            }
+        }
+        // The pivot row defines an eliminated variable; drop it.
+    }
+
+    for mut row in rows {
+        if row.is_zero() {
+            continue;
+        }
+        row.normalize_integral();
+        if !kept.contains(&row) {
+            kept.push(row);
+        }
+    }
+    kept
+}
+
+/// Reduces a system of equations to reduced row-echelon form over the given
+/// total variable ordering (lower index = earlier pivot), returning the
+/// non-trivial rows.
+///
+/// This is exposed for diagnostics and tests; [`eliminate`] is the
+/// production entry point.
+pub fn reduce_to_echelon(rows: Vec<LinearRow>) -> Vec<LinearRow> {
+    let mut rows: Vec<LinearRow> = rows.into_iter().filter(|r| !r.is_zero()).collect();
+    let mut result: Vec<LinearRow> = Vec::new();
+
+    // Collect all variables in increasing order.
+    let mut vars: Vec<usize> = rows
+        .iter()
+        .flat_map(|r| r.variables().collect::<Vec<_>>())
+        .collect();
+    vars.sort_unstable();
+    vars.dedup();
+
+    for var in vars {
+        let Some(idx) = rows.iter().position(|r| r.contains(var)) else {
+            continue;
+        };
+        let mut pivot = rows.swap_remove(idx);
+        let coef = pivot.coefficient(var);
+        pivot.scale(coef.recip());
+        for row in rows.iter_mut() {
+            let c = row.coefficient(var);
+            if !c.is_zero() {
+                row.add_scaled(&pivot, -c);
+            }
+        }
+        for row in result.iter_mut() {
+            let c = row.coefficient(var);
+            if !c.is_zero() {
+                row.add_scaled(&pivot, -c);
+            }
+        }
+        result.push(pivot);
+        rows.retain(|r| !r.is_zero());
+        if rows.is_empty() {
+            break;
+        }
+    }
+    // Any leftover rows are either trivial or inconsistent constants.
+    for row in rows {
+        if !row.is_zero() {
+            result.push(row);
+        }
+    }
+    result
+}
+
+/// Checks whether an assignment satisfies every equation in `rows`.
+///
+/// Convenience helper used by property tests: elimination must preserve all
+/// solutions of the original system.
+pub fn satisfies<F>(rows: &[LinearRow], mut value_of: F) -> bool
+where
+    F: FnMut(usize) -> Rational,
+{
+    rows.iter().all(|r| r.evaluate(&mut value_of).is_zero())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eliminate_simple_chain() {
+        // x0 = x1, x1 = x2 + 1; eliminating x0 and x1 yields nothing about x2
+        // except when a second path pins it: add x0 = 5.
+        let rows = vec![
+            LinearRow::from_terms([(0, 1), (1, -1)], 0),
+            LinearRow::from_terms([(1, 1), (2, -1)], -1),
+            LinearRow::from_terms([(0, 1)], -5),
+        ];
+        let kept = eliminate(rows, |v| v < 2);
+        assert_eq!(kept.len(), 1);
+        // x2 + 1 = 5  =>  x2 = 4.
+        assert_eq!(kept[0].coefficient(2), Rational::ONE);
+        assert_eq!(kept[0].constant(), Rational::from_integer(-4));
+    }
+
+    #[test]
+    fn eliminate_drops_rows_still_containing_eliminated_vars() {
+        // A single row mentioning an eliminated variable carries no
+        // information about the kept variables.
+        let rows = vec![LinearRow::from_terms([(0, 1), (5, 1)], 0)];
+        let kept = eliminate(rows, |v| v == 0);
+        assert!(kept.is_empty());
+    }
+
+    #[test]
+    fn eliminate_deduplicates_equal_invariants() {
+        let rows = vec![
+            LinearRow::from_terms([(10, 1), (11, -1)], 0),
+            LinearRow::from_terms([(10, 2), (11, -2)], 0),
+        ];
+        let kept = eliminate(rows, |_| false);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn echelon_solves_small_system() {
+        // x + y = 3, x - y = 1  =>  x = 2, y = 1.
+        let rows = vec![
+            LinearRow::from_terms([(0, 1), (1, 1)], -3),
+            LinearRow::from_terms([(0, 1), (1, -1)], -1),
+        ];
+        let ech = reduce_to_echelon(rows);
+        assert!(satisfies(&ech, |v| {
+            Rational::from_integer(if v == 0 { 2 } else { 1 })
+        }));
+    }
+
+    #[test]
+    fn satisfies_rejects_wrong_assignment() {
+        let rows = vec![LinearRow::from_terms([(0, 1)], -3)];
+        assert!(!satisfies(&rows, |_| Rational::ZERO));
+        assert!(satisfies(&rows, |_| Rational::from_integer(3)));
+    }
+}

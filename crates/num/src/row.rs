@@ -1,0 +1,334 @@
+//! Sparse linear rows (equations of the form `Σ aᵢ·xᵢ + c = 0`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::Rational;
+
+/// A sparse linear equation `Σ aᵢ·xᵢ + c = 0` over variables identified by
+/// `usize` indices.
+///
+/// Rows are the unit of work of the invariant-derivation pipeline: every
+/// xMAS primitive and every XMAS automaton contributes a handful of rows,
+/// and Gaussian elimination ([`crate::eliminate`]) removes the variables we
+/// are not interested in.
+///
+/// # Examples
+///
+/// ```
+/// use advocat_num::{LinearRow, Rational};
+///
+/// let mut row = LinearRow::new();
+/// row.add_term(3, Rational::from_integer(2));
+/// row.add_term(3, Rational::from_integer(-2));
+/// assert!(row.is_zero());
+///
+/// let row = LinearRow::from_terms([(0, 1), (1, -1)], 5);
+/// assert_eq!(row.coefficient(0), Rational::ONE);
+/// assert_eq!(row.constant(), Rational::from_integer(5));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinearRow {
+    terms: BTreeMap<usize, Rational>,
+    constant: Rational,
+}
+
+impl LinearRow {
+    /// Creates an empty row (the trivially true equation `0 = 0`).
+    pub fn new() -> Self {
+        LinearRow {
+            terms: BTreeMap::new(),
+            constant: Rational::ZERO,
+        }
+    }
+
+    /// Creates a row from integer coefficients and an integer constant.
+    pub fn from_terms<I>(terms: I, constant: i128) -> Self
+    where
+        I: IntoIterator<Item = (usize, i128)>,
+    {
+        let mut row = LinearRow::new();
+        for (var, coef) in terms {
+            row.add_term(var, Rational::from_integer(coef));
+        }
+        row.add_constant(Rational::from_integer(constant));
+        row
+    }
+
+    /// Adds `coef · x_var` to the row, removing the term if it cancels.
+    pub fn add_term(&mut self, var: usize, coef: Rational) {
+        if coef.is_zero() {
+            return;
+        }
+        let entry = self.terms.entry(var).or_insert(Rational::ZERO);
+        *entry += coef;
+        if entry.is_zero() {
+            self.terms.remove(&var);
+        }
+    }
+
+    /// Adds a constant to the row.
+    pub fn add_constant(&mut self, value: Rational) {
+        self.constant += value;
+    }
+
+    /// Returns the coefficient of `var` (zero when absent).
+    pub fn coefficient(&self, var: usize) -> Rational {
+        self.terms.get(&var).copied().unwrap_or(Rational::ZERO)
+    }
+
+    /// Returns the constant term.
+    pub fn constant(&self) -> Rational {
+        self.constant
+    }
+
+    /// Returns `true` when the row has no variable terms and no constant.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty() && self.constant.is_zero()
+    }
+
+    /// Returns `true` when the row has no variable terms but a non-zero
+    /// constant: the equation `c = 0` with `c ≠ 0` is inconsistent.
+    pub fn is_inconsistent(&self) -> bool {
+        self.terms.is_empty() && !self.constant.is_zero()
+    }
+
+    /// Returns the number of variable terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` when the row has no variable terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns `true` when the row mentions `var`.
+    pub fn contains(&self, var: usize) -> bool {
+        self.terms.contains_key(&var)
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs in increasing variable
+    /// order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Rational)> + '_ {
+        self.terms.iter().map(|(v, c)| (*v, *c))
+    }
+
+    /// Returns the set of variables mentioned by the row.
+    pub fn variables(&self) -> impl Iterator<Item = usize> + '_ {
+        self.terms.keys().copied()
+    }
+
+    /// Multiplies the whole row (terms and constant) by `factor`.
+    pub fn scale(&mut self, factor: Rational) {
+        if factor.is_zero() {
+            self.terms.clear();
+            self.constant = Rational::ZERO;
+            return;
+        }
+        for coef in self.terms.values_mut() {
+            *coef = *coef * factor;
+        }
+        self.constant = self.constant * factor;
+    }
+
+    /// Adds `factor · other` to `self`.
+    pub fn add_scaled(&mut self, other: &LinearRow, factor: Rational) {
+        if factor.is_zero() {
+            return;
+        }
+        for (var, coef) in other.iter() {
+            self.add_term(var, coef * factor);
+        }
+        self.add_constant(other.constant * factor);
+    }
+
+    /// Normalises the row so that its leading (lowest-index) coefficient is
+    /// `1`.  Leaves empty rows untouched.
+    pub fn normalize_leading(&mut self) {
+        if let Some((_, lead)) = self.terms.iter().next().map(|(v, c)| (*v, *c)) {
+            let inv = lead.recip();
+            self.scale(inv);
+        }
+    }
+
+    /// Normalises the row so that all coefficients are integers with overall
+    /// gcd 1 and the leading coefficient is positive.  This produces the
+    /// human-friendly form used when printing invariants.
+    pub fn normalize_integral(&mut self) {
+        if self.terms.is_empty() {
+            return;
+        }
+        // Scale by the lcm of all denominators.
+        let mut lcm: i128 = 1;
+        for (_, c) in self.iter() {
+            lcm = lcm_i128(lcm, c.denominator());
+        }
+        lcm = lcm_i128(lcm, self.constant.denominator());
+        self.scale(Rational::from_integer(lcm));
+        // Divide by the gcd of all numerators.
+        let mut g: i128 = 0;
+        for (_, c) in self.iter() {
+            g = gcd_i128(g, c.numerator().abs());
+        }
+        if !self.constant.is_zero() {
+            g = gcd_i128(g, self.constant.numerator().abs());
+        }
+        if g > 1 {
+            self.scale(Rational::new(1, g));
+        }
+        // Make the leading coefficient positive.
+        if let Some((_, lead)) = self.terms.iter().next().map(|(v, c)| (*v, *c)) {
+            if lead.is_negative() {
+                self.scale(Rational::from_integer(-1));
+            }
+        }
+    }
+
+    /// Evaluates the row under an assignment, returning `Σ aᵢ·xᵢ + c`.
+    pub fn evaluate<F>(&self, mut value_of: F) -> Rational
+    where
+        F: FnMut(usize) -> Rational,
+    {
+        let mut acc = self.constant;
+        for (var, coef) in self.iter() {
+            acc += coef * value_of(var);
+        }
+        acc
+    }
+
+    /// Renders the row as an equation using a caller-provided variable namer.
+    pub fn display_with<F>(&self, mut name_of: F) -> String
+    where
+        F: FnMut(usize) -> String,
+    {
+        let mut out = String::new();
+        let mut first = true;
+        for (var, coef) in self.iter() {
+            let name = name_of(var);
+            if first {
+                if coef == Rational::ONE {
+                    out.push_str(&name);
+                } else if coef == Rational::from_integer(-1) {
+                    out.push_str(&format!("-{name}"));
+                } else {
+                    out.push_str(&format!("{coef}·{name}"));
+                }
+                first = false;
+            } else if coef.is_negative() {
+                let a = -coef;
+                if a == Rational::ONE {
+                    out.push_str(&format!(" - {name}"));
+                } else {
+                    out.push_str(&format!(" - {a}·{name}"));
+                }
+            } else if coef == Rational::ONE {
+                out.push_str(&format!(" + {name}"));
+            } else {
+                out.push_str(&format!(" + {coef}·{name}"));
+            }
+        }
+        if first {
+            out.push('0');
+        }
+        out.push_str(&format!(" = {}", -self.constant));
+        out
+    }
+}
+
+impl fmt::Display for LinearRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_with(|v| format!("x{v}")))
+    }
+}
+
+impl FromIterator<(usize, Rational)> for LinearRow {
+    fn from_iter<T: IntoIterator<Item = (usize, Rational)>>(iter: T) -> Self {
+        let mut row = LinearRow::new();
+        for (var, coef) in iter {
+            row.add_term(var, coef);
+        }
+        row
+    }
+}
+
+fn gcd_i128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+fn lcm_i128(a: i128, b: i128) -> i128 {
+    a / gcd_i128(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terms_cancel_and_disappear() {
+        let mut row = LinearRow::new();
+        row.add_term(2, Rational::from_integer(3));
+        row.add_term(2, Rational::from_integer(-3));
+        assert!(row.is_zero());
+        assert!(!row.contains(2));
+    }
+
+    #[test]
+    fn add_scaled_combines_rows() {
+        let a = LinearRow::from_terms([(0, 1), (1, 2)], 3);
+        let mut b = LinearRow::from_terms([(0, -2), (2, 1)], 0);
+        b.add_scaled(&a, Rational::from_integer(2));
+        assert_eq!(b.coefficient(0), Rational::ZERO);
+        assert_eq!(b.coefficient(1), Rational::from_integer(4));
+        assert_eq!(b.coefficient(2), Rational::ONE);
+        assert_eq!(b.constant(), Rational::from_integer(6));
+    }
+
+    #[test]
+    fn inconsistent_row_detected() {
+        let row = LinearRow::from_terms([], 4);
+        assert!(row.is_inconsistent());
+        assert!(!LinearRow::new().is_inconsistent());
+    }
+
+    #[test]
+    fn normalize_integral_produces_coprime_integer_coefficients() {
+        let mut row = LinearRow::new();
+        row.add_term(0, Rational::new(2, 3));
+        row.add_term(1, Rational::new(-4, 3));
+        row.add_constant(Rational::new(2, 3));
+        row.normalize_integral();
+        assert_eq!(row.coefficient(0), Rational::ONE);
+        assert_eq!(row.coefficient(1), Rational::from_integer(-2));
+        assert_eq!(row.constant(), Rational::ONE);
+    }
+
+    #[test]
+    fn normalize_integral_makes_leading_positive() {
+        let mut row = LinearRow::from_terms([(5, -2), (7, 2)], 0);
+        row.normalize_integral();
+        assert_eq!(row.coefficient(5), Rational::ONE);
+        assert_eq!(row.coefficient(7), Rational::from_integer(-1));
+    }
+
+    #[test]
+    fn evaluate_applies_assignment() {
+        let row = LinearRow::from_terms([(0, 2), (1, -1)], 1);
+        let value = row.evaluate(|v| Rational::from_integer(v as i128 + 1));
+        // 2*1 - 2 + 1 = 1
+        assert_eq!(value, Rational::ONE);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let row = LinearRow::from_terms([(0, 1), (1, -2)], -3);
+        assert_eq!(row.to_string(), "x0 - 2·x1 = 3");
+        assert_eq!(LinearRow::from_terms([], 0).to_string(), "0 = 0");
+    }
+}

@@ -1,0 +1,264 @@
+//! The artificial MI protocol of Fig. 2 of the paper.
+//!
+//! * **L2 cache** (Fig. 2a): on a load/store miss the cache sends `getX` to
+//!   the directory and considers itself the owner (`M`).  When it receives
+//!   an `inv` from the directory, or when the core triggers a replacement,
+//!   it flushes the block, notifies the directory with `putX` and waits in
+//!   the intermediate state `MI` for the directory's `ack`.
+//! * **Directory** (Fig. 2b): waits in `I` for a `getX`, records the owner
+//!   (`M(c)`), may decide *at any time* to invalidate the owner (moving to
+//!   `MI(c)`), and returns to `I` with an `ack` once the owner's `putX`
+//!   arrives.
+//!
+//! Data transfer, cache-to-cache forwarding, nacks and virtual channels are
+//! deliberately omitted, exactly as in the paper's initial case study.
+
+use advocat_automata::AutomatonBuilder;
+use advocat_xmas::{ColorId, Network, Packet};
+
+use crate::spec::{AgentSpec, Role};
+
+/// The abstract directory-based MI protocol (Fig. 2).
+///
+/// # Examples
+///
+/// ```
+/// use advocat_protocols::AbstractMi;
+/// use advocat_xmas::Network;
+///
+/// let protocol = AbstractMi::new(4, 3);
+/// let mut net = Network::new();
+/// let cache = protocol.cache_agent(&mut net, 0);
+/// let directory = protocol.directory_agent(&mut net);
+/// assert_eq!(cache.automaton.state_count(), 3);
+/// // I + M(c) + MI(c) for each of the three caches.
+/// assert_eq!(directory.automaton.state_count(), 1 + 2 * 3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AbstractMi {
+    num_nodes: u32,
+    directory: u32,
+}
+
+impl AbstractMi {
+    /// Creates a protocol instance for `num_nodes` mesh nodes with the
+    /// directory at node `directory`; all other nodes host caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `directory >= num_nodes` or there are fewer than two nodes.
+    pub fn new(num_nodes: u32, directory: u32) -> Self {
+        assert!(num_nodes >= 2, "a mesh needs at least two nodes");
+        assert!(directory < num_nodes, "directory must be one of the nodes");
+        AbstractMi {
+            num_nodes,
+            directory,
+        }
+    }
+
+    /// The message kinds exchanged over the fabric.
+    pub fn message_kinds() -> [&'static str; 4] {
+        ["getX", "putX", "inv", "ack"]
+    }
+
+    /// Returns the node hosting the directory.
+    pub fn directory_node(&self) -> u32 {
+        self.directory
+    }
+
+    /// Returns the number of nodes (caches plus directory).
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Iterates over the cache nodes.
+    pub fn cache_nodes(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.num_nodes).filter(move |n| *n != self.directory)
+    }
+
+    /// Returns the role of a node.
+    pub fn role_of(&self, node: u32) -> Role {
+        if node == self.directory {
+            Role::Directory
+        } else {
+            Role::Cache
+        }
+    }
+
+    fn get_x(&self, net: &mut Network, cache: u32) -> ColorId {
+        net.intern(Packet::kind("getX").with_src(cache).with_dst(self.directory))
+    }
+
+    fn put_x(&self, net: &mut Network, cache: u32) -> ColorId {
+        net.intern(Packet::kind("putX").with_src(cache).with_dst(self.directory))
+    }
+
+    fn inv(&self, net: &mut Network, cache: u32) -> ColorId {
+        net.intern(Packet::kind("inv").with_src(self.directory).with_dst(cache))
+    }
+
+    fn ack(&self, net: &mut Network, cache: u32) -> ColorId {
+        net.intern(Packet::kind("ack").with_src(self.directory).with_dst(cache))
+    }
+
+    /// Builds the L2-cache agent of Fig. 2a for `cache`.
+    ///
+    /// Ports: in 0 = network ejection, in 1 = core triggers,
+    /// out 0 = network injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is the directory node.
+    pub fn cache_agent(&self, net: &mut Network, cache: u32) -> AgentSpec {
+        assert_ne!(cache, self.directory, "the directory node hosts no cache");
+        let get_x = self.get_x(net, cache);
+        let put_x = self.put_x(net, cache);
+        let inv = self.inv(net, cache);
+        let ack = self.ack(net, cache);
+        let miss = net.intern(Packet::kind("miss").with_src(cache));
+        let repl = net.intern(Packet::kind("repl").with_src(cache));
+
+        let mut b = AutomatonBuilder::new(format!("cache{cache}"), 2, 1);
+        let i = b.state("I");
+        let m = b.state("M");
+        let mi = b.state("MI");
+        b.set_initial(i);
+        // I --miss?/getX!--> M
+        b.on_packet(i, m, 1, miss, Some((0, get_x)));
+        // M --repl?/putX!--> MI  and  M --inv?/putX!--> MI
+        b.on_packet(m, mi, 1, repl, Some((0, put_x)));
+        b.on_packet(m, mi, 0, inv, Some((0, put_x)));
+        // MI --ack?--> I
+        b.on_packet(mi, i, 0, ack, None);
+        // Stale invalidations (the cache already gave the block up via a
+        // replacement) are silently dropped; without these transitions
+        // unconsumable `inv`s could fill the ejection queue and deadlock the
+        // system at *every* queue size.
+        b.on_packet(i, i, 0, inv, None);
+        b.on_packet(mi, mi, 0, inv, None);
+        let automaton = b.build().expect("abstract MI cache automaton is well-formed");
+
+        AgentSpec {
+            automaton,
+            net_in: 0,
+            net_out: 0,
+            core_in: Some(1),
+            core_triggers: vec![miss, repl],
+            aux_out: None,
+        }
+    }
+
+    /// Builds the directory agent of Fig. 2b.
+    ///
+    /// Ports: in 0 = network ejection, out 0 = network injection.
+    pub fn directory_agent(&self, net: &mut Network) -> AgentSpec {
+        let caches: Vec<u32> = self.cache_nodes().collect();
+        let mut b = AutomatonBuilder::new("dir", 1, 1);
+        let i = b.state("I");
+        b.set_initial(i);
+        for &c in &caches {
+            let m_c = b.state(format!("M({c})"));
+            let mi_c = b.state(format!("MI({c})"));
+            let get_x = self.get_x(net, c);
+            let put_x = self.put_x(net, c);
+            let inv = self.inv(net, c);
+            let ack = self.ack(net, c);
+            // I --getX(c)?--> M(c)
+            b.on_packet(i, m_c, 0, get_x, None);
+            // M(c) --(internal choice)/inv(c)!--> MI(c)
+            b.spontaneous_emit(m_c, mi_c, 0, inv);
+            // M(c) --putX(c)?/ack(c)!--> I   (replacement initiated by the core)
+            b.on_packet(m_c, i, 0, put_x, Some((0, ack)));
+            // MI(c) --putX(c)?/ack(c)!--> I
+            b.on_packet(mi_c, i, 0, put_x, Some((0, ack)));
+        }
+        let automaton = b
+            .build()
+            .expect("abstract MI directory automaton is well-formed");
+        AgentSpec {
+            automaton,
+            net_in: 0,
+            net_out: 0,
+            core_in: None,
+            core_triggers: Vec::new(),
+            aux_out: None,
+        }
+    }
+
+    /// Builds the agent for an arbitrary node according to its role.
+    pub fn agent(&self, net: &mut Network, node: u32) -> AgentSpec {
+        match self.role_of(node) {
+            Role::Cache => self.cache_agent(net, node),
+            Role::Directory => self.directory_agent(net),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_automaton_matches_fig_2a() {
+        let protocol = AbstractMi::new(4, 0);
+        let mut net = Network::new();
+        let spec = protocol.cache_agent(&mut net, 2);
+        let a = &spec.automaton;
+        assert_eq!(a.state_count(), 3);
+        // Four protocol transitions of Fig. 2a plus two stale-inv drops.
+        assert_eq!(a.transition_count(), 6);
+        assert_eq!(a.state_name(a.initial()), "I");
+        assert!(spec.needs_core_source());
+        // The cache accepts inv and ack from the network port.
+        let inv = net
+            .colors()
+            .lookup(&Packet::kind("inv").with_src(0).with_dst(2))
+            .unwrap();
+        let ack = net
+            .colors()
+            .lookup(&Packet::kind("ack").with_src(0).with_dst(2))
+            .unwrap();
+        assert!(a.ever_accepts(0, inv));
+        assert!(a.ever_accepts(0, ack));
+        // It emits getX and putX towards the directory.
+        let get_x = net
+            .colors()
+            .lookup(&Packet::kind("getX").with_src(2).with_dst(0))
+            .unwrap();
+        assert!(a.ever_emits(0, get_x));
+    }
+
+    #[test]
+    fn directory_automaton_has_two_states_per_cache() {
+        let protocol = AbstractMi::new(9, 4);
+        let mut net = Network::new();
+        let spec = protocol.directory_agent(&mut net);
+        assert_eq!(spec.automaton.state_count(), 1 + 2 * 8);
+        // getX from each cache, putX from each cache (×2 states) and one
+        // spontaneous invalidation per cache.
+        assert_eq!(spec.automaton.transition_count(), 8 * 4);
+        assert!(!spec.needs_core_source());
+    }
+
+    #[test]
+    fn roles_partition_the_nodes() {
+        let protocol = AbstractMi::new(4, 3);
+        assert_eq!(protocol.role_of(3), Role::Directory);
+        assert_eq!(protocol.role_of(0), Role::Cache);
+        assert_eq!(protocol.cache_nodes().count(), 3);
+        assert_eq!(protocol.directory_node(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no cache")]
+    fn cache_agent_for_directory_node_panics() {
+        let protocol = AbstractMi::new(4, 1);
+        let mut net = Network::new();
+        let _ = protocol.cache_agent(&mut net, 1);
+    }
+
+    #[test]
+    fn message_kinds_are_the_four_of_the_paper() {
+        assert_eq!(AbstractMi::message_kinds(), ["getX", "putX", "inv", "ack"]);
+    }
+}

@@ -1,0 +1,331 @@
+//! A GEM5-inspired MI protocol (Section 5, "MI Protocol").
+//!
+//! Compared to the abstract protocol of Fig. 2 this version adds the
+//! features the paper lists for its GEM5-derived model:
+//!
+//! * **data transfer** — the directory or the current owner answers a
+//!   `GetM` with a `Data` message,
+//! * **cache-to-cache forwarding** — on a `GetM` for an owned block the
+//!   directory forwards the request (`FwdGetM`) to the owner, which sends
+//!   `Data` directly to the requester,
+//! * **acking/nacking of replacements** — a `PutM` is answered with
+//!   `WBAck` (accepted) or `Nack` (stale, e.g. ownership already moved),
+//! * **DMA accesses** — a DMA engine issues `DmaReq`s to the directory,
+//!   which invalidates the current owner before completing the access.
+//!
+//! The L2 cache has five states (`I`, `IM`, `M`, `MI`, `II`), the directory
+//! `4 + n` states (`I`, `M(c)` per cache, `MI`, `MA`, `MD`) and eight
+//! message kinds are used, matching the counts reported in the paper.
+
+use advocat_automata::AutomatonBuilder;
+use advocat_xmas::{ColorId, Network, Packet};
+
+use crate::spec::{AgentSpec, Role};
+
+/// The GEM5-inspired MI protocol with forwarding, nacks and DMA.
+///
+/// # Examples
+///
+/// ```
+/// use advocat_protocols::FullMi;
+/// use advocat_xmas::Network;
+///
+/// let protocol = FullMi::new(4, 3);
+/// let mut net = Network::new();
+/// let cache = protocol.cache_agent(&mut net, 0);
+/// let directory = protocol.directory_agent(&mut net);
+/// assert_eq!(cache.automaton.state_count(), 5);
+/// assert_eq!(directory.automaton.state_count(), 4 + 3);
+/// assert_eq!(FullMi::message_kinds().len(), 8);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FullMi {
+    num_nodes: u32,
+    directory: u32,
+}
+
+impl FullMi {
+    /// Creates a protocol instance for `num_nodes` mesh nodes with the
+    /// directory (and the DMA engine attached to it) at node `directory`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `directory >= num_nodes` or there are fewer than two nodes.
+    pub fn new(num_nodes: u32, directory: u32) -> Self {
+        assert!(num_nodes >= 2, "a mesh needs at least two nodes");
+        assert!(directory < num_nodes, "directory must be one of the nodes");
+        FullMi {
+            num_nodes,
+            directory,
+        }
+    }
+
+    /// The eight message kinds exchanged by the protocol.
+    pub fn message_kinds() -> [&'static str; 8] {
+        [
+            "GetM", "PutM", "FwdGetM", "Inv", "Data", "WBAck", "Nack", "DmaReq",
+        ]
+    }
+
+    /// Returns the node hosting the directory.
+    pub fn directory_node(&self) -> u32 {
+        self.directory
+    }
+
+    /// Returns the number of nodes (caches plus directory).
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Iterates over the cache nodes.
+    pub fn cache_nodes(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.num_nodes).filter(move |n| *n != self.directory)
+    }
+
+    /// Returns the role of a node.
+    pub fn role_of(&self, node: u32) -> Role {
+        if node == self.directory {
+            Role::Directory
+        } else {
+            Role::Cache
+        }
+    }
+
+    fn msg(&self, net: &mut Network, kind: &str, src: u32, dst: u32) -> ColorId {
+        net.intern(Packet::kind(kind).with_src(src).with_dst(dst))
+    }
+
+    /// Builds the five-state L2-cache agent for `cache`.
+    ///
+    /// Ports: in 0 = network ejection, in 1 = core triggers,
+    /// out 0 = network injection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is the directory node.
+    pub fn cache_agent(&self, net: &mut Network, cache: u32) -> AgentSpec {
+        assert_ne!(cache, self.directory, "the directory node hosts no cache");
+        let dir = self.directory;
+        let get_m = self.msg(net, "GetM", cache, dir);
+        let put_m = self.msg(net, "PutM", cache, dir);
+        let inv = self.msg(net, "Inv", dir, cache);
+        let wb_ack = self.msg(net, "WBAck", dir, cache);
+        let nack = self.msg(net, "Nack", dir, cache);
+        let data_from_dir = self.msg(net, "Data", dir, cache);
+        let miss = net.intern(Packet::kind("miss").with_src(cache));
+        let repl = net.intern(Packet::kind("repl").with_src(cache));
+
+        let mut b = AutomatonBuilder::new(format!("cache{cache}"), 2, 1);
+        let i = b.state("I");
+        let im = b.state("IM");
+        let m = b.state("M");
+        let mi = b.state("MI");
+        let ii = b.state("II");
+        b.set_initial(i);
+
+        // I --miss?/GetM!--> IM
+        b.on_packet(i, im, 1, miss, Some((0, get_m)));
+        // IM --Data? (from the directory or any other cache)--> M
+        b.on_packet(im, m, 0, data_from_dir, None);
+        for other in self.cache_nodes().collect::<Vec<_>>() {
+            if other != cache {
+                let data_c2c = self.msg(net, "Data", other, cache);
+                b.on_packet(im, m, 0, data_c2c, None);
+            }
+        }
+        // IM --Nack?--> I  (request bounced; a later miss retries)
+        b.on_packet(im, i, 0, nack, None);
+        // M --repl?/PutM!--> MI   and   M --Inv?/PutM!--> MI
+        b.on_packet(m, mi, 1, repl, Some((0, put_m)));
+        b.on_packet(m, mi, 0, inv, Some((0, put_m)));
+        // M --FwdGetM(from c')?/Data(to c')!--> I  (cache-to-cache transfer)
+        for other in self.cache_nodes().collect::<Vec<_>>() {
+            if other != cache {
+                let fwd = self.msg(net, "FwdGetM", other, cache);
+                let data_to_other = self.msg(net, "Data", cache, other);
+                b.on_packet(m, i, 0, fwd, Some((0, data_to_other)));
+            }
+        }
+        // MI --WBAck?--> I,  MI --Nack?--> M  (writeback refused, still owner)
+        b.on_packet(mi, i, 0, wb_ack, None);
+        b.on_packet(mi, m, 0, nack, None);
+        // MI --FwdGetM?/Data!--> II  (forward overtook the writeback)
+        for other in self.cache_nodes().collect::<Vec<_>>() {
+            if other != cache {
+                let fwd = self.msg(net, "FwdGetM", other, cache);
+                let data_to_other = self.msg(net, "Data", cache, other);
+                b.on_packet(mi, ii, 0, fwd, Some((0, data_to_other)));
+            }
+        }
+        // II --WBAck?--> I,  II --Nack?--> I
+        b.on_packet(ii, i, 0, wb_ack, None);
+        b.on_packet(ii, i, 0, nack, None);
+        // Stale invalidations are dropped in every state that has already
+        // given the block up (or never owned it); otherwise unconsumable
+        // `Inv`s accumulate and deadlock the fabric at every queue size.
+        for state in [i, im, mi, ii] {
+            b.on_packet(state, state, 0, inv, None);
+        }
+
+        let automaton = b.build().expect("full MI cache automaton is well-formed");
+        AgentSpec {
+            automaton,
+            net_in: 0,
+            net_out: 0,
+            core_in: Some(1),
+            core_triggers: vec![miss, repl],
+            aux_out: None,
+        }
+    }
+
+    /// Builds the `4 + n`-state directory agent with its DMA interface.
+    ///
+    /// Ports: in 0 = network ejection, in 1 = DMA requests,
+    /// out 0 = network injection, out 1 = DMA completions.
+    pub fn directory_agent(&self, net: &mut Network) -> AgentSpec {
+        let dir = self.directory;
+        let dma_node = self.num_nodes; // pseudo node id for the DMA engine
+        let caches: Vec<u32> = self.cache_nodes().collect();
+        let dma_req = self.msg(net, "DmaReq", dma_node, dir);
+        let dma_done = self.msg(net, "WBAck", dir, dma_node);
+
+        let mut b = AutomatonBuilder::new("dir", 2, 2);
+        let i = b.state("I");
+        b.set_initial(i);
+        let mi = b.state("MI");
+        let ma = b.state("MA");
+        let md = b.state("MD");
+
+        // Uncached DMA access: service it directly and acknowledge the DMA.
+        b.on_packet(i, md, 1, dma_req, None);
+        b.spontaneous_emit(md, i, 1, dma_done);
+        // Completion of a cached DMA access (reached from MI below).
+        b.spontaneous_emit(ma, i, 1, dma_done);
+
+        for &c in &caches {
+            let m_c = b.state(format!("M({c})"));
+            let get_m = self.msg(net, "GetM", c, dir);
+            let put_m = self.msg(net, "PutM", c, dir);
+            let data_to_c = self.msg(net, "Data", dir, c);
+            let wb_ack_c = self.msg(net, "WBAck", dir, c);
+            let nack_c = self.msg(net, "Nack", dir, c);
+            let inv_c = self.msg(net, "Inv", dir, c);
+
+            // I --GetM(c)?/Data(c)!--> M(c)
+            b.on_packet(i, m_c, 0, get_m, Some((0, data_to_c)));
+            // I --PutM(c)?/Nack(c)!--> I   (stale writeback)
+            b.on_packet(i, i, 0, put_m, Some((0, nack_c)));
+            // M(c) --PutM(c)?/WBAck(c)!--> I
+            b.on_packet(m_c, i, 0, put_m, Some((0, wb_ack_c)));
+            // M(c) --GetM(c')?/FwdGetM(c'→c)!--> M(c')  (ownership moves)
+            for &other in &caches {
+                if other != c {
+                    let get_other = self.msg(net, "GetM", other, dir);
+                    let fwd = self.msg(net, "FwdGetM", other, c);
+                    let m_other = b.state(format!("M({other})"));
+                    b.on_packet(m_c, m_other, 0, get_other, Some((0, fwd)));
+                    // M(c) --PutM(c')?/Nack(c')!--> M(c)  (stale writeback)
+                    let put_other = self.msg(net, "PutM", other, dir);
+                    let nack_other = self.msg(net, "Nack", dir, other);
+                    b.on_packet(m_c, m_c, 0, put_other, Some((0, nack_other)));
+                }
+            }
+            // M(c) --DmaReq?/Inv(c)!--> MI  (invalidate the owner for DMA)
+            b.on_packet(m_c, mi, 1, dma_req, Some((0, inv_c)));
+            // MI --PutM(c)?/WBAck(c)!--> MA  (writeback received, finish DMA)
+            b.on_packet(mi, ma, 0, put_m, Some((0, wb_ack_c)));
+        }
+
+        let automaton = b
+            .build()
+            .expect("full MI directory automaton is well-formed");
+        AgentSpec {
+            automaton,
+            net_in: 0,
+            net_out: 0,
+            core_in: Some(1),
+            core_triggers: vec![dma_req],
+            aux_out: Some(1),
+        }
+    }
+
+    /// Builds the agent for an arbitrary node according to its role.
+    pub fn agent(&self, net: &mut Network, node: u32) -> AgentSpec {
+        match self.role_of(node) {
+            Role::Cache => self.cache_agent(&mut *net, node),
+            Role::Directory => self.directory_agent(net),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_has_five_states_and_uses_forwarding() {
+        let protocol = FullMi::new(4, 3);
+        let mut net = Network::new();
+        let spec = protocol.cache_agent(&mut net, 0);
+        let a = &spec.automaton;
+        assert_eq!(a.state_count(), 5);
+        // A forwarded request from cache 1 must be accepted in M and in MI.
+        let fwd = net
+            .colors()
+            .lookup(&Packet::kind("FwdGetM").with_src(1).with_dst(0))
+            .unwrap();
+        assert!(a.ever_accepts(0, fwd));
+        // Data is sent cache-to-cache to the requester.
+        let data = net
+            .colors()
+            .lookup(&Packet::kind("Data").with_src(0).with_dst(1))
+            .unwrap();
+        assert!(a.ever_emits(0, data));
+    }
+
+    #[test]
+    fn directory_has_four_plus_n_states() {
+        for n in [4u32, 9, 16] {
+            let protocol = FullMi::new(n, 0);
+            let mut net = Network::new();
+            let spec = protocol.directory_agent(&mut net);
+            assert_eq!(
+                spec.automaton.state_count(),
+                4 + (n as usize - 1),
+                "directory states for {n} nodes"
+            );
+            assert!(spec.needs_core_source());
+            assert_eq!(spec.aux_out, Some(1));
+        }
+    }
+
+    #[test]
+    fn eight_message_kinds_are_declared() {
+        let kinds = FullMi::message_kinds();
+        assert_eq!(kinds.len(), 8);
+        let mut unique = kinds.to_vec();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), 8);
+    }
+
+    #[test]
+    fn dma_requests_drive_the_invalidation_flow() {
+        let protocol = FullMi::new(3, 2);
+        let mut net = Network::new();
+        let spec = protocol.directory_agent(&mut net);
+        let a = &spec.automaton;
+        // From M(c), a DMA request produces an Inv towards the owner.
+        let inv = net
+            .colors()
+            .lookup(&Packet::kind("Inv").with_src(2).with_dst(0))
+            .unwrap();
+        assert!(a.ever_emits(0, inv));
+        // The DMA completion leaves on the auxiliary port.
+        let done = net
+            .colors()
+            .lookup(&Packet::kind("WBAck").with_src(2).with_dst(3))
+            .unwrap();
+        assert!(a.ever_emits(1, done));
+    }
+}

@@ -1,0 +1,33 @@
+//! Directory-based MI cache-coherence protocols modelled as XMAS automata.
+//!
+//! The ADVOCAT case study (Section 5) places two protocols on a 2D mesh:
+//!
+//! * [`AbstractMi`] — the deliberately minimal protocol of Fig. 2: an L2
+//!   cache with states `I`, `M`, `MI` and a directory with states `I`,
+//!   `M(c)`, `MI(c)`, exchanging four message kinds (`getX`, `putX`, `inv`,
+//!   `ack`).  Data transfer, forwarding and nacks are omitted; this is the
+//!   protocol on which the paper exhibits the cross-layer deadlock of
+//!   Fig. 3 when queues are too small.
+//! * [`FullMi`] — a GEM5-inspired MI protocol with a five-state L2 cache,
+//!   a `4 + n`-state directory, cache-to-cache forwarding, nacks,
+//!   replacement acknowledgments and a DMA engine, using eight message
+//!   kinds.
+//!
+//! Both protocols expose the same interface: given a mutable
+//! [`advocat_xmas::Network`] (for interning packet colors) they produce an
+//! [`AgentSpec`] per node — the agent automaton plus the description of how
+//! its ports attach to the fabric and to local trigger sources.  The
+//! `advocat-noc` crate consumes these specs when generating a mesh.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod abstract_mi;
+mod full_mi;
+mod messages;
+mod spec;
+
+pub use abstract_mi::AbstractMi;
+pub use full_mi::FullMi;
+pub use messages::MessageClass;
+pub use spec::{AgentSpec, Role};

@@ -1,0 +1,56 @@
+//! Message classes for virtual-channel assignment.
+
+/// The virtual-channel class of a coherence message.
+///
+/// The paper's common remedy attempt — "add virtual channels for different
+/// message types" — separates request-class traffic (cache → directory)
+/// from response-class traffic (directory/owner → cache).  Fabric
+/// generators map each class to its own set of link queues.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MessageClass {
+    /// Requests travelling towards the directory (`getX`, `putX`, `GetM`,
+    /// `PutM`, `DmaReq`).
+    Request,
+    /// Responses and directory-initiated traffic (`inv`, `ack`, `Data`,
+    /// `FwdGetM`, `WBAck`, `Nack`).
+    Response,
+}
+
+impl MessageClass {
+    /// Returns the virtual-channel plane index of this class.
+    pub fn plane(self) -> usize {
+        match self {
+            MessageClass::Request => 0,
+            MessageClass::Response => 1,
+        }
+    }
+
+    /// Classifies a message kind (shared by both MI protocols).
+    pub fn of_kind(kind: &str) -> MessageClass {
+        match kind {
+            "getX" | "putX" | "GetM" | "PutM" | "DmaReq" => MessageClass::Request,
+            _ => MessageClass::Response,
+        }
+    }
+
+    /// Number of planes used when virtual channels are enabled.
+    pub const PLANES: usize = 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_and_responses_map_to_distinct_planes() {
+        assert_eq!(MessageClass::of_kind("getX"), MessageClass::Request);
+        assert_eq!(MessageClass::of_kind("PutM"), MessageClass::Request);
+        assert_eq!(MessageClass::of_kind("inv"), MessageClass::Response);
+        assert_eq!(MessageClass::of_kind("Data"), MessageClass::Response);
+        assert_ne!(
+            MessageClass::Request.plane(),
+            MessageClass::Response.plane()
+        );
+        assert!(MessageClass::Request.plane() < MessageClass::PLANES);
+    }
+}

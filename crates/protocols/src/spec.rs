@@ -1,0 +1,78 @@
+//! Agent specifications shared by all protocols.
+
+use advocat_automata::XmasAutomaton;
+use advocat_xmas::ColorId;
+
+/// The role an agent plays at a mesh node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// An L2 cache controller.
+    Cache,
+    /// The (single) directory controller.
+    Directory,
+}
+
+/// A protocol agent ready to be attached to a fabric node.
+///
+/// The fabric generator connects
+///
+/// * out-port [`AgentSpec::net_out`] to the node's injection logic,
+/// * in-port [`AgentSpec::net_in`] to the node's ejection logic,
+/// * in-port [`AgentSpec::core_in`] (when present) to a local fair source
+///   injecting [`AgentSpec::core_triggers`] (core-side misses and
+///   replacements, or DMA requests for the directory),
+/// * out-port [`AgentSpec::aux_out`] (when present) to a local fair sink
+///   (e.g. DMA completions that leave the coherence fabric).
+#[derive(Clone, Debug)]
+pub struct AgentSpec {
+    /// The agent automaton.
+    pub automaton: XmasAutomaton,
+    /// In-port receiving packets from the network.
+    pub net_in: usize,
+    /// Out-port injecting packets into the network.
+    pub net_out: usize,
+    /// In-port fed by a local trigger source, if any.
+    pub core_in: Option<usize>,
+    /// Colors the local trigger source injects.
+    pub core_triggers: Vec<ColorId>,
+    /// Out-port drained by a local fair sink, if any.
+    pub aux_out: Option<usize>,
+}
+
+impl AgentSpec {
+    /// Returns `true` when the agent needs a local trigger source.
+    pub fn needs_core_source(&self) -> bool {
+        self.core_in.is_some() && !self.core_triggers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advocat_automata::AutomatonBuilder;
+
+    #[test]
+    fn needs_core_source_requires_port_and_triggers() {
+        let mut b = AutomatonBuilder::new("a", 1, 1);
+        b.state("only");
+        let automaton = b.build().unwrap();
+        let spec = AgentSpec {
+            automaton: automaton.clone(),
+            net_in: 0,
+            net_out: 0,
+            core_in: None,
+            core_triggers: Vec::new(),
+            aux_out: None,
+        };
+        assert!(!spec.needs_core_source());
+        let spec = AgentSpec {
+            automaton,
+            net_in: 0,
+            net_out: 0,
+            core_in: Some(1),
+            core_triggers: Vec::new(),
+            aux_out: None,
+        };
+        assert!(!spec.needs_core_source());
+    }
+}

@@ -1,0 +1,79 @@
+//! Channels connecting xMAS primitives.
+
+use std::fmt;
+
+use crate::network::PrimitiveId;
+
+/// A compact handle for a channel of a [`crate::Network`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub(crate) u32);
+
+impl ChannelId {
+    /// Returns the raw index of the channel.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A reference to one port (input or output) of a primitive.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PortRef {
+    /// The primitive owning the port.
+    pub primitive: PrimitiveId,
+    /// The port index (output ports and input ports are numbered
+    /// independently, each starting at zero).
+    pub port: usize,
+}
+
+impl fmt::Display for PortRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}:{}", self.primitive.index(), self.port)
+    }
+}
+
+/// A channel from an initiator output port to a target input port.
+///
+/// In xMAS a channel carries three signals: `irdy` (initiator ready),
+/// `trdy` (target ready) and `data`; a transfer happens in a cycle exactly
+/// when `irdy ∧ trdy`.  The structural model only records the endpoints —
+/// the signal-level semantics live in the deadlock equations
+/// (`advocat-deadlock`) and the executable semantics (`advocat-explorer`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Channel {
+    /// The channel's identifier within its network.
+    pub id: ChannelId,
+    /// The output port that drives `irdy`/`data`.
+    pub initiator: PortRef,
+    /// The input port that drives `trdy`.
+    pub target: PortRef,
+}
+
+impl Channel {
+    /// Creates a channel record.
+    pub fn new(id: ChannelId, initiator: PortRef, target: PortRef) -> Self {
+        Channel {
+            id,
+            initiator,
+            target,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_ref_display() {
+        let port = PortRef {
+            primitive: PrimitiveId(3),
+            port: 1,
+        };
+        assert_eq!(port.to_string(), "p3:1");
+    }
+
+    #[test]
+    fn channel_id_index_roundtrip() {
+        assert_eq!(ChannelId(5).index(), 5);
+    }
+}

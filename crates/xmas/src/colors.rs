@@ -1,0 +1,275 @@
+//! Per-channel color sets and their propagation through basic primitives.
+//!
+//! The deadlock equations and the flow invariants are *colored*: they range
+//! over the set `T(c)` of packets that can possibly travel through each
+//! channel `c`.  `T` is computed by a forward fixpoint ("T-derivation" in
+//! the paper): sources seed their colors, every primitive propagates the
+//! colors of its inputs to its outputs according to its semantics, and
+//! automaton nodes apply their transition transformations (the latter step
+//! is performed by `advocat-automata`, which owns the automaton behaviour —
+//! this module only handles the eight basic primitives and exposes the
+//! [`ColorMap`] container shared by both).
+
+use std::collections::BTreeSet;
+
+use crate::channel::ChannelId;
+use crate::network::{Network, PrimitiveId};
+use crate::packet::ColorId;
+use crate::primitive::Primitive;
+
+/// The per-channel color over-approximation `T`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColorMap {
+    per_channel: Vec<BTreeSet<ColorId>>,
+}
+
+impl ColorMap {
+    /// Creates an empty color map for a network.
+    pub fn empty(network: &Network) -> Self {
+        ColorMap {
+            per_channel: vec![BTreeSet::new(); network.channel_count()],
+        }
+    }
+
+    /// Returns the colors of a channel.
+    pub fn colors(&self, channel: ChannelId) -> &BTreeSet<ColorId> {
+        &self.per_channel[channel.index()]
+    }
+
+    /// Adds a color to a channel; returns `true` if it was new.
+    pub fn insert(&mut self, channel: ChannelId, color: ColorId) -> bool {
+        self.per_channel[channel.index()].insert(color)
+    }
+
+    /// Adds several colors to a channel; returns `true` if any was new.
+    pub fn insert_all<I: IntoIterator<Item = ColorId>>(
+        &mut self,
+        channel: ChannelId,
+        colors: I,
+    ) -> bool {
+        let mut changed = false;
+        for c in colors {
+            changed |= self.insert(channel, c);
+        }
+        changed
+    }
+
+    /// Returns `true` when the channel can carry the color.
+    pub fn contains(&self, channel: ChannelId, color: ColorId) -> bool {
+        self.per_channel[channel.index()].contains(&color)
+    }
+
+    /// Returns the total number of `(channel, color)` pairs.
+    pub fn total_pairs(&self) -> usize {
+        self.per_channel.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// Propagates colors through one *basic* primitive (everything except
+/// automaton nodes), returning `true` when the map changed.
+///
+/// The rules follow the xMAS semantics:
+///
+/// * source: its colors appear on its output,
+/// * queue / merge: outputs carry the union of the input colors (plus, for
+///   queues, any initial content),
+/// * function: outputs carry the image of the input colors,
+/// * fork: both outputs carry the input colors,
+/// * join: the output carries the colors of input 0 (the data input),
+/// * switch: each color goes to the output selected by the routing function,
+/// * sink: nothing to propagate.
+pub fn propagate_basic_primitive(
+    network: &Network,
+    id: PrimitiveId,
+    colors: &mut ColorMap,
+) -> bool {
+    let prim = network.primitive(id);
+    let mut changed = false;
+    match prim {
+        Primitive::Source { colors: cs } => {
+            if let Some(out) = network.out_channel(id, 0) {
+                changed |= colors.insert_all(out, cs.iter().copied());
+            }
+        }
+        Primitive::Queue { init, .. } => {
+            if let (Some(inp), Some(out)) = (network.in_channel(id, 0), network.out_channel(id, 0))
+            {
+                let incoming: Vec<ColorId> = colors.colors(inp).iter().copied().collect();
+                changed |= colors.insert_all(out, incoming);
+                changed |= colors.insert_all(out, init.iter().copied());
+            }
+        }
+        Primitive::Function { .. } => {
+            if let (Some(inp), Some(out)) = (network.in_channel(id, 0), network.out_channel(id, 0))
+            {
+                let mapped: Vec<ColorId> = colors
+                    .colors(inp)
+                    .iter()
+                    .map(|c| prim.function_apply(*c).expect("function primitive"))
+                    .collect();
+                changed |= colors.insert_all(out, mapped);
+            }
+        }
+        Primitive::Fork => {
+            if let Some(inp) = network.in_channel(id, 0) {
+                let incoming: Vec<ColorId> = colors.colors(inp).iter().copied().collect();
+                for port in 0..2 {
+                    if let Some(out) = network.out_channel(id, port) {
+                        changed |= colors.insert_all(out, incoming.iter().copied());
+                    }
+                }
+            }
+        }
+        Primitive::Join => {
+            if let (Some(data_in), Some(out)) =
+                (network.in_channel(id, 0), network.out_channel(id, 0))
+            {
+                let incoming: Vec<ColorId> = colors.colors(data_in).iter().copied().collect();
+                changed |= colors.insert_all(out, incoming);
+            }
+        }
+        Primitive::Switch { .. } => {
+            if let Some(inp) = network.in_channel(id, 0) {
+                let incoming: Vec<ColorId> = colors.colors(inp).iter().copied().collect();
+                for c in incoming {
+                    let port = prim.switch_route(c).expect("switch primitive");
+                    if let Some(out) = network.out_channel(id, port) {
+                        changed |= colors.insert(out, c);
+                    }
+                }
+            }
+        }
+        Primitive::Merge { num_inputs } => {
+            if let Some(out) = network.out_channel(id, 0) {
+                for port in 0..*num_inputs {
+                    if let Some(inp) = network.in_channel(id, port) {
+                        let incoming: Vec<ColorId> =
+                            colors.colors(inp).iter().copied().collect();
+                        changed |= colors.insert_all(out, incoming);
+                    }
+                }
+            }
+        }
+        Primitive::Sink { .. } | Primitive::Automaton { .. } => {}
+    }
+    changed
+}
+
+/// Runs basic-primitive propagation to a fixpoint.
+///
+/// Networks containing automaton nodes should use the system-level
+/// `derive_colors` of `advocat-automata`, which interleaves this pass with
+/// automaton propagation.
+pub fn propagate_basic_fixpoint(network: &Network, colors: &mut ColorMap) {
+    loop {
+        let mut changed = false;
+        for id in network.primitive_ids() {
+            changed |= propagate_basic_primitive(network, id, colors);
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Packet;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn source_queue_sink_chain_propagates() {
+        let mut net = Network::new();
+        let a = net.intern(Packet::kind("a"));
+        let src = net.add_source("src", vec![a]);
+        let q = net.add_queue("q", 2);
+        let snk = net.add_sink("snk");
+        net.connect(src, 0, q, 0);
+        net.connect(q, 0, snk, 0);
+        let mut cm = ColorMap::empty(&net);
+        propagate_basic_fixpoint(&net, &mut cm);
+        let out = net.out_channel(q, 0).unwrap();
+        assert!(cm.contains(out, a));
+        assert_eq!(cm.total_pairs(), 2);
+    }
+
+    #[test]
+    fn switch_separates_colors_per_route() {
+        let mut net = Network::new();
+        let a = net.intern(Packet::kind("a"));
+        let b = net.intern(Packet::kind("b"));
+        let src = net.add_source("src", vec![a, b]);
+        let mut routes = BTreeMap::new();
+        routes.insert(a, 0);
+        routes.insert(b, 1);
+        let sw = net.add_switch("sw", routes, 2, 0);
+        let s0 = net.add_sink("s0");
+        let s1 = net.add_sink("s1");
+        net.connect(src, 0, sw, 0);
+        let ch0 = net.connect(sw, 0, s0, 0);
+        let ch1 = net.connect(sw, 1, s1, 0);
+        let mut cm = ColorMap::empty(&net);
+        propagate_basic_fixpoint(&net, &mut cm);
+        assert!(cm.contains(ch0, a) && !cm.contains(ch0, b));
+        assert!(cm.contains(ch1, b) && !cm.contains(ch1, a));
+    }
+
+    #[test]
+    fn function_rewrites_colors() {
+        let mut net = Network::new();
+        let req = net.intern(Packet::kind("req"));
+        let rsp = net.intern(Packet::kind("rsp"));
+        let src = net.add_source("src", vec![req]);
+        let mut map = BTreeMap::new();
+        map.insert(req, rsp);
+        let f = net.add_function("f", map);
+        let snk = net.add_sink("snk");
+        net.connect(src, 0, f, 0);
+        let out = net.connect(f, 0, snk, 0);
+        let mut cm = ColorMap::empty(&net);
+        propagate_basic_fixpoint(&net, &mut cm);
+        assert!(cm.contains(out, rsp));
+        assert!(!cm.contains(out, req));
+    }
+
+    #[test]
+    fn queue_initial_content_seeds_colors() {
+        let mut net = Network::new();
+        let a = net.intern(Packet::kind("a"));
+        let b = net.intern(Packet::kind("b"));
+        let src = net.add_source("src", vec![a]);
+        let q = net.add_queue_with_init("q", 3, vec![b]);
+        let snk = net.add_sink("snk");
+        net.connect(src, 0, q, 0);
+        let out = net.connect(q, 0, snk, 0);
+        let mut cm = ColorMap::empty(&net);
+        propagate_basic_fixpoint(&net, &mut cm);
+        assert!(cm.contains(out, a));
+        assert!(cm.contains(out, b));
+    }
+
+    #[test]
+    fn merge_and_fork_union_and_copy() {
+        let mut net = Network::new();
+        let a = net.intern(Packet::kind("a"));
+        let b = net.intern(Packet::kind("b"));
+        let s1 = net.add_source("s1", vec![a]);
+        let s2 = net.add_source("s2", vec![b]);
+        let m = net.add_merge("m", 2);
+        let fork = net.add_fork("f");
+        let k1 = net.add_sink("k1");
+        let k2 = net.add_sink("k2");
+        net.connect(s1, 0, m, 0);
+        net.connect(s2, 0, m, 1);
+        net.connect(m, 0, fork, 0);
+        let o1 = net.connect(fork, 0, k1, 0);
+        let o2 = net.connect(fork, 1, k2, 0);
+        let mut cm = ColorMap::empty(&net);
+        propagate_basic_fixpoint(&net, &mut cm);
+        for ch in [o1, o2] {
+            assert!(cm.contains(ch, a));
+            assert!(cm.contains(ch, b));
+        }
+    }
+}

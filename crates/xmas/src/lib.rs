@@ -1,0 +1,55 @@
+//! xMAS communication-fabric models.
+//!
+//! xMAS (eXecutable Microarchitectural Specification) is the modelling
+//! language introduced by Intel for describing communication fabrics as a
+//! network of eight primitives — **queue**, **function**, **source**,
+//! **sink**, **fork**, **join**, **switch** and **merge** — connected by
+//! channels carrying `irdy`/`trdy`/`data` signals.  ADVOCAT uses xMAS for
+//! the fine-grained model of the on-chip interconnect and adds a ninth node
+//! kind, the *XMAS automaton*, for the protocol agents (see the
+//! `advocat-automata` crate; in this crate an automaton node is an opaque
+//! primitive with a declared number of ports).
+//!
+//! This crate provides:
+//!
+//! * [`Packet`] / [`ColorId`] / [`ColorTable`] — finite, interned packet
+//!   colors (message kind plus optional source/destination node),
+//! * [`Primitive`] and [`Network`] — the structural model plus a builder
+//!   API and structural validation,
+//! * [`ColorMap`] and per-primitive color propagation — the building block
+//!   of the paper's `T`-derivation (the over-approximation of the set of
+//!   packets that can occupy each channel),
+//! * DOT export for debugging and documentation.
+//!
+//! # Examples
+//!
+//! ```
+//! use advocat_xmas::{Network, Packet};
+//!
+//! let mut net = Network::new();
+//! let req = net.intern(Packet::kind("req"));
+//! let src = net.add_source("src", vec![req]);
+//! let q = net.add_queue("q0", 2);
+//! let sink = net.add_sink("sink");
+//! net.connect(src, 0, q, 0);
+//! net.connect(q, 0, sink, 0);
+//! net.validate()?;
+//! # Ok::<(), advocat_xmas::NetworkError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod channel;
+mod colors;
+mod dot;
+mod network;
+mod packet;
+mod primitive;
+
+pub use channel::{Channel, ChannelId, PortRef};
+pub use colors::{propagate_basic_fixpoint, propagate_basic_primitive, ColorMap};
+pub use dot::to_dot;
+pub use network::{Network, NetworkError, PrimitiveId};
+pub use packet::{ColorId, ColorTable, Packet};
+pub use primitive::Primitive;

@@ -1,0 +1,540 @@
+//! xMAS networks: primitives, channels, a builder API and validation.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::channel::{Channel, ChannelId, PortRef};
+use crate::packet::{ColorId, ColorTable, Packet};
+use crate::primitive::Primitive;
+
+/// A compact handle for a primitive of a [`Network`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PrimitiveId(pub(crate) u32);
+
+impl PrimitiveId {
+    /// Returns the raw index of the primitive.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    name: String,
+    prim: Primitive,
+    in_channels: Vec<Option<ChannelId>>,
+    out_channels: Vec<Option<ChannelId>>,
+}
+
+/// Structural errors detected by [`Network::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetworkError {
+    /// A primitive port is not connected to any channel.
+    UnconnectedPort {
+        /// The offending primitive.
+        primitive: String,
+        /// The port index.
+        port: usize,
+        /// `true` for an input port, `false` for an output port.
+        is_input: bool,
+    },
+    /// A switch routes a color to an output port that does not exist.
+    SwitchRouteOutOfRange {
+        /// The offending switch.
+        primitive: String,
+        /// The offending output index.
+        output: usize,
+    },
+    /// A queue's initial content exceeds its capacity.
+    QueueOverfilled {
+        /// The offending queue.
+        primitive: String,
+    },
+    /// A queue has zero capacity.
+    ZeroCapacityQueue {
+        /// The offending queue.
+        primitive: String,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::UnconnectedPort {
+                primitive,
+                port,
+                is_input,
+            } => write!(
+                f,
+                "unconnected {} port {} of primitive `{}`",
+                if *is_input { "input" } else { "output" },
+                port,
+                primitive
+            ),
+            NetworkError::SwitchRouteOutOfRange { primitive, output } => write!(
+                f,
+                "switch `{primitive}` routes to non-existent output {output}"
+            ),
+            NetworkError::QueueOverfilled { primitive } => {
+                write!(f, "queue `{primitive}` initialised beyond its capacity")
+            }
+            NetworkError::ZeroCapacityQueue { primitive } => {
+                write!(f, "queue `{primitive}` has zero capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// An xMAS network: a set of primitives connected by channels, together
+/// with the table of packet colors used in the model.
+///
+/// # Examples
+///
+/// ```
+/// use advocat_xmas::{Network, Packet};
+///
+/// let mut net = Network::new();
+/// let req = net.intern(Packet::kind("req"));
+/// let src = net.add_source("producer", vec![req]);
+/// let q = net.add_queue("buffer", 4);
+/// let snk = net.add_sink("consumer");
+/// net.connect(src, 0, q, 0);
+/// net.connect(q, 0, snk, 0);
+/// assert!(net.validate().is_ok());
+/// assert_eq!(net.queue_ids().count(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Network {
+    colors: ColorTable,
+    nodes: Vec<Node>,
+    channels: Vec<Channel>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Interns a packet color.
+    pub fn intern(&mut self, packet: Packet) -> ColorId {
+        self.colors.intern(packet)
+    }
+
+    /// Returns the color table.
+    pub fn colors(&self) -> &ColorTable {
+        &self.colors
+    }
+
+    /// Adds an arbitrary primitive and returns its id.
+    pub fn add_primitive(&mut self, name: impl Into<String>, prim: Primitive) -> PrimitiveId {
+        let id = PrimitiveId(self.nodes.len() as u32);
+        let in_channels = vec![None; prim.input_count()];
+        let out_channels = vec![None; prim.output_count()];
+        self.nodes.push(Node {
+            name: name.into(),
+            prim,
+            in_channels,
+            out_channels,
+        });
+        id
+    }
+
+    /// Adds a queue of the given capacity.
+    pub fn add_queue(&mut self, name: impl Into<String>, size: usize) -> PrimitiveId {
+        self.add_primitive(name, Primitive::Queue { size, init: Vec::new() })
+    }
+
+    /// Adds a queue with initial content (front of the queue first).
+    pub fn add_queue_with_init(
+        &mut self,
+        name: impl Into<String>,
+        size: usize,
+        init: Vec<ColorId>,
+    ) -> PrimitiveId {
+        self.add_primitive(name, Primitive::Queue { size, init })
+    }
+
+    /// Adds a fair source injecting the given colors.
+    pub fn add_source(&mut self, name: impl Into<String>, colors: Vec<ColorId>) -> PrimitiveId {
+        self.add_primitive(name, Primitive::Source { colors })
+    }
+
+    /// Adds a fair sink.
+    pub fn add_sink(&mut self, name: impl Into<String>) -> PrimitiveId {
+        self.add_primitive(name, Primitive::Sink { fair: true })
+    }
+
+    /// Adds a dead sink (never ready); useful for modelling disabled ports.
+    pub fn add_dead_sink(&mut self, name: impl Into<String>) -> PrimitiveId {
+        self.add_primitive(name, Primitive::Sink { fair: false })
+    }
+
+    /// Adds a function primitive with an explicit color map.
+    pub fn add_function(
+        &mut self,
+        name: impl Into<String>,
+        map: BTreeMap<ColorId, ColorId>,
+    ) -> PrimitiveId {
+        self.add_primitive(name, Primitive::Function { map })
+    }
+
+    /// Adds a fork.
+    pub fn add_fork(&mut self, name: impl Into<String>) -> PrimitiveId {
+        self.add_primitive(name, Primitive::Fork)
+    }
+
+    /// Adds a join (output data taken from input 0).
+    pub fn add_join(&mut self, name: impl Into<String>) -> PrimitiveId {
+        self.add_primitive(name, Primitive::Join)
+    }
+
+    /// Adds a switch with per-color routes.
+    pub fn add_switch(
+        &mut self,
+        name: impl Into<String>,
+        routes: BTreeMap<ColorId, usize>,
+        num_outputs: usize,
+        default: usize,
+    ) -> PrimitiveId {
+        self.add_primitive(
+            name,
+            Primitive::Switch {
+                routes,
+                num_outputs,
+                default,
+            },
+        )
+    }
+
+    /// Adds a fair merge with `num_inputs` inputs.
+    pub fn add_merge(&mut self, name: impl Into<String>, num_inputs: usize) -> PrimitiveId {
+        self.add_primitive(name, Primitive::Merge { num_inputs })
+    }
+
+    /// Adds an opaque automaton node with the given port counts.
+    pub fn add_automaton_node(
+        &mut self,
+        name: impl Into<String>,
+        inputs: usize,
+        outputs: usize,
+    ) -> PrimitiveId {
+        self.add_primitive(name, Primitive::Automaton { inputs, outputs })
+    }
+
+    /// Connects output port `from_port` of `from` to input port `to_port`
+    /// of `to`, returning the new channel's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a port index is out of range or the port is already
+    /// connected.
+    pub fn connect(
+        &mut self,
+        from: PrimitiveId,
+        from_port: usize,
+        to: PrimitiveId,
+        to_port: usize,
+    ) -> ChannelId {
+        let id = ChannelId(self.channels.len() as u32);
+        {
+            let node = &mut self.nodes[from.index()];
+            assert!(
+                from_port < node.out_channels.len(),
+                "output port {from_port} out of range for `{}`",
+                node.name
+            );
+            assert!(
+                node.out_channels[from_port].is_none(),
+                "output port {from_port} of `{}` already connected",
+                node.name
+            );
+            node.out_channels[from_port] = Some(id);
+        }
+        {
+            let node = &mut self.nodes[to.index()];
+            assert!(
+                to_port < node.in_channels.len(),
+                "input port {to_port} out of range for `{}`",
+                node.name
+            );
+            assert!(
+                node.in_channels[to_port].is_none(),
+                "input port {to_port} of `{}` already connected",
+                node.name
+            );
+            node.in_channels[to_port] = Some(id);
+        }
+        self.channels.push(Channel::new(
+            id,
+            PortRef {
+                primitive: from,
+                port: from_port,
+            },
+            PortRef {
+                primitive: to,
+                port: to_port,
+            },
+        ));
+        id
+    }
+
+    /// Returns the number of primitives.
+    pub fn primitive_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns the number of channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Returns the primitive with the given id.
+    pub fn primitive(&self, id: PrimitiveId) -> &Primitive {
+        &self.nodes[id.index()].prim
+    }
+
+    /// Returns the name of a primitive.
+    pub fn name(&self, id: PrimitiveId) -> &str {
+        &self.nodes[id.index()].name
+    }
+
+    /// Iterates over all primitive ids.
+    pub fn primitive_ids(&self) -> impl Iterator<Item = PrimitiveId> + '_ {
+        (0..self.nodes.len() as u32).map(PrimitiveId)
+    }
+
+    /// Iterates over the ids of all queues.
+    pub fn queue_ids(&self) -> impl Iterator<Item = PrimitiveId> + '_ {
+        self.primitive_ids()
+            .filter(|id| self.primitive(*id).is_queue())
+    }
+
+    /// Iterates over the ids of all automaton nodes.
+    pub fn automaton_ids(&self) -> impl Iterator<Item = PrimitiveId> + '_ {
+        self.primitive_ids()
+            .filter(|id| self.primitive(*id).is_automaton())
+    }
+
+    /// Returns all channels.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// Returns a channel by id.
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        &self.channels[id.index()]
+    }
+
+    /// Returns the channel connected to an input port, if any.
+    pub fn in_channel(&self, id: PrimitiveId, port: usize) -> Option<ChannelId> {
+        self.nodes[id.index()].in_channels.get(port).copied().flatten()
+    }
+
+    /// Returns the channel connected to an output port, if any.
+    pub fn out_channel(&self, id: PrimitiveId, port: usize) -> Option<ChannelId> {
+        self.nodes[id.index()].out_channels.get(port).copied().flatten()
+    }
+
+    /// Returns all input channels of a primitive (in port order).
+    pub fn in_channels(&self, id: PrimitiveId) -> Vec<ChannelId> {
+        self.nodes[id.index()]
+            .in_channels
+            .iter()
+            .filter_map(|c| *c)
+            .collect()
+    }
+
+    /// Returns all output channels of a primitive (in port order).
+    pub fn out_channels(&self, id: PrimitiveId) -> Vec<ChannelId> {
+        self.nodes[id.index()]
+            .out_channels
+            .iter()
+            .filter_map(|c| *c)
+            .collect()
+    }
+
+    /// Returns a descriptive name for a channel, derived from its endpoints.
+    pub fn channel_name(&self, id: ChannelId) -> String {
+        let ch = self.channel(id);
+        format!(
+            "{}.out{}→{}.in{}",
+            self.name(ch.initiator.primitive),
+            ch.initiator.port,
+            self.name(ch.target.primitive),
+            ch.target.port
+        )
+    }
+
+    /// Checks structural well-formedness: every port connected exactly once,
+    /// switch routes within range, queue capacities sane.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NetworkError`] found.
+    pub fn validate(&self) -> Result<(), NetworkError> {
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let _id = PrimitiveId(idx as u32);
+            for (port, ch) in node.in_channels.iter().enumerate() {
+                if ch.is_none() {
+                    return Err(NetworkError::UnconnectedPort {
+                        primitive: node.name.clone(),
+                        port,
+                        is_input: true,
+                    });
+                }
+            }
+            for (port, ch) in node.out_channels.iter().enumerate() {
+                if ch.is_none() {
+                    return Err(NetworkError::UnconnectedPort {
+                        primitive: node.name.clone(),
+                        port,
+                        is_input: false,
+                    });
+                }
+            }
+            match &node.prim {
+                Primitive::Switch {
+                    routes,
+                    num_outputs,
+                    default,
+                } => {
+                    if default >= num_outputs {
+                        return Err(NetworkError::SwitchRouteOutOfRange {
+                            primitive: node.name.clone(),
+                            output: *default,
+                        });
+                    }
+                    for (_, out) in routes {
+                        if out >= num_outputs {
+                            return Err(NetworkError::SwitchRouteOutOfRange {
+                                primitive: node.name.clone(),
+                                output: *out,
+                            });
+                        }
+                    }
+                }
+                Primitive::Queue { size, init } => {
+                    if *size == 0 {
+                        return Err(NetworkError::ZeroCapacityQueue {
+                            primitive: node.name.clone(),
+                        });
+                    }
+                    if init.len() > *size {
+                        return Err(NetworkError::QueueOverfilled {
+                            primitive: node.name.clone(),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Counts primitives per kind; used for the statistics the paper reports
+    /// ("2844 primitives, 36 automata and 432 queues").
+    pub fn kind_histogram(&self) -> BTreeMap<&'static str, usize> {
+        let mut hist = BTreeMap::new();
+        for node in &self.nodes {
+            *hist.entry(node.prim.kind_name()).or_insert(0) += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Network, PrimitiveId, PrimitiveId, PrimitiveId) {
+        let mut net = Network::new();
+        let c = net.intern(Packet::kind("p"));
+        let src = net.add_source("src", vec![c]);
+        let q = net.add_queue("q", 2);
+        let snk = net.add_sink("snk");
+        net.connect(src, 0, q, 0);
+        net.connect(q, 0, snk, 0);
+        (net, src, q, snk)
+    }
+
+    #[test]
+    fn builder_connects_ports() {
+        let (net, src, q, snk) = tiny();
+        assert_eq!(net.primitive_count(), 3);
+        assert_eq!(net.channel_count(), 2);
+        assert_eq!(net.out_channel(src, 0), net.in_channel(q, 0));
+        assert_eq!(net.out_channel(q, 0), net.in_channel(snk, 0));
+        assert!(net.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_flags_unconnected_ports() {
+        let mut net = Network::new();
+        let c = net.intern(Packet::kind("p"));
+        let _src = net.add_source("src", vec![c]);
+        let err = net.validate().unwrap_err();
+        assert!(matches!(err, NetworkError::UnconnectedPort { is_input: false, .. }));
+        assert!(err.to_string().contains("src"));
+    }
+
+    #[test]
+    fn validate_flags_bad_switch_route() {
+        let mut net = Network::new();
+        let c = net.intern(Packet::kind("p"));
+        let src = net.add_source("src", vec![c]);
+        let mut routes = BTreeMap::new();
+        routes.insert(c, 7);
+        let sw = net.add_switch("sw", routes, 2, 0);
+        let s0 = net.add_sink("s0");
+        let s1 = net.add_sink("s1");
+        net.connect(src, 0, sw, 0);
+        net.connect(sw, 0, s0, 0);
+        net.connect(sw, 1, s1, 0);
+        assert!(matches!(
+            net.validate(),
+            Err(NetworkError::SwitchRouteOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_flags_queue_problems() {
+        let mut net = Network::new();
+        let c = net.intern(Packet::kind("p"));
+        let src = net.add_source("src", vec![c]);
+        let q = net.add_queue_with_init("q", 1, vec![c, c]);
+        let snk = net.add_sink("snk");
+        net.connect(src, 0, q, 0);
+        net.connect(q, 0, snk, 0);
+        assert!(matches!(
+            net.validate(),
+            Err(NetworkError::QueueOverfilled { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "already connected")]
+    fn double_connection_panics() {
+        let (mut net, src, q, _snk) = tiny();
+        net.connect(src, 0, q, 0);
+    }
+
+    #[test]
+    fn kind_histogram_counts_primitives() {
+        let (net, ..) = tiny();
+        let hist = net.kind_histogram();
+        assert_eq!(hist.get("queue"), Some(&1));
+        assert_eq!(hist.get("source"), Some(&1));
+        assert_eq!(hist.get("sink"), Some(&1));
+    }
+
+    #[test]
+    fn channel_name_mentions_both_endpoints() {
+        let (net, _, q, _) = tiny();
+        let ch = net.in_channel(q, 0).unwrap();
+        let name = net.channel_name(ch);
+        assert!(name.contains("src") && name.contains("q"));
+    }
+}

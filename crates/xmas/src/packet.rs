@@ -1,0 +1,188 @@
+//! Packet colors.
+//!
+//! ADVOCAT's analyses are *colored*: every channel is associated with an
+//! over-approximation of the packets that may travel through it, in the
+//! same fashion as colored Petri nets.  Packets in the cache-coherence case
+//! studies are a message kind (`getX`, `putX`, `inv`, `ack`, …) plus the
+//! source and destination node; the set of colors occurring in a model is
+//! finite, so colors are interned into compact [`ColorId`]s.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A compact handle for an interned [`Packet`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ColorId(pub(crate) u32);
+
+impl ColorId {
+    /// Returns the raw index of the color.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A packet color: a message kind plus optional source and destination
+/// node identifiers.
+///
+/// # Examples
+///
+/// ```
+/// use advocat_xmas::Packet;
+///
+/// let p = Packet::kind("inv").with_src(3).with_dst(0);
+/// assert_eq!(p.kind, "inv");
+/// assert_eq!(p.dst, Some(0));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Packet {
+    /// The message kind, e.g. `"getX"`, `"ack"`, or a core-side trigger such
+    /// as `"miss"`.
+    pub kind: String,
+    /// The node that injected the packet, when relevant.
+    pub src: Option<u32>,
+    /// The node the packet is destined for, when relevant.
+    pub dst: Option<u32>,
+}
+
+impl Packet {
+    /// Creates a packet with only a kind.
+    pub fn kind(kind: impl Into<String>) -> Packet {
+        Packet {
+            kind: kind.into(),
+            src: None,
+            dst: None,
+        }
+    }
+
+    /// Returns a copy with the source node set.
+    pub fn with_src(mut self, src: u32) -> Packet {
+        self.src = Some(src);
+        self
+    }
+
+    /// Returns a copy with the destination node set.
+    pub fn with_dst(mut self, dst: u32) -> Packet {
+        self.dst = Some(dst);
+        self
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)?;
+        match (self.src, self.dst) {
+            (Some(s), Some(d)) => write!(f, "[{s}→{d}]"),
+            (Some(s), None) => write!(f, "[src={s}]"),
+            (None, Some(d)) => write!(f, "[dst={d}]"),
+            (None, None) => Ok(()),
+        }
+    }
+}
+
+/// Interning table mapping [`Packet`]s to [`ColorId`]s.
+#[derive(Clone, Debug, Default)]
+pub struct ColorTable {
+    packets: Vec<Packet>,
+    index: HashMap<Packet, ColorId>,
+}
+
+impl ColorTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        ColorTable::default()
+    }
+
+    /// Interns a packet, returning its color (idempotent).
+    pub fn intern(&mut self, packet: Packet) -> ColorId {
+        if let Some(&id) = self.index.get(&packet) {
+            return id;
+        }
+        let id = ColorId(self.packets.len() as u32);
+        self.index.insert(packet.clone(), id);
+        self.packets.push(packet);
+        id
+    }
+
+    /// Looks up a packet without interning it.
+    pub fn lookup(&self, packet: &Packet) -> Option<ColorId> {
+        self.index.get(packet).copied()
+    }
+
+    /// Returns the packet for a color.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the color was produced by a different table.
+    pub fn packet(&self, color: ColorId) -> &Packet {
+        &self.packets[color.index()]
+    }
+
+    /// Returns the number of interned colors.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Returns `true` when no colors have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Iterates over all `(color, packet)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ColorId, &Packet)> + '_ {
+        self.packets
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ColorId(i as u32), p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut table = ColorTable::new();
+        let a = table.intern(Packet::kind("get").with_dst(3));
+        let b = table.intern(Packet::kind("get").with_dst(3));
+        let c = table.intern(Packet::kind("get").with_dst(4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut table = ColorTable::new();
+        assert!(table.lookup(&Packet::kind("x")).is_none());
+        let id = table.intern(Packet::kind("x"));
+        assert_eq!(table.lookup(&Packet::kind("x")), Some(id));
+    }
+
+    #[test]
+    fn packet_accessor_roundtrips() {
+        let mut table = ColorTable::new();
+        let p = Packet::kind("ack").with_src(1).with_dst(2);
+        let id = table.intern(p.clone());
+        assert_eq!(table.packet(id), &p);
+    }
+
+    #[test]
+    fn display_formats_are_informative() {
+        assert_eq!(Packet::kind("inv").to_string(), "inv");
+        assert_eq!(Packet::kind("inv").with_dst(2).to_string(), "inv[dst=2]");
+        assert_eq!(
+            Packet::kind("get").with_src(0).with_dst(3).to_string(),
+            "get[0→3]"
+        );
+    }
+
+    #[test]
+    fn iter_enumerates_in_interning_order() {
+        let mut table = ColorTable::new();
+        let a = table.intern(Packet::kind("a"));
+        let b = table.intern(Packet::kind("b"));
+        let order: Vec<ColorId> = table.iter().map(|(id, _)| id).collect();
+        assert_eq!(order, vec![a, b]);
+    }
+}

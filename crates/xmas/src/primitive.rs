@@ -1,0 +1,201 @@
+//! The xMAS primitives (plus the opaque automaton node kind).
+
+use std::collections::BTreeMap;
+
+use crate::packet::ColorId;
+
+/// One node of an xMAS network.
+///
+/// The eight standard primitives follow Gotmanov/Chatterjee/Kishinevsky's
+/// xMAS language; `Automaton` is ADVOCAT's extension point — a protocol
+/// agent whose behaviour (states, transitions) is supplied externally by
+/// `advocat-automata`, while this crate only knows its port counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Primitive {
+    /// A FIFO queue with a fixed capacity and optional initial content
+    /// (head of the queue first).
+    Queue {
+        /// Capacity in packets (store-and-forward: a size-`n` queue holds
+        /// `n` complete packets).
+        size: usize,
+        /// Initial occupancy, front first.
+        init: Vec<ColorId>,
+    },
+    /// A combinational data transformation; unmapped colors pass through
+    /// unchanged.
+    Function {
+        /// Per-color output packet.
+        map: BTreeMap<ColorId, ColorId>,
+    },
+    /// A fair, non-deterministic packet producer.
+    Source {
+        /// The colors this source may inject.
+        colors: Vec<ColorId>,
+    },
+    /// A packet consumer.
+    Sink {
+        /// `true` for a fair sink (always eventually ready), `false` for a
+        /// dead sink (never ready).
+        fair: bool,
+    },
+    /// Duplicates an incoming packet to both outputs; the transfer happens
+    /// only when the input and *both* outputs are ready.
+    Fork,
+    /// Synchronises two inputs; the output carries the data of input 0 and
+    /// a transfer requires both inputs to be ready.
+    Join,
+    /// Routes each incoming packet to one output, chosen per color.
+    Switch {
+        /// Output port per color; colors not listed go to `default`.
+        routes: BTreeMap<ColorId, usize>,
+        /// Number of output ports.
+        num_outputs: usize,
+        /// Output port for unmapped colors.
+        default: usize,
+    },
+    /// A fair arbiter granting its single output to one of its inputs.
+    Merge {
+        /// Number of input ports.
+        num_inputs: usize,
+    },
+    /// An opaque XMAS-automaton node; behaviour is attached externally.
+    Automaton {
+        /// Number of input channels.
+        inputs: usize,
+        /// Number of output channels.
+        outputs: usize,
+    },
+}
+
+impl Primitive {
+    /// Returns the number of input ports of the primitive.
+    pub fn input_count(&self) -> usize {
+        match self {
+            Primitive::Queue { .. } | Primitive::Function { .. } | Primitive::Switch { .. } => 1,
+            Primitive::Source { .. } => 0,
+            Primitive::Sink { .. } => 1,
+            Primitive::Fork => 1,
+            Primitive::Join => 2,
+            Primitive::Merge { num_inputs } => *num_inputs,
+            Primitive::Automaton { inputs, .. } => *inputs,
+        }
+    }
+
+    /// Returns the number of output ports of the primitive.
+    pub fn output_count(&self) -> usize {
+        match self {
+            Primitive::Queue { .. } | Primitive::Function { .. } => 1,
+            Primitive::Source { .. } => 1,
+            Primitive::Sink { .. } => 0,
+            Primitive::Fork => 2,
+            Primitive::Join => 1,
+            Primitive::Switch { num_outputs, .. } => *num_outputs,
+            Primitive::Merge { .. } => 1,
+            Primitive::Automaton { outputs, .. } => *outputs,
+        }
+    }
+
+    /// Returns a short human-readable kind name.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Primitive::Queue { .. } => "queue",
+            Primitive::Function { .. } => "function",
+            Primitive::Source { .. } => "source",
+            Primitive::Sink { .. } => "sink",
+            Primitive::Fork => "fork",
+            Primitive::Join => "join",
+            Primitive::Switch { .. } => "switch",
+            Primitive::Merge { .. } => "merge",
+            Primitive::Automaton { .. } => "automaton",
+        }
+    }
+
+    /// Returns `true` for queue primitives.
+    pub fn is_queue(&self) -> bool {
+        matches!(self, Primitive::Queue { .. })
+    }
+
+    /// Returns `true` for automaton nodes.
+    pub fn is_automaton(&self) -> bool {
+        matches!(self, Primitive::Automaton { .. })
+    }
+
+    /// For a switch, returns the output port a color is routed to.
+    ///
+    /// Returns `None` for non-switch primitives.
+    pub fn switch_route(&self, color: ColorId) -> Option<usize> {
+        match self {
+            Primitive::Switch {
+                routes, default, ..
+            } => Some(routes.get(&color).copied().unwrap_or(*default)),
+            _ => None,
+        }
+    }
+
+    /// For a function, returns the output color for an input color
+    /// (identity for unmapped colors).  Returns `None` for non-functions.
+    pub fn function_apply(&self, color: ColorId) -> Option<ColorId> {
+        match self {
+            Primitive::Function { map } => Some(map.get(&color).copied().unwrap_or(color)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_counts_match_the_xmas_definition() {
+        assert_eq!(Primitive::Fork.input_count(), 1);
+        assert_eq!(Primitive::Fork.output_count(), 2);
+        assert_eq!(Primitive::Join.input_count(), 2);
+        assert_eq!(Primitive::Join.output_count(), 1);
+        assert_eq!(Primitive::Source { colors: vec![] }.input_count(), 0);
+        assert_eq!(Primitive::Sink { fair: true }.output_count(), 0);
+        let merge = Primitive::Merge { num_inputs: 5 };
+        assert_eq!(merge.input_count(), 5);
+        assert_eq!(merge.output_count(), 1);
+    }
+
+    #[test]
+    fn switch_routes_fall_back_to_default() {
+        let c0 = ColorId(0);
+        let c1 = ColorId(1);
+        let mut routes = BTreeMap::new();
+        routes.insert(c0, 1);
+        let sw = Primitive::Switch {
+            routes,
+            num_outputs: 3,
+            default: 2,
+        };
+        assert_eq!(sw.switch_route(c0), Some(1));
+        assert_eq!(sw.switch_route(c1), Some(2));
+        assert_eq!(Primitive::Fork.switch_route(c0), None);
+    }
+
+    #[test]
+    fn function_defaults_to_identity() {
+        let c0 = ColorId(0);
+        let c1 = ColorId(1);
+        let mut map = BTreeMap::new();
+        map.insert(c0, c1);
+        let f = Primitive::Function { map };
+        assert_eq!(f.function_apply(c0), Some(c1));
+        assert_eq!(f.function_apply(c1), Some(c1));
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(Primitive::Fork.kind_name(), "fork");
+        assert_eq!(
+            Primitive::Automaton {
+                inputs: 2,
+                outputs: 1
+            }
+            .kind_name(),
+            "automaton"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests over the core data structures and invariants.
+
+use advocat::logic::{Formula, LinExpr, SmtSolver};
+use advocat::num::{eliminate, satisfies, LinearRow, Rational};
+use advocat::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// Rational arithmetic satisfies the field axioms we rely on.
+    #[test]
+    fn rational_field_axioms(an in -500i128..500, ad in 1i128..50, bn in -500i128..500, bd in 1i128..50) {
+        let a = Rational::new(an, ad);
+        let b = Rational::new(bn, bd);
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a * b, b * a);
+        prop_assert_eq!(a - a, Rational::ZERO);
+        prop_assert_eq!((a + b) - b, a);
+        if !b.is_zero() {
+            prop_assert_eq!((a / b) * b, a);
+        }
+    }
+
+    /// Gaussian elimination preserves solutions: any assignment satisfying
+    /// the original rows satisfies the eliminated system.
+    #[test]
+    fn elimination_preserves_solutions(
+        coefs in proptest::collection::vec(-3i128..=3, 24),
+        values in proptest::collection::vec(-4i128..=4, 6),
+    ) {
+        // Build 4 rows over 6 variables whose constants are chosen so that
+        // `values` is a solution of every row.
+        let mut rows = Vec::new();
+        for r in 0..4 {
+            let mut row = LinearRow::new();
+            let mut acc = 0i128;
+            for v in 0..6 {
+                let c = coefs[r * 6 + v];
+                row.add_term(v, Rational::from_integer(c));
+                acc += c * values[v];
+            }
+            row.add_constant(Rational::from_integer(-acc));
+            rows.push(row);
+        }
+        // Eliminate the first three variables.
+        let kept = eliminate(rows, |v| v < 3);
+        prop_assert!(satisfies(&kept, |v| Rational::from_integer(values[v])));
+    }
+
+    /// The SMT solver agrees with brute force on small bounded problems.
+    #[test]
+    fn smt_matches_brute_force(
+        a in -3i64..=3, b in -3i64..=3, c in -6i64..=6,
+        d in -3i64..=3, e in -3i64..=3, f in -6i64..=6,
+    ) {
+        let mut smt = SmtSolver::new();
+        let x = smt.new_int_var("x", 0, 4);
+        let y = smt.new_int_var("y", 0, 4);
+        smt.assert(Formula::le(
+            LinExpr::term(a, x) + LinExpr::term(b, y),
+            LinExpr::constant(c),
+        ));
+        smt.assert(Formula::ge(
+            LinExpr::term(d, x) + LinExpr::term(e, y),
+            LinExpr::constant(f),
+        ));
+        let brute = (0..=4).any(|vx: i64| {
+            (0..=4).any(|vy: i64| a * vx + b * vy <= c && d * vx + e * vy >= f)
+        });
+        match smt.check() {
+            advocat::logic::SmtResult::Sat(model) => {
+                prop_assert!(brute, "solver found a model for an unsatisfiable instance");
+                let vx = model.int_value(x);
+                let vy = model.int_value(y);
+                prop_assert!(a * vx + b * vy <= c);
+                prop_assert!(d * vx + e * vy >= f);
+            }
+            advocat::logic::SmtResult::Unsat => prop_assert!(!brute, "solver missed a model"),
+            advocat::logic::SmtResult::Unknown => prop_assert!(false, "solver gave up"),
+        }
+    }
+
+    /// Every packet interned into a network round-trips through the color
+    /// table.
+    #[test]
+    fn color_interning_roundtrips(kind in "[a-z]{1,6}", src in 0u32..16, dst in 0u32..16) {
+        let mut net = Network::new();
+        let packet = Packet::kind(kind.clone()).with_src(src).with_dst(dst);
+        let id = net.intern(packet.clone());
+        prop_assert_eq!(net.colors().packet(id), &packet);
+        prop_assert_eq!(net.colors().lookup(&packet), Some(id));
+    }
+
+    /// XY routing always delivers within the mesh diameter, for arbitrary
+    /// mesh shapes and endpoints.
+    #[test]
+    fn xy_routing_delivers(w in 2u32..6, h in 2u32..6, from_seed in 0u32..100, to_seed in 0u32..100) {
+        let config = MeshConfig::new(w, h, 2);
+        let from = from_seed % (w * h);
+        let to = to_seed % (w * h);
+        let mut at = from;
+        let mut hops = 0u32;
+        loop {
+            let dir = advocat::noc::xy_route(&config, at, to);
+            if dir == advocat::noc::Direction::Local {
+                break;
+            }
+            at = advocat::noc::neighbor(&config, at, dir).expect("XY stays in the mesh");
+            hops += 1;
+            prop_assert!(hops <= w + h);
+        }
+        prop_assert_eq!(at, to);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Derived invariants hold along random trajectories of arbitrary small
+    /// meshes — the central soundness property of the invariant generator.
+    #[test]
+    fn invariants_hold_on_random_walks(
+        dir_seed in 0u32..4,
+        queue_size in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let config = MeshConfig::new(2, 2, queue_size)
+            .with_directory(dir_seed % 2, dir_seed / 2)
+            .with_protocol(ProtocolKind::AbstractMi);
+        let system = build_mesh(&config).unwrap();
+        let colors = derive_colors(&system);
+        let invariants = derive_invariants(&system, &colors);
+        let report = random_walk(&system, 2_000, seed);
+        let state = &report.final_state;
+        for invariant in invariants.iter() {
+            prop_assert!(invariant.holds(
+                |queue, color| state.queue_count(queue, color) as i128,
+                |node, automaton_state| state.is_in_state(node, automaton_state),
+            ));
+        }
+    }
+}

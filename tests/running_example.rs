@@ -1,0 +1,139 @@
+//! Experiment E1: the running example of the paper (Fig. 1, Sections 1–3).
+//!
+//! Checks that (a) the derived invariants are exactly strong enough to rule
+//! out the unreachable deadlock candidates of Section 3, (b) the invariants
+//! hold in every reachable state, and (c) the invariant printed in Section 1
+//! (`#q0 + #q1 = S.s1 + T.t0 − 1`) is implied by the derived set.
+
+use advocat::prelude::*;
+use advocat_xmas::PrimitiveId;
+
+struct Example {
+    system: System,
+    s_node: PrimitiveId,
+    t_node: PrimitiveId,
+    q0: PrimitiveId,
+    q1: PrimitiveId,
+}
+
+fn running_example(queue_size: usize) -> Example {
+    let mut net = Network::new();
+    let req = net.intern(Packet::kind("req"));
+    let ack = net.intern(Packet::kind("ack"));
+    let s_node = net.add_automaton_node("S", 1, 1);
+    let t_node = net.add_automaton_node("T", 1, 1);
+    let q0 = net.add_queue("q0", queue_size);
+    let q1 = net.add_queue("q1", queue_size);
+    net.connect(s_node, 0, q0, 0);
+    net.connect(q0, 0, t_node, 0);
+    net.connect(t_node, 0, q1, 0);
+    net.connect(q1, 0, s_node, 0);
+    let mut sb = AutomatonBuilder::new("S", 1, 1);
+    let s0 = sb.state("s0");
+    let s1 = sb.state("s1");
+    sb.set_initial(s0);
+    sb.spontaneous_emit(s0, s1, 0, req);
+    sb.on_packet(s1, s0, 0, ack, None);
+    let mut tb = AutomatonBuilder::new("T", 1, 1);
+    let t0 = tb.state("t0");
+    let t1 = tb.state("t1");
+    tb.set_initial(t0);
+    tb.on_packet(t0, t1, 0, req, None);
+    tb.spontaneous_emit(t1, t0, 0, ack);
+    let mut system = System::new(net);
+    system.attach(s_node, sb.build().unwrap()).unwrap();
+    system.attach(t_node, tb.build().unwrap()).unwrap();
+    system.validate().unwrap();
+    Example {
+        system,
+        s_node,
+        t_node,
+        q0,
+        q1,
+    }
+}
+
+#[test]
+fn deadlock_free_with_invariants_and_candidates_without() {
+    let example = running_example(2);
+    let with = Verifier::new().analyze(&example.system);
+    assert!(with.is_deadlock_free());
+    let without = Verifier::new().with_invariants(false).analyze(&example.system);
+    let cex = without
+        .counterexample()
+        .expect("without invariants the block/idle unfolding yields candidates");
+    // Section 3 names two candidates; one of them is (s1, t0) with empty
+    // queues, the other has both queues full.  Whichever the solver picked,
+    // it is unreachable.
+    assert!(cex.total_packets() == 0 || cex.total_packets() >= 3);
+}
+
+#[test]
+fn derived_invariants_hold_in_every_reachable_state() {
+    let example = running_example(2);
+    let colors = derive_colors(&example.system);
+    let invariants = derive_invariants(&example.system, &colors);
+    assert!(!invariants.is_empty());
+
+    let mut violations = 0usize;
+    let exploration = advocat::explorer::explore_with_visitor(
+        &example.system,
+        &ExplorerConfig::default(),
+        |state| {
+            for invariant in invariants.iter() {
+                let holds = invariant.holds(
+                    |queue, color| state.queue_count(queue, color) as i128,
+                    |node, automaton_state| state.is_in_state(node, automaton_state),
+                );
+                if !holds {
+                    violations += 1;
+                }
+            }
+        },
+    );
+    assert!(exploration.proves_deadlock_freedom());
+    assert_eq!(violations, 0, "an invariant was violated in a reachable state");
+}
+
+#[test]
+fn the_section_1_invariant_is_implied() {
+    // #q0.req + #q1.ack = S.s1 + T.t0 - 1 must hold in every reachable
+    // state; we check it directly against the explorer rather than against
+    // the invariant basis (any basis of the same solution space is fine).
+    let example = running_example(2);
+    let net = example.system.network();
+    let req = net.colors().lookup(&Packet::kind("req")).unwrap();
+    let ack = net.colors().lookup(&Packet::kind("ack")).unwrap();
+    let s = example.system.automaton(example.s_node).unwrap();
+    let t = example.system.automaton(example.t_node).unwrap();
+    let s1 = s.state_by_name("s1").unwrap();
+    let t0 = t.state_by_name("t0").unwrap();
+
+    let mut checked = 0usize;
+    advocat::explorer::explore_with_visitor(
+        &example.system,
+        &ExplorerConfig::default(),
+        |state| {
+            let lhs = state.queue_count(example.q0, req) as i64
+                + state.queue_count(example.q1, ack) as i64;
+            let rhs = i64::from(state.is_in_state(example.s_node, s1))
+                + i64::from(state.is_in_state(example.t_node, t0))
+                - 1;
+            assert_eq!(lhs, rhs, "paper invariant violated in a reachable state");
+            checked += 1;
+        },
+    );
+    assert!(checked >= 4);
+}
+
+#[test]
+fn larger_queues_remain_deadlock_free() {
+    for queue_size in [1usize, 3, 5] {
+        let example = running_example(queue_size);
+        let report = Verifier::new().analyze(&example.system);
+        assert!(
+            report.is_deadlock_free(),
+            "queue size {queue_size} should be deadlock-free"
+        );
+    }
+}
