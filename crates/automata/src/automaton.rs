@@ -121,7 +121,10 @@ impl fmt::Display for AutomatonError {
                 write!(f, "automaton `{automaton}` uses unknown output port {port}")
             }
             AutomatonError::EmptyTrigger { automaton } => {
-                write!(f, "automaton `{automaton}` has a triggered transition with an empty event")
+                write!(
+                    f,
+                    "automaton `{automaton}` has a triggered transition with an empty event"
+                )
             }
         }
     }

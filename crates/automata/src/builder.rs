@@ -4,9 +4,7 @@ use std::collections::BTreeMap;
 
 use advocat_xmas::ColorId;
 
-use crate::automaton::{
-    AutomatonError, StateId, Transition, TransitionKind, XmasAutomaton,
-};
+use crate::automaton::{AutomatonError, StateId, Transition, TransitionKind, XmasAutomaton};
 
 /// Builder for [`XmasAutomaton`]s.
 ///
@@ -112,7 +110,13 @@ impl AutomatonBuilder {
     }
 
     /// Adds a spontaneous transition emitting a packet on `out_port`.
-    pub fn spontaneous_emit(&mut self, from: StateId, to: StateId, out_port: usize, color: ColorId) {
+    pub fn spontaneous_emit(
+        &mut self,
+        from: StateId,
+        to: StateId,
+        out_port: usize,
+        color: ColorId,
+    ) {
         self.transitions.push(Transition {
             from,
             to,
@@ -198,10 +202,7 @@ mod tests {
         b.on_any(
             m,
             mi,
-            [
-                ((0, inv), Some((0, put))),
-                ((1, repl), Some((0, put))),
-            ],
+            [((0, inv), Some((0, put))), ((1, repl), Some((0, put)))],
         );
         let a = b.build().unwrap();
         assert_eq!(a.transition_count(), 1);

@@ -40,7 +40,11 @@ fn print_table() {
         println!(
             "    {w}x{h}: {:?} ({}, {} refinements)",
             start.elapsed(),
-            if report.is_deadlock_free() { "free" } else { "deadlock" },
+            if report.is_deadlock_free() {
+                "free"
+            } else {
+                "deadlock"
+            },
             report.analysis().stats.refinements
         );
     }

@@ -13,7 +13,10 @@ use criterion::{criterion_group, Criterion};
 
 fn print_table() {
     println!("== E5: virtual-channel ablation ==");
-    println!("{:<8} {:<12} {:<16} {:<16}", "mesh", "directory", "min size (no VC)", "min size (VCs)");
+    println!(
+        "{:<8} {:<12} {:<16} {:<16}",
+        "mesh", "directory", "min size (no VC)", "min size (VCs)"
+    );
     let cases = [(2u32, 2u32, (1u32, 1u32)), (2, 2, (0, 0)), (3, 2, (1, 0))];
     for (w, h, dir) in cases {
         let without = minimal_size(w, h, dir, false, 10);
@@ -22,7 +25,9 @@ fn print_table() {
             "{:<8} {:<12} {:<16} {:<16}",
             format!("{w}x{h}"),
             format!("({},{})", dir.0, dir.1),
-            without.map(|s| s.to_string()).unwrap_or_else(|| "> 10".into()),
+            without
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "> 10".into()),
             with.map(|s| s.to_string()).unwrap_or_else(|| "> 10".into()),
         );
     }

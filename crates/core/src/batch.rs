@@ -1,0 +1,190 @@
+//! Parallel verification of independent scenarios.
+//!
+//! Design-space exploration rarely asks one question: it sweeps mesh
+//! shapes, directory placements, protocols and deadlock specifications.
+//! The scenarios are independent, so [`verify_batch`] fans them out over
+//! `std::thread` workers pulling from a shared queue — wall-clock time
+//! scales with the slowest scenario rather than the sum.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use advocat_deadlock::DeadlockSpec;
+use advocat_logic::CheckConfig;
+use advocat_noc::{build_mesh, MeshConfig, MeshError};
+
+use crate::report::Report;
+use crate::verifier::Verifier;
+
+/// One independent verification scenario of a batch.
+#[derive(Clone, Debug)]
+pub struct BatchScenario {
+    /// A human-readable label carried into the outcome.
+    pub name: String,
+    /// The mesh to build and verify.
+    pub mesh: MeshConfig,
+    /// Which conditions count as a deadlock.
+    pub spec: DeadlockSpec,
+    /// SMT resource limits for this scenario.
+    pub config: CheckConfig,
+}
+
+impl BatchScenario {
+    /// Creates a scenario with the default deadlock specification and
+    /// solver limits.
+    pub fn new(name: impl Into<String>, mesh: MeshConfig) -> Self {
+        BatchScenario {
+            name: name.into(),
+            mesh,
+            spec: DeadlockSpec::default(),
+            config: CheckConfig::default(),
+        }
+    }
+
+    /// Replaces the deadlock specification.
+    pub fn with_spec(mut self, spec: DeadlockSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Replaces the SMT resource limits.
+    pub fn with_config(mut self, config: CheckConfig) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+/// The per-scenario result of a [`verify_batch`] run.
+#[derive(Clone, Debug)]
+pub struct BatchOutcome {
+    /// The scenario's label.
+    pub name: String,
+    /// The verification report, or the mesh-construction error.
+    pub result: Result<Report, MeshError>,
+    /// Wall-clock time this scenario took on its worker (mesh construction
+    /// plus the full pipeline).
+    pub elapsed: Duration,
+}
+
+impl BatchOutcome {
+    /// Returns `true` when the scenario was verified deadlock-free.
+    pub fn is_deadlock_free(&self) -> bool {
+        matches!(&self.result, Ok(report) if report.is_deadlock_free())
+    }
+}
+
+/// Verifies every scenario, fanning the work across at most `workers`
+/// operating-system threads, and returns the outcomes in scenario order.
+///
+/// Workers pull scenarios from a shared counter, so an expensive scenario
+/// does not hold up the remaining ones.  `workers` is clamped to
+/// `1..=scenarios.len()`; pass `std::thread::available_parallelism()` for
+/// a machine-sized pool.
+///
+/// # Examples
+///
+/// ```
+/// use advocat::prelude::*;
+///
+/// let scenarios = vec![
+///     BatchScenario::new("2x2 corner, qs 2", MeshConfig::new(2, 2, 2)),
+///     BatchScenario::new("2x2 corner, qs 3", MeshConfig::new(2, 2, 3)),
+/// ];
+/// let outcomes = verify_batch(&scenarios, 2);
+/// assert_eq!(outcomes.len(), 2);
+/// assert!(outcomes.iter().all(|o| o.result.is_ok()));
+/// ```
+pub fn verify_batch(scenarios: &[BatchScenario], workers: usize) -> Vec<BatchOutcome> {
+    if scenarios.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, scenarios.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<BatchOutcome>>> =
+        scenarios.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(scenario) = scenarios.get(index) else {
+                    break;
+                };
+                let start = Instant::now();
+                let result = build_mesh(&scenario.mesh).map(|system| {
+                    Verifier::new()
+                        .with_spec(scenario.spec)
+                        .with_config(scenario.config)
+                        .analyze(&system)
+                });
+                let outcome = BatchOutcome {
+                    name: scenario.name.clone(),
+                    result,
+                    elapsed: start.elapsed(),
+                };
+                *slots[index]
+                    .lock()
+                    .expect("no worker panicked holding the slot") = Some(outcome);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("no worker panicked holding the slot")
+                .expect("every index below len was processed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_results_come_back_in_scenario_order() {
+        let scenarios = vec![
+            BatchScenario::new("deadlocking", MeshConfig::new(2, 2, 2).with_directory(1, 1)),
+            BatchScenario::new("free", MeshConfig::new(2, 2, 3).with_directory(1, 1)),
+            BatchScenario::new("invalid", MeshConfig::new(1, 1, 1)),
+        ];
+        let outcomes = verify_batch(&scenarios, 4);
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[0].name, "deadlocking");
+        assert!(!outcomes[0].is_deadlock_free());
+        assert!(outcomes[1].is_deadlock_free());
+        assert!(outcomes[2].result.is_err());
+    }
+
+    #[test]
+    fn batch_agrees_with_sequential_verification() {
+        let configs = [
+            MeshConfig::new(2, 2, 2).with_directory(0, 0),
+            MeshConfig::new(2, 2, 3).with_directory(0, 0),
+            MeshConfig::new(2, 2, 3).with_directory(1, 1),
+        ];
+        let scenarios: Vec<BatchScenario> = configs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| BatchScenario::new(format!("scenario {i}"), *c))
+            .collect();
+        let outcomes = verify_batch(&scenarios, 2);
+        for (config, outcome) in configs.iter().zip(&outcomes) {
+            let sequential = Verifier::new()
+                .analyze(&build_mesh(config).unwrap())
+                .is_deadlock_free();
+            assert_eq!(outcome.is_deadlock_free(), sequential);
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_oversized_worker_counts_are_fine() {
+        assert!(verify_batch(&[], 8).is_empty());
+        let scenarios = vec![BatchScenario::new("one", MeshConfig::new(2, 2, 3))];
+        let outcomes = verify_batch(&scenarios, 64);
+        assert_eq!(outcomes.len(), 1);
+    }
+}

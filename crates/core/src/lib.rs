@@ -17,9 +17,12 @@
 //! 5. optionally confirm candidates by explicit-state exploration
 //!    (`advocat-explorer`).
 //!
-//! The two main entry points are [`Verifier`] (one verification run,
-//! returning a [`Report`]) and [`minimal_queue_size`] (the queue-sizing
-//! search behind Figure 4 of the paper).
+//! The main entry points are [`Verifier`] (one verification run, returning
+//! a [`Report`]), [`VerificationSession`] (an incremental session answering
+//! many queue-capacity queries from one persistent solver),
+//! [`minimal_queue_size`] (the queue-sizing search behind Figure 4 of the
+//! paper, a binary search on top of a session) and [`verify_batch`]
+//! (parallel verification of independent scenarios).
 //!
 //! # Examples
 //!
@@ -42,12 +45,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 pub mod prelude;
 mod report;
+mod session;
 mod sizing;
 mod verifier;
 
+pub use batch::{verify_batch, BatchOutcome, BatchScenario};
 pub use report::Report;
+pub use session::{SessionStats, VerificationSession};
 pub use sizing::{minimal_queue_size, SizingOptions, SizingResult};
 pub use verifier::Verifier;
 

@@ -9,12 +9,15 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-pub use crate::{minimal_queue_size, Report, SizingOptions, SizingResult, Verifier};
+pub use crate::{
+    minimal_queue_size, verify_batch, BatchOutcome, BatchScenario, Report, SessionStats,
+    SizingOptions, SizingResult, VerificationSession, Verifier,
+};
 
 pub use advocat_automata::{derive_colors, AutomatonBuilder, System};
-pub use advocat_deadlock::{verify_system, DeadlockSpec, Verdict};
+pub use advocat_deadlock::{verify_system, DeadlockSpec, EncodingTemplate, Verdict};
 pub use advocat_explorer::{explore, random_walk, ExplorerConfig};
 pub use advocat_invariants::{derive_invariants, format_invariant};
-pub use advocat_noc::{build_mesh, MeshConfig, ProtocolKind};
+pub use advocat_noc::{build_mesh, build_mesh_for_sweep, MeshConfig, ProtocolKind};
 pub use advocat_protocols::{AbstractMi, FullMi};
 pub use advocat_xmas::{Network, Packet};

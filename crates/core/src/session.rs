@@ -1,0 +1,173 @@
+//! Incremental verification sessions.
+//!
+//! A [`VerificationSession`] runs the expensive, capacity-independent part
+//! of the ADVOCAT pipeline — color derivation, invariant generation and
+//! the structural deadlock encoding — exactly once, and then answers any
+//! number of queue-capacity queries from one persistent solver.  Learnt
+//! clauses and theory lemmas accumulate across queries, so a sweep over
+//! sixteen capacities costs far fewer SAT conflicts and propagations than
+//! sixteen cold [`crate::Verifier::analyze`] calls.
+
+use std::ops::RangeInclusive;
+use std::time::Duration;
+
+use advocat_automata::{derive_colors, System};
+use advocat_deadlock::{DeadlockSpec, EncodingTemplate};
+use advocat_invariants::{derive_invariants, InvariantSet};
+use advocat_logic::CheckConfig;
+
+use crate::report::Report;
+
+/// Cumulative statistics over every query a session has answered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Number of capacity queries answered.
+    pub queries: u64,
+    /// Total SAT conflicts across all queries.
+    pub sat_conflicts: u64,
+    /// Total SAT unit propagations across all queries.
+    pub sat_propagations: u64,
+    /// Total wall-clock time spent answering queries (excluding session
+    /// construction).
+    pub query_elapsed: Duration,
+}
+
+impl SessionStats {
+    /// Total SAT effort — conflicts plus propagations — of the session.
+    pub fn sat_effort(&self) -> u64 {
+        self.sat_conflicts + self.sat_propagations
+    }
+}
+
+/// An incremental verification session: one system, one derived encoding
+/// template, one persistent solver, many queue-capacity queries.
+///
+/// # Examples
+///
+/// The Figure-3 result of the paper, answered by a single session: the 2×2
+/// directory mesh deadlocks with queues of size 2 but is free with 3.
+///
+/// ```
+/// use advocat::prelude::*;
+///
+/// let system = build_mesh_for_sweep(&MeshConfig::new(2, 2, 1).with_directory(1, 1), 4)?;
+/// let mut session = VerificationSession::new(system, DeadlockSpec::default(), 2..=4);
+/// assert!(!session.check_capacity(2).is_deadlock_free());
+/// assert!(session.check_capacity(3).is_deadlock_free());
+/// assert_eq!(session.stats().queries, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct VerificationSession {
+    system: System,
+    invariants: InvariantSet,
+    template: EncodingTemplate,
+    config: CheckConfig,
+    stats: SessionStats,
+}
+
+impl VerificationSession {
+    /// Builds a session for `system` with default solver limits.
+    ///
+    /// The session derives colors and invariants once and builds the
+    /// capacity-parameterised encoding for every capacity in `capacities`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacities` is empty.
+    pub fn new(system: System, spec: DeadlockSpec, capacities: RangeInclusive<usize>) -> Self {
+        VerificationSession::with_config(system, spec, CheckConfig::default(), capacities)
+    }
+
+    /// Builds a session with explicit SMT resource limits per query.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacities` is empty.
+    pub fn with_config(
+        system: System,
+        spec: DeadlockSpec,
+        config: CheckConfig,
+        capacities: RangeInclusive<usize>,
+    ) -> Self {
+        let colors = derive_colors(&system);
+        let invariants = derive_invariants(&system, &colors);
+        let template = EncodingTemplate::new(&system, &colors, &invariants, &spec, capacities);
+        VerificationSession {
+            system,
+            invariants,
+            template,
+            config,
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// Answers the deadlock question with every queue capacity pinned to
+    /// `capacity`, reusing all solver state from earlier queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` lies outside the session's capacity range.
+    pub fn check_capacity(&mut self, capacity: usize) -> Report {
+        let analysis = self.template.check_capacity(capacity, &self.config);
+        self.stats.queries += 1;
+        self.stats.sat_conflicts += analysis.stats.sat_conflicts;
+        self.stats.sat_propagations += analysis.stats.sat_propagations;
+        self.stats.query_elapsed += analysis.stats.elapsed;
+        Report::new(&self.system, self.invariants.clone(), analysis)
+    }
+
+    /// The capacity range the session accepts.
+    pub fn capacity_range(&self) -> RangeInclusive<usize> {
+        self.template.capacity_range()
+    }
+
+    /// The verified system.
+    pub fn system(&self) -> &System {
+        &self.system
+    }
+
+    /// The cross-layer invariants the session derived (shared by every
+    /// query).
+    pub fn invariants(&self) -> &InvariantSet {
+        &self.invariants
+    }
+
+    /// Cumulative statistics over all queries answered so far.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advocat_noc::{build_mesh_for_sweep, MeshConfig};
+
+    use crate::Verifier;
+
+    #[test]
+    fn session_matches_cold_verifier_on_the_2x2_mesh() {
+        let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+        let system = build_mesh_for_sweep(&config, 4).unwrap();
+        let mut session = VerificationSession::new(system, DeadlockSpec::default(), 1..=4);
+        for capacity in 1..=4usize {
+            let session_free = session.check_capacity(capacity).is_deadlock_free();
+            let cold_system = advocat_noc::build_mesh(&config.with_queue_size(capacity)).unwrap();
+            let cold_free = Verifier::new().analyze(&cold_system).is_deadlock_free();
+            assert_eq!(session_free, cold_free, "capacity {capacity}");
+        }
+        assert_eq!(session.stats().queries, 4);
+    }
+
+    #[test]
+    fn session_reports_share_the_derived_invariants() {
+        let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+        let system = build_mesh_for_sweep(&config, 3).unwrap();
+        let mut session = VerificationSession::new(system, DeadlockSpec::default(), 2..=3);
+        let report = session.check_capacity(3);
+        assert!(report.is_deadlock_free());
+        assert_eq!(report.invariants().len(), session.invariants().len());
+        assert!(!report.invariants().is_empty());
+    }
+}

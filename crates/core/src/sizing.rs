@@ -1,10 +1,10 @@
 //! Minimal-queue-size search (Figure 4 of the paper).
 
-use advocat_deadlock::DeadlockSpec;
+use advocat_deadlock::{DeadlockSpec, Verdict};
 use advocat_logic::CheckConfig;
-use advocat_noc::{build_mesh, MeshConfig, MeshError};
+use advocat_noc::{build_mesh_for_sweep, MeshConfig, MeshError};
 
-use crate::verifier::Verifier;
+use crate::session::VerificationSession;
 
 /// Options for the queue-sizing search.
 #[derive(Clone, Debug)]
@@ -36,12 +36,19 @@ pub struct SizingResult {
     /// The smallest queue size proven deadlock-free, if any size in range
     /// was.
     pub minimal_queue_size: Option<usize>,
-    /// Every `(queue size, deadlock-free?)` pair evaluated, in order.
+    /// Every `(queue size, deadlock-free?)` pair the binary search probed,
+    /// in probe order.
+    ///
+    /// Since the search bisects the size range instead of scanning it, the
+    /// probed sizes are not contiguous and not monotone: the first entry is
+    /// the range's midpoint, and later entries narrow in on the boundary.
+    /// Unprobed sizes carry no entry even though the search's verdict
+    /// determines them (deadlock-freedom is monotone in the capacity).
     pub evaluations: Vec<(usize, bool)>,
 }
 
 impl SizingResult {
-    /// Returns `true` when the given size was evaluated and found
+    /// Returns `true` when the given size was probed and found
     /// deadlock-free.
     pub fn is_free_at(&self, queue_size: usize) -> bool {
         self.evaluations
@@ -54,9 +61,21 @@ impl SizingResult {
 /// the mesh described by `config` (ignoring its own `queue_size`) is proven
 /// deadlock-free — the computation behind Figure 4 of the paper.
 ///
-/// Sizes are scanned in increasing order; the scan stops at the first size
-/// proven deadlock-free (verification time does not depend on whether even
-/// larger sizes would also be free).
+/// The mesh is built **once** (at the largest size of the range) and every
+/// probe is answered by one incremental [`VerificationSession`], so colors,
+/// invariants, the deadlock encoding and all learnt solver state are shared
+/// across probes.  Because deadlock-freedom is monotone in the queue
+/// capacity — enlarging queues only removes "queue full" blocking
+/// scenarios — the search bisects the range instead of scanning it: it
+/// probes `O(log(max − min))` sizes.
+///
+/// Resource-limited probes: *proven-free-within-budget* is **not** monotone
+/// (an undecided midpoint says nothing about smaller sizes), so the first
+/// `Unknown` verdict makes the search fall back to a linear scan of the
+/// remaining candidate range, exactly reproducing the semantics of a
+/// per-size scan: the result is the smallest size *proven* deadlock-free
+/// within the budget.  An empty range (`min > max`) returns no evaluations
+/// and no minimal size.
 ///
 /// # Errors
 ///
@@ -71,26 +90,61 @@ impl SizingResult {
 /// let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
 /// let result = minimal_queue_size(&config, &SizingOptions { min: 2, max: 4, ..Default::default() })?;
 /// assert_eq!(result.minimal_queue_size, Some(3));
+/// // Probe order: the midpoint 3 first (free), then 2 (deadlocks).
+/// assert_eq!(result.evaluations, vec![(3, true), (2, false)]);
 /// # Ok::<(), advocat_noc::MeshError>(())
 /// ```
 pub fn minimal_queue_size(
     config: &MeshConfig,
     options: &SizingOptions,
 ) -> Result<SizingResult, MeshError> {
+    if options.min > options.max {
+        return Ok(SizingResult {
+            minimal_queue_size: None,
+            evaluations: Vec::new(),
+        });
+    }
+    let system = build_mesh_for_sweep(config, options.max)?;
+    let mut session = VerificationSession::with_config(
+        system,
+        options.spec,
+        options.config,
+        options.min..=options.max,
+    );
     let mut evaluations = Vec::new();
     let mut minimal = None;
-    for queue_size in options.min..=options.max {
-        let mesh = config.with_queue_size(queue_size);
-        let system = build_mesh(&mesh)?;
-        let report = Verifier::new()
-            .with_spec(options.spec)
-            .with_config(options.config)
-            .analyze(&system);
+    let (mut lo, mut hi) = (options.min, options.max);
+    while lo <= hi {
+        let mid = lo + (hi - lo) / 2;
+        let report = session.check_capacity(mid);
+        let undecided = matches!(report.verdict(), Verdict::Unknown);
         let free = report.is_deadlock_free();
-        evaluations.push((queue_size, free));
-        if free {
-            minimal = Some(queue_size);
+        evaluations.push((mid, free));
+        if undecided {
+            // Proven-free-within-budget is not monotone: this midpoint says
+            // nothing about smaller sizes, so bisection would prune sizes
+            // it never probed.  Scan the remaining candidates instead.
+            for size in lo..=hi {
+                if size == mid {
+                    continue;
+                }
+                let free = session.check_capacity(size).is_deadlock_free();
+                evaluations.push((size, free));
+                if free {
+                    minimal = Some(size);
+                    break;
+                }
+            }
             break;
+        }
+        if free {
+            minimal = Some(mid);
+            if mid == lo {
+                break;
+            }
+            hi = mid - 1;
+        } else {
+            lo = mid + 1;
         }
     }
     Ok(SizingResult {
@@ -113,7 +167,8 @@ mod tests {
         };
         let result = minimal_queue_size(&config, &options).unwrap();
         assert_eq!(result.minimal_queue_size, Some(3));
-        assert_eq!(result.evaluations, vec![(2, false), (3, true)]);
+        // Probes in bisection order: 3 (free), then 2 (deadlocks).
+        assert_eq!(result.evaluations, vec![(3, true), (2, false)]);
         assert!(result.is_free_at(3));
         assert!(!result.is_free_at(2));
     }
@@ -129,11 +184,61 @@ mod tests {
         let result = minimal_queue_size(&config, &options).unwrap();
         assert_eq!(result.minimal_queue_size, None);
         assert_eq!(result.evaluations.len(), 2);
+        assert!(result.evaluations.iter().all(|(_, free)| !free));
+    }
+
+    #[test]
+    fn single_size_ranges_probe_exactly_once() {
+        let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+        let options = SizingOptions {
+            min: 3,
+            max: 3,
+            ..SizingOptions::default()
+        };
+        let result = minimal_queue_size(&config, &options).unwrap();
+        assert_eq!(result.minimal_queue_size, Some(3));
+        assert_eq!(result.evaluations, vec![(3, true)]);
     }
 
     #[test]
     fn invalid_mesh_configurations_error_out() {
         let config = MeshConfig::new(1, 1, 1);
         assert!(minimal_queue_size(&config, &SizingOptions::default()).is_err());
+    }
+
+    #[test]
+    fn inverted_ranges_yield_no_evaluations() {
+        let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+        let options = SizingOptions {
+            min: 5,
+            max: 3,
+            ..SizingOptions::default()
+        };
+        let result = minimal_queue_size(&config, &options).unwrap();
+        assert_eq!(result.minimal_queue_size, None);
+        assert!(result.evaluations.is_empty());
+    }
+
+    #[test]
+    fn undecided_probes_fall_back_to_a_linear_scan() {
+        // With no refinement budget every probe is Unknown; the search must
+        // still visit every size (nothing is pruned on non-evidence) and
+        // prove nothing.
+        let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+        let options = SizingOptions {
+            min: 2,
+            max: 5,
+            config: advocat_logic::CheckConfig {
+                max_refinements: 0,
+                ..advocat_logic::CheckConfig::default()
+            },
+            ..SizingOptions::default()
+        };
+        let result = minimal_queue_size(&config, &options).unwrap();
+        assert_eq!(result.minimal_queue_size, None);
+        let mut probed: Vec<usize> = result.evaluations.iter().map(|(s, _)| *s).collect();
+        probed.sort_unstable();
+        assert_eq!(probed, vec![2, 3, 4, 5]);
+        assert!(result.evaluations.iter().all(|(_, free)| !free));
     }
 }

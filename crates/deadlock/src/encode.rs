@@ -25,9 +25,27 @@ impl Default for DeadlockSpec {
     }
 }
 
+/// How queue capacities enter the encoding.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum CapacityMode {
+    /// Use each queue's structural size as a constant, as in a one-shot
+    /// verification.
+    Fixed,
+    /// Introduce one bounded capacity variable per queue (range inclusive).
+    /// The structure-dependent constraints then hold for *every* capacity in
+    /// the range; a concrete capacity is pinned per query by equating the
+    /// capacity variables inside a retractable solver scope.
+    Symbolic {
+        /// Smallest capacity of the sweep.
+        min: i64,
+        /// Largest capacity of the sweep (also the occupancy bound).
+        max: i64,
+    },
+}
+
 /// The variable maps of a deadlock encoding, used to translate SMT models
 /// back into counterexamples.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct EncodingVars {
     /// Queue occupancy per `(queue, color)`.
     pub occupancy: HashMap<(PrimitiveId, ColorId), IntVar>,
@@ -39,6 +57,8 @@ pub(crate) struct EncodingVars {
     pub idle: HashMap<(ChannelId, ColorId), BoolVar>,
     /// Dead indicator per automaton node.
     pub dead: HashMap<PrimitiveId, BoolVar>,
+    /// Capacity variable per queue (symbolic-capacity encodings only).
+    pub capacity: HashMap<PrimitiveId, IntVar>,
 }
 
 /// A fully built deadlock encoding: the SMT solver plus variable maps.
@@ -49,14 +69,36 @@ pub(crate) struct Encoding {
 }
 
 /// Builds the SMT instance for the given system, color map, invariants and
-/// deadlock specification.
+/// deadlock specification, with queue capacities fixed to their structural
+/// sizes (the one-shot, cold-start path).
 pub(crate) fn build_encoding(
     system: &System,
     colors: &ColorMap,
     invariants: &InvariantSet,
     spec: &DeadlockSpec,
 ) -> Encoding {
-    let mut enc = EncodingBuilder::new(system, colors);
+    build_encoding_with(
+        system,
+        colors,
+        invariants,
+        spec,
+        SmtSolver::new(),
+        CapacityMode::Fixed,
+    )
+}
+
+/// Builds the SMT instance onto the given solver with the given capacity
+/// mode; [`crate::EncodingTemplate`] uses this with a persistent solver and
+/// [`CapacityMode::Symbolic`].
+pub(crate) fn build_encoding_with(
+    system: &System,
+    colors: &ColorMap,
+    invariants: &InvariantSet,
+    spec: &DeadlockSpec,
+    smt: SmtSolver,
+    mode: CapacityMode,
+) -> Encoding {
+    let mut enc = EncodingBuilder::new(system, colors, smt, mode);
     enc.declare_occupancy_and_state_vars();
     enc.declare_block_idle_vars();
     enc.assert_structural_constraints();
@@ -75,15 +117,17 @@ struct EncodingBuilder<'a> {
     colors: &'a ColorMap,
     smt: SmtSolver,
     vars: EncodingVars,
+    mode: CapacityMode,
 }
 
 impl<'a> EncodingBuilder<'a> {
-    fn new(system: &'a System, colors: &'a ColorMap) -> Self {
+    fn new(system: &'a System, colors: &'a ColorMap, smt: SmtSolver, mode: CapacityMode) -> Self {
         EncodingBuilder {
             system,
             colors,
-            smt: SmtSolver::new(),
+            smt,
             vars: EncodingVars::default(),
+            mode,
         }
     }
 
@@ -107,18 +151,41 @@ impl<'a> EncodingBuilder<'a> {
         }
     }
 
+    /// The capacity of a queue as a linear expression: its structural size
+    /// in [`CapacityMode::Fixed`], its capacity variable otherwise.
+    fn capacity_expr(&self, queue: PrimitiveId) -> LinExpr {
+        match self.mode {
+            CapacityMode::Fixed => LinExpr::constant(self.queue_size(queue) as i64),
+            CapacityMode::Symbolic { .. } => LinExpr::var(
+                *self
+                    .vars
+                    .capacity
+                    .get(&queue)
+                    .expect("capacity var declared"),
+            ),
+        }
+    }
+
     fn declare_occupancy_and_state_vars(&mut self) {
         let network = self.network();
         for queue in network.queue_ids().collect::<Vec<_>>() {
-            let size = self.queue_size(queue) as i64;
+            let occupancy_bound = match self.mode {
+                CapacityMode::Fixed => self.queue_size(queue) as i64,
+                CapacityMode::Symbolic { max, .. } => max,
+            };
             for color in self.queue_colors(queue) {
                 let name = format!(
                     "#{}.{}",
                     network.name(queue),
                     network.colors().packet(color)
                 );
-                let var = self.smt.new_int_var(name, 0, size);
+                let var = self.smt.new_int_var(name, 0, occupancy_bound);
                 self.vars.occupancy.insert((queue, color), var);
+            }
+            if let CapacityMode::Symbolic { min, max } = self.mode {
+                let name = format!("cap({})", network.name(queue));
+                let var = self.smt.new_int_var(name, min, max);
+                self.vars.capacity.insert(queue, var);
             }
         }
         for (node, automaton) in self.system.automata() {
@@ -133,7 +200,13 @@ impl<'a> EncodingBuilder<'a> {
     fn declare_block_idle_vars(&mut self) {
         let network = self.network();
         for channel in network.channels().iter().map(|c| c.id).collect::<Vec<_>>() {
-            for color in self.colors.colors(channel).iter().copied().collect::<Vec<_>>() {
+            for color in self
+                .colors
+                .colors(channel)
+                .iter()
+                .copied()
+                .collect::<Vec<_>>()
+            {
                 let cname = network.channel_name(channel);
                 let packet = network.colors().packet(color).clone();
                 let block = self.smt.new_bool_var(format!("block({cname}, {packet})"));
@@ -197,10 +270,9 @@ impl<'a> EncodingBuilder<'a> {
     fn assert_structural_constraints(&mut self) {
         let queues: Vec<PrimitiveId> = self.network().queue_ids().collect();
         for queue in queues {
-            let size = self.queue_size(queue) as i64;
+            let capacity = self.capacity_expr(queue);
             let total = self.total_occupancy_expr(queue);
-            self.smt
-                .assert(Formula::le(total, LinExpr::constant(size)));
+            self.smt.assert(Formula::le(total, capacity));
         }
         let nodes: Vec<(PrimitiveId, Vec<StateId>)> = self
             .system
@@ -209,7 +281,13 @@ impl<'a> EncodingBuilder<'a> {
             .collect();
         for (node, states) in nodes {
             let sum = LinExpr::sum(states.iter().map(|s| {
-                LinExpr::var(*self.vars.state.get(&(node, *s)).expect("state var declared"))
+                LinExpr::var(
+                    *self
+                        .vars
+                        .state
+                        .get(&(node, *s))
+                        .expect("state var declared"),
+                )
             }));
             self.smt.assert(Formula::eq(sum, LinExpr::constant(1)));
         }
@@ -223,11 +301,10 @@ impl<'a> EncodingBuilder<'a> {
                 let coef = *coef as i64;
                 match var {
                     InvariantVar::QueueCount { queue, color } => {
-                        match self.vars.occupancy.get(&(*queue, *color)) {
-                            Some(v) => expr.add_term(coef, *v),
-                            // A queue/color pair outside the occupancy vars
-                            // cannot hold packets; its count is zero.
-                            None => {}
+                        // A queue/color pair outside the occupancy vars
+                        // cannot hold packets; its count is zero.
+                        if let Some(v) = self.vars.occupancy.get(&(*queue, *color)) {
+                            expr.add_term(coef, *v);
                         }
                     }
                     InvariantVar::AutomatonState { node, state } => {
@@ -267,10 +344,10 @@ impl<'a> EncodingBuilder<'a> {
         let target = network.channel(channel).target;
         let node = target.primitive;
         match network.primitive(node) {
-            Primitive::Queue { size, .. } => {
+            Primitive::Queue { .. } => {
                 // Full queue with some permanently blocked occupant.
                 let total = self.total_occupancy_expr(node);
-                let full = Formula::ge(total, LinExpr::constant(*size as i64));
+                let full = Formula::ge(total, self.capacity_expr(node));
                 let out = network.out_channel(node, 0);
                 let stuck_head = match out {
                     Some(out) => Formula::or(self.colors.colors(out).iter().map(|d| {
@@ -460,8 +537,8 @@ impl<'a> EncodingBuilder<'a> {
                                 None => Formula::False,
                             }
                         }
-                        TransitionKind::Triggered(map) => Formula::and(map.iter().map(
-                            |((in_port, in_color), emission)| {
+                        TransitionKind::Triggered(map) => {
+                            Formula::and(map.iter().map(|((in_port, in_color), emission)| {
                                 let idle = match network.in_channel(node, *in_port) {
                                     Some(inp) => self.idle_of(inp, *in_color),
                                     None => Formula::True,
@@ -476,8 +553,8 @@ impl<'a> EncodingBuilder<'a> {
                                     None => Formula::False,
                                 };
                                 Formula::or([idle, blocked])
-                            },
-                        )),
+                            }))
+                        }
                     };
                     transition_dead.push(dead_formula);
                 }
@@ -489,7 +566,8 @@ impl<'a> EncodingBuilder<'a> {
                 per_state.push(Formula::and([occupied, all_dead]));
             }
             let dead_var = Formula::bool_var(*self.vars.dead.get(&node).expect("dead var"));
-            self.smt.assert(Formula::iff(dead_var, Formula::or(per_state)));
+            self.smt
+                .assert(Formula::iff(dead_var, Formula::or(per_state)));
         }
     }
 

@@ -47,8 +47,10 @@
 
 mod counterexample;
 mod encode;
+mod template;
 mod verify;
 
 pub use counterexample::Counterexample;
 pub use encode::DeadlockSpec;
+pub use template::EncodingTemplate;
 pub use verify::{verify_system, verify_with, Analysis, AnalysisStats, Verdict};

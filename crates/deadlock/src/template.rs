@@ -1,0 +1,308 @@
+//! Reusable deadlock encodings for incremental verification sessions.
+//!
+//! A queue-sizing sweep (Figure 4 of the paper) asks the same question —
+//! "is there a cross-layer deadlock?" — about systems that differ *only*
+//! in their queue capacities.  The cold path ([`crate::verify_with`])
+//! rebuilds the full SMT instance and a fresh solver for every capacity;
+//! an [`EncodingTemplate`] instead builds the structure-dependent part of
+//! the encoding **once** — automata, channels, block/idle definitions and
+//! the derived invariants, none of which mention a concrete capacity — and
+//! pins the capacities per query inside a retractable solver scope:
+//!
+//! * every queue gets a bounded *capacity variable* `cap(q)` and the
+//!   capacity-dependent constraints (`#q ≤ cap(q)`, "q is full" as
+//!   `#q ≥ cap(q)`) are stated over it, so they hold for every capacity in
+//!   the sweep range;
+//! * a query for capacity `k` pushes a scope, asserts `cap(q) = k` for
+//!   every queue, checks, and pops — which the persistent
+//!   [`SmtSolver`] turns into solving under an assumption literal.
+//!
+//! Because the solver is persistent, learnt clauses, variable activities
+//! and theory lemmas accumulate across queries: each capacity after the
+//! first is decided with markedly less SAT effort than a cold start.
+
+use std::ops::RangeInclusive;
+use std::time::Instant;
+
+use advocat_automata::System;
+use advocat_invariants::InvariantSet;
+use advocat_logic::sat::SatStats;
+use advocat_logic::{BoolVar, CheckConfig, Formula, IntVar, LinExpr, Model, SmtSolver};
+use advocat_xmas::ColorMap;
+
+use crate::counterexample::Counterexample;
+use crate::encode::{build_encoding_with, CapacityMode, DeadlockSpec, Encoding, EncodingVars};
+use crate::verify::{analysis_from_result, Analysis};
+
+/// The name tables needed to render a model as a counterexample, captured
+/// from the system at template-construction time.  Owning them makes the
+/// template self-contained: queries cannot accidentally be paired with a
+/// different `System` than the one the encoding was built from.
+#[derive(Debug)]
+struct CexLabels {
+    /// `(occupancy var, queue name, packet)` per queue/color pair.
+    occupancy: Vec<(IntVar, String, String)>,
+    /// `(state var, automaton name, state name)` per automaton state.
+    state: Vec<(IntVar, String, String)>,
+    /// `(dead var, automaton name)` per automaton.
+    dead: Vec<(BoolVar, String)>,
+}
+
+impl CexLabels {
+    fn new(system: &System, vars: &EncodingVars) -> Self {
+        let network = system.network();
+        let occupancy = vars
+            .occupancy
+            .iter()
+            .map(|((queue, color), var)| {
+                (
+                    *var,
+                    network.name(*queue).to_owned(),
+                    network.colors().packet(*color).to_string(),
+                )
+            })
+            .collect();
+        let state = vars
+            .state
+            .iter()
+            .map(|((node, state), var)| {
+                let automaton = system.automaton(*node).expect("state var for automaton");
+                (
+                    *var,
+                    network.name(*node).to_owned(),
+                    automaton.state_name(*state).to_owned(),
+                )
+            })
+            .collect();
+        let dead = vars
+            .dead
+            .iter()
+            .map(|(node, var)| (*var, network.name(*node).to_owned()))
+            .collect();
+        CexLabels {
+            occupancy,
+            state,
+            dead,
+        }
+    }
+
+    fn extract(&self, model: &Model) -> Counterexample {
+        let mut cex = Counterexample::default();
+        for (var, queue, packet) in &self.occupancy {
+            let count = model.int_value(*var);
+            if count > 0 {
+                cex.queue_contents
+                    .push((queue.clone(), packet.clone(), count));
+            }
+        }
+        cex.queue_contents.sort();
+        for (var, automaton, state) in &self.state {
+            if model.int_value(*var) == 1 {
+                cex.automaton_states
+                    .push((automaton.clone(), state.clone()));
+            }
+        }
+        cex.automaton_states.sort();
+        for (var, automaton) in &self.dead {
+            if model.bool_value(*var) {
+                cex.dead_automata.push(automaton.clone());
+            }
+        }
+        cex.dead_automata.sort();
+        cex
+    }
+}
+
+/// A capacity-parameterised deadlock encoding bound to one persistent
+/// solver, answering deadlock queries for any capacity in its range.
+///
+/// # Examples
+///
+/// ```
+/// use advocat_automata::derive_colors;
+/// use advocat_deadlock::{DeadlockSpec, EncodingTemplate};
+/// use advocat_invariants::derive_invariants;
+/// use advocat_noc::{build_mesh, MeshConfig};
+///
+/// let system = build_mesh(&MeshConfig::new(2, 2, 1).with_directory(1, 1))?;
+/// let colors = derive_colors(&system);
+/// let invariants = derive_invariants(&system, &colors);
+/// let mut template =
+///     EncodingTemplate::new(&system, &colors, &invariants, &DeadlockSpec::default(), 2..=4);
+/// assert!(!template.check_capacity(2, &Default::default()).verdict.is_deadlock_free());
+/// assert!(template.check_capacity(3, &Default::default()).verdict.is_deadlock_free());
+/// # Ok::<(), advocat_noc::MeshError>(())
+/// ```
+#[derive(Debug)]
+pub struct EncodingTemplate {
+    smt: SmtSolver,
+    vars: EncodingVars,
+    labels: CexLabels,
+    invariants: usize,
+    capacities: RangeInclusive<usize>,
+}
+
+impl EncodingTemplate {
+    /// Builds the structure-dependent encoding once for every capacity in
+    /// `capacities`.
+    ///
+    /// `colors` must be the `T`-derivation of `system` and `invariants`
+    /// derived for the same color map; neither depends on queue capacities,
+    /// which is what makes the template sound for the whole range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacities` is empty.
+    pub fn new(
+        system: &System,
+        colors: &ColorMap,
+        invariants: &InvariantSet,
+        spec: &DeadlockSpec,
+        capacities: RangeInclusive<usize>,
+    ) -> Self {
+        assert!(
+            capacities.start() <= capacities.end(),
+            "capacity range must be non-empty"
+        );
+        let mode = CapacityMode::Symbolic {
+            min: *capacities.start() as i64,
+            max: *capacities.end() as i64,
+        };
+        let Encoding { smt, vars } = build_encoding_with(
+            system,
+            colors,
+            invariants,
+            spec,
+            SmtSolver::persistent(),
+            mode,
+        );
+        let labels = CexLabels::new(system, &vars);
+        EncodingTemplate {
+            smt,
+            vars,
+            labels,
+            invariants: invariants.len(),
+            capacities,
+        }
+    }
+
+    /// The capacity range the template was built for.
+    pub fn capacity_range(&self) -> RangeInclusive<usize> {
+        self.capacities.clone()
+    }
+
+    /// Decides the deadlock question with every queue capacity pinned to
+    /// `capacity`, reusing everything the solver learnt in earlier queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` lies outside [`EncodingTemplate::capacity_range`].
+    pub fn check_capacity(&mut self, capacity: usize, config: &CheckConfig) -> Analysis {
+        assert!(
+            self.capacities.contains(&capacity),
+            "capacity {capacity} outside the template range {:?}",
+            self.capacities
+        );
+        let start = Instant::now();
+        self.smt.push();
+        // Deterministic assertion order (the map iterates in hash order,
+        // which would make solver effort vary from run to run).
+        let mut caps: Vec<_> = self.vars.capacity.values().copied().collect();
+        caps.sort();
+        for var in caps {
+            self.smt.assert(Formula::eq(
+                LinExpr::var(var),
+                LinExpr::constant(capacity as i64),
+            ));
+        }
+        let result = self.smt.check_with(config);
+        let solver_stats = self.smt.stats();
+        self.smt.pop();
+        analysis_from_result(
+            &self.vars,
+            self.invariants,
+            result,
+            solver_stats,
+            start.elapsed(),
+            |m| self.labels.extract(m),
+        )
+    }
+
+    /// Cumulative statistics of the underlying SAT solver over the life of
+    /// the template (all queries so far).
+    pub fn sat_stats(&self) -> SatStats {
+        self.smt.sat_stats().expect("template solver is persistent")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advocat_automata::derive_colors;
+    use advocat_invariants::derive_invariants;
+    use advocat_logic::CheckConfig;
+    use advocat_noc::{build_mesh, MeshConfig};
+
+    use crate::verify_system;
+
+    #[test]
+    fn template_agrees_with_cold_verification_across_capacities() {
+        let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+        let system = build_mesh(&config).unwrap();
+        let colors = derive_colors(&system);
+        let invariants = derive_invariants(&system, &colors);
+        let spec = DeadlockSpec::default();
+        let mut template = EncodingTemplate::new(&system, &colors, &invariants, &spec, 1..=5);
+        for capacity in 1..=5usize {
+            let session = template
+                .check_capacity(capacity, &CheckConfig::default())
+                .verdict
+                .is_deadlock_free();
+            let cold_system = build_mesh(&config.with_queue_size(capacity)).unwrap();
+            let cold = verify_system(&cold_system, &spec)
+                .verdict
+                .is_deadlock_free();
+            assert_eq!(session, cold, "capacity {capacity}");
+        }
+    }
+
+    #[test]
+    fn repeated_queries_reuse_learnt_state() {
+        let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+        let system = build_mesh(&config).unwrap();
+        let colors = derive_colors(&system);
+        let invariants = derive_invariants(&system, &colors);
+        let spec = DeadlockSpec::default();
+        let mut template = EncodingTemplate::new(&system, &colors, &invariants, &spec, 2..=2);
+        let first = template.check_capacity(2, &CheckConfig::default());
+        let second = template.check_capacity(2, &CheckConfig::default());
+        assert_eq!(
+            first.verdict.is_deadlock_free(),
+            second.verdict.is_deadlock_free()
+        );
+        // Asking the identical question again must be cheaper: the solver
+        // already holds the relevant learnt clauses and theory lemmas.
+        assert!(
+            second.stats.sat_effort() <= first.stats.sat_effort(),
+            "second query regressed: {:?} vs {:?}",
+            second.stats,
+            first.stats
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the template range")]
+    fn out_of_range_capacity_is_rejected() {
+        let system = build_mesh(&MeshConfig::new(2, 2, 1).with_directory(1, 1)).unwrap();
+        let colors = derive_colors(&system);
+        let invariants = derive_invariants(&system, &colors);
+        let mut template = EncodingTemplate::new(
+            &system,
+            &colors,
+            &invariants,
+            &DeadlockSpec::default(),
+            2..=4,
+        );
+        let _ = template.check_capacity(7, &CheckConfig::default());
+    }
+}

@@ -4,11 +4,11 @@ use std::time::{Duration, Instant};
 
 use advocat_automata::{derive_colors, System};
 use advocat_invariants::{derive_invariants, InvariantSet};
-use advocat_logic::{CheckConfig, SmtResult};
+use advocat_logic::{CheckConfig, Model, SmtResult};
 use advocat_xmas::ColorMap;
 
 use crate::counterexample::Counterexample;
-use crate::encode::{build_encoding, DeadlockSpec, Encoding};
+use crate::encode::{build_encoding, DeadlockSpec, Encoding, EncodingVars};
 
 /// The verdict of a deadlock analysis.
 #[derive(Clone, Debug, PartialEq)]
@@ -51,8 +51,23 @@ pub struct AnalysisStats {
     pub linear_atoms: usize,
     /// Number of SAT/theory refinement iterations performed.
     pub refinements: u64,
+    /// SAT conflicts spent on this analysis (for session-based analyses the
+    /// delta attributable to this query, not the session total).
+    pub sat_conflicts: u64,
+    /// SAT unit propagations spent on this analysis (delta, like
+    /// [`AnalysisStats::sat_conflicts`]).
+    pub sat_propagations: u64,
     /// Wall-clock time of the analysis.
     pub elapsed: Duration,
+}
+
+impl AnalysisStats {
+    /// The total SAT effort of the analysis: conflicts plus propagations.
+    /// This is the unit in which the incremental-session speedup is
+    /// asserted (see the `incremental` integration tests).
+    pub fn sat_effort(&self) -> u64 {
+        self.sat_conflicts + self.sat_propagations
+    }
 }
 
 /// The result of a deadlock analysis.
@@ -94,52 +109,83 @@ pub fn verify_with(
     let start = Instant::now();
     let Encoding { mut smt, vars } = build_encoding(system, colors, invariants, spec);
     let result = smt.check_with(config);
-    let solver_stats = smt.stats();
+    let stats = smt.stats();
+    analysis_from_result(
+        &vars,
+        invariants.len(),
+        result,
+        stats,
+        start.elapsed(),
+        |m| extract_counterexample(system, &vars, m),
+    )
+}
+
+/// Translates an SMT model into a deadlock counterexample using the
+/// encoding's variable maps.
+pub(crate) fn extract_counterexample(
+    system: &System,
+    vars: &EncodingVars,
+    model: &Model,
+) -> Counterexample {
+    let network = system.network();
+    let mut cex = Counterexample::default();
+    for ((queue, color), var) in &vars.occupancy {
+        let count = model.int_value(*var);
+        if count > 0 {
+            cex.queue_contents.push((
+                network.name(*queue).to_owned(),
+                network.colors().packet(*color).to_string(),
+                count,
+            ));
+        }
+    }
+    cex.queue_contents.sort();
+    for ((node, state), var) in &vars.state {
+        if model.int_value(*var) == 1 {
+            let automaton = system.automaton(*node).expect("state var for automaton");
+            cex.automaton_states.push((
+                network.name(*node).to_owned(),
+                automaton.state_name(*state).to_owned(),
+            ));
+        }
+    }
+    cex.automaton_states.sort();
+    for (node, var) in &vars.dead {
+        if model.bool_value(*var) {
+            cex.dead_automata.push(network.name(*node).to_owned());
+        }
+    }
+    cex.dead_automata.sort();
+    cex
+}
+
+/// Packages an SMT result and its statistics into an [`Analysis`]; shared
+/// by the cold path above and by [`crate::EncodingTemplate`], which differ
+/// only in how they resolve a model back to names (`cex_of`).
+pub(crate) fn analysis_from_result(
+    vars: &EncodingVars,
+    invariants: usize,
+    result: SmtResult,
+    solver_stats: advocat_logic::SolverStats,
+    elapsed: Duration,
+    cex_of: impl FnOnce(&Model) -> Counterexample,
+) -> Analysis {
     let verdict = match result {
         SmtResult::Unsat => Verdict::DeadlockFree,
         SmtResult::Unknown => Verdict::Unknown,
-        SmtResult::Sat(model) => {
-            let network = system.network();
-            let mut cex = Counterexample::default();
-            for ((queue, color), var) in &vars.occupancy {
-                let count = model.int_value(*var);
-                if count > 0 {
-                    cex.queue_contents.push((
-                        network.name(*queue).to_owned(),
-                        network.colors().packet(*color).to_string(),
-                        count,
-                    ));
-                }
-            }
-            cex.queue_contents.sort();
-            for ((node, state), var) in &vars.state {
-                if model.int_value(*var) == 1 {
-                    let automaton = system.automaton(*node).expect("state var for automaton");
-                    cex.automaton_states.push((
-                        network.name(*node).to_owned(),
-                        automaton.state_name(*state).to_owned(),
-                    ));
-                }
-            }
-            cex.automaton_states.sort();
-            for (node, var) in &vars.dead {
-                if model.bool_value(*var) {
-                    cex.dead_automata.push(network.name(*node).to_owned());
-                }
-            }
-            cex.dead_automata.sort();
-            Verdict::PotentialDeadlock(cex)
-        }
+        SmtResult::Sat(model) => Verdict::PotentialDeadlock(cex_of(&model)),
     };
     Analysis {
         verdict,
         stats: AnalysisStats {
-            invariants: invariants.len(),
+            invariants,
             int_vars: vars.occupancy.len() + vars.state.len(),
             bool_vars: vars.block.len() + vars.idle.len() + vars.dead.len(),
             linear_atoms: solver_stats.linear_atoms,
             refinements: solver_stats.refinements,
-            elapsed: start.elapsed(),
+            sat_conflicts: solver_stats.sat_conflicts,
+            sat_propagations: solver_stats.sat_propagations,
+            elapsed,
         },
     }
 }
@@ -190,7 +236,11 @@ mod tests {
     fn running_example_is_deadlock_free_with_invariants() {
         let system = running_example(2);
         let analysis = verify_system(&system, &DeadlockSpec::default());
-        assert!(analysis.verdict.is_deadlock_free(), "{:?}", analysis.verdict);
+        assert!(
+            analysis.verdict.is_deadlock_free(),
+            "{:?}",
+            analysis.verdict
+        );
         assert!(analysis.stats.invariants >= 1);
         assert!(analysis.stats.int_vars >= 6);
     }

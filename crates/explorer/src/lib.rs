@@ -50,6 +50,6 @@ mod state;
 mod transfer;
 
 pub use reach::{explore, explore_with_visitor, Exploration, ExplorerConfig, Outcome};
-pub use simulate::{random_walk, SimulationReport};
+pub use simulate::{random_walk, SimulationReport, XorShift64};
 pub use state::GlobalState;
 pub use transfer::enabled_events;

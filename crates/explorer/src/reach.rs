@@ -67,7 +67,11 @@ pub fn explore(system: &System, config: &ExplorerConfig) -> Exploration {
 ///
 /// The visitor hook is how the test-suite cross-validates the invariant
 /// generator: every derived invariant must hold in every reachable state.
-pub fn explore_with_visitor<F>(system: &System, config: &ExplorerConfig, mut visitor: F) -> Exploration
+pub fn explore_with_visitor<F>(
+    system: &System,
+    config: &ExplorerConfig,
+    mut visitor: F,
+) -> Exploration
 where
     F: FnMut(&GlobalState),
 {

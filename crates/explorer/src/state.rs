@@ -35,10 +35,7 @@ impl GlobalState {
 
     /// Returns the content of a queue (front first).
     pub fn queue(&self, queue: PrimitiveId) -> &[ColorId] {
-        self.queues
-            .get(&queue)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        self.queues.get(&queue).map(|v| v.as_slice()).unwrap_or(&[])
     }
 
     /// Returns the number of packets of the given color in a queue.

@@ -332,7 +332,11 @@ mod tests {
 
         let state = GlobalState::initial(&system);
         let events = enabled_events(&system, &state, true);
-        assert_eq!(events.len(), 1, "the injection through the agent is enabled");
+        assert_eq!(
+            events.len(),
+            1,
+            "the injection through the agent is enabled"
+        );
         let next = events[0].apply(&state);
         assert_eq!(next.queue_len(q), 1);
         // Queue now full: the agent can no longer accept `go`.

@@ -96,10 +96,7 @@ fn in_channel_rows(
     let mut groups: Vec<Vec<usize>> = Vec::new();
     for transition in automaton.transitions() {
         if let TransitionKind::Triggered(map) = &transition.kind {
-            let members: Vec<usize> = map
-                .keys()
-                .filter_map(|key| tuple_index(key))
-                .collect();
+            let members: Vec<usize> = map.keys().filter_map(&tuple_index).collect();
             if members.len() > 1 {
                 groups.push(members);
             }
@@ -123,10 +120,7 @@ fn in_channel_rows(
             }
         }
         for t in enabled {
-            row.add_term(
-                registry.kappa(node, t as u32),
-                Rational::from_integer(-1),
-            );
+            row.add_term(registry.kappa(node, t as u32), Rational::from_integer(-1));
         }
         rows.push(row);
     }
@@ -166,7 +160,7 @@ fn out_channel_rows(
         let members: Vec<usize> = transition
             .emissions()
             .iter()
-            .filter_map(|e| tuple_index(e))
+            .filter_map(&tuple_index)
             .collect();
         if members.len() > 1 {
             groups.push(members);
@@ -175,8 +169,7 @@ fn out_channel_rows(
     let classes = partition_by_groups(tuples.len(), &groups);
 
     for class in classes {
-        let class_tuples: BTreeSet<(usize, ColorId)> =
-            class.iter().map(|&m| tuples[m]).collect();
+        let class_tuples: BTreeSet<(usize, ColorId)> = class.iter().map(|&m| tuples[m]).collect();
         // Producers: transitions that can emit some tuple of the class.
         let mut producers: BTreeSet<usize> = BTreeSet::new();
         for (idx, transition) in automaton.transitions().iter().enumerate() {
@@ -221,10 +214,7 @@ fn out_channel_rows(
             row.add_term(registry.lambda(channel, *color), Rational::ONE);
         }
         for p in producers {
-            row.add_term(
-                registry.kappa(node, p as u32),
-                Rational::from_integer(-1),
-            );
+            row.add_term(registry.kappa(node, p as u32), Rational::from_integer(-1));
         }
         rows.push(row);
     }
@@ -310,11 +300,7 @@ mod tests {
         net.connect(agent, 0, snk, 0);
         let mut builder = AutomatonBuilder::new("agent", 1, 1);
         let s = builder.state("s");
-        builder.on_any(
-            s,
-            s,
-            [((0, a), Some((0, out_pkt))), ((0, b_pkt), None)],
-        );
+        builder.on_any(s, s, [((0, a), Some((0, out_pkt))), ((0, b_pkt), None)]);
         let mut system = System::new(net);
         system.attach(agent, builder.build().unwrap()).unwrap();
         let colors = derive_colors(&system);

@@ -105,7 +105,13 @@ mod tests {
 
         let invariant = Invariant {
             terms: vec![
-                (InvariantVar::QueueCount { queue: q0, color: req }, 1),
+                (
+                    InvariantVar::QueueCount {
+                        queue: q0,
+                        color: req,
+                    },
+                    1,
+                ),
                 (InvariantVar::AutomatonState { node, state: s1 }, -1),
             ],
             constant: 1,

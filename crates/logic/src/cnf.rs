@@ -75,7 +75,7 @@ fn gcd(a: i64, b: i64) -> i64 {
 /// Tseitin encoder mapping formulas onto a [`SatSolver`], keeping track of
 /// the atom ↔ SAT-variable correspondence so the lazy SMT loop can extract
 /// theory constraints from SAT models and add blocking clauses.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Encoder {
     bool_to_sat: HashMap<BoolVar, Var>,
     atoms: Vec<LinearAtom>,
@@ -148,13 +148,7 @@ impl Encoder {
         }
     }
 
-    fn encode_cmp(
-        &mut self,
-        lhs: &LinExpr,
-        op: CmpOp,
-        rhs: &LinExpr,
-        sat: &mut SatSolver,
-    ) -> Lit {
+    fn encode_cmp(&mut self, lhs: &LinExpr, op: CmpOp, rhs: &LinExpr, sat: &mut SatSolver) -> Lit {
         let diff = lhs.clone() - rhs.clone();
         let (terms, constant) = diff.canonical();
         match op {
@@ -300,10 +294,7 @@ mod tests {
         let mut enc = Encoder::new();
         let mut sat = SatSolver::new();
         enc.assert(
-            &Formula::or([
-                Formula::bool_var(a),
-                Formula::not(Formula::bool_var(a)),
-            ]),
+            &Formula::or([Formula::bool_var(a), Formula::not(Formula::bool_var(a))]),
             &mut sat,
         );
         assert!(sat.solve().is_ok());

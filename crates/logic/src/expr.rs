@@ -242,6 +242,7 @@ impl Add for LinExpr {
 impl Sub for LinExpr {
     type Output = LinExpr;
 
+    #[allow(clippy::suspicious_arithmetic_impl)] // subtraction via the negation
     fn sub(self, rhs: LinExpr) -> LinExpr {
         self + rhs.neg()
     }
@@ -364,6 +365,7 @@ impl Formula {
     }
 
     /// Negation, with light simplification.
+    #[allow(clippy::should_implement_trait)] // an associated constructor, not `!`
     pub fn not(f: Formula) -> Formula {
         match f {
             Formula::True => Formula::False,
@@ -526,10 +528,7 @@ mod tests {
         let mut pool = VarPool::new();
         let a = pool.new_bool("a");
         let b = pool.new_bool("b");
-        let f = Formula::iff(
-            Formula::bool_var(a),
-            Formula::not(Formula::bool_var(b)),
-        );
+        let f = Formula::iff(Formula::bool_var(a), Formula::not(Formula::bool_var(b)));
         assert!(f.evaluate(&mut |v| v == a, &mut |_| 0));
         assert!(!f.evaluate(&mut |_| true, &mut |_| 0));
     }

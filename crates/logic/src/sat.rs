@@ -6,8 +6,14 @@
 //! clause learning and non-chronological backjumping, exponential-decay
 //! variable activities for branching and geometric restarts.
 //!
-//! The solver is incremental in the simple sense required by the lazy SMT
-//! loop: clauses may be added between calls to [`SatSolver::solve`].
+//! The solver is incremental in two senses: clauses may be added between
+//! calls to [`SatSolver::solve`], and [`SatSolver::solve_with_assumptions`]
+//! solves under a set of assumed literals that are retracted when the call
+//! returns — learnt clauses, variable activities and the watcher state all
+//! survive into the next call, which is what makes closely related queries
+//! (such as a queue-size sweep) cheap after the first one.  When a solve
+//! under assumptions fails, [`SatSolver::last_core`] reports the subset of
+//! the assumptions responsible (the *final conflict*, in MiniSat terms).
 //!
 //! # Examples
 //!
@@ -104,7 +110,7 @@ pub struct SatStats {
 }
 
 /// A conflict-driven clause-learning SAT solver.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SatSolver {
     clauses: Vec<Clause>,
     watches: Vec<Vec<usize>>,
@@ -118,19 +124,36 @@ pub struct SatSolver {
     var_inc: f64,
     ok: bool,
     stats: SatStats,
+    last_core: Vec<Lit>,
 }
 
 /// Result returned when the solver proves unsatisfiability.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Unsat;
 
+impl Default for SatSolver {
+    fn default() -> Self {
+        SatSolver::new()
+    }
+}
+
 impl SatSolver {
     /// Creates an empty solver with no variables or clauses.
     pub fn new() -> Self {
         SatSolver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            levels: Vec::new(),
+            reasons: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
             var_inc: 1.0,
             ok: true,
-            ..SatSolver::default()
+            stats: SatStats::default(),
+            last_core: Vec::new(),
         }
     }
 
@@ -180,7 +203,10 @@ impl SatSolver {
         }
         // Remove literals already false at level 0; detect satisfied clauses.
         clause.retain(|&l| self.value(l) != Some(false) || self.levels[l.var()] != 0);
-        if clause.iter().any(|&l| self.value(l) == Some(true) && self.levels[l.var()] == 0) {
+        if clause
+            .iter()
+            .any(|&l| self.value(l) == Some(true) && self.levels[l.var()] == 0)
+        {
             return true;
         }
         match clause.len() {
@@ -397,8 +423,35 @@ impl SatSolver {
     /// and `Err(Unsat)` otherwise.  The solver always returns to decision
     /// level zero, so further clauses can be added afterwards.
     pub fn solve(&mut self) -> Result<Vec<bool>, Unsat> {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solves the current clause set under the given assumption literals.
+    ///
+    /// The assumptions are treated as the first decisions of the search (in
+    /// order) and are retracted before the call returns, so the same solver
+    /// can answer a sequence of related queries while keeping every learnt
+    /// clause, the variable activities and the watcher state.
+    ///
+    /// On `Err(Unsat)`, [`SatSolver::last_core`] holds the subset of the
+    /// assumptions that the solver found jointly incompatible with the
+    /// clause set (empty when the clause set is unsatisfiable on its own —
+    /// in that case every later call also returns `Err(Unsat)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an assumption refers to a variable that was never
+    /// allocated.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> Result<Vec<bool>, Unsat> {
+        self.last_core.clear();
         if !self.ok {
             return Err(Unsat);
+        }
+        for lit in assumptions {
+            assert!(
+                lit.var() < self.num_vars(),
+                "assumption for unknown variable"
+            );
         }
         self.cancel_until(0);
         if self.propagate().is_some() {
@@ -437,13 +490,37 @@ impl SatSolver {
                 self.cancel_until(0);
                 continue;
             }
+            // Establish the next pending assumption, if any, before
+            // branching freely.  Backjumps and restarts may retract
+            // assumptions; they are re-established here because the
+            // decision level tracks how many are currently on the trail.
+            if (self.decision_level() as usize) < assumptions.len() {
+                let p = assumptions[self.decision_level() as usize];
+                match self.value(p) {
+                    Some(true) => {
+                        // Already implied: open an empty decision level so
+                        // assumption indices and decision levels stay
+                        // aligned.
+                        self.trail_lim.push(self.trail.len());
+                    }
+                    Some(false) => {
+                        self.last_core = self.analyze_final(p);
+                        self.cancel_until(0);
+                        return Err(Unsat);
+                    }
+                    None => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let ok = self.enqueue(p, None);
+                        debug_assert!(ok, "assumption variable was unassigned");
+                    }
+                }
+                continue;
+            }
             match self.pick_branch_var() {
                 None => {
-                    let model: Vec<bool> = self
-                        .assigns
-                        .iter()
-                        .map(|a| a.unwrap_or(false))
-                        .collect();
+                    let model: Vec<bool> =
+                        self.assigns.iter().map(|a| a.unwrap_or(false)).collect();
                     self.cancel_until(0);
                     return Ok(model);
                 }
@@ -458,6 +535,47 @@ impl SatSolver {
                 }
             }
         }
+    }
+
+    /// Returns the final conflict of the most recent failed
+    /// [`SatSolver::solve_with_assumptions`] call: a subset of the assumed
+    /// literals whose conjunction is incompatible with the clause set.  The
+    /// core is a correct witness but not guaranteed minimal.
+    pub fn last_core(&self) -> &[Lit] {
+        &self.last_core
+    }
+
+    /// Walks the implication graph backwards from a failed assumption `p`
+    /// (currently assigned false) and collects the assumptions that
+    /// contributed to falsifying it — MiniSat's `analyzeFinal`.
+    fn analyze_final(&self, p: Lit) -> Vec<Lit> {
+        let mut core = vec![p];
+        if self.decision_level() == 0 || self.levels[p.var()] == 0 {
+            // `¬p` follows from the clause set alone: `{p}` is the core.
+            return core;
+        }
+        let mut seen = vec![false; self.num_vars()];
+        seen[p.var()] = true;
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let x = self.trail[i];
+            if !seen[x.var()] {
+                continue;
+            }
+            match self.reasons[x.var()] {
+                // Decisions above level zero are exactly the established
+                // assumptions; the trail holds the assumed literal itself.
+                None => core.push(x),
+                Some(ci) => {
+                    for &l in &self.clauses[ci].lits {
+                        if l.var() != x.var() && self.levels[l.var()] > 0 {
+                            seen[l.var()] = true;
+                        }
+                    }
+                }
+            }
+            seen[x.var()] = false;
+        }
+        core
     }
 }
 
@@ -524,6 +642,7 @@ mod tests {
         for row in &p {
             s.add_clause(&[lit(row[0], true), lit(row[1], true)]);
         }
+        #[allow(clippy::needless_range_loop)] // j indexes two rows at once
         for j in 0..2 {
             for i in 0..3 {
                 for k in (i + 1)..3 {
@@ -545,6 +664,80 @@ mod tests {
         assert!(s.solve().is_ok());
         s.add_clause(&[lit(b, false)]);
         assert_eq!(s.solve(), Err(Unsat));
+    }
+
+    #[test]
+    fn assumptions_are_retracted_between_calls() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[lit(a, true), lit(b, true)]);
+        // Under ¬a the solver must pick b…
+        let m = s.solve_with_assumptions(&[lit(a, false)]).unwrap();
+        assert!(!m[a]);
+        assert!(m[b]);
+        // …but ¬a is not persistent: assuming ¬b now forces a.
+        let m = s.solve_with_assumptions(&[lit(b, false)]).unwrap();
+        assert!(m[a]);
+        assert!(!m[b]);
+        // And with no assumptions the instance is still satisfiable.
+        assert!(s.solve().is_ok());
+    }
+
+    #[test]
+    fn failed_assumptions_produce_a_core() {
+        // a -> b, b -> c; assuming a and ¬c is inconsistent.
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        let c = s.new_var();
+        let d = s.new_var(); // irrelevant to the conflict
+        s.add_clause(&[lit(a, false), lit(b, true)]);
+        s.add_clause(&[lit(b, false), lit(c, true)]);
+        let result = s.solve_with_assumptions(&[lit(d, true), lit(a, true), lit(c, false)]);
+        assert_eq!(result, Err(Unsat));
+        let core = s.last_core().to_vec();
+        assert!(core.contains(&lit(a, true)));
+        assert!(core.contains(&lit(c, false)));
+        assert!(
+            !core.contains(&lit(d, true)),
+            "unrelated assumption in core"
+        );
+        // The solver remains usable and satisfiable without the assumptions.
+        assert!(s.solve().is_ok());
+    }
+
+    #[test]
+    fn directly_contradictory_assumptions_core_both_polarities() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        assert_eq!(
+            s.solve_with_assumptions(&[lit(a, true), lit(a, false)]),
+            Err(Unsat)
+        );
+        let core = s.last_core().to_vec();
+        assert!(core.contains(&lit(a, true)));
+        assert!(core.contains(&lit(a, false)));
+    }
+
+    #[test]
+    fn assumption_refuted_at_level_zero_is_its_own_core() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        s.add_clause(&[lit(a, false)]);
+        assert_eq!(s.solve_with_assumptions(&[lit(a, true)]), Err(Unsat));
+        assert_eq!(s.last_core(), &[lit(a, true)]);
+    }
+
+    #[test]
+    fn unsat_clause_set_reports_empty_core() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[lit(a, true)]);
+        s.add_clause(&[lit(a, false)]);
+        assert_eq!(s.solve_with_assumptions(&[lit(b, true)]), Err(Unsat));
+        assert!(s.last_core().is_empty());
     }
 
     #[test]

@@ -1,10 +1,28 @@
 //! The lazy DPLL(T) loop combining the SAT core with the bounded-LIA
 //! theory solver.
+//!
+//! The solver has two operating modes:
+//!
+//! * **cold** ([`SmtSolver::new`]) — every [`SmtSolver::check`] builds a
+//!   fresh CNF encoding and SAT solver, exactly reproducing an
+//!   off-the-shelf one-shot solver;
+//! * **persistent** ([`SmtSolver::persistent`]) — the encoding, the SAT
+//!   solver (including its learnt clauses, variable activities and watcher
+//!   lists) and every theory lemma survive across `check()` calls.
+//!   Assertions made inside a [`SmtSolver::push`]/[`SmtSolver::pop`] scope
+//!   are guarded by an activation literal and solved under assumptions
+//!   ([`crate::sat::SatSolver::solve_with_assumptions`]), so popping a
+//!   scope retracts them without discarding anything the solver learnt.
+//!
+//! Theory lemmas (blocking clauses derived from infeasible conjunctions of
+//! linear atoms) are consequences of the variable bounds alone, never of
+//! the asserted formulas, so in persistent mode they are added as permanent
+//! clauses and keep pruning the search in every later query.
 
 use crate::cnf::Encoder;
 use crate::expr::{BoolVar, Formula, IntVar, VarPool};
 use crate::model::Model;
-use crate::sat::{Lit, SatSolver};
+use crate::sat::{Lit, SatSolver, SatStats};
 use crate::theory::{self, Constraint, TheoryVerdict};
 
 /// Resource limits for a satisfiability check.
@@ -37,6 +55,12 @@ pub struct SolverStats {
     pub linear_atoms: usize,
     /// Number of propositional variables allocated by the encoding.
     pub sat_variables: usize,
+    /// SAT conflicts encountered during this check (persistent mode reports
+    /// the delta against the solver state before the check).
+    pub sat_conflicts: u64,
+    /// SAT unit propagations performed during this check (delta, like
+    /// [`SolverStats::sat_conflicts`]).
+    pub sat_propagations: u64,
 }
 
 /// Outcome of a satisfiability check.
@@ -74,6 +98,30 @@ impl SmtResult {
     }
 }
 
+/// The long-lived encoding state of a persistent solver.
+#[derive(Clone, Debug)]
+struct Incremental {
+    encoder: Encoder,
+    sat: SatSolver,
+    /// How many leading assertions have been encoded into `sat`.
+    encoded: usize,
+    /// Activation literal of each open scope, innermost last.
+    scope_lits: Vec<Lit>,
+}
+
+impl Default for Incremental {
+    fn default() -> Self {
+        Incremental {
+            encoder: Encoder::new(),
+            // `SatSolver::new()`, not `SatSolver::default()`: only the
+            // former initialises the ok flag and the activity increment.
+            sat: SatSolver::new(),
+            encoded: 0,
+            scope_lits: Vec::new(),
+        }
+    }
+}
+
 /// An SMT solver for quantifier-free formulas over Booleans and bounded
 /// linear integer arithmetic.
 ///
@@ -88,17 +136,54 @@ impl SmtResult {
 /// smt.assert(Formula::le(LinExpr::var(x), LinExpr::constant(1)));
 /// assert!(smt.check().is_unsat());
 /// ```
+///
+/// Persistent mode answers a sweep of related queries from one solver,
+/// retracting the per-query constraint between checks:
+///
+/// ```
+/// use advocat_logic::{Formula, LinExpr, SmtSolver};
+///
+/// let mut smt = SmtSolver::persistent();
+/// let x = smt.new_int_var("x", 0, 10);
+/// let y = smt.new_int_var("y", 0, 10);
+/// smt.assert(Formula::eq(LinExpr::var(x) + LinExpr::var(y), LinExpr::constant(6)));
+/// for cap in 0..3 {
+///     smt.push();
+///     smt.assert(Formula::le(LinExpr::var(x), LinExpr::constant(cap)));
+///     assert!(smt.check().is_sat());
+///     smt.pop();
+/// }
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct SmtSolver {
     pool: VarPool,
     assertions: Vec<Formula>,
+    /// Assertion-count marks of the open scopes, innermost last.
+    scope_marks: Vec<usize>,
+    persistent: Option<Box<Incremental>>,
     stats: SolverStats,
 }
 
 impl SmtSolver {
-    /// Creates an empty solver.
+    /// Creates an empty cold-mode solver: every check builds a fresh
+    /// encoding and SAT solver.
     pub fn new() -> Self {
         SmtSolver::default()
+    }
+
+    /// Creates an empty persistent solver: the encoding, learnt clauses and
+    /// theory lemmas survive across [`SmtSolver::check`] calls, and scoped
+    /// assertions are retracted via assumption literals.
+    pub fn persistent() -> Self {
+        SmtSolver {
+            persistent: Some(Box::default()),
+            ..SmtSolver::default()
+        }
+    }
+
+    /// Returns `true` for a solver created with [`SmtSolver::persistent`].
+    pub fn is_persistent(&self) -> bool {
+        self.persistent.is_some()
     }
 
     /// Declares a fresh Boolean variable.
@@ -116,14 +201,51 @@ impl SmtSolver {
         &self.pool
     }
 
-    /// Asserts a formula.
+    /// Asserts a formula in the innermost open scope (or permanently when
+    /// no scope is open).
     pub fn assert(&mut self, formula: Formula) {
         self.assertions.push(formula);
     }
 
-    /// Returns the assertions added so far.
+    /// Returns the currently active assertions, outermost first.
     pub fn assertions(&self) -> &[Formula] {
         &self.assertions
+    }
+
+    /// Opens an assertion scope: assertions made until the matching
+    /// [`SmtSolver::pop`] are retracted by it.
+    pub fn push(&mut self) {
+        self.scope_marks.push(self.assertions.len());
+        if let Some(inc) = self.persistent.as_mut() {
+            let act = Lit::positive(inc.sat.new_var());
+            inc.scope_lits.push(act);
+        }
+    }
+
+    /// Closes the innermost scope, retracting its assertions.  In
+    /// persistent mode the scope's activation literal is permanently
+    /// disabled, which satisfies every clause the scope contributed while
+    /// keeping all learnt clauses and theory lemmas.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no scope is open.
+    pub fn pop(&mut self) {
+        let mark = self.scope_marks.pop().expect("pop without a matching push");
+        self.assertions.truncate(mark);
+        if let Some(inc) = self.persistent.as_mut() {
+            inc.encoded = inc.encoded.min(mark);
+            let act = inc
+                .scope_lits
+                .pop()
+                .expect("scope literal tracked per scope");
+            inc.sat.add_clause(&[act.negated()]);
+        }
+    }
+
+    /// Returns the number of open scopes.
+    pub fn scope_depth(&self) -> usize {
+        self.scope_marks.len()
     }
 
     /// Returns statistics about the most recent check.
@@ -131,13 +253,36 @@ impl SmtSolver {
         self.stats
     }
 
+    /// Returns the cumulative statistics of the underlying SAT solver.
+    ///
+    /// In persistent mode the counters accumulate over the whole life of
+    /// the session (that is what makes reuse visible); in cold mode there
+    /// is no long-lived SAT solver and `None` is returned.
+    pub fn sat_stats(&self) -> Option<SatStats> {
+        self.persistent.as_ref().map(|inc| inc.sat.stats())
+    }
+
     /// Checks satisfiability with default resource limits.
     pub fn check(&mut self) -> SmtResult {
         self.check_with(&CheckConfig::default())
     }
 
-    /// Checks satisfiability with the given resource limits.
+    /// Checks satisfiability of the active assertions with the given
+    /// resource limits.
     pub fn check_with(&mut self, config: &CheckConfig) -> SmtResult {
+        match self.persistent.take() {
+            Some(mut inc) => {
+                let result = self.check_persistent(&mut inc, config);
+                self.persistent = Some(inc);
+                result
+            }
+            None => self.check_cold(config),
+        }
+    }
+
+    /// One-shot check: fresh encoder and SAT solver, as in the original
+    /// pipeline.
+    fn check_cold(&mut self, config: &CheckConfig) -> SmtResult {
         let mut encoder = Encoder::new();
         let mut sat = SatSolver::new();
         for assertion in &self.assertions {
@@ -148,8 +293,62 @@ impl SmtSolver {
             sat_variables: sat.num_vars(),
             ..SolverStats::default()
         };
+        let result = self.refinement_loop(&mut encoder, &mut sat, &[], config);
+        self.stats.sat_conflicts = sat.stats().conflicts;
+        self.stats.sat_propagations = sat.stats().propagations;
+        result
+    }
 
-        let bounds: Vec<(i64, i64)> = self.pool.int_vars().map(|v| self.pool.int_bounds(v)).collect();
+    /// Incremental check: encode only the assertions added since the last
+    /// check and solve under the activation literals of the open scopes.
+    fn check_persistent(&mut self, inc: &mut Incremental, config: &CheckConfig) -> SmtResult {
+        for i in inc.encoded..self.assertions.len() {
+            // The innermost scope whose mark covers assertion `i` guards
+            // it; assertions below every mark are permanent.
+            let guard = self
+                .scope_marks
+                .iter()
+                .rposition(|&mark| mark <= i)
+                .map(|scope| inc.scope_lits[scope]);
+            let lit = inc.encoder.encode(&self.assertions[i], &mut inc.sat);
+            match guard {
+                Some(act) => inc.sat.add_clause(&[act.negated(), lit]),
+                None => inc.sat.add_clause(&[lit]),
+            };
+        }
+        inc.encoded = self.assertions.len();
+
+        self.stats = SolverStats {
+            linear_atoms: inc.encoder.atom_count(),
+            sat_variables: inc.sat.num_vars(),
+            ..SolverStats::default()
+        };
+        let before = inc.sat.stats();
+        let assumptions = inc.scope_lits.clone();
+        let result = self.refinement_loop(&mut inc.encoder, &mut inc.sat, &assumptions, config);
+        let after = inc.sat.stats();
+        self.stats.sat_conflicts = after.conflicts - before.conflicts;
+        self.stats.sat_propagations = after.propagations - before.propagations;
+        result
+    }
+
+    /// The lazy SAT/theory refinement loop shared by both modes.
+    ///
+    /// Blocking clauses are justified by the variable bounds alone, so they
+    /// are always added as permanent clauses — in persistent mode they are
+    /// the "theory lemmas" that survive into later checks.
+    fn refinement_loop(
+        &mut self,
+        encoder: &mut Encoder,
+        sat: &mut SatSolver,
+        assumptions: &[Lit],
+        config: &CheckConfig,
+    ) -> SmtResult {
+        let bounds: Vec<(i64, i64)> = self
+            .pool
+            .int_vars()
+            .map(|v| self.pool.int_bounds(v))
+            .collect();
 
         loop {
             if self.stats.refinements >= config.max_refinements {
@@ -157,7 +356,7 @@ impl SmtSolver {
             }
             self.stats.refinements += 1;
 
-            let sat_model = match sat.solve() {
+            let sat_model = match sat.solve_with_assumptions(assumptions) {
                 Ok(model) => model,
                 Err(_) => return SmtResult::Unsat,
             };
@@ -195,10 +394,8 @@ impl SmtSolver {
                         }
                     }
                     debug_assert!(
-                        self.assertions.iter().all(|f| f.evaluate(
-                            &mut |b| model.bool_value(b),
-                            &mut |i| model.int_value(i)
-                        )),
+                        self.assertions.iter().all(|f| f
+                            .evaluate(&mut |b| model.bool_value(b), &mut |i| model.int_value(i))),
                         "internal error: SMT model does not satisfy the assertions"
                     );
                     return SmtResult::Sat(model);
@@ -376,5 +573,109 @@ mod tests {
         let _ = smt.check();
         assert!(smt.stats().refinements >= 1);
         assert!(smt.stats().sat_variables >= 1);
+    }
+
+    #[test]
+    fn cold_push_pop_retracts_assertions() {
+        let mut smt = SmtSolver::new();
+        let x = smt.new_int_var("x", 0, 5);
+        smt.assert(Formula::ge(LinExpr::var(x), LinExpr::constant(2)));
+        smt.push();
+        smt.assert(Formula::le(LinExpr::var(x), LinExpr::constant(1)));
+        assert!(smt.check().is_unsat());
+        smt.pop();
+        assert!(smt.check().is_sat());
+        assert_eq!(smt.scope_depth(), 0);
+    }
+
+    #[test]
+    fn persistent_push_pop_matches_cold_results() {
+        // A small sweep answered by one persistent solver must agree with
+        // fresh cold solvers at every step.
+        let mut session = SmtSolver::persistent();
+        let x = session.new_int_var("x", 0, 8);
+        let y = session.new_int_var("y", 0, 8);
+        let base = Formula::eq(LinExpr::var(x) + LinExpr::var(y), LinExpr::constant(5));
+        session.assert(base.clone());
+        for cap in 0..=6i64 {
+            session.push();
+            session.assert(Formula::le(LinExpr::var(x), LinExpr::constant(cap)));
+            session.assert(Formula::ge(LinExpr::var(y), LinExpr::constant(5 - cap)));
+            let persistent_sat = session.check().is_sat();
+            session.pop();
+
+            let mut cold = SmtSolver::new();
+            let cx = cold.new_int_var("x", 0, 8);
+            let cy = cold.new_int_var("y", 0, 8);
+            cold.assert(Formula::eq(
+                LinExpr::var(cx) + LinExpr::var(cy),
+                LinExpr::constant(5),
+            ));
+            cold.assert(Formula::le(LinExpr::var(cx), LinExpr::constant(cap)));
+            cold.assert(Formula::ge(LinExpr::var(cy), LinExpr::constant(5 - cap)));
+            assert_eq!(persistent_sat, cold.check().is_sat(), "capacity {cap}");
+        }
+        assert!(session.sat_stats().is_some());
+    }
+
+    #[test]
+    fn persistent_mode_keeps_scope_zero_assertions() {
+        let mut smt = SmtSolver::persistent();
+        let x = smt.new_int_var("x", 0, 3);
+        smt.assert(Formula::ge(LinExpr::var(x), LinExpr::constant(1)));
+        assert!(smt.check().is_sat());
+        // A permanently contradictory assertion flips the solver to unsat…
+        smt.assert(Formula::le(LinExpr::var(x), LinExpr::constant(0)));
+        assert!(smt.check().is_unsat());
+        // …and it stays unsat on re-check (nothing was retracted).
+        assert!(smt.check().is_unsat());
+    }
+
+    #[test]
+    fn persistent_unsat_scope_does_not_poison_later_queries() {
+        let mut smt = SmtSolver::persistent();
+        let x = smt.new_int_var("x", 0, 4);
+        smt.assert(Formula::ge(LinExpr::var(x), LinExpr::constant(2)));
+        smt.push();
+        smt.assert(Formula::le(LinExpr::var(x), LinExpr::constant(1)));
+        assert!(smt.check().is_unsat());
+        smt.pop();
+        smt.push();
+        smt.assert(Formula::le(LinExpr::var(x), LinExpr::constant(3)));
+        let model = smt.check().expect_sat();
+        let v = model.int_value(x);
+        assert!((2..=3).contains(&v));
+        smt.pop();
+    }
+
+    #[test]
+    fn nested_scopes_retract_in_order() {
+        let mut smt = SmtSolver::persistent();
+        let x = smt.new_int_var("x", 0, 9);
+        smt.push();
+        smt.assert(Formula::ge(LinExpr::var(x), LinExpr::constant(4)));
+        smt.push();
+        smt.assert(Formula::le(LinExpr::var(x), LinExpr::constant(3)));
+        assert!(smt.check().is_unsat());
+        smt.pop();
+        let model = smt.check().expect_sat();
+        assert!(model.int_value(x) >= 4);
+        smt.pop();
+        let model = smt.check().expect_sat();
+        assert!(model.int_value(x) >= 0);
+    }
+
+    #[test]
+    fn per_check_sat_stats_are_deltas() {
+        let mut smt = SmtSolver::persistent();
+        let x = smt.new_int_var("x", 0, 6);
+        smt.assert(Formula::ge(LinExpr::var(x), LinExpr::constant(1)));
+        let _ = smt.check();
+        let first = smt.stats().sat_propagations;
+        let _ = smt.check();
+        let cumulative = smt.sat_stats().expect("persistent").propagations;
+        // The second check's delta cannot exceed the cumulative counter
+        // minus the first delta.
+        assert!(smt.stats().sat_propagations + first <= cumulative);
     }
 }

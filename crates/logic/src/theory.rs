@@ -148,11 +148,7 @@ pub fn refuted_by_propagation(bounds: &[(i64, i64)], constraints: &[Constraint])
 ///
 /// `node_budget` bounds the number of search nodes explored; when exhausted
 /// the verdict is [`TheoryVerdict::Unknown`].
-pub fn solve(
-    bounds: &[(i64, i64)],
-    constraints: &[Constraint],
-    node_budget: u64,
-) -> TheoryVerdict {
+pub fn solve(bounds: &[(i64, i64)], constraints: &[Constraint], node_budget: u64) -> TheoryVerdict {
     for c in constraints {
         for &(_, v) in &c.terms {
             assert!(v < bounds.len(), "constraint mentions undeclared variable");

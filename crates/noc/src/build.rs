@@ -46,11 +46,15 @@ pub fn build_mesh(config: &MeshConfig) -> Result<System, MeshError> {
     let specs: Vec<AgentSpec> = match config.protocol {
         ProtocolKind::AbstractMi => {
             let protocol = AbstractMi::new(num_nodes, dir_node);
-            (0..num_nodes).map(|n| protocol.agent(&mut net, n)).collect()
+            (0..num_nodes)
+                .map(|n| protocol.agent(&mut net, n))
+                .collect()
         }
         ProtocolKind::FullMi => {
             let protocol = FullMi::new(num_nodes, dir_node);
-            (0..num_nodes).map(|n| protocol.agent(&mut net, n)).collect()
+            (0..num_nodes)
+                .map(|n| protocol.agent(&mut net, n))
+                .collect()
         }
     };
 
@@ -86,7 +90,12 @@ pub fn build_mesh(config: &MeshConfig) -> Result<System, MeshError> {
     // Link queues (one per directed link per plane) and ejection queues.
     let mut link_queue: BTreeMap<(u32, u32, usize), PrimitiveId> = BTreeMap::new();
     for node in 0..num_nodes {
-        for dir in [Direction::North, Direction::East, Direction::South, Direction::West] {
+        for dir in [
+            Direction::North,
+            Direction::East,
+            Direction::South,
+            Direction::West,
+        ] {
             if let Some(next) = neighbor(config, node, dir) {
                 for p in 0..planes {
                     let (x, y) = config.coords(node);
@@ -166,7 +175,12 @@ pub fn build_mesh(config: &MeshConfig) -> Result<System, MeshError> {
         for p in 0..planes {
             // Router inputs of this plane: incoming link queues + injection.
             let mut inputs: Vec<(PrimitiveId, usize, String)> = Vec::new();
-            for dir in [Direction::North, Direction::East, Direction::South, Direction::West] {
+            for dir in [
+                Direction::North,
+                Direction::East,
+                Direction::South,
+                Direction::West,
+            ] {
                 if let Some(from) = neighbor(config, node, dir) {
                     let q = link_queue[&(from, node, p)];
                     inputs.push((q, 0, dir.label().to_owned()));
@@ -237,11 +251,32 @@ pub fn build_mesh(config: &MeshConfig) -> Result<System, MeshError> {
     let mut system = System::new(net);
     for node in 0..num_nodes {
         system
-            .attach(agent_node[node as usize], specs[node as usize].automaton.clone())
+            .attach(
+                agent_node[node as usize],
+                specs[node as usize].automaton.clone(),
+            )
             .expect("agent node ports match the automaton by construction");
     }
     debug_assert!(system.validate().is_ok());
     Ok(system)
+}
+
+/// Builds the mesh once for a whole queue-capacity sweep.
+///
+/// The generated structure — topology, routing switches, protocol agents
+/// and the derived colors and invariants — does not depend on the queue
+/// capacity, only the queues' stored sizes do.  Building at the sweep's
+/// largest capacity therefore yields a [`System`] that a
+/// capacity-parameterised encoding (`advocat-deadlock`'s
+/// `EncodingTemplate`) can query at *every* capacity in the sweep, without
+/// rebuilding the mesh per size as the cold path does.
+///
+/// # Errors
+///
+/// Returns a [`MeshError`] when the configuration (with `max_capacity`
+/// substituted) is invalid.
+pub fn build_mesh_for_sweep(config: &MeshConfig, max_capacity: usize) -> Result<System, MeshError> {
+    build_mesh(&config.with_queue_size(max_capacity))
 }
 
 #[cfg(test)]

@@ -36,6 +36,6 @@ mod build;
 mod mesh;
 mod routing;
 
-pub use build::build_mesh;
+pub use build::{build_mesh, build_mesh_for_sweep};
 pub use mesh::{MeshConfig, MeshError, ProtocolKind};
 pub use routing::{neighbor, xy_route, Direction};

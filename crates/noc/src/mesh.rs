@@ -184,7 +184,9 @@ mod tests {
     fn planes_follow_the_vc_flag() {
         assert_eq!(MeshConfig::new(2, 2, 2).planes(), 1);
         assert_eq!(
-            MeshConfig::new(2, 2, 2).with_virtual_channels(true).planes(),
+            MeshConfig::new(2, 2, 2)
+                .with_virtual_channels(true)
+                .planes(),
             2
         );
     }
@@ -192,6 +194,8 @@ mod tests {
     #[test]
     fn error_messages_are_informative() {
         assert!(MeshError::TooSmall.to_string().contains("two nodes"));
-        assert!(MeshError::ZeroQueueSize.to_string().contains("at least one"));
+        assert!(MeshError::ZeroQueueSize
+            .to_string()
+            .contains("at least one"));
     }
 }

@@ -87,14 +87,29 @@ mod tests {
     fn xy_corrects_x_before_y() {
         let c = config();
         // From (0,0) to (2,2): east first.
-        assert_eq!(xy_route(&c, c.node_id(0, 0), c.node_id(2, 2)), Direction::East);
+        assert_eq!(
+            xy_route(&c, c.node_id(0, 0), c.node_id(2, 2)),
+            Direction::East
+        );
         // From (2,0) to (2,2): already aligned in x, go south.
-        assert_eq!(xy_route(&c, c.node_id(2, 0), c.node_id(2, 2)), Direction::South);
+        assert_eq!(
+            xy_route(&c, c.node_id(2, 0), c.node_id(2, 2)),
+            Direction::South
+        );
         // Arrived.
-        assert_eq!(xy_route(&c, c.node_id(2, 2), c.node_id(2, 2)), Direction::Local);
+        assert_eq!(
+            xy_route(&c, c.node_id(2, 2), c.node_id(2, 2)),
+            Direction::Local
+        );
         // Westwards and northwards.
-        assert_eq!(xy_route(&c, c.node_id(2, 2), c.node_id(0, 2)), Direction::West);
-        assert_eq!(xy_route(&c, c.node_id(2, 2), c.node_id(2, 0)), Direction::North);
+        assert_eq!(
+            xy_route(&c, c.node_id(2, 2), c.node_id(0, 2)),
+            Direction::West
+        );
+        assert_eq!(
+            xy_route(&c, c.node_id(2, 2), c.node_id(2, 0)),
+            Direction::North
+        );
     }
 
     #[test]
@@ -125,7 +140,10 @@ mod tests {
         assert_eq!(neighbor(&c, corner, Direction::North), None);
         assert_eq!(neighbor(&c, corner, Direction::West), None);
         assert_eq!(neighbor(&c, corner, Direction::East), Some(c.node_id(1, 0)));
-        assert_eq!(neighbor(&c, corner, Direction::South), Some(c.node_id(0, 1)));
+        assert_eq!(
+            neighbor(&c, corner, Direction::South),
+            Some(c.node_id(0, 1))
+        );
         assert_eq!(neighbor(&c, corner, Direction::Local), None);
     }
 

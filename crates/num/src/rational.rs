@@ -297,6 +297,7 @@ impl Mul for Rational {
 impl Div for Rational {
     type Output = Rational;
 
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via the reciprocal
     fn div(self, rhs: Rational) -> Rational {
         self * rhs.recip()
     }
@@ -362,7 +363,10 @@ mod tests {
 
     #[test]
     fn parses_integer_and_fraction_literals() {
-        assert_eq!("42".parse::<Rational>().unwrap(), Rational::from_integer(42));
+        assert_eq!(
+            "42".parse::<Rational>().unwrap(),
+            Rational::from_integer(42)
+        );
         assert_eq!("-3/6".parse::<Rational>().unwrap(), Rational::new(-1, 2));
         assert!("1/0".parse::<Rational>().is_err());
         assert!("abc".parse::<Rational>().is_err());

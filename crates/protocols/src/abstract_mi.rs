@@ -86,11 +86,19 @@ impl AbstractMi {
     }
 
     fn get_x(&self, net: &mut Network, cache: u32) -> ColorId {
-        net.intern(Packet::kind("getX").with_src(cache).with_dst(self.directory))
+        net.intern(
+            Packet::kind("getX")
+                .with_src(cache)
+                .with_dst(self.directory),
+        )
     }
 
     fn put_x(&self, net: &mut Network, cache: u32) -> ColorId {
-        net.intern(Packet::kind("putX").with_src(cache).with_dst(self.directory))
+        net.intern(
+            Packet::kind("putX")
+                .with_src(cache)
+                .with_dst(self.directory),
+        )
     }
 
     fn inv(&self, net: &mut Network, cache: u32) -> ColorId {
@@ -136,7 +144,9 @@ impl AbstractMi {
         // system at *every* queue size.
         b.on_packet(i, i, 0, inv, None);
         b.on_packet(mi, mi, 0, inv, None);
-        let automaton = b.build().expect("abstract MI cache automaton is well-formed");
+        let automaton = b
+            .build()
+            .expect("abstract MI cache automaton is well-formed");
 
         AgentSpec {
             automaton,

@@ -143,8 +143,7 @@ pub fn propagate_basic_primitive(
             if let Some(out) = network.out_channel(id, 0) {
                 for port in 0..*num_inputs {
                     if let Some(inp) = network.in_channel(id, port) {
-                        let incoming: Vec<ColorId> =
-                            colors.colors(inp).iter().copied().collect();
+                        let incoming: Vec<ColorId> = colors.colors(inp).iter().copied().collect();
                         changed |= colors.insert_all(out, incoming);
                     }
                 }

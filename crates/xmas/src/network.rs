@@ -144,7 +144,13 @@ impl Network {
 
     /// Adds a queue of the given capacity.
     pub fn add_queue(&mut self, name: impl Into<String>, size: usize) -> PrimitiveId {
-        self.add_primitive(name, Primitive::Queue { size, init: Vec::new() })
+        self.add_primitive(
+            name,
+            Primitive::Queue {
+                size,
+                init: Vec::new(),
+            },
+        )
     }
 
     /// Adds a queue with initial content (front of the queue first).
@@ -330,12 +336,20 @@ impl Network {
 
     /// Returns the channel connected to an input port, if any.
     pub fn in_channel(&self, id: PrimitiveId, port: usize) -> Option<ChannelId> {
-        self.nodes[id.index()].in_channels.get(port).copied().flatten()
+        self.nodes[id.index()]
+            .in_channels
+            .get(port)
+            .copied()
+            .flatten()
     }
 
     /// Returns the channel connected to an output port, if any.
     pub fn out_channel(&self, id: PrimitiveId, port: usize) -> Option<ChannelId> {
-        self.nodes[id.index()].out_channels.get(port).copied().flatten()
+        self.nodes[id.index()]
+            .out_channels
+            .get(port)
+            .copied()
+            .flatten()
     }
 
     /// Returns all input channels of a primitive (in port order).
@@ -407,7 +421,7 @@ impl Network {
                             output: *default,
                         });
                     }
-                    for (_, out) in routes {
+                    for out in routes.values() {
                         if out >= num_outputs {
                             return Err(NetworkError::SwitchRouteOutOfRange {
                                 primitive: node.name.clone(),
@@ -476,7 +490,13 @@ mod tests {
         let c = net.intern(Packet::kind("p"));
         let _src = net.add_source("src", vec![c]);
         let err = net.validate().unwrap_err();
-        assert!(matches!(err, NetworkError::UnconnectedPort { is_input: false, .. }));
+        assert!(matches!(
+            err,
+            NetworkError::UnconnectedPort {
+                is_input: false,
+                ..
+            }
+        ));
         assert!(err.to_string().contains("src"));
     }
 

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let report = Verifier::new().analyze(&system);
-    println!("\n{} cross-layer invariants derived, for example:", report.invariants().len());
+    println!(
+        "\n{} cross-layer invariants derived, for example:",
+        report.invariants().len()
+    );
     for line in report.invariant_text().iter().take(12) {
         println!("  {line}");
     }

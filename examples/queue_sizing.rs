@@ -16,7 +16,10 @@ use advocat::SizingOptions;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fast = std::env::args().any(|a| a == "--fast");
     println!("== Minimal deadlock-free queue sizes (Fig. 4) ==\n");
-    println!("{:<8} {:<12} {:<10} evaluations", "mesh", "directory", "min size");
+    println!(
+        "{:<8} {:<12} {:<10} evaluations",
+        "mesh", "directory", "min size"
+    );
 
     let mut cases: Vec<(u32, u32, u32, u32)> = vec![
         // (width, height, dir_x, dir_y)

@@ -126,8 +126,14 @@ fn both_deadlock_targets_catch_the_fig3_deadlock() {
         stuck_packet: false,
         dead_automaton: true,
     };
-    assert!(!Verifier::new().with_spec(stuck_only).analyze(&system).is_deadlock_free());
-    assert!(!Verifier::new().with_spec(dead_only).analyze(&system).is_deadlock_free());
+    assert!(!Verifier::new()
+        .with_spec(stuck_only)
+        .analyze(&system)
+        .is_deadlock_free());
+    assert!(!Verifier::new()
+        .with_spec(dead_only)
+        .analyze(&system)
+        .is_deadlock_free());
 }
 
 /// The counterexample of the Fig. 3 deadlock is internally consistent: the

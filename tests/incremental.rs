@@ -1,0 +1,189 @@
+//! End-to-end coverage of the incremental verification path: the
+//! assumption-based SAT solver, the session/template pipeline, and the
+//! headline claim — a session-based queue-size sweep spends strictly less
+//! SAT effort than independent cold verifications.
+
+use advocat::explorer::XorShift64;
+use advocat::logic::sat::{Lit, SatSolver, Var};
+use advocat::prelude::*;
+use advocat::SizingOptions;
+
+/// `solve_with_assumptions` agrees with a cold solve (assumptions added as
+/// unit clauses to a fresh solver) on random 3-SAT instances, and failed
+/// cores only name actual assumptions.
+#[test]
+fn assumption_solving_agrees_with_cold_solving_on_random_3sat() {
+    let mut gen = XorShift64::new(0x3547);
+    for instance in 0..150 {
+        let num_vars = 8usize;
+        let num_clauses = 24 + (instance % 12) as usize;
+        let clauses: Vec<Vec<Lit>> = (0..num_clauses)
+            .map(|_| {
+                (0..3)
+                    .map(|_| {
+                        let v = gen.below(num_vars as u64) as Var;
+                        Lit::new(v, gen.below(2) == 0)
+                    })
+                    .collect()
+            })
+            .collect();
+        let num_assumptions = gen.below(4) as usize;
+        let assumptions: Vec<Lit> = (0..num_assumptions)
+            .map(|_| {
+                let v = gen.below(num_vars as u64) as Var;
+                Lit::new(v, gen.below(2) == 0)
+            })
+            .collect();
+
+        // Incremental: one solver, clauses once, assumptions per query.
+        let mut incremental = SatSolver::new();
+        for _ in 0..num_vars {
+            incremental.new_var();
+        }
+        for clause in &clauses {
+            incremental.add_clause(clause);
+        }
+        let incremental_result = incremental.solve_with_assumptions(&assumptions);
+
+        // Cold: fresh solver with the assumptions baked in as unit clauses.
+        let mut cold = SatSolver::new();
+        for _ in 0..num_vars {
+            cold.new_var();
+        }
+        for clause in &clauses {
+            cold.add_clause(clause);
+        }
+        for &lit in &assumptions {
+            cold.add_clause(&[lit]);
+        }
+        let cold_result = cold.solve();
+
+        assert_eq!(
+            incremental_result.is_ok(),
+            cold_result.is_ok(),
+            "instance {instance}: incremental and cold solves disagree"
+        );
+        match incremental_result {
+            Ok(model) => {
+                for clause in &clauses {
+                    assert!(
+                        clause.iter().any(|l| model[l.var()] == l.is_positive()),
+                        "instance {instance}: model violates clause {clause:?}"
+                    );
+                }
+                for lit in &assumptions {
+                    assert_eq!(
+                        model[lit.var()],
+                        lit.is_positive(),
+                        "instance {instance}: model violates assumption {lit:?}"
+                    );
+                }
+            }
+            Err(_) => {
+                for lit in incremental.last_core() {
+                    assert!(
+                        assumptions.contains(lit),
+                        "instance {instance}: core literal {lit:?} is not an assumption"
+                    );
+                }
+            }
+        }
+        // The incremental solver remains usable after the query.
+        let unconstrained = incremental.solve_with_assumptions(&[]);
+        assert_eq!(unconstrained.is_ok(), {
+            let mut fresh = SatSolver::new();
+            for _ in 0..num_vars {
+                fresh.new_var();
+            }
+            for clause in &clauses {
+                fresh.add_clause(clause);
+            }
+            fresh.solve().is_ok()
+        });
+    }
+}
+
+/// The seed's per-size cold path, for comparison: rebuild the mesh and run
+/// the full pipeline at one queue size.
+fn cold_verdict(config: &MeshConfig, queue_size: usize) -> bool {
+    let system = build_mesh(&config.with_queue_size(queue_size)).unwrap();
+    Verifier::new().analyze(&system).is_deadlock_free()
+}
+
+/// Regression: the session-based `minimal_queue_size` returns the same
+/// `(size, free)` verdict for every probed size as the cold per-size path,
+/// and the same minimal size as a cold linear scan.
+#[test]
+fn session_sizing_matches_the_cold_per_size_path_on_the_2x2_mesh() {
+    let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+    let options = SizingOptions {
+        min: 1,
+        max: 6,
+        ..SizingOptions::default()
+    };
+    let result = advocat::minimal_queue_size(&config, &options).unwrap();
+
+    assert!(!result.evaluations.is_empty());
+    for &(size, free) in &result.evaluations {
+        assert_eq!(
+            free,
+            cold_verdict(&config, size),
+            "session and cold verdicts disagree at queue size {size}"
+        );
+    }
+
+    let cold_minimal = (options.min..=options.max).find(|&size| cold_verdict(&config, size));
+    assert_eq!(result.minimal_queue_size, cold_minimal);
+}
+
+/// The acceptance criterion of the incremental refactor: sweeping sizes
+/// 1..=16 on the 2×2 directory mesh through one `VerificationSession`
+/// costs strictly fewer SAT conflicts + propagations than sixteen
+/// independent cold `Verifier::analyze` calls.
+#[test]
+fn session_sweep_beats_sixteen_cold_analyzes_on_sat_effort() {
+    let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+
+    let mut cold_effort = 0u64;
+    let mut cold_verdicts = Vec::new();
+    for size in 1..=16usize {
+        let system = build_mesh(&config.with_queue_size(size)).unwrap();
+        let report = Verifier::new().analyze(&system);
+        let stats = report.analysis().stats;
+        cold_effort += stats.sat_conflicts + stats.sat_propagations;
+        cold_verdicts.push(report.is_deadlock_free());
+    }
+
+    let system = build_mesh_for_sweep(&config, 16).unwrap();
+    let mut session = VerificationSession::new(system, DeadlockSpec::default(), 1..=16);
+    let mut session_verdicts = Vec::new();
+    for size in 1..=16usize {
+        session_verdicts.push(session.check_capacity(size).is_deadlock_free());
+    }
+
+    assert_eq!(session_verdicts, cold_verdicts, "verdicts must not change");
+    let session_effort = session.stats().sat_effort();
+    assert!(
+        session_effort < cold_effort,
+        "session effort {session_effort} is not below cold effort {cold_effort}"
+    );
+}
+
+/// The session statistics the sweep assertion relies on are actually
+/// populated per query.
+#[test]
+fn session_accumulates_per_query_stats() {
+    let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+    let system = build_mesh_for_sweep(&config, 3).unwrap();
+    let mut session = VerificationSession::new(system, DeadlockSpec::default(), 2..=3);
+    let report = session.check_capacity(2);
+    assert!(report.analysis().stats.sat_propagations > 0);
+    let after_one = session.stats();
+    assert_eq!(after_one.queries, 1);
+    assert!(after_one.sat_effort() > 0);
+    let _ = session.check_capacity(3);
+    let after_two = session.stats();
+    assert_eq!(after_two.queries, 2);
+    assert!(after_two.sat_effort() >= after_one.sat_effort());
+    assert!(after_two.query_elapsed >= after_one.query_elapsed);
+}

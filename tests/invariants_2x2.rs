@@ -71,10 +71,7 @@ fn at_most_one_getx_or_ack_is_en_route_per_cache() {
                 let automaton = system.automaton(agent).unwrap();
                 let i_state = automaton.state_by_name("I").unwrap();
                 if state.is_in_state(agent, i_state) {
-                    assert_eq!(
-                        en_route, 0,
-                        "cache {c} is in I but a getX/ack is en route"
-                    );
+                    assert_eq!(en_route, 0, "cache {c} is in I but a getX/ack is en route");
                 }
             }
         },

@@ -42,7 +42,10 @@ fn sufficiently_large_queues_are_deadlock_free() {
         }
     }
     let free_at = free_at.expect("some queue size up to 8 must be proven deadlock-free");
-    assert!(free_at <= 8, "deadlock freedom threshold unexpectedly large");
+    assert!(
+        free_at <= 8,
+        "deadlock freedom threshold unexpectedly large"
+    );
 }
 
 #[test]

@@ -1,57 +1,70 @@
 //! Property-based tests over the core data structures and invariants.
+//!
+//! The build environment has no access to crates.io, so instead of
+//! `proptest` these tests drive the same properties from a deterministic
+//! xorshift* generator: each case enumerates a fixed number of
+//! pseudo-random inputs, which keeps failures reproducible (the iteration
+//! index identifies the failing input).
 
+use advocat::explorer::XorShift64;
 use advocat::logic::{Formula, LinExpr, SmtSolver};
 use advocat::num::{eliminate, satisfies, LinearRow, Rational};
 use advocat::prelude::*;
-use proptest::prelude::*;
 
-proptest! {
-    /// Rational arithmetic satisfies the field axioms we rely on.
-    #[test]
-    fn rational_field_axioms(an in -500i128..500, ad in 1i128..50, bn in -500i128..500, bd in 1i128..50) {
-        let a = Rational::new(an, ad);
-        let b = Rational::new(bn, bd);
-        prop_assert_eq!(a + b, b + a);
-        prop_assert_eq!(a * b, b * a);
-        prop_assert_eq!(a - a, Rational::ZERO);
-        prop_assert_eq!((a + b) - b, a);
+/// Rational arithmetic satisfies the field axioms we rely on.
+#[test]
+fn rational_field_axioms() {
+    let mut gen = XorShift64::new(0xADC0CA7);
+    for _ in 0..200 {
+        let a = Rational::new(gen.int(-500, 499), gen.int(1, 49));
+        let b = Rational::new(gen.int(-500, 499), gen.int(1, 49));
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
+        assert_eq!(a - a, Rational::ZERO);
+        assert_eq!((a + b) - b, a);
         if !b.is_zero() {
-            prop_assert_eq!((a / b) * b, a);
+            assert_eq!((a / b) * b, a);
         }
     }
+}
 
-    /// Gaussian elimination preserves solutions: any assignment satisfying
-    /// the original rows satisfies the eliminated system.
-    #[test]
-    fn elimination_preserves_solutions(
-        coefs in proptest::collection::vec(-3i128..=3, 24),
-        values in proptest::collection::vec(-4i128..=4, 6),
-    ) {
+/// Gaussian elimination preserves solutions: any assignment satisfying the
+/// original rows satisfies the eliminated system.
+#[test]
+fn elimination_preserves_solutions() {
+    let mut gen = XorShift64::new(42);
+    for _ in 0..100 {
+        let values: Vec<i128> = (0..6).map(|_| gen.int(-4, 4)).collect();
         // Build 4 rows over 6 variables whose constants are chosen so that
         // `values` is a solution of every row.
         let mut rows = Vec::new();
-        for r in 0..4 {
+        for _ in 0..4 {
             let mut row = LinearRow::new();
             let mut acc = 0i128;
-            for v in 0..6 {
-                let c = coefs[r * 6 + v];
+            for (v, value) in values.iter().enumerate() {
+                let c = gen.int(-3, 3);
                 row.add_term(v, Rational::from_integer(c));
-                acc += c * values[v];
+                acc += c * value;
             }
             row.add_constant(Rational::from_integer(-acc));
             rows.push(row);
         }
         // Eliminate the first three variables.
         let kept = eliminate(rows, |v| v < 3);
-        prop_assert!(satisfies(&kept, |v| Rational::from_integer(values[v])));
+        assert!(satisfies(&kept, |v| Rational::from_integer(values[v])));
     }
+}
 
-    /// The SMT solver agrees with brute force on small bounded problems.
-    #[test]
-    fn smt_matches_brute_force(
-        a in -3i64..=3, b in -3i64..=3, c in -6i64..=6,
-        d in -3i64..=3, e in -3i64..=3, f in -6i64..=6,
-    ) {
+/// The SMT solver agrees with brute force on small bounded problems.
+#[test]
+fn smt_matches_brute_force() {
+    let mut gen = XorShift64::new(7);
+    for case in 0..120 {
+        let (a, b) = (gen.int(-3, 3) as i64, gen.int(-3, 3) as i64);
+        let c = gen.int(-6, 6) as i64;
+        let (d, e) = (gen.int(-3, 3) as i64, gen.int(-3, 3) as i64);
+        let f = gen.int(-6, 6) as i64;
+
         let mut smt = SmtSolver::new();
         let x = smt.new_int_var("x", 0, 4);
         let y = smt.new_int_var("y", 0, 4);
@@ -63,40 +76,52 @@ proptest! {
             LinExpr::term(d, x) + LinExpr::term(e, y),
             LinExpr::constant(f),
         ));
-        let brute = (0..=4).any(|vx: i64| {
-            (0..=4).any(|vy: i64| a * vx + b * vy <= c && d * vx + e * vy >= f)
-        });
+        let brute = (0..=4)
+            .any(|vx: i64| (0..=4).any(|vy: i64| a * vx + b * vy <= c && d * vx + e * vy >= f));
         match smt.check() {
             advocat::logic::SmtResult::Sat(model) => {
-                prop_assert!(brute, "solver found a model for an unsatisfiable instance");
+                assert!(brute, "case {case}: model found for unsatisfiable instance");
                 let vx = model.int_value(x);
                 let vy = model.int_value(y);
-                prop_assert!(a * vx + b * vy <= c);
-                prop_assert!(d * vx + e * vy >= f);
+                assert!(a * vx + b * vy <= c, "case {case}");
+                assert!(d * vx + e * vy >= f, "case {case}");
             }
-            advocat::logic::SmtResult::Unsat => prop_assert!(!brute, "solver missed a model"),
-            advocat::logic::SmtResult::Unknown => prop_assert!(false, "solver gave up"),
+            advocat::logic::SmtResult::Unsat => {
+                assert!(!brute, "case {case}: solver missed a model");
+            }
+            advocat::logic::SmtResult::Unknown => panic!("case {case}: solver gave up"),
         }
     }
+}
 
-    /// Every packet interned into a network round-trips through the color
-    /// table.
-    #[test]
-    fn color_interning_roundtrips(kind in "[a-z]{1,6}", src in 0u32..16, dst in 0u32..16) {
+/// Every packet interned into a network round-trips through the color table.
+#[test]
+fn color_interning_roundtrips() {
+    let mut gen = XorShift64::new(11);
+    for _ in 0..100 {
+        let len = gen.int(1, 6) as usize;
+        let kind: String = (0..len)
+            .map(|_| (b'a' + gen.int(0, 25) as u8) as char)
+            .collect();
+        let (src, dst) = (gen.int(0, 15) as u32, gen.int(0, 15) as u32);
         let mut net = Network::new();
-        let packet = Packet::kind(kind.clone()).with_src(src).with_dst(dst);
+        let packet = Packet::kind(kind).with_src(src).with_dst(dst);
         let id = net.intern(packet.clone());
-        prop_assert_eq!(net.colors().packet(id), &packet);
-        prop_assert_eq!(net.colors().lookup(&packet), Some(id));
+        assert_eq!(net.colors().packet(id), &packet);
+        assert_eq!(net.colors().lookup(&packet), Some(id));
     }
+}
 
-    /// XY routing always delivers within the mesh diameter, for arbitrary
-    /// mesh shapes and endpoints.
-    #[test]
-    fn xy_routing_delivers(w in 2u32..6, h in 2u32..6, from_seed in 0u32..100, to_seed in 0u32..100) {
+/// XY routing always delivers within the mesh diameter, for arbitrary mesh
+/// shapes and endpoints.
+#[test]
+fn xy_routing_delivers() {
+    let mut gen = XorShift64::new(13);
+    for _ in 0..200 {
+        let (w, h) = (gen.int(2, 5) as u32, gen.int(2, 5) as u32);
         let config = MeshConfig::new(w, h, 2);
-        let from = from_seed % (w * h);
-        let to = to_seed % (w * h);
+        let from = gen.int(0, 99) as u32 % (w * h);
+        let to = gen.int(0, 99) as u32 % (w * h);
         let mut at = from;
         let mut hops = 0u32;
         loop {
@@ -106,23 +131,21 @@ proptest! {
             }
             at = advocat::noc::neighbor(&config, at, dir).expect("XY stays in the mesh");
             hops += 1;
-            prop_assert!(hops <= w + h);
+            assert!(hops <= w + h);
         }
-        prop_assert_eq!(at, to);
+        assert_eq!(at, to);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Derived invariants hold along random trajectories of arbitrary small
-    /// meshes — the central soundness property of the invariant generator.
-    #[test]
-    fn invariants_hold_on_random_walks(
-        dir_seed in 0u32..4,
-        queue_size in 2usize..5,
-        seed in 0u64..1000,
-    ) {
+/// Derived invariants hold along random trajectories of arbitrary small
+/// meshes — the central soundness property of the invariant generator.
+#[test]
+fn invariants_hold_on_random_walks() {
+    let mut gen = XorShift64::new(17);
+    for _ in 0..12 {
+        let dir_seed = gen.int(0, 3) as u32;
+        let queue_size = gen.int(2, 4) as usize;
+        let seed = gen.int(0, 999) as u64;
         let config = MeshConfig::new(2, 2, queue_size)
             .with_directory(dir_seed % 2, dir_seed / 2)
             .with_protocol(ProtocolKind::AbstractMi);
@@ -132,7 +155,7 @@ proptest! {
         let report = random_walk(&system, 2_000, seed);
         let state = &report.final_state;
         for invariant in invariants.iter() {
-            prop_assert!(invariant.holds(
+            assert!(invariant.holds(
                 |queue, color| state.queue_count(queue, color) as i128,
                 |node, automaton_state| state.is_in_state(node, automaton_state),
             ));

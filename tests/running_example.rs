@@ -58,7 +58,9 @@ fn deadlock_free_with_invariants_and_candidates_without() {
     let example = running_example(2);
     let with = Verifier::new().analyze(&example.system);
     assert!(with.is_deadlock_free());
-    let without = Verifier::new().with_invariants(false).analyze(&example.system);
+    let without = Verifier::new()
+        .with_invariants(false)
+        .analyze(&example.system);
     let cex = without
         .counterexample()
         .expect("without invariants the block/idle unfolding yields candidates");
@@ -92,7 +94,10 @@ fn derived_invariants_hold_in_every_reachable_state() {
         },
     );
     assert!(exploration.proves_deadlock_freedom());
-    assert_eq!(violations, 0, "an invariant was violated in a reachable state");
+    assert_eq!(
+        violations, 0,
+        "an invariant was violated in a reachable state"
+    );
 }
 
 #[test]
@@ -110,19 +115,15 @@ fn the_section_1_invariant_is_implied() {
     let t0 = t.state_by_name("t0").unwrap();
 
     let mut checked = 0usize;
-    advocat::explorer::explore_with_visitor(
-        &example.system,
-        &ExplorerConfig::default(),
-        |state| {
-            let lhs = state.queue_count(example.q0, req) as i64
-                + state.queue_count(example.q1, ack) as i64;
-            let rhs = i64::from(state.is_in_state(example.s_node, s1))
-                + i64::from(state.is_in_state(example.t_node, t0))
-                - 1;
-            assert_eq!(lhs, rhs, "paper invariant violated in a reachable state");
-            checked += 1;
-        },
-    );
+    advocat::explorer::explore_with_visitor(&example.system, &ExplorerConfig::default(), |state| {
+        let lhs =
+            state.queue_count(example.q0, req) as i64 + state.queue_count(example.q1, ack) as i64;
+        let rhs = i64::from(state.is_in_state(example.s_node, s1))
+            + i64::from(state.is_in_state(example.t_node, t0))
+            - 1;
+        assert_eq!(lhs, rhs, "paper invariant violated in a reachable state");
+        checked += 1;
+    });
     assert!(checked >= 4);
 }
 
