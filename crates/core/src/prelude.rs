@@ -18,6 +18,7 @@ pub use advocat_automata::{derive_colors, AutomatonBuilder, System};
 pub use advocat_deadlock::{verify_system, DeadlockSpec, EncodingTemplate, Verdict};
 pub use advocat_explorer::{explore, random_walk, ExplorerConfig};
 pub use advocat_invariants::{derive_invariants, format_invariant};
+pub use advocat_logic::{CheckConfig, SolverConfig};
 pub use advocat_noc::{build_mesh, build_mesh_for_sweep, MeshConfig, ProtocolKind};
 pub use advocat_protocols::{AbstractMi, FullMi};
 pub use advocat_xmas::{Network, Packet};

@@ -74,7 +74,7 @@ impl Report {
         };
         format!(
             "{} primitives, {} automata, {} queues; {} invariants; verdict: {} in {:.2?} \
-             ({} refinements)",
+             ({} refinements; learnt DB {} live / {} total, {} reductions)",
             self.system_stats.primitives,
             self.system_stats.automata,
             self.system_stats.queues,
@@ -82,6 +82,9 @@ impl Report {
             verdict,
             self.analysis.stats.elapsed,
             self.analysis.stats.refinements,
+            self.analysis.stats.sat_live_learnts,
+            self.analysis.stats.sat_total_learnt,
+            self.analysis.stats.sat_reduced_dbs,
         )
     }
 }

@@ -27,6 +27,17 @@ pub struct SessionStats {
     pub sat_conflicts: u64,
     /// Total SAT unit propagations across all queries.
     pub sat_propagations: u64,
+    /// Learnt-database reductions across all queries.  Reduction is what
+    /// keeps a long session's per-query cost from growing with its length.
+    pub reduced_dbs: u64,
+    /// Clauses the solver deleted across all queries (worst-half learnt
+    /// clauses plus permanently satisfied clauses of popped query scopes).
+    pub deleted_clauses: u64,
+    /// Learnt clauses alive in the shared solver after the latest query.
+    pub live_learnts: u64,
+    /// Learnt clauses ever stored by the shared solver (monotone; the gap
+    /// to [`SessionStats::live_learnts`] is what reduction reclaimed).
+    pub total_learnt: u64,
     /// Total wall-clock time spent answering queries (excluding session
     /// construction).
     pub query_elapsed: Duration,
@@ -113,8 +124,19 @@ impl VerificationSession {
         self.stats.queries += 1;
         self.stats.sat_conflicts += analysis.stats.sat_conflicts;
         self.stats.sat_propagations += analysis.stats.sat_propagations;
+        self.stats.reduced_dbs += analysis.stats.sat_reduced_dbs;
+        self.stats.deleted_clauses += analysis.stats.sat_deleted_clauses;
+        self.stats.live_learnts = analysis.stats.sat_live_learnts;
+        self.stats.total_learnt = analysis.stats.sat_total_learnt;
         self.stats.query_elapsed += analysis.stats.elapsed;
         Report::new(&self.system, self.invariants.clone(), analysis)
+    }
+
+    /// Cumulative statistics of the session's shared SAT solver (all
+    /// queries so far), including the live and total learnt-clause counts
+    /// the database-reduction pass maintains.
+    pub fn sat_stats(&self) -> advocat_logic::SatStats {
+        self.template.sat_stats()
     }
 
     /// The capacity range the session accepts.

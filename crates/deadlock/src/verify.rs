@@ -57,6 +57,18 @@ pub struct AnalysisStats {
     /// SAT unit propagations spent on this analysis (delta, like
     /// [`AnalysisStats::sat_conflicts`]).
     pub sat_propagations: u64,
+    /// Learnt-database reductions the SAT solver performed during this
+    /// analysis (delta, like [`AnalysisStats::sat_conflicts`]).
+    pub sat_reduced_dbs: u64,
+    /// Clauses the SAT solver deleted during this analysis (delta).
+    pub sat_deleted_clauses: u64,
+    /// Learnt clauses alive in the SAT solver after this analysis
+    /// (snapshot; for session-based analyses this is the live size of the
+    /// shared database, which reduction keeps bounded).
+    pub sat_live_learnts: u64,
+    /// Learnt clauses ever stored by the SAT solver, deleted ones included
+    /// (snapshot of the monotone counter).
+    pub sat_total_learnt: u64,
     /// Wall-clock time of the analysis.
     pub elapsed: Duration,
 }
@@ -185,6 +197,10 @@ pub(crate) fn analysis_from_result(
             refinements: solver_stats.refinements,
             sat_conflicts: solver_stats.sat_conflicts,
             sat_propagations: solver_stats.sat_propagations,
+            sat_reduced_dbs: solver_stats.sat_reduced_dbs,
+            sat_deleted_clauses: solver_stats.sat_deleted_clauses,
+            sat_live_learnts: solver_stats.sat_live_learnts,
+            sat_total_learnt: solver_stats.sat_total_learnt,
             elapsed,
         },
     }

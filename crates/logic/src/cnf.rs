@@ -75,6 +75,15 @@ fn gcd(a: i64, b: i64) -> i64 {
 /// Tseitin encoder mapping formulas onto a [`SatSolver`], keeping track of
 /// the atom ↔ SAT-variable correspondence so the lazy SMT loop can extract
 /// theory constraints from SAT models and add blocking clauses.
+///
+/// Formulas can be encoded under a *guard literal*
+/// ([`Encoder::encode_guarded`]): every definition clause the encoding
+/// emits carries the guard, so once the guard is asserted at level zero
+/// (e.g. the disabled activation literal of a popped solver scope) the
+/// whole encoding is permanently satisfied and the solver's
+/// garbage-collection pass can reclaim it.  Atom and Boolean variable
+/// mappings are shared across guards — they carry no clauses of their own,
+/// so sharing them is always sound.
 #[derive(Clone, Debug, Default)]
 pub struct Encoder {
     bool_to_sat: HashMap<BoolVar, Var>,
@@ -130,6 +139,20 @@ impl Encoder {
         self.atoms.len()
     }
 
+    /// Adds a definition clause, extended by the guard literal when one is
+    /// in effect.
+    fn emit(&mut self, sat: &mut SatSolver, guard: Option<Lit>, lits: &[Lit]) {
+        match guard {
+            None => sat.add_clause(lits),
+            Some(g) => {
+                let mut guarded = Vec::with_capacity(lits.len() + 1);
+                guarded.push(g);
+                guarded.extend_from_slice(lits);
+                sat.add_clause(&guarded)
+            }
+        };
+    }
+
     fn atom_lit(&mut self, atom_or_const: Result<LinearAtom, bool>, sat: &mut SatSolver) -> Lit {
         match atom_or_const {
             Err(true) => self.constant_true(sat),
@@ -148,7 +171,14 @@ impl Encoder {
         }
     }
 
-    fn encode_cmp(&mut self, lhs: &LinExpr, op: CmpOp, rhs: &LinExpr, sat: &mut SatSolver) -> Lit {
+    fn encode_cmp(
+        &mut self,
+        lhs: &LinExpr,
+        op: CmpOp,
+        rhs: &LinExpr,
+        guard: Option<Lit>,
+        sat: &mut SatSolver,
+    ) -> Lit {
         let diff = lhs.clone() - rhs.clone();
         let (terms, constant) = diff.canonical();
         match op {
@@ -163,68 +193,95 @@ impl Encoder {
                 self.atom_lit(LinearAtom::canonicalize(neg, constant - 1), sat)
             }
             CmpOp::Eq => {
-                let le = self.encode_cmp(lhs, CmpOp::Le, rhs, sat);
-                let ge = self.encode_cmp(lhs, CmpOp::Ge, rhs, sat);
-                self.define_and(&[le, ge], sat)
+                let le = self.encode_cmp(lhs, CmpOp::Le, rhs, guard, sat);
+                let ge = self.encode_cmp(lhs, CmpOp::Ge, rhs, guard, sat);
+                self.define_and(&[le, ge], guard, sat)
             }
             CmpOp::Ne => {
-                let eq = self.encode_cmp(lhs, CmpOp::Eq, rhs, sat);
+                let eq = self.encode_cmp(lhs, CmpOp::Eq, rhs, guard, sat);
                 eq.negated()
             }
         }
     }
 
-    fn define_and(&mut self, lits: &[Lit], sat: &mut SatSolver) -> Lit {
+    fn define_and(&mut self, lits: &[Lit], guard: Option<Lit>, sat: &mut SatSolver) -> Lit {
         let y = Lit::positive(sat.new_var());
         let mut long: Vec<Lit> = vec![y];
         for &l in lits {
-            sat.add_clause(&[y.negated(), l]);
+            self.emit(sat, guard, &[y.negated(), l]);
             long.push(l.negated());
         }
-        sat.add_clause(&long);
+        self.emit(sat, guard, &long);
         y
     }
 
-    fn define_or(&mut self, lits: &[Lit], sat: &mut SatSolver) -> Lit {
+    fn define_or(&mut self, lits: &[Lit], guard: Option<Lit>, sat: &mut SatSolver) -> Lit {
         let y = Lit::positive(sat.new_var());
         let mut long: Vec<Lit> = vec![y.negated()];
         for &l in lits {
-            sat.add_clause(&[l.negated(), y]);
+            self.emit(sat, guard, &[l.negated(), y]);
             long.push(l);
         }
-        sat.add_clause(&long);
+        self.emit(sat, guard, &long);
         y
     }
 
     /// Encodes a formula, returning a literal equisatisfiable with it.
     pub fn encode(&mut self, formula: &Formula, sat: &mut SatSolver) -> Lit {
+        self.encode_guarded(formula, None, sat)
+    }
+
+    /// Encodes a formula with every emitted definition clause extended by
+    /// `guard`, returning a literal equisatisfiable with the formula
+    /// whenever `guard` is false.
+    ///
+    /// The intended guard is the negation of a scope's activation literal:
+    /// while the scope is active the activation literal is assumed true
+    /// and the definitions behave exactly as unguarded ones; once the
+    /// scope is popped (the activation literal is forced false at level
+    /// zero) every clause of the encoding is permanently satisfied and can
+    /// be garbage-collected.  Tseitin variables are never reused across
+    /// `encode` calls, so guarding their definitions cannot leak into
+    /// later encodings.
+    pub fn encode_guarded(
+        &mut self,
+        formula: &Formula,
+        guard: Option<Lit>,
+        sat: &mut SatSolver,
+    ) -> Lit {
         match formula {
             Formula::True => self.constant_true(sat),
             Formula::False => self.constant_true(sat).negated(),
             Formula::Bool(v) => Lit::positive(self.sat_var_for_bool(*v, sat)),
-            Formula::Cmp(lhs, op, rhs) => self.encode_cmp(lhs, *op, rhs, sat),
-            Formula::Not(inner) => self.encode(inner, sat).negated(),
+            Formula::Cmp(lhs, op, rhs) => self.encode_cmp(lhs, *op, rhs, guard, sat),
+            Formula::Not(inner) => self.encode_guarded(inner, guard, sat).negated(),
             Formula::And(parts) => {
-                let lits: Vec<Lit> = parts.iter().map(|p| self.encode(p, sat)).collect();
-                self.define_and(&lits, sat)
+                let lits: Vec<Lit> = parts
+                    .iter()
+                    .map(|p| self.encode_guarded(p, guard, sat))
+                    .collect();
+                self.define_and(&lits, guard, sat)
             }
             Formula::Or(parts) => {
-                let lits: Vec<Lit> = parts.iter().map(|p| self.encode(p, sat)).collect();
-                self.define_or(&lits, sat)
+                let lits: Vec<Lit> = parts
+                    .iter()
+                    .map(|p| self.encode_guarded(p, guard, sat))
+                    .collect();
+                self.define_or(&lits, guard, sat)
             }
             Formula::Implies(a, b) => {
-                let la = self.encode(a, sat).negated();
-                let lb = self.encode(b, sat);
-                self.define_or(&[la, lb], sat)
+                let la = self.encode_guarded(a, guard, sat).negated();
+                let lb = self.encode_guarded(b, guard, sat);
+                self.define_or(&[la, lb], guard, sat)
             }
             Formula::Iff(a, b) => {
-                let la = self.encode(a, sat);
-                let lb = self.encode(b, sat);
+                let la = self.encode_guarded(a, guard, sat);
+                let lb = self.encode_guarded(b, guard, sat);
                 let y = Lit::positive(sat.new_var());
-                sat.add_clause(&[y.negated(), la.negated(), lb]);
-                sat.add_clause(&[y.negated(), la, lb.negated()]);
-                sat.add_clause(&[y, la, lb]);
-                sat.add_clause(&[y, la.negated(), lb.negated()]);
+                self.emit(sat, guard, &[y.negated(), la.negated(), lb]);
+                self.emit(sat, guard, &[y.negated(), la, lb.negated()]);
+                self.emit(sat, guard, &[y, la, lb]);
+                self.emit(sat, guard, &[y, la.negated(), lb.negated()]);
                 y
             }
         }

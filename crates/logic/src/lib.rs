@@ -19,7 +19,8 @@
 //!    propositional atoms (Boolean variables and canonicalised linear
 //!    inequalities),
 //! 2. [`sat`] — a CDCL SAT solver (two-watched literals, first-UIP conflict
-//!    analysis, activity-based branching, restarts),
+//!    analysis, heap-served activity-based branching with phase saving,
+//!    LBD-aware Luby restarts, learnt-database reduction),
 //! 3. [`theory`] — a bounded linear-integer-arithmetic solver based on
 //!    interval propagation and branch & bound, producing conflict cores,
 //! 4. [`smt`] — the lazy refinement loop tying the two together.
@@ -52,4 +53,5 @@ pub mod theory;
 
 pub use expr::{BoolVar, CmpOp, Formula, IntVar, LinExpr, VarPool};
 pub use model::Model;
+pub use sat::{SatStats, SolverConfig};
 pub use smt::{CheckConfig, SmtResult, SmtSolver, SolverStats};

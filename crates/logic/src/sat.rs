@@ -4,7 +4,9 @@
 //! It implements the standard conflict-driven clause-learning algorithm:
 //! two-watched-literal unit propagation, first-UIP conflict analysis with
 //! clause learning and non-chronological backjumping, exponential-decay
-//! variable activities for branching and geometric restarts.
+//! variable activities for branching (served from an indexed max-heap),
+//! phase saving, Luby restarts modulated by an EMA of recent learnt-clause
+//! LBDs, and periodic reduction of the learnt-clause database.
 //!
 //! The solver is incremental in two senses: clauses may be added between
 //! calls to [`SatSolver::solve`], and [`SatSolver::solve_with_assumptions`]
@@ -14,6 +16,17 @@
 //! (such as a queue-size sweep) cheap after the first one.  When a solve
 //! under assumptions fails, [`SatSolver::last_core`] reports the subset of
 //! the assumptions responsible (the *final conflict*, in MiniSat terms).
+//!
+//! Long sessions pay for that persistence: every learnt clause lengthens
+//! the watcher lists every later propagation must scan.  The solver
+//! therefore keeps learnt clauses in their own arena, tags each with its
+//! *literal block distance* (LBD — the number of distinct decision levels
+//! among its literals, a standard quality measure) and an activity score,
+//! and periodically deletes the worst half of the deletable learnt clauses
+//! ([`SolverConfig::clause_reduction`]).  The same sweep drops clauses that
+//! level-zero units have permanently satisfied — in an assumption-based
+//! session these are the encodings of popped scopes, which would otherwise
+//! accumulate forever.
 //!
 //! # Examples
 //!
@@ -89,9 +102,73 @@ impl fmt::Debug for Lit {
     }
 }
 
+/// Reference to a clause: an index into the problem arena, or an index
+/// into the learnt arena with [`LEARNT_BIT`] set.  Problem clauses are
+/// only removed when permanently satisfied; learnt clauses additionally by
+/// [`SatSolver::reduce_db`], so the two arenas age differently.
+type ClauseRef = usize;
+
+const LEARNT_BIT: usize = 1 << (usize::BITS - 1);
+
+fn is_learnt(cr: ClauseRef) -> bool {
+    cr & LEARNT_BIT != 0
+}
+
 #[derive(Clone, Debug)]
 struct Clause {
     lits: Vec<Lit>,
+    /// Literal block distance at learn time, tightened whenever the clause
+    /// participates in conflict analysis again.  Zero for problem clauses.
+    lbd: u32,
+    /// Bumped whenever the clause appears in conflict analysis; the
+    /// reduction pass deletes low-activity, high-LBD learnt clauses first.
+    activity: f64,
+}
+
+/// Tuning knobs of the CDCL search: learnt-database reduction, the restart
+/// schedule and phase saving.
+///
+/// The defaults enable everything and are sized so that the small queries
+/// of a verification sweep behave exactly as before (the first reduction
+/// only fires after [`SolverConfig::first_reduce`] conflicts), while long
+/// sessions keep their learnt database and watcher lists bounded.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolverConfig {
+    /// Periodically delete the worst half of the deletable learnt clauses
+    /// (and drop clauses permanently satisfied at level zero).
+    pub clause_reduction: bool,
+    /// Conflicts before the first database reduction.
+    pub first_reduce: u64,
+    /// The gap between reductions grows by this many conflicts each time,
+    /// so the database is allowed to grow as the search matures.
+    pub reduce_interval: u64,
+    /// Learnt clauses with an LBD at or below this are never deleted
+    /// ("glue" clauses); binary clauses are always kept.
+    pub keep_lbd: u32,
+    /// Unit of the Luby restart sequence, in conflicts.
+    pub luby_base: u64,
+    /// Force a restart early when the fast EMA of recent learnt-clause
+    /// LBDs exceeds the slow EMA by this factor (the search is currently
+    /// producing poor clauses).  Non-positive disables the modulation and
+    /// leaves the pure Luby schedule.
+    pub restart_ema_ratio: f64,
+    /// Branch on the polarity each variable last held instead of a fixed
+    /// negative default, keeping locality across restarts and queries.
+    pub phase_saving: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            clause_reduction: true,
+            first_reduce: 300,
+            reduce_interval: 300,
+            keep_lbd: 2,
+            luby_base: 100,
+            restart_ema_ratio: 1.25,
+            phase_saving: true,
+        }
+    }
 }
 
 /// Statistics collected by the SAT solver.
@@ -105,23 +182,213 @@ pub struct SatStats {
     pub conflicts: u64,
     /// Number of restarts performed.
     pub restarts: u64,
-    /// Number of learnt clauses currently stored.
+    /// Number of learnt clauses currently stored (live; decremented when
+    /// the reduction pass deletes clauses).
     pub learnt_clauses: u64,
+    /// Total number of learnt clauses ever stored (monotone).
+    pub total_learnt: u64,
+    /// Number of learnt-database reductions performed.
+    pub reduced_dbs: u64,
+    /// Number of clauses physically deleted by reductions: worst-half
+    /// learnt clauses plus clauses permanently satisfied at level zero.
+    pub deleted_clauses: u64,
+}
+
+/// An indexed binary max-heap over variable activities: `pop` yields the
+/// unassigned-or-not variable of highest activity in O(log n), replacing a
+/// linear scan over all variables per decision.
+///
+/// Invariant: every **unassigned** variable is in the heap (assigned
+/// variables may linger and are skipped lazily when popped).
+#[derive(Clone, Debug, Default)]
+struct VarHeap {
+    heap: Vec<Var>,
+    /// Position of each variable in `heap`, or `ABSENT`.
+    pos: Vec<usize>,
+}
+
+impl VarHeap {
+    const ABSENT: usize = usize::MAX;
+
+    fn push_new_var(&mut self, activity: &[f64]) {
+        let v = self.pos.len();
+        self.pos.push(Self::ABSENT);
+        self.insert(v, activity);
+    }
+
+    fn contains(&self, v: Var) -> bool {
+        self.pos[v] != Self::ABSENT
+    }
+
+    fn insert(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v] = self.heap.len();
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        self.pos[top] = Self::ABSENT;
+        let last = self.heap.pop().expect("non-empty heap");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(top)
+    }
+
+    /// Restores the heap property after `v`'s activity increased.
+    fn bumped(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            self.sift_up(self.pos[v], activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if activity[self.heap[i]] <= activity[self.heap[parent]] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        loop {
+            let left = 2 * i + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let mut best = left;
+            if right < self.heap.len() && activity[self.heap[right]] > activity[self.heap[left]] {
+                best = right;
+            }
+            if activity[self.heap[best]] <= activity[self.heap[i]] {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i]] = i;
+        self.pos[self.heap[j]] = j;
+    }
+}
+
+/// An exponential moving average with initialization-bias correction: the
+/// raw recurrence starts from zero and would under-report until about
+/// `1/alpha` samples have arrived (badly so for the slow restart EMA), so
+/// [`Ema::get`] divides out the remaining bias, as in splr/Glucose.
+#[derive(Clone, Copy, Debug)]
+struct Ema {
+    value: f64,
+    alpha: f64,
+    /// Remaining initialization bias: `(1 - alpha)^samples`.
+    bias: f64,
+}
+
+impl Ema {
+    fn new(alpha: f64) -> Self {
+        Ema {
+            value: 0.0,
+            alpha,
+            bias: 1.0,
+        }
+    }
+
+    fn update(&mut self, x: f64) {
+        self.value += self.alpha * (x - self.value);
+        self.bias *= 1.0 - self.alpha;
+    }
+
+    fn get(&self) -> f64 {
+        if self.bias >= 1.0 {
+            0.0
+        } else {
+            self.value / (1.0 - self.bias)
+        }
+    }
+
+    /// Re-centres the average on `target` without touching the remaining
+    /// bias, so [`Ema::get`] reports `target` until new samples arrive.
+    fn align_to(&mut self, target: f64) {
+        self.value = target * (1.0 - self.bias);
+    }
+}
+
+/// The `i`-th element (0-indexed) of the Luby sequence 1, 1, 2, 1, 1, 2,
+/// 4, 1, 1, 2, 1, 1, 2, 4, 8, … used to pace restarts.
+fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence containing index `i`, then the position
+    // of `i` inside it (MiniSat's formulation with base 2).
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != i {
+        size = (size - 1) / 2;
+        seq -= 1;
+        i %= size;
+    }
+    1u64 << seq
 }
 
 /// A conflict-driven clause-learning SAT solver.
 #[derive(Clone, Debug)]
 pub struct SatSolver {
+    /// Problem clauses (everything added through [`SatSolver::add_clause`]).
     clauses: Vec<Clause>,
-    watches: Vec<Vec<usize>>,
+    /// Learnt clauses, subject to database reduction.
+    learnts: Vec<Clause>,
+    watches: Vec<Vec<ClauseRef>>,
     assigns: Vec<Option<bool>>,
     levels: Vec<u32>,
-    reasons: Vec<Option<usize>>,
+    reasons: Vec<Option<ClauseRef>>,
     trail: Vec<Lit>,
     trail_lim: Vec<usize>,
     qhead: usize,
     activity: Vec<f64>,
     var_inc: f64,
+    cla_inc: f64,
+    order: VarHeap,
+    /// Occurrences of each variable across the live clauses of both
+    /// arenas.  A variable with no occurrences is unconstrained: branching
+    /// skips it (its model value defaults to `false`), so variables whose
+    /// clauses the reduction pass reclaimed — e.g. the encodings of popped
+    /// session scopes — stop costing a decision and a propagation in every
+    /// later query.
+    occurs: Vec<u32>,
+    /// Last polarity each variable held (phase saving); initially negative,
+    /// which is a good default for the mostly-Horn deadlock encodings.
+    phases: Vec<bool>,
+    /// Scratch for LBD computation, stamped per generation.
+    lbd_stamp: Vec<u64>,
+    lbd_gen: u64,
+    /// Scratch for conflict analysis, cleared after every use (kept on the
+    /// solver so a conflict does not pay an O(vars) allocation).
+    seen: Vec<bool>,
+    /// Fast/slow exponential moving averages of learnt-clause LBDs.
+    ema_fast: Ema,
+    ema_slow: Ema,
+    /// Conflict count at which the next database reduction fires.
+    next_reduce: u64,
+    /// Level-zero trail length at the last satisfied-clause sweep; new
+    /// permanent units (e.g. the disabled activation literal of a popped
+    /// session scope) trigger another sweep at the next solve.
+    simplified_trail_len: usize,
+    config: SolverConfig,
     ok: bool,
     stats: SatStats,
     last_core: Vec<Lit>,
@@ -140,8 +407,14 @@ impl Default for SatSolver {
 impl SatSolver {
     /// Creates an empty solver with no variables or clauses.
     pub fn new() -> Self {
+        SatSolver::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty solver with explicit search parameters.
+    pub fn with_config(config: SolverConfig) -> Self {
         SatSolver {
             clauses: Vec::new(),
+            learnts: Vec::new(),
             watches: Vec::new(),
             assigns: Vec::new(),
             levels: Vec::new(),
@@ -151,9 +424,36 @@ impl SatSolver {
             qhead: 0,
             activity: Vec::new(),
             var_inc: 1.0,
+            cla_inc: 1.0,
+            order: VarHeap::default(),
+            occurs: Vec::new(),
+            phases: Vec::new(),
+            lbd_stamp: vec![0],
+            lbd_gen: 0,
+            seen: Vec::new(),
+            ema_fast: Ema::new(1.0 / 32.0),
+            ema_slow: Ema::new(1.0 / 4096.0),
+            next_reduce: config.first_reduce,
+            simplified_trail_len: 0,
+            config,
             ok: true,
             stats: SatStats::default(),
             last_core: Vec::new(),
+        }
+    }
+
+    /// Returns the current search parameters.
+    pub fn config(&self) -> SolverConfig {
+        self.config
+    }
+
+    /// Replaces the search parameters.  Takes effect at the next solve;
+    /// the reduction countdown restarts from the new
+    /// [`SolverConfig::first_reduce`].
+    pub fn set_config(&mut self, config: SolverConfig) {
+        if self.config != config {
+            self.next_reduce = self.stats.conflicts + config.first_reduce;
+            self.config = config;
         }
     }
 
@@ -164,8 +464,13 @@ impl SatSolver {
         self.levels.push(0);
         self.reasons.push(None);
         self.activity.push(0.0);
+        self.phases.push(false);
+        self.occurs.push(0);
+        self.lbd_stamp.push(0);
+        self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
+        self.order.push_new_var(&self.activity);
         v
     }
 
@@ -179,6 +484,16 @@ impl SatSolver {
         self.stats
     }
 
+    /// Returns `true` while `var` carries any constraint: it occurs in a
+    /// live clause, or it is currently assigned (in particular, forced at
+    /// level zero by a unit clause).  Variables whose every clause was
+    /// garbage-collected — e.g. the encoding of a popped session scope —
+    /// report `false`: the solver no longer branches on them and their
+    /// model value is an uninformative default.
+    pub fn is_constrained(&self, var: Var) -> bool {
+        self.occurs[var] > 0 || self.assigns[var].is_some()
+    }
+
     /// Adds a clause.  Returns `false` if the solver is already known to be
     /// unsatisfiable (either before the call or as a result of it).
     ///
@@ -190,16 +505,17 @@ impl SatSolver {
             return false;
         }
         self.cancel_until(0);
-        // Deduplicate and detect tautologies.
-        let mut clause: Vec<Lit> = Vec::with_capacity(lits.len());
-        for &lit in lits {
+        // Deduplicate and detect tautologies with one sort-and-scan pass
+        // (the literal code places the two polarities of a variable next
+        // to each other), instead of a quadratic `contains` per literal.
+        let mut clause: Vec<Lit> = lits.to_vec();
+        for &lit in &clause {
             assert!(lit.var() < self.num_vars(), "literal for unknown variable");
-            if clause.contains(&lit.negated()) {
-                return true; // tautology
-            }
-            if !clause.contains(&lit) {
-                clause.push(lit);
-            }
+        }
+        clause.sort_unstable_by_key(|l| l.code());
+        clause.dedup();
+        if clause.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return true; // tautology
         }
         // Remove literals already false at level 0; detect satisfied clauses.
         clause.retain(|&l| self.value(l) != Some(false) || self.levels[l.var()] != 0);
@@ -226,18 +542,54 @@ impl SatSolver {
                 true
             }
             _ => {
-                self.attach_clause(clause);
+                self.attach(clause, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>) -> usize {
-        let idx = self.clauses.len();
-        self.watches[lits[0].code()].push(idx);
-        self.watches[lits[1].code()].push(idx);
-        self.clauses.push(Clause { lits });
-        idx
+    /// Appends a clause to the appropriate arena and watches its first two
+    /// literals.
+    fn attach(&mut self, lits: Vec<Lit>, learnt: bool, lbd: u32) -> ClauseRef {
+        for &lit in &lits {
+            let v = lit.var();
+            if self.occurs[v] == 0 && self.assigns[v].is_none() {
+                // The variable was unconstrained and may have been skipped
+                // out of the branching heap; it matters again now.
+                self.order.insert(v, &self.activity);
+            }
+            self.occurs[v] += 1;
+        }
+        let (arena, tag) = if learnt {
+            (&mut self.learnts, LEARNT_BIT)
+        } else {
+            (&mut self.clauses, 0)
+        };
+        let cr = arena.len() | tag;
+        self.watches[lits[0].code()].push(cr);
+        self.watches[lits[1].code()].push(cr);
+        arena.push(Clause {
+            lits,
+            lbd,
+            activity: 0.0,
+        });
+        cr
+    }
+
+    fn clause(&self, cr: ClauseRef) -> &Clause {
+        if is_learnt(cr) {
+            &self.learnts[cr & !LEARNT_BIT]
+        } else {
+            &self.clauses[cr]
+        }
+    }
+
+    fn clause_mut(&mut self, cr: ClauseRef) -> &mut Clause {
+        if is_learnt(cr) {
+            &mut self.learnts[cr & !LEARNT_BIT]
+        } else {
+            &mut self.clauses[cr]
+        }
     }
 
     fn value(&self, lit: Lit) -> Option<bool> {
@@ -248,7 +600,7 @@ impl SatSolver {
         self.trail_lim.len() as u32
     }
 
-    fn enqueue(&mut self, lit: Lit, reason: Option<usize>) -> bool {
+    fn enqueue(&mut self, lit: Lit, reason: Option<ClauseRef>) -> bool {
         match self.value(lit) {
             Some(true) => true,
             Some(false) => false,
@@ -262,23 +614,23 @@ impl SatSolver {
         }
     }
 
-    fn propagate(&mut self) -> Option<usize> {
+    fn propagate(&mut self) -> Option<ClauseRef> {
         while self.qhead < self.trail.len() {
             let lit = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
             let falsified = lit.negated();
             let watch_list = std::mem::take(&mut self.watches[falsified.code()]);
-            let mut kept: Vec<usize> = Vec::with_capacity(watch_list.len());
-            let mut conflict: Option<usize> = None;
-            for (pos, &ci) in watch_list.iter().enumerate() {
+            let mut kept: Vec<ClauseRef> = Vec::with_capacity(watch_list.len());
+            let mut conflict: Option<ClauseRef> = None;
+            for (pos, &cr) in watch_list.iter().enumerate() {
                 if conflict.is_some() {
                     kept.extend_from_slice(&watch_list[pos..]);
                     break;
                 }
                 // Make sure the falsified literal is at position 1.
                 let (w0, w1) = {
-                    let c = &mut self.clauses[ci];
+                    let c = self.clause_mut(cr);
                     if c.lits[0] == falsified {
                         c.lits.swap(0, 1);
                     }
@@ -286,17 +638,17 @@ impl SatSolver {
                 };
                 debug_assert_eq!(w1, falsified);
                 if self.value(w0) == Some(true) {
-                    kept.push(ci);
+                    kept.push(cr);
                     continue;
                 }
                 // Look for a new literal to watch.
                 let mut moved = false;
-                let len = self.clauses[ci].lits.len();
+                let len = self.clause(cr).lits.len();
                 for k in 2..len {
-                    let cand = self.clauses[ci].lits[k];
+                    let cand = self.clause(cr).lits[k];
                     if self.value(cand) != Some(false) {
-                        self.clauses[ci].lits.swap(1, k);
-                        self.watches[cand.code()].push(ci);
+                        self.clause_mut(cr).lits.swap(1, k);
+                        self.watches[cand.code()].push(cr);
                         moved = true;
                         break;
                     }
@@ -305,15 +657,15 @@ impl SatSolver {
                     continue;
                 }
                 // Clause is unit or conflicting.
-                kept.push(ci);
-                if !self.enqueue(w0, Some(ci)) {
-                    conflict = Some(ci);
+                kept.push(cr);
+                if !self.enqueue(w0, Some(cr)) {
+                    conflict = Some(cr);
                 }
             }
             self.watches[falsified.code()] = kept;
-            if let Some(ci) = conflict {
+            if let Some(cr) = conflict {
                 self.qhead = self.trail.len();
-                return Some(ci);
+                return Some(cr);
             }
         }
         None
@@ -324,9 +676,15 @@ impl SatSolver {
             return;
         }
         let keep = self.trail_lim[level as usize];
+        let phase_saving = self.config.phase_saving;
         for &lit in &self.trail[keep..] {
-            self.assigns[lit.var()] = None;
-            self.reasons[lit.var()] = None;
+            let v = lit.var();
+            if phase_saving {
+                self.phases[v] = lit.is_positive();
+            }
+            self.assigns[v] = None;
+            self.reasons[v] = None;
+            self.order.insert(v, &self.activity);
         }
         self.trail.truncate(keep);
         self.trail_lim.truncate(level as usize);
@@ -341,21 +699,63 @@ impl SatSolver {
             }
             self.var_inc *= 1e-100;
         }
+        self.order.bumped(var, &self.activity);
     }
 
     fn decay_activities(&mut self) {
         self.var_inc /= 0.95;
+        self.cla_inc /= 0.999;
     }
 
-    fn analyze(&mut self, mut conflict: usize) -> (Vec<Lit>, u32) {
+    fn bump_clause(&mut self, cr: ClauseRef) {
+        debug_assert!(is_learnt(cr));
+        let inc = self.cla_inc;
+        self.clause_mut(cr).activity += inc;
+        if self.clause(cr).activity > 1e20 {
+            for c in &mut self.learnts {
+                c.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// Number of distinct decision levels among `lits` (their *literal
+    /// block distance*), the learnt-clause quality measure of Glucose.
+    fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_gen += 1;
+        let mut distinct = 0u32;
+        for &lit in lits {
+            let level = self.levels[lit.var()] as usize;
+            if self.lbd_stamp[level] != self.lbd_gen {
+                self.lbd_stamp[level] = self.lbd_gen;
+                distinct += 1;
+            }
+        }
+        distinct
+    }
+
+    fn analyze(&mut self, mut conflict: ClauseRef) -> (Vec<Lit>, u32) {
         let mut learnt: Vec<Lit> = vec![Lit::positive(0)]; // placeholder for the asserting literal
-        let mut seen = vec![false; self.num_vars()];
+                                                           // The persistent scratch buffer avoids an O(vars) allocation per
+                                                           // conflict; taking it out keeps the borrow checker happy across
+                                                           // the `bump_var` calls below.
+        let mut seen = std::mem::take(&mut self.seen);
         let mut counter = 0usize;
         let mut trail_idx = self.trail.len();
         let mut asserting = None;
 
         loop {
-            let reason_lits: Vec<Lit> = self.clauses[conflict].lits.clone();
+            let reason_lits: Vec<Lit> = self.clause(conflict).lits.clone();
+            if is_learnt(conflict) {
+                // A learnt clause that keeps causing conflicts is worth
+                // keeping: bump it and tighten its stored LBD.
+                self.bump_clause(conflict);
+                let lbd = self.compute_lbd(&reason_lits);
+                let c = self.clause_mut(conflict);
+                if lbd < c.lbd {
+                    c.lbd = lbd;
+                }
+            }
             let skip = usize::from(asserting.is_some());
             for &lit in reason_lits.iter().skip(skip) {
                 let v = lit.var();
@@ -388,6 +788,14 @@ impl SatSolver {
             conflict = self.reasons[lit.var()].expect("non-decision literal has a reason");
         }
 
+        // Every current-level mark was cleared as it was dequeued from the
+        // trail; the marks that remain are exactly the learnt literals.
+        for &lit in &learnt[1..] {
+            seen[lit.var()] = false;
+        }
+        debug_assert!(seen.iter().all(|&s| !s), "analysis scratch not clean");
+        self.seen = seen;
+
         let backjump = if learnt.len() == 1 {
             0
         } else {
@@ -403,18 +811,153 @@ impl SatSolver {
         (learnt, backjump)
     }
 
-    fn pick_branch_var(&self) -> Option<Var> {
-        let mut best: Option<(Var, f64)> = None;
-        for v in 0..self.num_vars() {
-            if self.assigns[v].is_none() {
-                let act = self.activity[v];
-                match best {
-                    Some((_, b)) if b >= act => {}
-                    _ => best = Some((v, act)),
-                }
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assigns[v].is_none() && self.occurs[v] > 0 {
+                return Some(v);
             }
         }
-        best.map(|(v, _)| v)
+        None
+    }
+
+    /// Deletes the worst half of the deletable learnt clauses (and, as
+    /// part of the same garbage-collection pass, every clause permanently
+    /// satisfied at level zero).
+    fn reduce_db(&mut self) {
+        // Rank the deletable learnt clauses (everything except binary and
+        // glue clauses) worst-first: high LBD, then low activity.
+        let mut deletable: Vec<usize> = (0..self.learnts.len())
+            .filter(|&i| {
+                let c = &self.learnts[i];
+                c.lits.len() > 2 && c.lbd > self.config.keep_lbd
+            })
+            .collect();
+        deletable.sort_by(|&a, &b| {
+            let (ca, cb) = (&self.learnts[a], &self.learnts[b]);
+            cb.lbd
+                .cmp(&ca.lbd)
+                .then(ca.activity.total_cmp(&cb.activity))
+        });
+        let mut drop_learnt = vec![false; self.learnts.len()];
+        for &i in deletable.iter().take(deletable.len() / 2) {
+            drop_learnt[i] = true;
+        }
+        self.collect_garbage(&drop_learnt);
+        self.stats.reduced_dbs += 1;
+        self.next_reduce = self.stats.conflicts
+            + self.config.first_reduce
+            + self.stats.reduced_dbs * self.config.reduce_interval;
+    }
+
+    /// Drops every clause a level-zero unit has permanently satisfied —
+    /// in an assumption-based session, the guarded encodings of popped
+    /// scopes.  Cheap bookkeeping makes it a no-op unless the level-zero
+    /// trail grew since the last sweep.
+    fn simplify(&mut self) {
+        if self.trail.len() == self.simplified_trail_len {
+            return;
+        }
+        let no_marks = vec![false; self.learnts.len()];
+        self.collect_garbage(&no_marks);
+    }
+
+    /// Removes marked learnt clauses and permanently satisfied clauses
+    /// from both arenas, strips falsified literals, and rebuilds the
+    /// watcher lists and occurrence counts.
+    ///
+    /// Must be called at decision level zero with propagation complete, so
+    /// every surviving clause has at least two unassigned literals after
+    /// satisfied clauses are removed and falsified literals are stripped —
+    /// which makes re-watching the first two literals sound.  Reasons are
+    /// cleared wholesale: at level zero they are never dereferenced again
+    /// (conflict analysis skips level-zero variables), and clearing them
+    /// keeps no dangling references into the compacted arenas.
+    fn collect_garbage(&mut self, drop_learnt: &[bool]) {
+        debug_assert_eq!(self.decision_level(), 0);
+        debug_assert_eq!(self.qhead, self.trail.len());
+
+        for reason in &mut self.reasons {
+            *reason = None;
+        }
+
+        let satisfied = |solver: &Self, c: &Clause| {
+            c.lits
+                .iter()
+                .any(|&l| solver.value(l) == Some(true) && solver.levels[l.var()] == 0)
+        };
+
+        // Compact both arenas, additionally dropping clauses a level-zero
+        // unit satisfies forever and stripping falsified literals.
+        let mut deleted = 0u64;
+        let mut compact = |solver: &mut Self, learnt: bool, drop: &[bool]| {
+            let mut arena = std::mem::take(if learnt {
+                &mut solver.learnts
+            } else {
+                &mut solver.clauses
+            });
+            let mut kept = Vec::with_capacity(arena.len());
+            for (i, mut c) in arena.drain(..).enumerate() {
+                if (learnt && drop[i]) || satisfied(solver, &c) {
+                    deleted += 1;
+                    continue;
+                }
+                c.lits
+                    .retain(|&l| !(solver.value(l) == Some(false) && solver.levels[l.var()] == 0));
+                debug_assert!(
+                    c.lits.len() >= 2,
+                    "an unsatisfied clause at level zero cannot be unit after propagation"
+                );
+                kept.push(c);
+            }
+            if learnt {
+                solver.learnts = kept;
+            } else {
+                solver.clauses = kept;
+            }
+        };
+        compact(self, true, drop_learnt);
+        compact(self, false, &[]);
+
+        for watch in &mut self.watches {
+            watch.clear();
+        }
+        for (i, c) in self.clauses.iter().enumerate() {
+            self.watches[c.lits[0].code()].push(i);
+            self.watches[c.lits[1].code()].push(i);
+        }
+        for (i, c) in self.learnts.iter().enumerate() {
+            self.watches[c.lits[0].code()].push(i | LEARNT_BIT);
+            self.watches[c.lits[1].code()].push(i | LEARNT_BIT);
+        }
+
+        // Recount occurrences: variables all of whose clauses were just
+        // deleted become unconstrained and drop out of branching entirely.
+        self.occurs.iter_mut().for_each(|o| *o = 0);
+        for c in self.clauses.iter().chain(self.learnts.iter()) {
+            for &lit in &c.lits {
+                self.occurs[lit.var()] += 1;
+            }
+        }
+
+        self.stats.deleted_clauses += deleted;
+        self.stats.learnt_clauses = self.learnts.len() as u64;
+        self.simplified_trail_len = self.trail.len();
+    }
+
+    /// Feeds a fresh learnt-clause LBD into the restart EMAs.
+    fn note_learnt_lbd(&mut self, lbd: u32) {
+        let x = lbd as f64;
+        self.ema_fast.update(x);
+        self.ema_slow.update(x);
+    }
+
+    /// `true` when the recent learnt clauses are markedly worse (higher
+    /// LBD) than the long-run average: restarting early redirects the
+    /// search instead of riding out the full Luby interval.
+    fn ema_wants_restart(&self) -> bool {
+        self.config.restart_ema_ratio > 0.0
+            && self.stats.conflicts > 128
+            && self.ema_fast.get() > self.ema_slow.get() * self.config.restart_ema_ratio
     }
 
     /// Solves the current clause set.
@@ -458,8 +1001,11 @@ impl SatSolver {
             self.ok = false;
             return Err(Unsat);
         }
+        if self.config.clause_reduction {
+            self.simplify();
+        }
         let mut conflicts_since_restart = 0u64;
-        let mut restart_limit = 100u64;
+        let mut restart_limit = self.config.luby_base * luby(self.stats.restarts);
 
         loop {
             if let Some(conflict) = self.propagate() {
@@ -470,24 +1016,43 @@ impl SatSolver {
                     return Err(Unsat);
                 }
                 let (learnt, backjump) = self.analyze(conflict);
+                // LBD is measured before backjumping, while the literals
+                // still carry the levels the conflict saw.
+                let lbd = self.compute_lbd(&learnt);
+                self.note_learnt_lbd(lbd);
                 self.cancel_until(backjump);
                 if learnt.len() == 1 {
                     let ok = self.enqueue(learnt[0], None);
                     debug_assert!(ok, "asserting literal must be enqueueable");
                 } else {
-                    let ci = self.attach_clause(learnt.clone());
+                    let asserting = learnt[0];
+                    let cr = self.attach(learnt, true, lbd);
                     self.stats.learnt_clauses += 1;
-                    let ok = self.enqueue(learnt[0], Some(ci));
+                    self.stats.total_learnt += 1;
+                    let ok = self.enqueue(asserting, Some(cr));
                     debug_assert!(ok, "asserting literal must be enqueueable");
                 }
                 self.decay_activities();
                 continue;
             }
-            if conflicts_since_restart >= restart_limit {
+            if conflicts_since_restart > 0
+                && (conflicts_since_restart >= restart_limit
+                    || (conflicts_since_restart >= 16 && self.ema_wants_restart()))
+            {
                 conflicts_since_restart = 0;
-                restart_limit = restart_limit + restart_limit / 2;
                 self.stats.restarts += 1;
+                restart_limit = self.config.luby_base * luby(self.stats.restarts);
+                // Restarting resets the fast EMA's influence by aligning it
+                // with the long-run average, so one bad stretch does not
+                // force a cascade of restarts.
+                let long_run = self.ema_slow.get();
+                self.ema_fast.align_to(long_run);
                 self.cancel_until(0);
+                continue;
+            }
+            if self.config.clause_reduction && self.stats.conflicts >= self.next_reduce {
+                self.cancel_until(0);
+                self.reduce_db();
                 continue;
             }
             // Establish the next pending assumption, if any, before
@@ -527,10 +1092,8 @@ impl SatSolver {
                 Some(v) => {
                     self.stats.decisions += 1;
                     self.trail_lim.push(self.trail.len());
-                    // Phase saving would go here; default to negative polarity,
-                    // which is a good default for the mostly-Horn encodings
-                    // produced by the deadlock equations.
-                    let ok = self.enqueue(Lit::negative(v), None);
+                    let polarity = self.config.phase_saving && self.phases[v];
+                    let ok = self.enqueue(Lit::new(v, polarity), None);
                     debug_assert!(ok, "decision variable was unassigned");
                 }
             }
@@ -565,8 +1128,8 @@ impl SatSolver {
                 // Decisions above level zero are exactly the established
                 // assumptions; the trail holds the assumed literal itself.
                 None => core.push(x),
-                Some(ci) => {
-                    for &l in &self.clauses[ci].lits {
+                Some(cr) => {
+                    for &l in &self.clause(cr).lits {
                         if l.var() != x.var() && self.levels[l.var()] > 0 {
                             seen[l.var()] = true;
                         }
@@ -587,6 +1150,21 @@ mod tests {
         Lit::new(v, pos)
     }
 
+    /// A configuration that churns the database hard: reductions every few
+    /// conflicts, nothing protected by LBD, tiny Luby unit.  Used to make
+    /// the new machinery fire even on the small test instances.
+    fn churn_config() -> SolverConfig {
+        SolverConfig {
+            clause_reduction: true,
+            first_reduce: 4,
+            reduce_interval: 2,
+            keep_lbd: 0,
+            luby_base: 2,
+            restart_ema_ratio: 1.1,
+            phase_saving: true,
+        }
+    }
+
     #[test]
     fn literal_encoding_roundtrips() {
         let l = Lit::positive(7);
@@ -595,6 +1173,13 @@ mod tests {
         assert_eq!(l.negated().var(), 7);
         assert!(!l.negated().is_positive());
         assert_eq!(l.negated().negated(), l);
+    }
+
+    #[test]
+    fn luby_sequence_is_the_textbook_one() {
+        let expected = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        let got: Vec<u64> = (0..expected.len() as u64).map(luby).collect();
+        assert_eq!(got, expected);
     }
 
     #[test]
@@ -613,6 +1198,19 @@ mod tests {
         s.add_clause(&[lit(a, true)]);
         s.add_clause(&[lit(a, false)]);
         assert_eq!(s.solve(), Err(Unsat));
+    }
+
+    #[test]
+    fn duplicate_literals_and_tautologies_are_preprocessed() {
+        let mut s = SatSolver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        // Tautology: must be ignored entirely.
+        assert!(s.add_clause(&[lit(a, true), lit(b, true), lit(a, false)]));
+        // Duplicates collapse to a unit clause.
+        assert!(s.add_clause(&[lit(b, false), lit(b, false), lit(b, false)]));
+        let m = s.solve().unwrap();
+        assert!(!m[b]);
     }
 
     #[test]
@@ -651,6 +1249,35 @@ mod tests {
             }
         }
         assert_eq!(s.solve(), Err(Unsat));
+    }
+
+    #[test]
+    fn pigeonhole_stays_unsat_under_aggressive_reduction() {
+        // Larger pigeonhole so the search actually learns clauses, solved
+        // with reductions every few conflicts: deleting learnt clauses must
+        // never change the verdict.
+        let n = 5usize; // pigeons; n - 1 holes
+        let mut s = SatSolver::with_config(churn_config());
+        let p: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &p {
+            let clause: Vec<Lit> = row.iter().map(|&v| lit(v, true)).collect();
+            s.add_clause(&clause);
+        }
+        #[allow(clippy::needless_range_loop)] // j indexes all rows at once
+        for j in 0..n - 1 {
+            for i in 0..n {
+                for k in (i + 1)..n {
+                    s.add_clause(&[lit(p[i][j], false), lit(p[k][j], false)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), Err(Unsat));
+        let stats = s.stats();
+        assert!(stats.reduced_dbs > 0, "reduction never fired: {stats:?}");
+        assert!(stats.deleted_clauses > 0, "nothing deleted: {stats:?}");
+        assert!(stats.learnt_clauses <= stats.total_learnt);
     }
 
     #[test]
@@ -741,9 +1368,55 @@ mod tests {
     }
 
     #[test]
+    fn phase_saving_repeats_the_previous_model() {
+        // With phase saving, re-solving an unchanged satisfiable instance
+        // follows the saved polarities straight back to the same model.
+        let mut gen = 0xA5F1u64;
+        let mut next = move || {
+            gen ^= gen << 13;
+            gen ^= gen >> 7;
+            gen ^= gen << 17;
+            gen
+        };
+        let mut s = SatSolver::new();
+        let num_vars = 10;
+        for _ in 0..num_vars {
+            s.new_var();
+        }
+        for _ in 0..20 {
+            let clause: Vec<Lit> = (0..3)
+                .map(|_| Lit::new((next() % num_vars as u64) as usize, next() % 2 == 0))
+                .collect();
+            s.add_clause(&clause);
+        }
+        if let Ok(first) = s.solve() {
+            let second = s.solve().expect("still satisfiable");
+            assert_eq!(first, second, "phase saving lost the previous model");
+        }
+    }
+
+    /// Brute-force satisfiability of `clauses` (plus optional forced
+    /// `units`) over `num_vars` variables.
+    fn brute_force_sat(num_vars: usize, clauses: &[Vec<Lit>], units: &[Lit]) -> bool {
+        'assignments: for bits in 0..(1u32 << num_vars) {
+            let val = |l: Lit| ((bits >> l.var()) & 1 == 1) == l.is_positive();
+            if units.iter().any(|&l| !val(l)) {
+                continue 'assignments;
+            }
+            if clauses.iter().all(|c| c.iter().any(|&l| val(l))) {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[test]
     fn model_satisfies_all_clauses_on_random_instances() {
         // Small deterministic pseudo-random 3-SAT instances, cross-checked
-        // against brute force.
+        // against brute force — solved both without assumptions and under
+        // random assumption sets, with aggressive database reduction, Luby
+        // restarts and phase saving all active.  Failed assumption cores
+        // must themselves be unsatisfiable together with the clauses.
         let mut seed = 0x2545F4914F6CDD1Du64;
         let mut next = move || {
             seed ^= seed << 13;
@@ -751,7 +1424,7 @@ mod tests {
             seed ^= seed << 17;
             seed
         };
-        for instance in 0..30 {
+        for instance in 0..60 {
             let num_vars = 6;
             let num_clauses = 14 + (instance % 7);
             let clauses: Vec<Vec<Lit>> = (0..num_clauses)
@@ -764,7 +1437,11 @@ mod tests {
                         .collect()
                 })
                 .collect();
-            let mut s = SatSolver::new();
+            let mut s = if instance % 2 == 0 {
+                SatSolver::new()
+            } else {
+                SatSolver::with_config(churn_config())
+            };
             for _ in 0..num_vars {
                 s.new_var();
             }
@@ -772,17 +1449,9 @@ mod tests {
                 s.add_clause(c);
             }
             let solver_result = s.solve();
-            // Brute force.
-            let mut brute_sat = false;
-            'assignments: for bits in 0..(1u32 << num_vars) {
-                let val = |l: Lit| ((bits >> l.var()) & 1 == 1) == l.is_positive();
-                if clauses.iter().all(|c| c.iter().any(|&l| val(l))) {
-                    brute_sat = true;
-                    break 'assignments;
-                }
-            }
+            let brute_sat = brute_force_sat(num_vars, &clauses, &[]);
             match solver_result {
-                Ok(model) => {
+                Ok(ref model) => {
                     assert!(brute_sat, "solver returned SAT on UNSAT instance");
                     for c in &clauses {
                         assert!(
@@ -793,6 +1462,99 @@ mod tests {
                 }
                 Err(Unsat) => assert!(!brute_sat, "solver returned UNSAT on SAT instance"),
             }
+            // The same instance under three random assumption sets, from
+            // the same (incremental) solver.
+            for round in 0..3 {
+                let num_assumptions = 1 + (next() % 3) as usize;
+                let assumptions: Vec<Lit> = (0..num_assumptions)
+                    .map(|_| {
+                        let v = (next() % num_vars as u64) as usize;
+                        Lit::new(v, next() % 2 == 0)
+                    })
+                    .collect();
+                let expected = brute_force_sat(num_vars, &clauses, &assumptions);
+                match s.solve_with_assumptions(&assumptions) {
+                    Ok(model) => {
+                        assert!(
+                            expected,
+                            "instance {instance} round {round}: SAT under UNSAT assumptions"
+                        );
+                        for c in &clauses {
+                            assert!(
+                                c.iter().any(|&l| model[l.var()] == l.is_positive()),
+                                "model does not satisfy clause {c:?}"
+                            );
+                        }
+                        for &a in &assumptions {
+                            assert_eq!(
+                                model[a.var()],
+                                a.is_positive(),
+                                "model violates assumption {a:?}"
+                            );
+                        }
+                    }
+                    Err(Unsat) => {
+                        assert!(
+                            !expected || !brute_sat,
+                            "instance {instance} round {round}: UNSAT under SAT assumptions"
+                        );
+                        let core = s.last_core().to_vec();
+                        for l in &core {
+                            assert!(
+                                assumptions.contains(l),
+                                "core literal {l:?} is not an assumption"
+                            );
+                        }
+                        if brute_sat {
+                            assert!(
+                                !brute_force_sat(num_vars, &clauses, &core),
+                                "instance {instance} round {round}: reported core {core:?} \
+                                 is satisfiable with the clause set"
+                            );
+                        }
+                    }
+                }
+            }
         }
+    }
+
+    #[test]
+    fn reduction_keeps_repeated_assumption_queries_sound() {
+        // A long session on one instance: many assumption queries with the
+        // database being reduced throughout must keep agreeing with brute
+        // force, and the live learnt count must stay at or below the
+        // monotone total.
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let num_vars = 8usize;
+        let mut s = SatSolver::with_config(churn_config());
+        for _ in 0..num_vars {
+            s.new_var();
+        }
+        let clauses: Vec<Vec<Lit>> = (0..28)
+            .map(|_| {
+                (0..3)
+                    .map(|_| Lit::new((next() % num_vars as u64) as usize, next() % 2 == 0))
+                    .collect()
+            })
+            .collect();
+        for c in &clauses {
+            s.add_clause(c);
+        }
+        for _ in 0..100 {
+            let assumptions: Vec<Lit> = (0..(next() % 4) as usize)
+                .map(|_| Lit::new((next() % num_vars as u64) as usize, next() % 2 == 0))
+                .collect();
+            let expected = brute_force_sat(num_vars, &clauses, &assumptions);
+            let got = s.solve_with_assumptions(&assumptions).is_ok();
+            assert_eq!(got, expected, "assumptions {assumptions:?}");
+        }
+        let stats = s.stats();
+        assert!(stats.learnt_clauses <= stats.total_learnt);
     }
 }

@@ -22,10 +22,10 @@
 use crate::cnf::Encoder;
 use crate::expr::{BoolVar, Formula, IntVar, VarPool};
 use crate::model::Model;
-use crate::sat::{Lit, SatSolver, SatStats};
+use crate::sat::{Lit, SatSolver, SatStats, SolverConfig};
 use crate::theory::{self, Constraint, TheoryVerdict};
 
-/// Resource limits for a satisfiability check.
+/// Resource limits and search parameters for a satisfiability check.
 #[derive(Clone, Copy, Debug)]
 pub struct CheckConfig {
     /// Maximum number of theory-driven refinement iterations before the
@@ -33,6 +33,10 @@ pub struct CheckConfig {
     pub max_refinements: u64,
     /// Search-node budget for each theory feasibility check.
     pub theory_node_budget: u64,
+    /// CDCL search parameters: learnt-database reduction, restart schedule
+    /// and phase saving.  Applied to the underlying SAT solver at every
+    /// check, so a long-lived persistent solver can be retuned per query.
+    pub solver: SolverConfig,
 }
 
 impl Default for CheckConfig {
@@ -40,6 +44,7 @@ impl Default for CheckConfig {
         CheckConfig {
             max_refinements: 200_000,
             theory_node_budget: 2_000_000,
+            solver: SolverConfig::default(),
         }
     }
 }
@@ -61,6 +66,18 @@ pub struct SolverStats {
     /// SAT unit propagations performed during this check (delta, like
     /// [`SolverStats::sat_conflicts`]).
     pub sat_propagations: u64,
+    /// Learnt-database reductions performed during this check (delta).
+    pub sat_reduced_dbs: u64,
+    /// Clauses deleted by database reductions during this check (delta).
+    pub sat_deleted_clauses: u64,
+    /// Learnt clauses alive in the SAT solver after this check (snapshot;
+    /// in cold mode this is the final count of the per-check solver, which
+    /// is discarded when the check returns).
+    pub sat_live_learnts: u64,
+    /// Learnt clauses ever stored by the SAT solver, including deleted
+    /// ones (snapshot of the monotone counter, like
+    /// [`SolverStats::sat_live_learnts`]).
+    pub sat_total_learnt: u64,
 }
 
 /// Outcome of a satisfiability check.
@@ -284,7 +301,7 @@ impl SmtSolver {
     /// pipeline.
     fn check_cold(&mut self, config: &CheckConfig) -> SmtResult {
         let mut encoder = Encoder::new();
-        let mut sat = SatSolver::new();
+        let mut sat = SatSolver::with_config(config.solver);
         for assertion in &self.assertions {
             encoder.assert(assertion, &mut sat);
         }
@@ -294,8 +311,13 @@ impl SmtSolver {
             ..SolverStats::default()
         };
         let result = self.refinement_loop(&mut encoder, &mut sat, &[], config);
-        self.stats.sat_conflicts = sat.stats().conflicts;
-        self.stats.sat_propagations = sat.stats().propagations;
+        let after = sat.stats();
+        self.stats.sat_conflicts = after.conflicts;
+        self.stats.sat_propagations = after.propagations;
+        self.stats.sat_reduced_dbs = after.reduced_dbs;
+        self.stats.sat_deleted_clauses = after.deleted_clauses;
+        self.stats.sat_live_learnts = after.learnt_clauses;
+        self.stats.sat_total_learnt = after.total_learnt;
         result
     }
 
@@ -304,13 +326,20 @@ impl SmtSolver {
     fn check_persistent(&mut self, inc: &mut Incremental, config: &CheckConfig) -> SmtResult {
         for i in inc.encoded..self.assertions.len() {
             // The innermost scope whose mark covers assertion `i` guards
-            // it; assertions below every mark are permanent.
+            // it; assertions below every mark are permanent.  The guard
+            // extends every clause of the encoding — not just the
+            // top-level assertion — so popping the scope leaves nothing
+            // behind for the solver's garbage collection to keep.
             let guard = self
                 .scope_marks
                 .iter()
                 .rposition(|&mark| mark <= i)
                 .map(|scope| inc.scope_lits[scope]);
-            let lit = inc.encoder.encode(&self.assertions[i], &mut inc.sat);
+            let lit = inc.encoder.encode_guarded(
+                &self.assertions[i],
+                guard.map(|act| act.negated()),
+                &mut inc.sat,
+            );
             match guard {
                 Some(act) => inc.sat.add_clause(&[act.negated(), lit]),
                 None => inc.sat.add_clause(&[lit]),
@@ -323,12 +352,17 @@ impl SmtSolver {
             sat_variables: inc.sat.num_vars(),
             ..SolverStats::default()
         };
+        inc.sat.set_config(config.solver);
         let before = inc.sat.stats();
         let assumptions = inc.scope_lits.clone();
         let result = self.refinement_loop(&mut inc.encoder, &mut inc.sat, &assumptions, config);
         let after = inc.sat.stats();
         self.stats.sat_conflicts = after.conflicts - before.conflicts;
         self.stats.sat_propagations = after.propagations - before.propagations;
+        self.stats.sat_reduced_dbs = after.reduced_dbs - before.reduced_dbs;
+        self.stats.sat_deleted_clauses = after.deleted_clauses - before.deleted_clauses;
+        self.stats.sat_live_learnts = after.learnt_clauses;
+        self.stats.sat_total_learnt = after.total_learnt;
         result
     }
 
@@ -362,9 +396,18 @@ impl SmtSolver {
             };
 
             // Extract the theory constraints implied by the SAT model.
+            // Atoms whose SAT variable no longer occurs in any live clause
+            // (their scope was popped and garbage-collected) are skipped:
+            // nothing propositional constrains them, so their default
+            // model value carries no information and forcing its theory
+            // counterpart would only shrink — or wrongly empty — the
+            // feasible space of long-lived sessions.
             let mut constraints: Vec<Constraint> = Vec::new();
             let mut atom_lits: Vec<Lit> = Vec::new();
             for (atom, sat_var) in encoder.linear_atoms() {
+                if !sat.is_constrained(sat_var) {
+                    continue;
+                }
                 let assigned_true = sat_model[sat_var];
                 let effective = if assigned_true {
                     atom.clone()
@@ -663,6 +706,51 @@ mod tests {
         smt.pop();
         let model = smt.check().expect_sat();
         assert!(model.int_value(x) >= 0);
+    }
+
+    #[test]
+    fn solver_knobs_thread_through_persistent_checks() {
+        // The same sweep answered with and without clause reduction must
+        // agree on every verdict, and the aggressively reduced session must
+        // report reductions with a live count at or below the total.
+        let sweep = |solver: crate::sat::SolverConfig| -> (Vec<bool>, SolverStats) {
+            let config = CheckConfig {
+                solver,
+                ..CheckConfig::default()
+            };
+            let mut smt = SmtSolver::persistent();
+            let x = smt.new_int_var("x", 0, 12);
+            let y = smt.new_int_var("y", 0, 12);
+            smt.assert(Formula::eq(
+                LinExpr::var(x) + LinExpr::var(y),
+                LinExpr::constant(9),
+            ));
+            let mut verdicts = Vec::new();
+            for cap in 0..=12i64 {
+                smt.push();
+                smt.assert(Formula::le(LinExpr::var(x), LinExpr::constant(cap)));
+                smt.assert(Formula::ge(LinExpr::var(y), LinExpr::constant(cap)));
+                verdicts.push(smt.check_with(&config).is_sat());
+                smt.pop();
+            }
+            (verdicts, smt.stats())
+        };
+        let churn = crate::sat::SolverConfig {
+            first_reduce: 2,
+            reduce_interval: 1,
+            keep_lbd: 0,
+            luby_base: 2,
+            ..crate::sat::SolverConfig::default()
+        };
+        let unbounded = crate::sat::SolverConfig {
+            clause_reduction: false,
+            ..crate::sat::SolverConfig::default()
+        };
+        let (reduced_verdicts, reduced_stats) = sweep(churn);
+        let (unbounded_verdicts, unbounded_stats) = sweep(unbounded);
+        assert_eq!(reduced_verdicts, unbounded_verdicts);
+        assert_eq!(unbounded_stats.sat_reduced_dbs, 0);
+        assert!(reduced_stats.sat_live_learnts <= reduced_stats.sat_total_learnt);
     }
 
     #[test]

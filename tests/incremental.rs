@@ -169,6 +169,83 @@ fn session_sweep_beats_sixteen_cold_analyzes_on_sat_effort() {
     );
 }
 
+/// The regression the clause-database work fixes: a long sweep must not
+/// grow its per-query SAT cost the way the unbounded solver does.  Sizes
+/// 1..=32 on the 2×2 directory mesh, checked with clause deletion enabled
+/// (reductions forced early so the small workload exercises them) and with
+/// the learnt database unbounded:
+///
+/// * both configurations agree on every verdict;
+/// * the bounded session performs reductions and its live learnt-clause
+///   count stays strictly below the monotone total;
+/// * the bounded session's late queries (sizes 17..=32) cost on average no
+///   more than its early ones (sizes 3..=16, past the two deadlocking
+///   sizes) times a small slack — the unbounded solver's cost keeps
+///   climbing instead;
+/// * the bounded tail is strictly cheaper than the unbounded tail.
+#[test]
+fn long_sweep_keeps_per_query_cost_bounded_with_clause_deletion() {
+    let mesh = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+    let sweep = |solver: SolverConfig| {
+        let system = build_mesh_for_sweep(&mesh, 32).unwrap();
+        let config = CheckConfig {
+            solver,
+            ..CheckConfig::default()
+        };
+        let mut session =
+            VerificationSession::with_config(system, DeadlockSpec::default(), config, 1..=32);
+        let mut verdicts = Vec::new();
+        let mut efforts = Vec::new();
+        for size in 1..=32usize {
+            let report = session.check_capacity(size);
+            verdicts.push(report.is_deadlock_free());
+            efforts.push(report.analysis().stats.sat_effort());
+        }
+        (verdicts, efforts, session.stats())
+    };
+
+    let bounded_cfg = SolverConfig {
+        first_reduce: 20,
+        reduce_interval: 20,
+        keep_lbd: 1,
+        ..SolverConfig::default()
+    };
+    let unbounded_cfg = SolverConfig {
+        clause_reduction: false,
+        ..SolverConfig::default()
+    };
+    let (bounded_verdicts, bounded_efforts, bounded_stats) = sweep(bounded_cfg);
+    let (unbounded_verdicts, unbounded_efforts, unbounded_stats) = sweep(unbounded_cfg);
+
+    assert_eq!(bounded_verdicts, unbounded_verdicts, "verdicts must agree");
+    assert!(!bounded_verdicts[1], "size 2 must deadlock");
+    assert!(bounded_verdicts[2], "size 3 must be free");
+
+    assert!(
+        bounded_stats.reduced_dbs > 0,
+        "no reduction fired: {bounded_stats:?}"
+    );
+    assert!(
+        bounded_stats.live_learnts < bounded_stats.total_learnt,
+        "nothing was ever deleted from the learnt database: {bounded_stats:?}"
+    );
+    assert_eq!(unbounded_stats.deleted_clauses, 0);
+
+    let avg = |slice: &[u64]| slice.iter().sum::<u64>() / slice.len() as u64;
+    let bounded_early = avg(&bounded_efforts[2..16]);
+    let bounded_late = avg(&bounded_efforts[16..]);
+    assert!(
+        bounded_late <= bounded_early.saturating_mul(3) / 2,
+        "per-query cost still grows with the session: early avg {bounded_early}, \
+         late avg {bounded_late}"
+    );
+    let unbounded_late = avg(&unbounded_efforts[16..]);
+    assert!(
+        bounded_late < unbounded_late,
+        "bounded tail {bounded_late} is not cheaper than unbounded tail {unbounded_late}"
+    );
+}
+
 /// The session statistics the sweep assertion relies on are actually
 /// populated per query.
 #[test]
