@@ -1,0 +1,73 @@
+//! Cross-topology verification sweeps: the same protocol, the same
+//! session-backed capacity sweep, different fabrics.
+//!
+//! The topology engine makes the scenario space two-dimensional (topology
+//! × capacity).  This bench prints, per topology family, the minimal
+//! deadlock-free queue size and the accumulated SAT effort of one
+//! incremental session answering the whole sweep, then measures
+//! representative fabrics with Criterion.
+
+use advocat::prelude::*;
+use criterion::{criterion_group, Criterion};
+
+const SIZES: std::ops::RangeInclusive<usize> = 1..=6;
+
+fn fabrics() -> Vec<FabricConfig> {
+    vec![
+        FabricConfig::new(Topology::mesh(2, 2).expect("mesh"), 1).with_directory(3),
+        FabricConfig::new(Topology::torus(2, 2).expect("torus"), 1).with_directory(3),
+        FabricConfig::new(Topology::torus(3, 3).expect("torus"), 1).with_directory(4),
+        FabricConfig::new(Topology::ring(4).expect("ring"), 1).with_directory(1),
+        FabricConfig::new(Topology::ring(6).expect("ring"), 1).with_directory(2),
+        FabricConfig::new(Topology::fat_tree(2, 2).expect("fat tree"), 1).with_directory(3),
+    ]
+}
+
+/// One incremental session sweeping every capacity on one fabric.
+fn session_sweep(config: &FabricConfig) -> (Option<usize>, u64) {
+    let mut session = VerificationSession::for_fabric(config, DeadlockSpec::default(), SIZES)
+        .expect("audited fabric builds");
+    let mut sizes = SIZES;
+    let min_free = sizes.find(|cap| session.check_capacity(*cap).is_deadlock_free());
+    (min_free, session.stats().sat_effort())
+}
+
+fn print_comparison() {
+    println!("== one session sweep (sizes {SIZES:?}) per topology family ==");
+    println!(
+        "{:<12} {:<8} {:<7} {:<9} {:>12}",
+        "topology", "agents", "planes", "min free", "SAT effort"
+    );
+    for config in fabrics() {
+        let (min_free, effort) = session_sweep(&config);
+        println!(
+            "{:<12} {:<8} {:<7} {:<9} {:>12}",
+            config.topology.name(),
+            config.topology.num_terminals(),
+            config.planes(),
+            min_free.map(|s| s.to_string()).unwrap_or("> 6".to_owned()),
+            effort
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topologies");
+    group.sample_size(10);
+    for config in fabrics() {
+        let name = format!("session_sweep_{}", config.topology.name());
+        group.bench_function(&name, |b| b.iter(|| session_sweep(&config)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_comparison();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

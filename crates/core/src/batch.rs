@@ -1,10 +1,10 @@
 //! Parallel verification of independent scenarios.
 //!
-//! Design-space exploration rarely asks one question: it sweeps mesh
-//! shapes, directory placements, protocols and deadlock specifications.
-//! The scenarios are independent, so [`verify_batch`] fans them out over
-//! `std::thread` workers pulling from a shared queue — wall-clock time
-//! scales with the slowest scenario rather than the sum.
+//! Design-space exploration rarely asks one question: it sweeps
+//! topologies, directory placements, protocols and deadlock
+//! specifications.  The scenarios are independent, so [`verify_batch`]
+//! fans them out over `std::thread` workers pulling from a shared queue —
+//! wall-clock time scales with the slowest scenario rather than the sum.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -12,18 +12,41 @@ use std::time::{Duration, Instant};
 
 use advocat_deadlock::DeadlockSpec;
 use advocat_logic::CheckConfig;
-use advocat_noc::{build_mesh, MeshConfig, MeshError};
+use advocat_noc::{build_fabric, FabricConfig, FabricError, MeshConfig};
 
 use crate::report::Report;
 use crate::verifier::Verifier;
+
+/// What a [`BatchScenario`] builds and verifies: a classic mesh
+/// description or a topology-generic fabric.
+#[derive(Clone, Debug)]
+pub enum ScenarioFabric {
+    /// A 2D mesh with XY routing (the paper's configuration).
+    Mesh(MeshConfig),
+    /// Any topology × routing-function fabric (boxed: a full fabric
+    /// description is much larger than a mesh one).
+    Fabric(Box<FabricConfig>),
+}
+
+impl ScenarioFabric {
+    fn build(&self) -> Result<advocat_automata::System, FabricError> {
+        match self {
+            ScenarioFabric::Mesh(config) => {
+                let fabric = config.to_fabric()?;
+                build_fabric(&fabric)
+            }
+            ScenarioFabric::Fabric(config) => build_fabric(config),
+        }
+    }
+}
 
 /// One independent verification scenario of a batch.
 #[derive(Clone, Debug)]
 pub struct BatchScenario {
     /// A human-readable label carried into the outcome.
     pub name: String,
-    /// The mesh to build and verify.
-    pub mesh: MeshConfig,
+    /// The fabric to build and verify.
+    pub fabric: ScenarioFabric,
     /// Which conditions count as a deadlock.
     pub spec: DeadlockSpec,
     /// SMT resource limits for this scenario.
@@ -31,12 +54,22 @@ pub struct BatchScenario {
 }
 
 impl BatchScenario {
-    /// Creates a scenario with the default deadlock specification and
+    /// Creates a mesh scenario with the default deadlock specification and
     /// solver limits.
     pub fn new(name: impl Into<String>, mesh: MeshConfig) -> Self {
         BatchScenario {
             name: name.into(),
-            mesh,
+            fabric: ScenarioFabric::Mesh(mesh),
+            spec: DeadlockSpec::default(),
+            config: CheckConfig::default(),
+        }
+    }
+
+    /// Creates a scenario for an arbitrary topology fabric.
+    pub fn for_fabric(name: impl Into<String>, fabric: FabricConfig) -> Self {
+        BatchScenario {
+            name: name.into(),
+            fabric: ScenarioFabric::Fabric(Box::new(fabric)),
             spec: DeadlockSpec::default(),
             config: CheckConfig::default(),
         }
@@ -60,10 +93,10 @@ impl BatchScenario {
 pub struct BatchOutcome {
     /// The scenario's label.
     pub name: String,
-    /// The verification report, or the mesh-construction error.
-    pub result: Result<Report, MeshError>,
-    /// Wall-clock time this scenario took on its worker (mesh construction
-    /// plus the full pipeline).
+    /// The verification report, or the fabric-construction error.
+    pub result: Result<Report, FabricError>,
+    /// Wall-clock time this scenario took on its worker (fabric
+    /// construction plus the full pipeline).
     pub elapsed: Duration,
 }
 
@@ -89,11 +122,15 @@ impl BatchOutcome {
 ///
 /// let scenarios = vec![
 ///     BatchScenario::new("2x2 corner, qs 2", MeshConfig::new(2, 2, 2)),
-///     BatchScenario::new("2x2 corner, qs 3", MeshConfig::new(2, 2, 3)),
+///     BatchScenario::for_fabric(
+///         "ring of 4, qs 2",
+///         FabricConfig::new(Topology::ring(4)?, 2),
+///     ),
 /// ];
 /// let outcomes = verify_batch(&scenarios, 2);
 /// assert_eq!(outcomes.len(), 2);
 /// assert!(outcomes.iter().all(|o| o.result.is_ok()));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn verify_batch(scenarios: &[BatchScenario], workers: usize) -> Vec<BatchOutcome> {
     if scenarios.is_empty() {
@@ -112,7 +149,7 @@ pub fn verify_batch(scenarios: &[BatchScenario], workers: usize) -> Vec<BatchOut
                     break;
                 };
                 let start = Instant::now();
-                let result = build_mesh(&scenario.mesh).map(|system| {
+                let result = scenario.fabric.build().map(|system| {
                     Verifier::new()
                         .with_spec(scenario.spec)
                         .with_config(scenario.config)
@@ -143,6 +180,7 @@ pub fn verify_batch(scenarios: &[BatchScenario], workers: usize) -> Vec<BatchOut
 #[cfg(test)]
 mod tests {
     use super::*;
+    use advocat_noc::{build_mesh, Topology};
 
     #[test]
     fn batch_results_come_back_in_scenario_order() {
@@ -178,6 +216,28 @@ mod tests {
                 .is_deadlock_free();
             assert_eq!(outcome.is_deadlock_free(), sequential);
         }
+    }
+
+    #[test]
+    fn one_batch_spans_topology_families() {
+        let scenarios = vec![
+            BatchScenario::for_fabric(
+                "ring4 qs2",
+                FabricConfig::new(Topology::ring(4).unwrap(), 2).with_directory(1),
+            ),
+            BatchScenario::for_fabric(
+                "fat-tree qs1",
+                FabricConfig::new(Topology::fat_tree(2, 2).unwrap(), 1).with_directory(3),
+            ),
+            BatchScenario::new("mesh qs3", MeshConfig::new(2, 2, 3).with_directory(1, 1)),
+        ];
+        let outcomes = verify_batch(&scenarios, 3);
+        assert!(outcomes[0].is_deadlock_free(), "datelined ring at qs 2");
+        assert!(
+            !outcomes[1].is_deadlock_free(),
+            "fat tree deadlocks at qs 1"
+        );
+        assert!(outcomes[2].is_deadlock_free());
     }
 
     #[test]

@@ -52,10 +52,10 @@ mod session;
 mod sizing;
 mod verifier;
 
-pub use batch::{verify_batch, BatchOutcome, BatchScenario};
+pub use batch::{verify_batch, BatchOutcome, BatchScenario, ScenarioFabric};
 pub use report::Report;
 pub use session::{SessionStats, VerificationSession};
-pub use sizing::{minimal_queue_size, SizingOptions, SizingResult};
+pub use sizing::{minimal_queue_size, minimal_queue_size_for_fabric, SizingOptions, SizingResult};
 pub use verifier::Verifier;
 
 // Re-export the building blocks so downstream users only need one

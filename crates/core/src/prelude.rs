@@ -10,8 +10,9 @@
 //! ```
 
 pub use crate::{
-    minimal_queue_size, verify_batch, BatchOutcome, BatchScenario, Report, SessionStats,
-    SizingOptions, SizingResult, VerificationSession, Verifier,
+    minimal_queue_size, minimal_queue_size_for_fabric, verify_batch, BatchOutcome, BatchScenario,
+    Report, ScenarioFabric, SessionStats, SizingOptions, SizingResult, VerificationSession,
+    Verifier,
 };
 
 pub use advocat_automata::{derive_colors, AutomatonBuilder, System};
@@ -19,6 +20,10 @@ pub use advocat_deadlock::{verify_system, DeadlockSpec, EncodingTemplate, Verdic
 pub use advocat_explorer::{explore, random_walk, ExplorerConfig};
 pub use advocat_invariants::{derive_invariants, format_invariant};
 pub use advocat_logic::{CheckConfig, SolverConfig};
-pub use advocat_noc::{build_mesh, build_mesh_for_sweep, MeshConfig, ProtocolKind};
+pub use advocat_noc::{
+    audit_routing, build_fabric, build_fabric_for_sweep, build_mesh, build_mesh_for_sweep,
+    default_routing, fabric_dot, DimensionOrdered, FabricConfig, FabricError, FatTreeRouting,
+    MeshConfig, ProtocolKind, RoutingFunction, TableRouting, Topology, UpDownRouting,
+};
 pub use advocat_protocols::{AbstractMi, FullMi};
 pub use advocat_xmas::{Network, Packet};

@@ -90,6 +90,43 @@ impl VerificationSession {
         VerificationSession::with_config(system, spec, CheckConfig::default(), capacities)
     }
 
+    /// Builds a session for an arbitrary topology fabric: the fabric is
+    /// built once at the largest capacity of the range
+    /// ([`advocat_noc::build_fabric_for_sweep`]) and every capacity query
+    /// reuses the one persistent solver.  This is what lets the *same*
+    /// sweep run unchanged on a mesh, torus, ring or fat tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`advocat_noc::FabricError`] when the fabric
+    /// configuration is invalid or its routing function fails the
+    /// channel-dependency audit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacities` is empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use advocat::prelude::*;
+    ///
+    /// let config = FabricConfig::new(Topology::ring(4)?, 1).with_directory(1);
+    /// let mut session =
+    ///     VerificationSession::for_fabric(&config, DeadlockSpec::default(), 1..=3)?;
+    /// assert!(!session.check_capacity(1).is_deadlock_free());
+    /// assert!(session.check_capacity(2).is_deadlock_free());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn for_fabric(
+        config: &advocat_noc::FabricConfig,
+        spec: DeadlockSpec,
+        capacities: RangeInclusive<usize>,
+    ) -> Result<Self, advocat_noc::FabricError> {
+        let system = advocat_noc::build_fabric_for_sweep(config, *capacities.end())?;
+        Ok(VerificationSession::new(system, spec, capacities))
+    }
+
     /// Builds a session with explicit SMT resource limits per query.
     ///
     /// # Panics

@@ -1,8 +1,11 @@
 //! Minimal-queue-size search (Figure 4 of the paper).
 
+use advocat_automata::System;
 use advocat_deadlock::{DeadlockSpec, Verdict};
 use advocat_logic::CheckConfig;
-use advocat_noc::{build_mesh_for_sweep, MeshConfig, MeshError};
+use advocat_noc::{
+    build_fabric_for_sweep, build_mesh_for_sweep, FabricConfig, FabricError, MeshConfig, MeshError,
+};
 
 use crate::session::VerificationSession;
 
@@ -105,6 +108,49 @@ pub fn minimal_queue_size(
         });
     }
     let system = build_mesh_for_sweep(config, options.max)?;
+    Ok(search(system, options))
+}
+
+/// The topology-generic sibling of [`minimal_queue_size`]: finds the
+/// smallest queue size for which the fabric described by `config`
+/// (ignoring its own `queue_size`) is proven deadlock-free.  The fabric —
+/// mesh, torus, ring, fat tree or irregular — is built once at the
+/// largest size and every probe is answered by one incremental
+/// [`VerificationSession`].
+///
+/// # Errors
+///
+/// Returns a [`FabricError`] when the fabric configuration is invalid or
+/// its routing function fails the channel-dependency audit.
+///
+/// # Examples
+///
+/// ```
+/// use advocat::{minimal_queue_size_for_fabric, SizingOptions};
+/// use advocat_noc::{FabricConfig, Topology};
+///
+/// let config = FabricConfig::new(Topology::ring(4)?, 1).with_directory(1);
+/// let options = SizingOptions { min: 1, max: 4, ..Default::default() };
+/// let result = minimal_queue_size_for_fabric(&config, &options)?;
+/// assert_eq!(result.minimal_queue_size, Some(2));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn minimal_queue_size_for_fabric(
+    config: &FabricConfig,
+    options: &SizingOptions,
+) -> Result<SizingResult, FabricError> {
+    if options.min > options.max {
+        return Ok(SizingResult {
+            minimal_queue_size: None,
+            evaluations: Vec::new(),
+        });
+    }
+    let system = build_fabric_for_sweep(config, options.max)?;
+    Ok(search(system, options))
+}
+
+/// The session-backed binary search shared by both entry points.
+fn search(system: System, options: &SizingOptions) -> SizingResult {
     let mut session = VerificationSession::with_config(
         system,
         options.spec,
@@ -147,10 +193,10 @@ pub fn minimal_queue_size(
             lo = mid + 1;
         }
     }
-    Ok(SizingResult {
+    SizingResult {
         minimal_queue_size: minimal,
         evaluations,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -204,6 +250,30 @@ mod tests {
     fn invalid_mesh_configurations_error_out() {
         let config = MeshConfig::new(1, 1, 1);
         assert!(minimal_queue_size(&config, &SizingOptions::default()).is_err());
+    }
+
+    #[test]
+    fn fabric_sizing_spans_topology_families() {
+        use advocat_noc::Topology;
+        let options = SizingOptions {
+            min: 1,
+            max: 4,
+            ..SizingOptions::default()
+        };
+        let ring = FabricConfig::new(Topology::ring(4).unwrap(), 1).with_directory(1);
+        let result = minimal_queue_size_for_fabric(&ring, &options).unwrap();
+        assert_eq!(result.minimal_queue_size, Some(2));
+        let tree = FabricConfig::new(Topology::fat_tree(2, 2).unwrap(), 1).with_directory(3);
+        let result = minimal_queue_size_for_fabric(&tree, &options).unwrap();
+        assert_eq!(result.minimal_queue_size, Some(2));
+        // A cyclic routing configuration errors out before any probe.
+        let undatelined = FabricConfig::new(Topology::ring(4).unwrap(), 1).with_routing(
+            std::sync::Arc::new(advocat_noc::DimensionOrdered::without_dateline()),
+        );
+        assert!(matches!(
+            minimal_queue_size_for_fabric(&undatelined, &options),
+            Err(FabricError::CyclicChannelDependencies { .. })
+        ));
     }
 
     #[test]

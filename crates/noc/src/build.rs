@@ -1,21 +1,23 @@
-//! Assembly of a complete mesh system (fabric + protocol agents).
-
-use std::collections::BTreeMap;
+//! Mesh assembly: thin wrappers over the generic fabric builder.
+//!
+//! Historically `build_mesh` hand-assembled the 2D mesh with XY routing;
+//! that logic now lives in the topology-generic [`crate::build_fabric`],
+//! and the mesh entry points below only translate a [`MeshConfig`] into a
+//! [`crate::FabricConfig`] ([`MeshConfig::to_fabric`]).
 
 use advocat_automata::System;
-use advocat_protocols::{AbstractMi, AgentSpec, FullMi, MessageClass};
-use advocat_xmas::{ColorId, Network, PrimitiveId};
 
-use crate::mesh::{MeshConfig, MeshError, ProtocolKind};
-use crate::routing::{neighbor, xy_route, Direction};
+use crate::fabric::build_fabric;
+use crate::mesh::{MeshConfig, MeshError};
 
-/// Number of virtual-channel planes used when VCs are enabled.
+/// Number of virtual-channel planes used when message-class VCs are
+/// enabled.
 pub(crate) const VC_PLANES: usize = 2;
 
-/// Builds the complete system for a mesh configuration: the store-and-forward
-/// fabric with XY routing (optionally split into request/response virtual
-/// channels), one protocol agent per node, core-side trigger sources and
-/// auxiliary sinks.
+/// Builds the complete system for a mesh configuration: the
+/// store-and-forward fabric with XY routing (optionally split into
+/// request/response virtual channels), one protocol agent per node,
+/// core-side trigger sources and auxiliary sinks.
 ///
 /// # Errors
 ///
@@ -36,229 +38,8 @@ pub(crate) const VC_PLANES: usize = 2;
 /// # Ok::<(), advocat_noc::MeshError>(())
 /// ```
 pub fn build_mesh(config: &MeshConfig) -> Result<System, MeshError> {
-    config.check()?;
-    let mut net = Network::new();
-    let planes = config.planes();
-    let num_nodes = config.num_nodes();
-    let dir_node = config.directory_node();
-
-    // Protocol agents (interning every protocol color as a side effect).
-    let specs: Vec<AgentSpec> = match config.protocol {
-        ProtocolKind::AbstractMi => {
-            let protocol = AbstractMi::new(num_nodes, dir_node);
-            (0..num_nodes)
-                .map(|n| protocol.agent(&mut net, n))
-                .collect()
-        }
-        ProtocolKind::FullMi => {
-            let protocol = FullMi::new(num_nodes, dir_node);
-            (0..num_nodes)
-                .map(|n| protocol.agent(&mut net, n))
-                .collect()
-        }
-    };
-
-    // Colors that travel through the fabric: everything with an in-mesh
-    // destination.  (Core triggers have no destination; DMA completions are
-    // addressed to the pseudo-node `num_nodes` and leave via aux ports.)
-    let routable: Vec<(ColorId, String, u32)> = net
-        .colors()
-        .iter()
-        .filter_map(|(id, packet)| {
-            packet
-                .dst
-                .filter(|dst| *dst < num_nodes)
-                .map(|dst| (id, packet.kind.clone(), dst))
-        })
-        .collect();
-    let plane_of = |kind: &str| -> usize {
-        if planes == 1 {
-            0
-        } else {
-            MessageClass::of_kind(kind).plane()
-        }
-    };
-
-    let plane_suffix = |p: usize| -> String {
-        if planes == 1 {
-            String::new()
-        } else {
-            format!(".vc{p}")
-        }
-    };
-
-    // Link queues (one per directed link per plane) and ejection queues.
-    let mut link_queue: BTreeMap<(u32, u32, usize), PrimitiveId> = BTreeMap::new();
-    for node in 0..num_nodes {
-        for dir in [
-            Direction::North,
-            Direction::East,
-            Direction::South,
-            Direction::West,
-        ] {
-            if let Some(next) = neighbor(config, node, dir) {
-                for p in 0..planes {
-                    let (x, y) = config.coords(node);
-                    let (nx, ny) = config.coords(next);
-                    let name = format!("q({x},{y})→({nx},{ny}){}", plane_suffix(p));
-                    let q = net.add_queue(name, config.queue_size);
-                    link_queue.insert((node, next, p), q);
-                }
-            }
-        }
-    }
-    // Agent nodes.
-    let mut agent_node: Vec<PrimitiveId> = Vec::with_capacity(num_nodes as usize);
-    for node in 0..num_nodes {
-        let (x, y) = config.coords(node);
-        let spec = &specs[node as usize];
-        let name = if node == dir_node {
-            format!("dir({x},{y})")
-        } else {
-            format!("cache({x},{y})")
-        };
-        let id = net.add_automaton_node(
-            name,
-            spec.automaton.input_count(),
-            spec.automaton.output_count(),
-        );
-        agent_node.push(id);
-    }
-
-    // Per-node router logic.
-    for node in 0..num_nodes {
-        let (x, y) = config.coords(node);
-        let spec = &specs[node as usize];
-        let agent = agent_node[node as usize];
-
-        // Output directions present at this router (Local always last).
-        let mut out_dirs: Vec<Direction> = Direction::ALL
-            .into_iter()
-            .filter(|d| *d == Direction::Local || neighbor(config, node, *d).is_some())
-            .collect();
-        // Keep Local at a known index for the switch default.
-        out_dirs.sort_by_key(|d| (*d == Direction::Local) as u8);
-        let local_index = out_dirs.len() - 1;
-        let dir_index = |d: Direction| -> usize {
-            out_dirs
-                .iter()
-                .position(|x| *x == d)
-                .expect("direction present at this router")
-        };
-
-        // Ejection: the local-direction arbiter feeds the agent directly
-        // (protocol agents consume straight from the incoming link queues,
-        // as in the paper's model); with virtual channels an additional
-        // merge combines the planes first.
-        let ejection_target: Vec<(PrimitiveId, usize)> = if planes == 1 {
-            vec![(agent, spec.net_in)]
-        } else {
-            let em = net.add_merge(format!("eject_arb({x},{y})"), planes);
-            net.connect(em, 0, agent, spec.net_in);
-            (0..planes).map(|p| (em, p)).collect()
-        };
-
-        // Injection: either the agent's output directly (single plane) or a
-        // class switch splitting by message class (virtual channels).
-        let injection_source: Vec<(PrimitiveId, usize)> = if planes == 1 {
-            vec![(agent, spec.net_out)]
-        } else {
-            let routes: BTreeMap<ColorId, usize> = routable
-                .iter()
-                .map(|(c, kind, _)| (*c, plane_of(kind)))
-                .collect();
-            let cs = net.add_switch(format!("vc_split({x},{y})"), routes, planes, 0);
-            net.connect(agent, spec.net_out, cs, 0);
-            (0..planes).map(|p| (cs, p)).collect()
-        };
-
-        for p in 0..planes {
-            // Router inputs of this plane: incoming link queues + injection.
-            let mut inputs: Vec<(PrimitiveId, usize, String)> = Vec::new();
-            for dir in [
-                Direction::North,
-                Direction::East,
-                Direction::South,
-                Direction::West,
-            ] {
-                if let Some(from) = neighbor(config, node, dir) {
-                    let q = link_queue[&(from, node, p)];
-                    inputs.push((q, 0, dir.label().to_owned()));
-                }
-            }
-            let (inj_prim, inj_port) = injection_source[p];
-            inputs.push((inj_prim, inj_port, "inject".to_owned()));
-
-            // One routing switch per router input.
-            let routes: BTreeMap<ColorId, usize> = routable
-                .iter()
-                .filter(|(_, kind, _)| planes == 1 || plane_of(kind) == p)
-                .map(|(c, _, dst)| (*c, dir_index(xy_route(config, node, *dst))))
-                .collect();
-            let mut switches: Vec<PrimitiveId> = Vec::with_capacity(inputs.len());
-            for (prim, port, label) in &inputs {
-                let sw = net.add_switch(
-                    format!("route({x},{y}).{label}{}", plane_suffix(p)),
-                    routes.clone(),
-                    out_dirs.len(),
-                    local_index,
-                );
-                net.connect(*prim, *port, sw, 0);
-                switches.push(sw);
-            }
-
-            // One merge per output direction, feeding the link or ejection
-            // queue of this plane.
-            for (j, dir) in out_dirs.iter().enumerate() {
-                let merge = net.add_merge(
-                    format!("arb({x},{y}).{}{}", dir.label(), plane_suffix(p)),
-                    switches.len(),
-                );
-                for (i, sw) in switches.iter().enumerate() {
-                    net.connect(*sw, j, merge, i);
-                }
-                match dir {
-                    Direction::Local => {
-                        let (target, port) = ejection_target[p];
-                        net.connect(merge, 0, target, port);
-                    }
-                    other => {
-                        let next = neighbor(config, node, *other)
-                            .expect("out_dirs only contains present directions");
-                        net.connect(merge, 0, link_queue[&(node, next, p)], 0);
-                    }
-                }
-            }
-        }
-
-        // Core-side trigger source and auxiliary sink.
-        if spec.needs_core_source() {
-            let src = net.add_source(format!("core({x},{y})"), spec.core_triggers.clone());
-            net.connect(
-                src,
-                0,
-                agent,
-                spec.core_in.expect("needs_core_source implies core_in"),
-            );
-        }
-        if let Some(aux) = spec.aux_out {
-            let sink = net.add_sink(format!("aux_sink({x},{y})"));
-            net.connect(agent, aux, sink, 0);
-        }
-    }
-
-    // Attach the automata.
-    let mut system = System::new(net);
-    for node in 0..num_nodes {
-        system
-            .attach(
-                agent_node[node as usize],
-                specs[node as usize].automaton.clone(),
-            )
-            .expect("agent node ports match the automaton by construction");
-    }
-    debug_assert!(system.validate().is_ok());
-    Ok(system)
+    let fabric = config.to_fabric()?;
+    Ok(build_fabric(&fabric).expect("validated mesh configurations always build"))
 }
 
 /// Builds the mesh once for a whole queue-capacity sweep.
@@ -282,6 +63,7 @@ pub fn build_mesh_for_sweep(config: &MeshConfig, max_capacity: usize) -> Result<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mesh::ProtocolKind;
     use advocat_automata::derive_colors;
     use advocat_xmas::Packet;
 
@@ -355,5 +137,35 @@ mod tests {
         assert!(build_mesh(&MeshConfig::new(1, 1, 2)).is_err());
         assert!(build_mesh(&MeshConfig::new(2, 2, 0)).is_err());
         assert!(build_mesh(&MeshConfig::new(2, 2, 2).with_directory(5, 5)).is_err());
+    }
+
+    #[test]
+    fn generated_mesh_structure_matches_first_principles_counts() {
+        // Counts derived from the fabric construction rules, independently
+        // of the builder: with C message-class planes a mesh node of
+        // degree d carries C·d + C input switches (links + injection) plus
+        // one vc_split, and C·d + C + 1 merges (links + per-plane local +
+        // ejection); every directed link is a queue per plane.
+        let config = MeshConfig::new(3, 2, 2)
+            .with_directory(1, 1)
+            .with_virtual_channels(true);
+        let system = build_mesh(&config).unwrap();
+        let hist = system.network().kind_histogram();
+        let directed_links = 2 * (2 * 3 * 2 - 3 - 2); // 14 on a 3×2 mesh
+        let degree_sum = directed_links; // in-degree sum == link count
+        let nodes = 6;
+        let classes = 2;
+        assert_eq!(hist.get("queue"), Some(&(classes * directed_links)));
+        assert_eq!(
+            hist.get("switch"),
+            Some(&(classes * degree_sum + classes * nodes + nodes))
+        );
+        assert_eq!(
+            hist.get("merge"),
+            Some(&(classes * degree_sum + classes * nodes + nodes))
+        );
+        assert_eq!(hist.get("automaton"), Some(&nodes));
+        // Every node but the directory has a core-trigger source.
+        assert_eq!(hist.get("source"), Some(&(nodes - 1)));
     }
 }

@@ -1,0 +1,355 @@
+//! Channel-dependency-graph analysis of a routing function.
+//!
+//! Dally & Seitz: a deterministic routing function is deadlock-free on a
+//! fabric of bounded queues iff its **channel dependency graph** — one
+//! vertex per (link, virtual channel) pair, one arc whenever a packet held
+//! by one channel may next request another — is acyclic.  Because every
+//! routing function here is deterministic and oblivious
+//! ([`crate::RoutingFunction`]), the CDG can be computed *exactly* by
+//! walking the route of every source→destination terminal pair, which
+//! also proves connectivity (every pair is delivered) along the way.
+//!
+//! [`audit_routing`] is that combined sanity check.  The fabric builder
+//! runs it before instantiating a single xMAS primitive, so a deadlocky
+//! routing configuration — say, a torus without dateline virtual channels
+//! — is reported as a routing-level cycle instead of surfacing minutes
+//! later as a SAT counterexample.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::routefn::{RouteStep, RoutingFunction};
+use crate::topology::{EdgeId, NodeId, Topology};
+
+/// One vertex of the channel dependency graph: a link and the virtual
+/// channel a packet occupies on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CdgChannel {
+    /// The directed topology link.
+    pub edge: EdgeId,
+    /// The virtual channel on that link.
+    pub vc: usize,
+}
+
+/// Routing-level problems found by [`audit_routing`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RoutingError {
+    /// The routing function has no next step for a reachable state, or
+    /// delivers at a node other than the destination.
+    Undeliverable {
+        /// Source terminal node.
+        src: NodeId,
+        /// Destination terminal node.
+        dst: NodeId,
+        /// The node at which routing got stuck.
+        at: NodeId,
+    },
+    /// The route between two terminals exceeded every simple path length —
+    /// the function sends packets in circles.
+    Livelock {
+        /// Source terminal node.
+        src: NodeId,
+        /// Destination terminal node.
+        dst: NodeId,
+    },
+    /// The routing function emitted an edge that does not leave the
+    /// current node, or a virtual channel beyond its own `num_vcs`.
+    MalformedStep {
+        /// The node at which the bad step was produced.
+        at: NodeId,
+    },
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::Undeliverable { src, dst, at } => write!(
+                f,
+                "routing cannot deliver node {} → node {} (stuck at node {})",
+                src.index(),
+                dst.index(),
+                at.index()
+            ),
+            RoutingError::Livelock { src, dst } => write!(
+                f,
+                "routing loops forever between node {} and node {}",
+                src.index(),
+                dst.index()
+            ),
+            RoutingError::MalformedStep { at } => {
+                write!(
+                    f,
+                    "routing produced a malformed step at node {}",
+                    at.index()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
+/// The result of auditing a routing function over a topology.
+#[derive(Clone, Debug)]
+pub struct RoutingAudit {
+    /// Ordered terminal pairs walked (all of them — connectivity holds).
+    pub pairs: usize,
+    /// The longest route observed, in hops.
+    pub max_hops: usize,
+    /// Number of distinct (link, VC) channels any route occupies.
+    pub channels: usize,
+    /// Number of distinct dependency arcs between those channels.
+    pub dependencies: usize,
+    /// A cyclic chain of channels, if the CDG has one (`cycle[i]` waits on
+    /// `cycle[i+1]`, and the last waits on the first).  `None` means the
+    /// routing function is deadlock-free in the Dally–Seitz sense.
+    pub cycle: Option<Vec<CdgChannel>>,
+}
+
+impl RoutingAudit {
+    /// Whether the channel dependency graph is acyclic, i.e. the routing
+    /// function alone can never deadlock the fabric.
+    pub fn is_deadlock_free(&self) -> bool {
+        self.cycle.is_none()
+    }
+
+    /// Renders the cycle (if any) with topology link names, e.g.
+    /// `(2)→(0)@vc0 ⇒ (0)→(1)@vc0 ⇒ …`.
+    pub fn describe_cycle(&self, topo: &Topology) -> Option<String> {
+        let cycle = self.cycle.as_ref()?;
+        Some(
+            cycle
+                .iter()
+                .map(|c| format!("{}@vc{}", topo.edge_label(c.edge), c.vc))
+                .collect::<Vec<_>>()
+                .join(" ⇒ "),
+        )
+    }
+}
+
+/// Walks every ordered terminal pair of `topo` under `routing`, verifying
+/// delivery, and builds the exact channel dependency graph of the states
+/// those walks visit.
+///
+/// # Errors
+///
+/// Returns a [`RoutingError`] when some pair cannot be delivered (the
+/// fabric would silently drop or wedge those packets); a *cyclic* CDG is
+/// not an error but is reported in [`RoutingAudit::cycle`].
+pub fn audit_routing(
+    topo: &Topology,
+    routing: &dyn RoutingFunction,
+) -> Result<RoutingAudit, RoutingError> {
+    let num_vcs = routing.num_vcs(topo).max(1);
+    // Generous bound: a simple path visits each (node, vc) state at most
+    // once.
+    let hop_limit = topo.num_nodes() * num_vcs + 1;
+    let mut deps: BTreeMap<CdgChannel, std::collections::BTreeSet<CdgChannel>> = BTreeMap::new();
+    let mut channels = std::collections::BTreeSet::new();
+    let mut pairs = 0usize;
+    let mut max_hops = 0usize;
+
+    for &src in topo.terminals() {
+        for &dst in topo.terminals() {
+            if src == dst {
+                continue;
+            }
+            pairs += 1;
+            let (mut at, mut arrived, mut vc) = (src, None, 0usize);
+            let mut prev: Option<CdgChannel> = None;
+            let mut hops = 0usize;
+            loop {
+                match routing.route(topo, at, arrived, vc, dst) {
+                    None => return Err(RoutingError::Undeliverable { src, dst, at }),
+                    Some(RouteStep::Deliver) => {
+                        if at != dst {
+                            return Err(RoutingError::Undeliverable { src, dst, at });
+                        }
+                        break;
+                    }
+                    Some(RouteStep::Forward { edge, vc: next_vc }) => {
+                        if topo.edge(edge).from != at || next_vc >= num_vcs {
+                            return Err(RoutingError::MalformedStep { at });
+                        }
+                        let channel = CdgChannel { edge, vc: next_vc };
+                        channels.insert(channel);
+                        if let Some(prev) = prev {
+                            deps.entry(prev).or_default().insert(channel);
+                        }
+                        prev = Some(channel);
+                        at = topo.edge(edge).to;
+                        arrived = Some(edge);
+                        vc = next_vc;
+                        hops += 1;
+                        if hops > hop_limit {
+                            return Err(RoutingError::Livelock { src, dst });
+                        }
+                    }
+                }
+            }
+            max_hops = max_hops.max(hops);
+        }
+    }
+
+    let dependencies = deps.values().map(|s| s.len()).sum();
+    let cycle = find_cycle(&deps);
+    Ok(RoutingAudit {
+        pairs,
+        max_hops,
+        channels: channels.len(),
+        dependencies,
+        cycle,
+    })
+}
+
+/// Iterative three-color DFS returning one cycle of the dependency graph,
+/// if any.
+fn find_cycle(
+    deps: &BTreeMap<CdgChannel, std::collections::BTreeSet<CdgChannel>>,
+) -> Option<Vec<CdgChannel>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut mark: BTreeMap<CdgChannel, Mark> = BTreeMap::new();
+    for &root in deps.keys() {
+        if mark.get(&root).copied().unwrap_or(Mark::White) != Mark::White {
+            continue;
+        }
+        // Stack of (channel, successor iterator position); `path` mirrors
+        // the grey chain for cycle extraction.
+        let mut stack: Vec<(CdgChannel, Vec<CdgChannel>, usize)> = Vec::new();
+        let mut path: Vec<CdgChannel> = Vec::new();
+        mark.insert(root, Mark::Grey);
+        let succ = |c: &CdgChannel| -> Vec<CdgChannel> {
+            deps.get(c)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default()
+        };
+        stack.push((root, succ(&root), 0));
+        path.push(root);
+        while let Some((node, succs, idx)) = stack.last_mut() {
+            if *idx >= succs.len() {
+                mark.insert(*node, Mark::Black);
+                path.pop();
+                stack.pop();
+                continue;
+            }
+            let next = succs[*idx];
+            *idx += 1;
+            match mark.get(&next).copied().unwrap_or(Mark::White) {
+                Mark::White => {
+                    mark.insert(next, Mark::Grey);
+                    path.push(next);
+                    stack.push((next, succ(&next), 0));
+                }
+                Mark::Grey => {
+                    // Found a back edge: the cycle is the grey path from
+                    // `next` onwards.
+                    let start = path.iter().position(|c| *c == next).expect("grey on path");
+                    return Some(path[start..].to_vec());
+                }
+                Mark::Black => {}
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routefn::{default_routing, DimensionOrdered, TableRouting, UpDownRouting};
+
+    #[test]
+    fn xy_mesh_routing_is_connected_and_acyclic() {
+        let topo = Topology::mesh(3, 3).unwrap();
+        let audit = audit_routing(&topo, &DimensionOrdered::new()).unwrap();
+        assert_eq!(audit.pairs, 72);
+        assert!(audit.is_deadlock_free());
+        assert_eq!(audit.max_hops, 4);
+        assert!(audit.channels > 0 && audit.dependencies > 0);
+    }
+
+    #[test]
+    fn undatelined_ring_has_a_cyclic_channel_dependency() {
+        let topo = Topology::ring(4).unwrap();
+        let audit = audit_routing(&topo, &DimensionOrdered::without_dateline()).unwrap();
+        let cycle = audit.cycle.as_ref().expect("wrap ring must cycle");
+        // The cycle stays on VC 0 and actually chains head-to-tail.
+        assert!(cycle.len() >= 3);
+        for (i, c) in cycle.iter().enumerate() {
+            assert_eq!(c.vc, 0);
+            let next = &cycle[(i + 1) % cycle.len()];
+            assert_eq!(topo.edge(c.edge).to, topo.edge(next.edge).from);
+        }
+        let text = audit.describe_cycle(&topo).unwrap();
+        assert!(text.contains("@vc0") && text.contains("⇒"));
+    }
+
+    #[test]
+    fn dateline_vcs_break_the_ring_and_torus_cycles() {
+        // Rings shorter than four admit only single-hop moves per
+        // direction, so the cyclic dependency needs length >= 4.
+        for topo in [
+            Topology::ring(4).unwrap(),
+            Topology::ring(5).unwrap(),
+            Topology::torus(4, 2).unwrap(),
+            Topology::torus(4, 4).unwrap(),
+        ] {
+            let without = audit_routing(&topo, &DimensionOrdered::without_dateline()).unwrap();
+            assert!(!without.is_deadlock_free(), "{} must cycle", topo.name());
+            let with = audit_routing(&topo, &DimensionOrdered::new()).unwrap();
+            assert!(
+                with.is_deadlock_free(),
+                "{} datelined must not",
+                topo.name()
+            );
+        }
+    }
+
+    #[test]
+    fn fat_tree_and_default_routings_are_deadlock_free() {
+        for topo in [
+            Topology::fat_tree(2, 2).unwrap(),
+            Topology::fat_tree(2, 3).unwrap(),
+            Topology::fat_tree(3, 2).unwrap(),
+            Topology::mesh(4, 2).unwrap(),
+            Topology::ring(6).unwrap(),
+            Topology::torus(3, 2).unwrap(),
+        ] {
+            let routing = default_routing(&topo);
+            let audit = audit_routing(&topo, routing.as_ref()).unwrap();
+            assert!(audit.is_deadlock_free(), "{}", topo.name());
+            let n = topo.num_terminals();
+            assert_eq!(audit.pairs, n * (n - 1));
+        }
+    }
+
+    #[test]
+    fn table_routing_on_an_odd_cycle_is_flagged_but_up_down_is_clean() {
+        let edges: Vec<(u32, u32)> = (0..5u32)
+            .flat_map(|i| {
+                let j = (i + 1) % 5;
+                [(i, j), (j, i)]
+            })
+            .collect();
+        let topo = Topology::irregular("c5", 5, &[0, 1, 2, 3, 4], &edges).unwrap();
+        let table = audit_routing(&topo, &TableRouting::shortest_paths(&topo)).unwrap();
+        assert!(!table.is_deadlock_free(), "shortest paths around a cycle");
+        let updown = audit_routing(&topo, &UpDownRouting::new(&topo, NodeId(0))).unwrap();
+        assert!(updown.is_deadlock_free(), "up*/down* repairs the cycle");
+    }
+
+    #[test]
+    fn disconnected_topologies_are_reported_undeliverable() {
+        let topo =
+            Topology::irregular("split", 4, &[0, 1, 2, 3], &[(0, 1), (1, 0), (2, 3), (3, 2)])
+                .unwrap();
+        let err = audit_routing(&topo, &TableRouting::shortest_paths(&topo)).unwrap_err();
+        assert!(matches!(err, RoutingError::Undeliverable { .. }));
+        assert!(err.to_string().contains("deliver"));
+    }
+}

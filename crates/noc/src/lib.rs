@@ -1,29 +1,40 @@
-//! 2D-mesh network-on-chip fabric generation.
+//! Network-on-chip fabric generation for arbitrary topologies.
 //!
 //! The ADVOCAT case study places its coherence protocols on a 2D mesh with
-//! dimension-ordered (XY) routing and store-and-forward switching: every
-//! directed link between adjacent routers is a queue able to hold complete
-//! packets, every router input is a switch selecting the XY output
-//! direction per destination, and every router output is a fair merge over
-//! the inputs that can feed it.  Each node locally hosts a protocol agent
-//! (an L2 cache, or the directory) with an ejection queue in front of it
-//! and, where the protocol requires, a core-side trigger source and an
-//! auxiliary sink.
+//! dimension-ordered (XY) routing and store-and-forward switching.  This
+//! crate generalises that construction into a **topology engine**:
 //!
-//! Optionally the fabric is replicated into two virtual-channel planes
-//! (request and response class) — the remedy the paper shows does *not*
-//! remove the cross-layer deadlock but does reduce the minimal
-//! deadlock-free queue size.
+//! * [`Topology`] — typed generators for meshes, tori, bidirectional
+//!   rings, k-ary n-trees (fat trees) and irregular edge-list fabrics.
+//!   Nodes hosting protocol agents are *terminals*; fat-tree switch stages
+//!   are pure routers.
+//! * [`RoutingFunction`] — deterministic, oblivious routing as a trait:
+//!   [`DimensionOrdered`] (XY on meshes, dateline escape VCs on rings and
+//!   tori), [`FatTreeRouting`] (d-mod-k up*/down*), [`TableRouting`]
+//!   (shortest-path tables for irregular graphs) and [`UpDownRouting`]
+//!   (spanning-tree up*/down*, the classic fix for irregular fabrics).
+//! * [`audit_routing`] — a pre-encoding sanity check that walks every
+//!   terminal pair, proves connectivity and builds the exact
+//!   Dally–Seitz channel-dependency graph, reporting any cycle (e.g. a
+//!   torus ring without dateline VCs).
+//! * [`build_fabric`] — instantiates the xMAS network and protocol agents
+//!   on *any* audited topology; [`build_mesh`] is now a thin wrapper.
+//!
+//! Every router input is a switch selecting the routing function's output
+//! link (and virtual channel) per destination, every router output a fair
+//! merge over the inputs that can feed it, every link a queue per
+//! virtual-channel plane.  Planes compose the paper's request/response
+//! message classes with the routing function's own escape VCs.
 //!
 //! # Examples
 //!
 //! ```
-//! use advocat_noc::{build_mesh, MeshConfig, ProtocolKind};
+//! use advocat_noc::{build_fabric, FabricConfig, Topology};
 //!
-//! let config = MeshConfig::new(2, 2, 2)
-//!     .with_directory(1, 1)
-//!     .with_protocol(ProtocolKind::AbstractMi);
-//! let system = build_mesh(&config)?;
+//! // The same protocol rides a ring instead of a mesh; dateline VCs keep
+//! // the wraparound links deadlock-free.
+//! let config = FabricConfig::new(Topology::ring(4)?, 3).with_directory(1);
+//! let system = build_fabric(&config)?;
 //! assert_eq!(system.stats().automata, 4);
 //! system.validate()?;
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -33,9 +44,20 @@
 #![warn(missing_docs)]
 
 mod build;
+mod cdg;
+mod fabric;
 mod mesh;
+mod routefn;
 mod routing;
+mod topology;
 
 pub use build::{build_mesh, build_mesh_for_sweep};
+pub use cdg::{audit_routing, CdgChannel, RoutingAudit, RoutingError};
+pub use fabric::{build_fabric, build_fabric_for_sweep, fabric_dot, FabricConfig, FabricError};
 pub use mesh::{MeshConfig, MeshError, ProtocolKind};
+pub use routefn::{
+    default_routing, DimensionOrdered, FatTreeRouting, RouteStep, RoutingFunction, TableRouting,
+    UpDownRouting,
+};
 pub use routing::{neighbor, xy_route, Direction};
+pub use topology::{EdgeId, NodeId, TopoEdge, TopoNode, Topology, TopologyError, TopologyKind};

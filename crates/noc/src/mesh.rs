@@ -46,6 +46,8 @@ pub struct MeshConfig {
 pub enum MeshError {
     /// The mesh has fewer than two nodes.
     TooSmall,
+    /// The mesh exceeds the topology engine's supported size.
+    TooLarge,
     /// The directory position lies outside the mesh.
     DirectoryOutOfBounds,
     /// Queues must be able to hold at least one packet.
@@ -56,6 +58,7 @@ impl fmt::Display for MeshError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MeshError::TooSmall => write!(f, "mesh must have at least two nodes"),
+            MeshError::TooLarge => write!(f, "mesh exceeds the supported size"),
             MeshError::DirectoryOutOfBounds => write!(f, "directory position outside the mesh"),
             MeshError::ZeroQueueSize => write!(f, "queue size must be at least one"),
         }
@@ -148,6 +151,26 @@ impl MeshConfig {
             1
         }
     }
+
+    /// Translates this mesh description into the topology-generic
+    /// [`crate::FabricConfig`]: a [`crate::Topology::mesh`] with XY
+    /// (dimension-ordered) routing, the directory at its node's terminal
+    /// index and message-class planes iff virtual channels are enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MeshError`] when the configuration is invalid.
+    pub fn to_fabric(&self) -> Result<crate::FabricConfig, MeshError> {
+        self.check()?;
+        // `check` guarantees >= 2 nodes, so the only generator error left
+        // is the topology engine's size cap.
+        let topology =
+            crate::Topology::mesh(self.width, self.height).map_err(|_| MeshError::TooLarge)?;
+        Ok(crate::FabricConfig::new(topology, self.queue_size)
+            .with_directory(self.directory_node() as usize)
+            .with_protocol(self.protocol)
+            .with_message_class_vcs(self.virtual_channels))
+    }
 }
 
 #[cfg(test)]
@@ -197,5 +220,14 @@ mod tests {
         assert!(MeshError::ZeroQueueSize
             .to_string()
             .contains("at least one"));
+    }
+
+    #[test]
+    fn oversized_meshes_error_instead_of_panicking() {
+        // 128×129 passes `check` but exceeds the topology engine's node
+        // cap; the conversion must surface that as an error.
+        let config = MeshConfig::new(128, 129, 2);
+        assert!(config.check().is_ok());
+        assert_eq!(config.to_fabric().unwrap_err(), MeshError::TooLarge);
     }
 }

@@ -1,0 +1,736 @@
+//! Routing functions: the abstraction that turns a [`Topology`] into a
+//! deterministic fabric.
+//!
+//! A [`RoutingFunction`] answers, for a packet sitting at a fabric node,
+//! which outgoing link and which virtual channel it must take next.  The
+//! answer may depend on the link (and VC) the packet arrived on — that is
+//! how dateline schemes track whether a packet has crossed a ring's
+//! wraparound link — but never on dynamic network state: routing here is
+//! deterministic and oblivious, which is what makes the
+//! channel-dependency-graph analysis of [`crate::audit_routing`] exact.
+//!
+//! Provided implementations:
+//!
+//! * [`DimensionOrdered`] — XY routing on meshes; on rings and tori the
+//!   shortest way around each ring with (optionally) a dateline VC switch
+//!   on the wraparound links, the classic deadlock-free scheme.
+//! * [`FatTreeRouting`] — deterministic up*/down* (d-mod-k) routing on the
+//!   k-ary n-trees of [`Topology::fat_tree`].
+//! * [`TableRouting`] — table-driven shortest-path routing for arbitrary
+//!   (irregular) graphs; deterministic but *not* deadlock-free in general,
+//!   which the CDG audit will report.
+//! * [`UpDownRouting`] — generic up*/down* routing from a spanning-tree
+//!   root, the classic deadlock-free remedy for irregular fabrics.
+
+use std::fmt;
+
+use crate::topology::{EdgeId, NodeId, Topology, TopologyKind};
+
+/// One routing decision: where a packet at some node must go next.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteStep {
+    /// The packet has arrived and leaves the fabric at this node.
+    Deliver,
+    /// The packet takes `edge` on virtual channel `vc`.
+    Forward {
+        /// The outgoing link to take.
+        edge: EdgeId,
+        /// The virtual channel (escape plane) of that link.
+        vc: usize,
+    },
+}
+
+/// A deterministic, oblivious routing function over a [`Topology`].
+pub trait RoutingFunction: fmt::Debug + Send + Sync {
+    /// A short human-readable name, e.g. `dimension-ordered(dateline)`.
+    fn name(&self) -> String;
+
+    /// Number of virtual channels (escape planes) the function uses per
+    /// message class; at least 1.
+    fn num_vcs(&self, topo: &Topology) -> usize;
+
+    /// The next step for a packet at `at` destined for the terminal node
+    /// `dst`, having arrived over `arrived` (`None` at the injection
+    /// point) on virtual channel `vc`.
+    ///
+    /// Returns `None` when the function has no route from this state —
+    /// the audit reports such pairs as undeliverable.
+    fn route(
+        &self,
+        topo: &Topology,
+        at: NodeId,
+        arrived: Option<EdgeId>,
+        vc: usize,
+        dst: NodeId,
+    ) -> Option<RouteStep>;
+}
+
+/// The canonical deadlock-free routing function for a topology family:
+/// XY for meshes, datelined dimension-order for rings and tori, d-mod-k
+/// up*/down* for fat trees, and shortest-path tables for irregular graphs
+/// (the one family where the default is *not* deadlock-free by
+/// construction — run [`crate::audit_routing`]).
+pub fn default_routing(topo: &Topology) -> std::sync::Arc<dyn RoutingFunction> {
+    match topo.kind() {
+        TopologyKind::Mesh { .. } | TopologyKind::Torus { .. } | TopologyKind::Ring { .. } => {
+            std::sync::Arc::new(DimensionOrdered::new())
+        }
+        TopologyKind::FatTree { arity, levels } => {
+            std::sync::Arc::new(FatTreeRouting::new(arity, levels))
+        }
+        TopologyKind::Irregular => std::sync::Arc::new(TableRouting::shortest_paths(topo)),
+    }
+}
+
+/// Dimension-ordered routing: correct dimension 0 first, then dimension 1,
+/// and so on; within a ring dimension take the shorter way around (ties go
+/// to the positive direction).
+///
+/// With [`DimensionOrdered::new`] the function applies the **dateline**
+/// discipline on wraparound dimensions: packets start on VC 0 and move to
+/// VC 1 for the rest of the dimension once they take a wraparound link,
+/// which breaks the cyclic channel dependency of each ring.
+/// [`DimensionOrdered::without_dateline`] disables the discipline (one VC,
+/// the textbook deadlocky configuration) — useful to demonstrate the CDG
+/// cycle the audit then reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DimensionOrdered {
+    dateline: bool,
+}
+
+impl Default for DimensionOrdered {
+    fn default() -> Self {
+        DimensionOrdered::new()
+    }
+}
+
+impl DimensionOrdered {
+    /// Dimension-ordered routing with dateline VCs on wrap dimensions.
+    pub fn new() -> Self {
+        DimensionOrdered { dateline: true }
+    }
+
+    /// Dimension-ordered routing with the dateline discipline disabled.
+    pub fn without_dateline() -> Self {
+        DimensionOrdered { dateline: false }
+    }
+
+    /// Whether the dateline discipline is enabled.
+    pub fn dateline(&self) -> bool {
+        self.dateline
+    }
+
+    /// The first dimension (in routing order) where the coordinates of
+    /// `at` and `dst` differ, with the direction and dimension length.
+    fn next_dim(topo: &Topology, at: NodeId, dst: NodeId) -> Option<(usize, bool, bool)> {
+        let a = &topo.node(at).coords;
+        let d = &topo.node(dst).coords;
+        for dim in 0..a.len().min(d.len()) {
+            if a[dim] == d[dim] {
+                continue;
+            }
+            if !topo.dim_wraps(dim) {
+                return Some((dim, d[dim] > a[dim], false));
+            }
+            // Ring dimension: shortest way around, ties positive.
+            let len = topo.dim_length(dim);
+            let fwd = (d[dim] - a[dim]).rem_euclid(len);
+            let bwd = (a[dim] - d[dim]).rem_euclid(len);
+            let positive = fwd <= bwd;
+            // The hop leaves the dimension's edge when it wraps.
+            let wrap = if positive {
+                a[dim] == len - 1
+            } else {
+                a[dim] == 0
+            };
+            return Some((dim, positive, wrap));
+        }
+        None
+    }
+}
+
+impl RoutingFunction for DimensionOrdered {
+    fn name(&self) -> String {
+        if self.dateline {
+            "dimension-ordered(dateline)".to_owned()
+        } else {
+            "dimension-ordered(no dateline)".to_owned()
+        }
+    }
+
+    fn num_vcs(&self, topo: &Topology) -> usize {
+        if self.dateline && topo.has_wrap_links() {
+            2
+        } else {
+            1
+        }
+    }
+
+    fn route(
+        &self,
+        topo: &Topology,
+        at: NodeId,
+        arrived: Option<EdgeId>,
+        vc: usize,
+        dst: NodeId,
+    ) -> Option<RouteStep> {
+        if at == dst {
+            return Some(RouteStep::Deliver);
+        }
+        let (dim, positive, wrap) = DimensionOrdered::next_dim(topo, at, dst)?;
+        let edge = topo.out_edge_in_dim(at, dim, positive, wrap)?;
+        let vc = if !self.dateline || !topo.dim_wraps(dim) {
+            0
+        } else if topo.edge(edge).wrap {
+            // Crossing the dateline: the wraparound link and everything
+            // after it in this dimension ride the escape VC.
+            1
+        } else if arrived.is_some_and(|e| topo.edge(e).dim == Some(dim)) {
+            // Staying in the dimension keeps the packet's VC.
+            vc
+        } else {
+            // Entering a fresh dimension (or injecting) resets to VC 0.
+            0
+        };
+        Some(RouteStep::Forward { edge, vc })
+    }
+}
+
+/// Deterministic up*/down* (d-mod-k) routing on the k-ary n-trees of
+/// [`Topology::fat_tree`]: ascend towards the nearest common ancestor
+/// stage, choosing at each stage the parent selected by the corresponding
+/// base-k digit of the destination, then descend along the (unique)
+/// down-path.  Up*/down* routing is deadlock-free — the channel dependency
+/// graph is acyclic because no path ever takes an up-link after a
+/// down-link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FatTreeRouting {
+    arity: u32,
+    levels: u32,
+}
+
+impl FatTreeRouting {
+    /// Routing for the `Topology::fat_tree(arity, levels)` tree.
+    pub fn new(arity: u32, levels: u32) -> Self {
+        FatTreeRouting { arity, levels }
+    }
+
+    /// Splits a fat-tree node id into its stage and index, or `None` for a
+    /// leaf.
+    fn switch_pos(&self, topo: &Topology, node: NodeId) -> Option<(usize, usize)> {
+        if topo.node(node).terminal {
+            return None;
+        }
+        let k = self.arity as usize;
+        let leaves = k.pow(self.levels);
+        let per_level = leaves / k;
+        let raw = node.index() - leaves;
+        Some((raw / per_level, raw % per_level))
+    }
+
+    fn digit(&self, value: usize, digit: usize) -> usize {
+        let k = self.arity as usize;
+        (value / k.pow(digit as u32)) % k
+    }
+}
+
+impl RoutingFunction for FatTreeRouting {
+    fn name(&self) -> String {
+        "up*/down* (d-mod-k)".to_owned()
+    }
+
+    fn num_vcs(&self, _topo: &Topology) -> usize {
+        1
+    }
+
+    fn route(
+        &self,
+        topo: &Topology,
+        at: NodeId,
+        _arrived: Option<EdgeId>,
+        _vc: usize,
+        dst: NodeId,
+    ) -> Option<RouteStep> {
+        if at == dst {
+            return Some(RouteStep::Deliver);
+        }
+        let k = self.arity as usize;
+        let n = self.levels as usize;
+        let leaves = k.pow(self.levels);
+        let per_level = leaves / k;
+        let d = dst.index();
+        let next = match self.switch_pos(topo, at) {
+            // A leaf's only move is up to its stage-0 switch.
+            None => NodeId((leaves + at.index() / k) as u32),
+            Some((l, w)) => {
+                // The switch covers leaves whose digits above position l
+                // match w's upper digits.
+                let covers = (l + 1..n).all(|j| self.digit(d, j) == self.digit(w, j - 1));
+                if covers {
+                    if l == 0 {
+                        NodeId(d as u32)
+                    } else {
+                        // Descend, fixing digit l−1 of the switch index to
+                        // digit l of the destination.
+                        let stride = k.pow((l - 1) as u32);
+                        let w2 = w - self.digit(w, l - 1) * stride + self.digit(d, l) * stride;
+                        NodeId((leaves + (l - 1) * per_level + w2) as u32)
+                    }
+                } else {
+                    // Ascend, steering digit l towards the destination.
+                    let stride = k.pow(l as u32);
+                    let w2 = w - self.digit(w, l) * stride + self.digit(d, l + 1) * stride;
+                    NodeId((leaves + (l + 1) * per_level + w2) as u32)
+                }
+            }
+        };
+        let edge = topo.edge_between(at, next)?;
+        Some(RouteStep::Forward { edge, vc: 0 })
+    }
+}
+
+/// Table-driven deterministic routing: per destination, the next hop along
+/// a breadth-first shortest path (ties broken towards the smallest node,
+/// then edge, index).  Works on any connected topology, including
+/// irregular ones, but offers **no** deadlock-freedom guarantee — routing
+/// around a cycle produces a cyclic channel dependency that
+/// [`crate::audit_routing`] reports.
+#[derive(Clone, Debug)]
+pub struct TableRouting {
+    /// `table[dst][node]` = next edge towards `dst`, `None` if unreachable.
+    table: Vec<Vec<Option<EdgeId>>>,
+}
+
+impl TableRouting {
+    /// Builds shortest-path next-hop tables for every destination node.
+    pub fn shortest_paths(topo: &Topology) -> Self {
+        let n = topo.num_nodes();
+        let mut table = vec![vec![None; n]; n];
+        for dst in topo.node_ids() {
+            // Backward BFS from `dst` yields hop distances.
+            let mut dist = vec![usize::MAX; n];
+            dist[dst.index()] = 0;
+            let mut queue = std::collections::VecDeque::from([dst]);
+            while let Some(v) = queue.pop_front() {
+                for e in topo.in_edges(v) {
+                    let u = topo.edge(*e).from;
+                    if dist[u.index()] == usize::MAX {
+                        dist[u.index()] = dist[v.index()] + 1;
+                        queue.push_back(u);
+                    }
+                }
+            }
+            for v in topo.node_ids() {
+                if v == dst || dist[v.index()] == usize::MAX {
+                    continue;
+                }
+                table[dst.index()][v.index()] = topo
+                    .out_edges(v)
+                    .iter()
+                    .copied()
+                    .filter(|e| dist[topo.edge(*e).to.index()] < dist[v.index()])
+                    .min_by_key(|e| (dist[topo.edge(*e).to.index()], topo.edge(*e).to, *e));
+            }
+        }
+        TableRouting { table }
+    }
+}
+
+impl RoutingFunction for TableRouting {
+    fn name(&self) -> String {
+        "table(shortest-path)".to_owned()
+    }
+
+    fn num_vcs(&self, _topo: &Topology) -> usize {
+        1
+    }
+
+    fn route(
+        &self,
+        _topo: &Topology,
+        at: NodeId,
+        _arrived: Option<EdgeId>,
+        _vc: usize,
+        dst: NodeId,
+    ) -> Option<RouteStep> {
+        if at == dst {
+            return Some(RouteStep::Deliver);
+        }
+        self.table[dst.index()][at.index()].map(|edge| RouteStep::Forward { edge, vc: 0 })
+    }
+}
+
+/// Generic up*/down* routing for irregular topologies: levels come from a
+/// breadth-first spanning tree rooted at `root`; an edge is *up* when it
+/// moves strictly closer to the root (ties broken by node index, so the
+/// orientation is acyclic); a legal path takes up-links first and
+/// down-links after, never up again.  The per-destination next hops are
+/// the shortest legal paths, ties broken deterministically.
+#[derive(Clone, Debug)]
+pub struct UpDownRouting {
+    /// `up[dst][node]` = next edge while still allowed to ascend.
+    up: Vec<Vec<Option<EdgeId>>>,
+    /// `down[dst][node]` = next edge once committed to descending.
+    down: Vec<Vec<Option<EdgeId>>>,
+    rank: Vec<(usize, usize)>,
+}
+
+impl UpDownRouting {
+    /// Builds up*/down* tables over the spanning tree rooted at `root`.
+    pub fn new(topo: &Topology, root: NodeId) -> Self {
+        let n = topo.num_nodes();
+        // BFS levels from the root; unreachable nodes sink to the bottom.
+        let mut level = vec![usize::MAX; n];
+        level[root.index()] = 0;
+        let mut queue = std::collections::VecDeque::from([root]);
+        while let Some(v) = queue.pop_front() {
+            for e in topo.out_edges(v) {
+                let u = topo.edge(*e).to;
+                if level[u.index()] == usize::MAX {
+                    level[u.index()] = level[v.index()] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        let rank: Vec<(usize, usize)> = (0..n).map(|i| (level[i], i)).collect();
+        let is_up = |from: NodeId, to: NodeId| rank[to.index()] < rank[from.index()];
+
+        // Per destination, backward BFS over the (node, may-still-ascend)
+        // state graph; `dist_up[v]` admits further up-links, `dist_down[v]`
+        // is committed to down-links only.
+        let mut up = vec![vec![None; n]; n];
+        let mut down = vec![vec![None; n]; n];
+        for dst in topo.node_ids() {
+            let mut dist_up = vec![usize::MAX; n];
+            let mut dist_down = vec![usize::MAX; n];
+            dist_up[dst.index()] = 0;
+            dist_down[dst.index()] = 0;
+            let mut queue = std::collections::VecDeque::from([(dst, true), (dst, false)]);
+            while let Some((v, ascending)) = queue.pop_front() {
+                let d = if ascending {
+                    dist_up[v.index()]
+                } else {
+                    dist_down[v.index()]
+                };
+                for e in topo.in_edges(v) {
+                    let u = topo.edge(*e).from;
+                    if is_up(u, v) {
+                        // Taking an up-link requires (and preserves) the
+                        // ascending phase.
+                        if ascending && dist_up[u.index()] == usize::MAX {
+                            dist_up[u.index()] = d + 1;
+                            queue.push_back((u, true));
+                        }
+                    } else if !ascending {
+                        // A down-link may start or continue the descent.
+                        for (dist, asc) in [(&mut dist_up, true), (&mut dist_down, false)] {
+                            if dist[u.index()] == usize::MAX {
+                                dist[u.index()] = d + 1;
+                                queue.push_back((u, asc));
+                            }
+                        }
+                    }
+                }
+            }
+            let best = |v: NodeId, ascending: bool| {
+                topo.out_edges(v)
+                    .iter()
+                    .copied()
+                    .filter_map(|e| {
+                        let to = topo.edge(e).to;
+                        let target = if is_up(v, to) {
+                            if ascending {
+                                dist_up[to.index()]
+                            } else {
+                                return None;
+                            }
+                        } else {
+                            dist_down[to.index()]
+                        };
+                        (target != usize::MAX).then_some((target, to, e))
+                    })
+                    .min()
+                    .map(|(_, _, e)| e)
+            };
+            for v in topo.node_ids() {
+                if v == dst {
+                    continue;
+                }
+                up[dst.index()][v.index()] = best(v, true);
+                down[dst.index()][v.index()] = best(v, false);
+            }
+        }
+        UpDownRouting { up, down, rank }
+    }
+}
+
+impl RoutingFunction for UpDownRouting {
+    fn name(&self) -> String {
+        "up*/down* (spanning tree)".to_owned()
+    }
+
+    fn num_vcs(&self, _topo: &Topology) -> usize {
+        1
+    }
+
+    fn route(
+        &self,
+        topo: &Topology,
+        at: NodeId,
+        arrived: Option<EdgeId>,
+        _vc: usize,
+        dst: NodeId,
+    ) -> Option<RouteStep> {
+        if at == dst {
+            return Some(RouteStep::Deliver);
+        }
+        // Once a packet has taken a down-link it may never ascend again.
+        let ascending = match arrived {
+            None => true,
+            Some(e) => {
+                let edge = topo.edge(e);
+                self.rank[edge.to.index()] < self.rank[edge.from.index()]
+            }
+        };
+        let table = if ascending { &self.up } else { &self.down };
+        table[dst.index()][at.index()].map(|edge| RouteStep::Forward { edge, vc: 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walk(
+        topo: &Topology,
+        routing: &dyn RoutingFunction,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Vec<(EdgeId, usize)> {
+        let (mut at, mut arrived, mut vc) = (src, None, 0);
+        let mut path = Vec::new();
+        loop {
+            match routing.route(topo, at, arrived, vc, dst).expect("routable") {
+                RouteStep::Deliver => {
+                    assert_eq!(at, dst);
+                    return path;
+                }
+                RouteStep::Forward { edge, vc: v } => {
+                    assert_eq!(topo.edge(edge).from, at);
+                    path.push((edge, v));
+                    at = topo.edge(edge).to;
+                    arrived = Some(edge);
+                    vc = v;
+                    assert!(path.len() <= 4 * topo.num_nodes(), "livelock");
+                }
+            }
+        }
+    }
+
+    fn delivers_everywhere(topo: &Topology, routing: &dyn RoutingFunction) {
+        for s in 0..topo.num_terminals() {
+            for d in 0..topo.num_terminals() {
+                if s != d {
+                    walk(topo, routing, topo.terminal_node(s), topo.terminal_node(d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xy_on_the_mesh_corrects_x_before_y() {
+        let topo = Topology::mesh(3, 3).unwrap();
+        let routing = DimensionOrdered::new();
+        assert_eq!(routing.num_vcs(&topo), 1);
+        let path = walk(&topo, &routing, NodeId(0), NodeId(8));
+        let dims: Vec<Option<usize>> = path.iter().map(|(e, _)| topo.edge(*e).dim).collect();
+        assert_eq!(dims, vec![Some(0), Some(0), Some(1), Some(1)]);
+        assert!(path.iter().all(|(_, vc)| *vc == 0));
+        delivers_everywhere(&topo, &routing);
+    }
+
+    #[test]
+    fn dateline_switches_vc_exactly_on_the_wrap_link() {
+        let topo = Topology::ring(5).unwrap();
+        let routing = DimensionOrdered::new();
+        assert_eq!(routing.num_vcs(&topo), 2);
+        // 3 → 0 goes clockwise through the wrap link 4→0.
+        let path = walk(&topo, &routing, NodeId(3), NodeId(0));
+        let vcs: Vec<usize> = path.iter().map(|(_, vc)| *vc).collect();
+        assert_eq!(vcs, vec![0, 1]);
+        assert!(topo.edge(path[1].0).wrap);
+        // 1 → 3 stays on VC 0.
+        let path = walk(&topo, &routing, NodeId(1), NodeId(3));
+        assert!(path.iter().all(|(_, vc)| *vc == 0));
+        delivers_everywhere(&topo, &routing);
+    }
+
+    #[test]
+    fn torus_routing_takes_the_short_way_round_and_resets_vc_per_dimension() {
+        let topo = Topology::torus(4, 4).unwrap();
+        let routing = DimensionOrdered::new();
+        // (3,0) → (0,3): east over the x wrap (VC 1), then north over the
+        // y wrap — the y ring starts back on VC 0 before its own dateline.
+        let src = NodeId(3);
+        let dst = NodeId(12);
+        let path = walk(&topo, &routing, src, dst);
+        assert_eq!(path.len(), 2);
+        assert!(topo.edge(path[0].0).wrap && path[0].1 == 1);
+        assert!(topo.edge(path[1].0).wrap && path[1].1 == 1);
+        // A long way around one ring: the VC carries after the dateline.
+        let ring = Topology::ring(7).unwrap();
+        let path = walk(&ring, &routing, NodeId(5), NodeId(1));
+        let vcs: Vec<usize> = path.iter().map(|(_, vc)| *vc).collect();
+        assert_eq!(vcs, vec![0, 1, 1]);
+        delivers_everywhere(&topo, &routing);
+        delivers_everywhere(&topo, &DimensionOrdered::without_dateline());
+    }
+
+    #[test]
+    fn fat_tree_routing_is_up_then_down() {
+        for (k, n) in [(2, 2), (2, 3), (3, 2)] {
+            let topo = Topology::fat_tree(k, n).unwrap();
+            let routing = FatTreeRouting::new(k, n);
+            for s in 0..topo.num_terminals() {
+                for d in 0..topo.num_terminals() {
+                    if s == d {
+                        continue;
+                    }
+                    let path = walk(
+                        &topo,
+                        &routing,
+                        topo.terminal_node(s),
+                        topo.terminal_node(d),
+                    );
+                    // Strictly up (level decreasing) then strictly down.
+                    let levels: Vec<usize> = std::iter::once(topo.terminal_node(s))
+                        .chain(path.iter().map(|(e, _)| topo.edge(*e).to))
+                        .map(|node| topo.node(node).level)
+                        .collect();
+                    let turn = levels
+                        .iter()
+                        .position(|l| *l == *levels.iter().min().unwrap())
+                        .unwrap();
+                    assert!(levels[..=turn].windows(2).all(|w| w[1] < w[0]));
+                    assert!(levels[turn..].windows(2).all(|w| w[1] > w[0]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sibling_leaves_route_through_one_switch() {
+        let topo = Topology::fat_tree(2, 2).unwrap();
+        let routing = FatTreeRouting::new(2, 2);
+        // Leaves 0 and 1 share the stage-0 switch (node 4).
+        let path = walk(&topo, &routing, NodeId(0), NodeId(1));
+        assert_eq!(path.len(), 2);
+        assert_eq!(topo.edge(path[0].0).to, NodeId(4));
+    }
+
+    #[test]
+    fn fat_tree_spreads_traffic_across_root_switches() {
+        let topo = Topology::fat_tree(2, 2).unwrap();
+        let routing = FatTreeRouting::new(2, 2);
+        let mut roots_used = std::collections::BTreeSet::new();
+        for s in 0..4 {
+            for d in 0..4 {
+                if s == d {
+                    continue;
+                }
+                for (e, _) in walk(&topo, &routing, NodeId(s), NodeId(d)) {
+                    let to = topo.edge(e).to;
+                    if topo.node(to).level == 0 {
+                        roots_used.insert(to);
+                    }
+                }
+            }
+        }
+        assert_eq!(roots_used.len(), 2, "d-mod-k must use both roots");
+    }
+
+    #[test]
+    fn table_routing_delivers_on_irregular_graphs() {
+        let topo = Topology::irregular(
+            "kite",
+            5,
+            &[0, 1, 2, 3, 4],
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 3),
+                (3, 2),
+                (3, 0),
+                (0, 3),
+                (3, 4),
+                (4, 3),
+            ],
+        )
+        .unwrap();
+        let routing = TableRouting::shortest_paths(&topo);
+        delivers_everywhere(&topo, &routing);
+        // Unreachable destinations stay unroutable instead of looping.
+        let disconnected =
+            Topology::irregular("split", 4, &[0, 1, 2, 3], &[(0, 1), (1, 0), (2, 3), (3, 2)])
+                .unwrap();
+        let routing = TableRouting::shortest_paths(&disconnected);
+        assert!(routing
+            .route(&disconnected, NodeId(0), None, 0, NodeId(2))
+            .is_none());
+    }
+
+    #[test]
+    fn up_down_routing_never_ascends_after_descending() {
+        let topo = Topology::irregular(
+            "ring6",
+            6,
+            &[0, 1, 2, 3, 4, 5],
+            &(0..6u32)
+                .flat_map(|i| {
+                    let j = (i + 1) % 6;
+                    [(i, j), (j, i)]
+                })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let routing = UpDownRouting::new(&topo, NodeId(0));
+        delivers_everywhere(&topo, &routing);
+        for s in 0..6 {
+            for d in 0..6 {
+                if s == d {
+                    continue;
+                }
+                let path = walk(&topo, &routing, NodeId(s), NodeId(d));
+                let mut descended = false;
+                for (e, _) in path {
+                    let edge = topo.edge(e);
+                    let up = routing.rank[edge.to.index()] < routing.rank[edge.from.index()];
+                    if up {
+                        assert!(!descended, "up-link after a down-link");
+                    } else {
+                        descended = true;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_routing_matches_the_topology_family() {
+        assert_eq!(
+            default_routing(&Topology::mesh(2, 2).unwrap()).name(),
+            "dimension-ordered(dateline)"
+        );
+        assert_eq!(
+            default_routing(&Topology::fat_tree(2, 2).unwrap()).name(),
+            "up*/down* (d-mod-k)"
+        );
+        assert_eq!(
+            default_routing(&Topology::irregular("i", 2, &[0, 1], &[(0, 1), (1, 0)]).unwrap())
+                .name(),
+            "table(shortest-path)"
+        );
+    }
+}

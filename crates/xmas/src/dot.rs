@@ -1,13 +1,125 @@
 //! Graphviz DOT export for xMAS networks.
 
+use std::collections::BTreeMap;
+
 use crate::network::Network;
 
-/// Renders a network in Graphviz DOT syntax.
+/// Rendering options for [`to_dot_with`].
+///
+/// Generated fabrics are no longer always meshes, so the renderer accepts
+/// per-primitive position hints (from a topology layout) and can colorize
+/// primitives by their virtual-channel plane, which generators encode as a
+/// `.vc<N>` suffix in primitive names.
+///
+/// # Examples
+///
+/// ```
+/// use advocat_xmas::{to_dot_with, DotOptions, Network, Packet};
+///
+/// let mut net = Network::new();
+/// let c = net.intern(Packet::kind("req"));
+/// let s = net.add_source("src", vec![c]);
+/// let q = net.add_queue("buffer.vc1", 2);
+/// let k = net.add_sink("snk");
+/// net.connect(s, 0, q, 0);
+/// net.connect(q, 0, k, 0);
+/// let opts = DotOptions::new()
+///     .with_plane_colors(true)
+///     .with_position("src", 0.0, 1.0);
+/// let dot = to_dot_with(&net, &opts);
+/// assert!(dot.contains("pos=\"0,1!\""));
+/// assert!(dot.contains("colorscheme"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct DotOptions {
+    positions: BTreeMap<String, (f64, f64)>,
+    plane_colors: bool,
+}
+
+impl DotOptions {
+    /// Default options: no position hints, no plane colors (the classic
+    /// [`to_dot`] output).
+    pub fn new() -> Self {
+        DotOptions::default()
+    }
+
+    /// Pins the primitive with the given name to a layout position
+    /// (Graphviz `pos="x,y!"`, honoured by `neato`/`fdp`).
+    pub fn with_position(mut self, name: impl Into<String>, x: f64, y: f64) -> Self {
+        self.positions.insert(name.into(), (x, y));
+        self
+    }
+
+    /// Colorizes primitives by the virtual-channel plane encoded in their
+    /// name's `.vc<N>` suffix; primitives without a plane stay uncolored.
+    pub fn with_plane_colors(mut self, enabled: bool) -> Self {
+        self.plane_colors = enabled;
+        self
+    }
+}
+
+/// Extracts the virtual-channel plane from a generated primitive name
+/// (the number following the last `.vc`), if any.
+fn plane_of_name(name: &str) -> Option<usize> {
+    let idx = name.rfind(".vc")?;
+    let digits: String = name[idx + 3..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    (!digits.is_empty()).then(|| digits.parse().ok())?
+}
+
+/// Renders a network in Graphviz DOT syntax with explicit options.
 ///
 /// Node shapes hint at the primitive kind: boxes for queues, house shapes
 /// for sources/sinks, diamonds for switches/merges, double circles for
-/// automaton nodes.  The output is intended for documentation and debugging
-/// of generated fabrics.
+/// automaton nodes.  With position hints the output lays the fabric out in
+/// topology coordinates (render with `neato -n` or `fdp`); with plane
+/// colors each virtual-channel plane gets its own fill color.
+pub fn to_dot_with(network: &Network, options: &DotOptions) -> String {
+    let mut out = String::from("digraph xmas {\n  rankdir=LR;\n");
+    for id in network.primitive_ids() {
+        let prim = network.primitive(id);
+        let name = network.name(id);
+        let shape = match prim.kind_name() {
+            "queue" => "box",
+            "source" | "sink" => "house",
+            "switch" | "merge" => "diamond",
+            "automaton" => "doublecircle",
+            _ => "ellipse",
+        };
+        let mut attrs = format!(
+            "label=\"{}\\n({})\", shape={}",
+            name,
+            prim.kind_name(),
+            shape
+        );
+        if let Some((x, y)) = options.positions.get(name) {
+            attrs.push_str(&format!(", pos=\"{x},{y}!\""));
+        }
+        if options.plane_colors {
+            if let Some(plane) = plane_of_name(name) {
+                // One pastel per plane from a fixed qualitative scheme.
+                attrs.push_str(&format!(
+                    ", style=filled, colorscheme=set312, fillcolor={}",
+                    plane % 12 + 1
+                ));
+            }
+        }
+        out.push_str(&format!("  n{} [{}];\n", id.index(), attrs));
+    }
+    for ch in network.channels() {
+        out.push_str(&format!(
+            "  n{} -> n{};\n",
+            ch.initiator.primitive.index(),
+            ch.target.primitive.index()
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a network in Graphviz DOT syntax with default options.
 ///
 /// # Examples
 ///
@@ -26,33 +138,7 @@ use crate::network::Network;
 /// assert!(dot.contains("src"));
 /// ```
 pub fn to_dot(network: &Network) -> String {
-    let mut out = String::from("digraph xmas {\n  rankdir=LR;\n");
-    for id in network.primitive_ids() {
-        let prim = network.primitive(id);
-        let shape = match prim.kind_name() {
-            "queue" => "box",
-            "source" | "sink" => "house",
-            "switch" | "merge" => "diamond",
-            "automaton" => "doublecircle",
-            _ => "ellipse",
-        };
-        out.push_str(&format!(
-            "  n{} [label=\"{}\\n({})\", shape={}];\n",
-            id.index(),
-            network.name(id),
-            prim.kind_name(),
-            shape
-        ));
-    }
-    for ch in network.channels() {
-        out.push_str(&format!(
-            "  n{} -> n{};\n",
-            ch.initiator.primitive.index(),
-            ch.target.primitive.index()
-        ));
-    }
-    out.push_str("}\n");
-    out
+    to_dot_with(network, &DotOptions::new())
 }
 
 #[cfg(test)]
@@ -60,19 +146,52 @@ mod tests {
     use super::*;
     use crate::packet::Packet;
 
-    #[test]
-    fn dot_output_mentions_every_primitive_and_channel() {
+    fn tiny_with(queue_name: &str) -> Network {
         let mut net = Network::new();
         let c = net.intern(Packet::kind("x"));
         let s = net.add_source("the_source", vec![c]);
-        let q = net.add_queue("the_queue", 1);
+        let q = net.add_queue(queue_name, 1);
         let k = net.add_sink("the_sink");
         net.connect(s, 0, q, 0);
         net.connect(q, 0, k, 0);
-        let dot = to_dot(&net);
+        net
+    }
+
+    #[test]
+    fn dot_output_mentions_every_primitive_and_channel() {
+        let dot = to_dot(&tiny_with("the_queue"));
         assert!(dot.contains("the_source"));
         assert!(dot.contains("the_queue"));
         assert!(dot.contains("the_sink"));
         assert_eq!(dot.matches("->").count(), 2);
+    }
+
+    #[test]
+    fn plane_suffixes_color_primitives() {
+        let net = tiny_with("q(0)→(1).vc3");
+        let plain = to_dot(&net);
+        assert!(!plain.contains("fillcolor"));
+        let colored = to_dot_with(&net, &DotOptions::new().with_plane_colors(true));
+        // Plane 3 maps to color 4 of the 12-color scheme.
+        assert!(colored.contains("fillcolor=4"));
+        // The un-suffixed source stays uncolored.
+        assert_eq!(colored.matches("fillcolor").count(), 1);
+    }
+
+    #[test]
+    fn position_hints_pin_nodes() {
+        let net = tiny_with("q");
+        let opts = DotOptions::new().with_position("the_sink", 2.5, -1.0);
+        let dot = to_dot_with(&net, &opts);
+        assert!(dot.contains("pos=\"2.5,-1!\""));
+    }
+
+    #[test]
+    fn plane_parsing_handles_odd_names() {
+        assert_eq!(plane_of_name("q(0,0)→(0,1).vc0"), Some(0));
+        assert_eq!(plane_of_name("route(1).inject.c1"), None);
+        assert_eq!(plane_of_name("novc"), None);
+        assert_eq!(plane_of_name("x.vc"), None);
+        assert_eq!(plane_of_name("a.vc2.vc11"), Some(11));
     }
 }

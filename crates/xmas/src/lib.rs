@@ -49,7 +49,7 @@ mod primitive;
 
 pub use channel::{Channel, ChannelId, PortRef};
 pub use colors::{propagate_basic_fixpoint, propagate_basic_primitive, ColorMap};
-pub use dot::to_dot;
+pub use dot::{to_dot, to_dot_with, DotOptions};
 pub use network::{Network, NetworkError, PrimitiveId};
 pub use packet::{ColorId, ColorTable, Packet};
 pub use primitive::Primitive;

@@ -137,6 +137,97 @@ fn xy_routing_delivers() {
     }
 }
 
+/// On random topology sizes, every routing function delivers each
+/// source→destination terminal pair: the connectivity half of the
+/// pre-encoding routing audit, exercised across all generator families.
+#[test]
+fn every_routing_function_delivers_on_random_topologies() {
+    use advocat::noc::{audit_routing, default_routing, Topology};
+    let mut gen = XorShift64::new(19);
+    for case in 0..60 {
+        let topo = match gen.int(0, 3) {
+            0 => Topology::mesh(gen.int(2, 5) as u32, gen.int(1, 4) as u32).unwrap(),
+            1 => Topology::torus(gen.int(2, 5) as u32, gen.int(2, 5) as u32).unwrap(),
+            2 => Topology::ring(gen.int(3, 9) as u32).unwrap(),
+            _ => Topology::fat_tree(gen.int(2, 3) as u32, gen.int(1, 3) as u32).unwrap(),
+        };
+        let routing = default_routing(&topo);
+        let audit = audit_routing(&topo, routing.as_ref())
+            .unwrap_or_else(|e| panic!("case {case} ({}): {e}", topo.name()));
+        let n = topo.num_terminals();
+        assert_eq!(audit.pairs, n * (n - 1), "case {case} ({})", topo.name());
+        // Deterministic minimal routing stays within a generous diameter.
+        assert!(
+            audit.max_hops <= 2 * topo.num_nodes(),
+            "case {case} ({})",
+            topo.name()
+        );
+    }
+}
+
+/// The channel-dependency graph of every deadlock-free-by-construction
+/// routing configuration is acyclic — datelined dimension-order on any
+/// wrap topology, d-mod-k on any fat tree, and spanning-tree up*/down* on
+/// random connected irregular graphs.
+#[test]
+fn deadlock_free_routing_configurations_have_acyclic_cdgs() {
+    use advocat::noc::{audit_routing, default_routing, NodeId, Topology, UpDownRouting};
+    let mut gen = XorShift64::new(23);
+    for case in 0..40 {
+        let (topo, routing): (Topology, std::sync::Arc<dyn advocat::noc::RoutingFunction>) =
+            match gen.int(0, 3) {
+                0 => {
+                    let t = Topology::torus(gen.int(2, 6) as u32, gen.int(2, 6) as u32).unwrap();
+                    let r = default_routing(&t);
+                    (t, r)
+                }
+                1 => {
+                    let t = Topology::ring(gen.int(3, 10) as u32).unwrap();
+                    let r = default_routing(&t);
+                    (t, r)
+                }
+                2 => {
+                    let t = Topology::fat_tree(gen.int(2, 3) as u32, gen.int(1, 3) as u32).unwrap();
+                    let r = default_routing(&t);
+                    (t, r)
+                }
+                _ => {
+                    // A random connected irregular graph: a spanning path
+                    // plus random chords, all links bidirectional.
+                    let n = gen.int(3, 9) as u32;
+                    let mut edges: Vec<(u32, u32)> = Vec::new();
+                    for i in 1..n {
+                        let j = gen.int(0, (i - 1) as i128) as u32;
+                        edges.push((i, j));
+                        edges.push((j, i));
+                    }
+                    for _ in 0..gen.int(0, 4) {
+                        let a = gen.int(0, (n - 1) as i128) as u32;
+                        let b = gen.int(0, (n - 1) as i128) as u32;
+                        if a != b && !edges.contains(&(a, b)) {
+                            edges.push((a, b));
+                            edges.push((b, a));
+                        }
+                    }
+                    let terminals: Vec<u32> = (0..n).collect();
+                    let t = Topology::irregular("rand", n, &terminals, &edges).unwrap();
+                    let r: std::sync::Arc<dyn advocat::noc::RoutingFunction> =
+                        std::sync::Arc::new(UpDownRouting::new(&t, NodeId::from_index(0)));
+                    (t, r)
+                }
+            };
+        let audit = audit_routing(&topo, routing.as_ref())
+            .unwrap_or_else(|e| panic!("case {case} ({}): {e}", topo.name()));
+        assert!(
+            audit.is_deadlock_free(),
+            "case {case} ({}, {}): cycle {:?}",
+            topo.name(),
+            routing.name(),
+            audit.describe_cycle(&topo)
+        );
+    }
+}
+
 /// Derived invariants hold along random trajectories of arbitrary small
 /// meshes — the central soundness property of the invariant generator.
 #[test]
