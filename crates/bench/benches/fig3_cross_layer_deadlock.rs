@@ -13,7 +13,7 @@ fn print_table() {
     println!("{:<12} {:<22} details", "queue size", "verdict");
     for queue_size in [2usize, 3, 4] {
         let system = abstract_mesh(2, 2, queue_size, (1, 1));
-        let report = Verifier::new().analyze(&system);
+        let report = QueryEngine::structural(system.clone()).check(&Query::new());
         let detail = report
             .counterexample()
             .map(|cex| {
@@ -34,10 +34,18 @@ fn bench(c: &mut Criterion) {
     let deadlocking = abstract_mesh(2, 2, 2, (1, 1));
     let free = abstract_mesh(2, 2, 3, (1, 1));
     c.bench_function("fig3/verify_2x2_qs2_deadlock", |b| {
-        b.iter(|| Verifier::new().analyze(&deadlocking).is_deadlock_free())
+        b.iter(|| {
+            QueryEngine::structural(deadlocking.clone())
+                .check(&Query::new())
+                .is_deadlock_free()
+        })
     });
     c.bench_function("fig3/verify_2x2_qs3_free", |b| {
-        b.iter(|| Verifier::new().analyze(&free).is_deadlock_free())
+        b.iter(|| {
+            QueryEngine::structural(free.clone())
+                .check(&Query::new())
+                .is_deadlock_free()
+        })
     });
     c.bench_function("fig3/build_2x2_mesh", |b| {
         b.iter(|| abstract_mesh(2, 2, 2, (1, 1)).stats().primitives)

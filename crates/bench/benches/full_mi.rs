@@ -23,7 +23,7 @@ fn print_table() {
     );
 
     let system = full_mi_mesh(2, 2, 4, (1, 1));
-    let report = Verifier::new().analyze(&system);
+    let report = QueryEngine::structural(system.clone()).check(&Query::new());
     println!(
         "  2x2 model: {} primitives, {} queues, {} colors",
         report.system_stats().primitives,
@@ -50,7 +50,12 @@ fn bench(c: &mut Criterion) {
         b.iter(|| derive_invariants(&system, &colors).len())
     });
     group.bench_function("full_pipeline_2x2", |b| {
-        b.iter(|| Verifier::new().analyze(&system).invariants().len())
+        b.iter(|| {
+            QueryEngine::structural(system.clone())
+                .check(&Query::new())
+                .invariants()
+                .len()
+        })
     });
     group.finish();
 }

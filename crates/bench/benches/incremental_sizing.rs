@@ -3,13 +3,12 @@
 //! The sweep behind Figure 4 asks the same deadlock question at many queue
 //! capacities.  The cold path rebuilds the mesh, re-derives colors and
 //! invariants, re-encodes the deadlock equations and cold-starts the SAT
-//! solver for every capacity; a [`VerificationSession`] does all of that
+//! solver for every capacity; a [`QueryEngine`] does all of that
 //! once and answers every capacity from one persistent solver.  This bench
 //! prints the accumulated SAT effort (conflicts + propagations) of both
 //! paths and measures their wall-clock time.
 
 use advocat::prelude::*;
-use advocat::SizingOptions;
 use criterion::{criterion_group, Criterion};
 
 const SIZES: std::ops::RangeInclusive<usize> = 1..=16;
@@ -25,7 +24,7 @@ fn cold_sweep() -> (Vec<bool>, u64) {
     let mut effort = 0u64;
     for size in SIZES {
         let system = build_mesh(&config.with_queue_size(size)).expect("valid mesh");
-        let report = Verifier::new().analyze(&system);
+        let report = QueryEngine::structural(system).check(&Query::new());
         let stats = report.analysis().stats;
         effort += stats.sat_conflicts + stats.sat_propagations;
         verdicts.push(report.is_deadlock_free());
@@ -37,11 +36,15 @@ fn cold_sweep() -> (Vec<bool>, u64) {
 fn session_sweep() -> (Vec<bool>, u64) {
     let config = mesh_config();
     let system = build_mesh_for_sweep(&config, *SIZES.end()).expect("valid mesh");
-    let mut session = VerificationSession::new(system, DeadlockSpec::default(), SIZES);
+    let mut engine = QueryEngine::on(system, SIZES);
     let verdicts: Vec<bool> = SIZES
-        .map(|size| session.check_capacity(size).is_deadlock_free())
+        .map(|size| {
+            engine
+                .check(&Query::new().capacity(size))
+                .is_deadlock_free()
+        })
         .collect();
-    (verdicts, session.stats().sat_effort())
+    (verdicts, engine.stats().sat_effort())
 }
 
 fn print_comparison() {
@@ -57,12 +60,8 @@ fn print_comparison() {
     );
 
     // The production entry point bisects instead of sweeping linearly.
-    let options = SizingOptions {
-        min: *SIZES.start(),
-        max: *SIZES.end(),
-        ..SizingOptions::default()
-    };
-    let result = advocat::minimal_queue_size(&mesh_config(), &options).expect("valid mesh");
+    let system = build_mesh_for_sweep(&mesh_config(), *SIZES.end()).expect("valid mesh");
+    let result = QueryEngine::on(system, SIZES).minimal_capacity(&Query::new());
     println!(
         "binary search: minimal size {:?} found with {} probes: {:?}",
         result.minimal_queue_size,
@@ -79,13 +78,9 @@ fn bench(c: &mut Criterion) {
     group.bench_function("session_sweep_sizes_1_to_16", |b| b.iter(session_sweep));
     group.bench_function("session_binary_search", |b| {
         b.iter(|| {
-            let options = SizingOptions {
-                min: *SIZES.start(),
-                max: *SIZES.end(),
-                ..SizingOptions::default()
-            };
-            advocat::minimal_queue_size(&mesh_config(), &options)
-                .expect("valid mesh")
+            let system = build_mesh_for_sweep(&mesh_config(), *SIZES.end()).expect("valid mesh");
+            QueryEngine::on(system, SIZES)
+                .minimal_capacity(&Query::new())
                 .minimal_queue_size
         })
     });

@@ -12,7 +12,7 @@ use criterion::{criterion_group, Criterion};
 fn print_table() {
     println!("== E4: derived cross-layer invariants, 2×2 mesh, directory at (1,1) ==");
     let system = abstract_mesh(2, 2, 2, (1, 1));
-    let report = Verifier::new().analyze(&system);
+    let report = QueryEngine::structural(system.clone()).check(&Query::new());
     for line in report.invariant_text() {
         println!("  {line}");
     }

@@ -45,16 +45,15 @@ fn sweep(solver: SolverConfig) -> (Vec<bool>, Vec<u64>, SessionStats) {
         solver,
         ..CheckConfig::default()
     };
-    let mut session =
-        VerificationSession::with_config(system, DeadlockSpec::default(), config, SIZES);
+    let mut engine = QueryEngine::with_config(system, config, SIZES);
     let mut verdicts = Vec::new();
     let mut efforts = Vec::new();
     for size in SIZES {
-        let report = session.check_capacity(size);
+        let report = engine.check(&Query::new().capacity(size));
         verdicts.push(report.is_deadlock_free());
         efforts.push(report.analysis().stats.sat_effort());
     }
-    (verdicts, efforts, session.stats())
+    (verdicts, efforts, engine.stats())
 }
 
 fn avg(slice: &[u64]) -> u64 {

@@ -40,12 +40,12 @@ fn running_example(queue_size: usize) -> System {
 fn print_table() {
     println!("== E1: running example (Fig. 1) ==");
     let system = running_example(2);
-    let report = Verifier::new().analyze(&system);
+    let report = QueryEngine::structural(system.clone()).check(&Query::new());
     for line in report.invariant_text() {
         println!("  invariant: {line}");
     }
     println!("  with invariants:    {}", report.summary());
-    let naive = Verifier::new().with_invariants(false).analyze(&system);
+    let naive = QueryEngine::structural(system.clone()).check(&Query::new().invariants(false));
     println!("  without invariants: {}", naive.summary());
     println!();
 }
@@ -53,7 +53,11 @@ fn print_table() {
 fn bench(c: &mut Criterion) {
     let system = running_example(2);
     c.bench_function("running_example/full_pipeline", |b| {
-        b.iter(|| Verifier::new().analyze(&system).is_deadlock_free())
+        b.iter(|| {
+            QueryEngine::structural(system.clone())
+                .check(&Query::new())
+                .is_deadlock_free()
+        })
     });
     c.bench_function("running_example/invariant_derivation", |b| {
         b.iter(|| {

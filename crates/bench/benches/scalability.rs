@@ -36,7 +36,7 @@ fn print_table() {
     for (w, h) in [(2u32, 2u32), (3, 2), (2, 3)] {
         let system = abstract_mesh(w, h, 3, (w - 1, h - 1));
         let start = Instant::now();
-        let report = Verifier::new().analyze(&system);
+        let report = QueryEngine::structural(system.clone()).check(&Query::new());
         println!(
             "    {w}x{h}: {:?} ({}, {} refinements)",
             start.elapsed(),
@@ -54,7 +54,7 @@ fn print_table() {
     for queue_size in [3usize, 6, 12] {
         let system = abstract_mesh(2, 2, queue_size, (1, 1));
         let start = Instant::now();
-        let report = Verifier::new().analyze(&system);
+        let report = QueryEngine::structural(system.clone()).check(&Query::new());
         println!(
             "    queue size {queue_size}: {:?} ({} int vars, {} bool vars)",
             start.elapsed(),
@@ -71,7 +71,11 @@ fn bench(c: &mut Criterion) {
     for (w, h) in [(2u32, 2u32), (3, 2)] {
         let system = abstract_mesh(w, h, 3, (w - 1, h - 1));
         group.bench_function(format!("verify_{w}x{h}_qs3"), |b| {
-            b.iter(|| Verifier::new().analyze(&system).is_deadlock_free())
+            b.iter(|| {
+                QueryEngine::structural(system.clone())
+                    .check(&Query::new())
+                    .is_deadlock_free()
+            })
         });
     }
     let big = MeshConfig::new(6, 6, 30)

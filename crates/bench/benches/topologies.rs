@@ -25,11 +25,14 @@ fn fabrics() -> Vec<FabricConfig> {
 
 /// One incremental session sweeping every capacity on one fabric.
 fn session_sweep(config: &FabricConfig) -> (Option<usize>, u64) {
-    let mut session = VerificationSession::for_fabric(config, DeadlockSpec::default(), SIZES)
-        .expect("audited fabric builds");
+    let mut engine = QueryEngine::for_fabric(config, SIZES).expect("audited fabric builds");
     let mut sizes = SIZES;
-    let min_free = sizes.find(|cap| session.check_capacity(*cap).is_deadlock_free());
-    (min_free, session.stats().sat_effort())
+    let min_free = sizes.find(|cap| {
+        engine
+            .check(&Query::new().capacity(*cap))
+            .is_deadlock_free()
+    });
+    (min_free, engine.stats().sat_effort())
 }
 
 fn print_comparison() {

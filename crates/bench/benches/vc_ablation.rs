@@ -39,7 +39,7 @@ fn print_table() {
             .with_virtual_channels(true),
     )
     .expect("valid mesh");
-    let report = Verifier::new().analyze(&vc_small);
+    let report = QueryEngine::structural(vc_small.clone()).check(&Query::new());
     println!(
         "  2x2 with VCs at queue size 1: {}",
         if report.is_deadlock_free() {
@@ -62,10 +62,18 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("vc_ablation");
     group.sample_size(10);
     group.bench_function("verify_2x2_qs3_no_vc", |b| {
-        b.iter(|| Verifier::new().analyze(&plain).is_deadlock_free())
+        b.iter(|| {
+            QueryEngine::structural(plain.clone())
+                .check(&Query::new())
+                .is_deadlock_free()
+        })
     });
     group.bench_function("verify_2x2_qs3_with_vc", |b| {
-        b.iter(|| Verifier::new().analyze(&vcs).is_deadlock_free())
+        b.iter(|| {
+            QueryEngine::structural(vcs.clone())
+                .check(&Query::new())
+                .is_deadlock_free()
+        })
     });
     group.finish();
 }

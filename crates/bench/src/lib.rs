@@ -7,7 +7,6 @@
 //! `EXPERIMENTS.md` records as "measured".
 
 use advocat::prelude::*;
-use advocat::SizingOptions;
 
 /// Builds the abstract-MI mesh used throughout the evaluation section.
 pub fn abstract_mesh(width: u32, height: u32, queue_size: usize, dir: (u32, u32)) -> System {
@@ -42,13 +41,9 @@ pub fn minimal_size(
         .with_directory(dir.0, dir.1)
         .with_protocol(ProtocolKind::AbstractMi)
         .with_virtual_channels(vcs);
-    let options = SizingOptions {
-        min: 2,
-        max,
-        ..SizingOptions::default()
-    };
-    advocat::minimal_queue_size(&config, &options)
-        .expect("valid mesh configuration")
+    let system = build_mesh_for_sweep(&config, max).expect("valid mesh configuration");
+    QueryEngine::on(system, 2..=max)
+        .minimal_capacity(&Query::new())
         .minimal_queue_size
 }
 

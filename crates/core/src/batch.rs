@@ -1,21 +1,27 @@
 //! Parallel verification of independent scenarios.
 //!
 //! Design-space exploration rarely asks one question: it sweeps
-//! topologies, directory placements, protocols and deadlock
-//! specifications.  The scenarios are independent, so [`verify_batch`]
+//! topologies, directory placements, protocols, deadlock targets and
+//! queue capacities.  The scenarios are independent, so [`run_batch`]
 //! fans them out over `std::thread` workers pulling from a shared queue —
-//! wall-clock time scales with the slowest scenario rather than the sum.
+//! wall-clock time scales with the slowest scenario rather than the sum —
+//! and *within* each scenario every query is answered by one persistent
+//! [`QueryEngine`] session, so a scenario's capacity sweep reuses its
+//! encoding and everything its solver learnt instead of re-analyzing cold
+//! per capacity.
 
+use std::ops::RangeInclusive;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use advocat_deadlock::DeadlockSpec;
+use advocat_automata::System;
+use advocat_deadlock::{DeadlockSpec, Query};
 use advocat_logic::CheckConfig;
-use advocat_noc::{build_fabric, FabricConfig, FabricError, MeshConfig};
+use advocat_noc::{build_fabric_for_sweep, FabricConfig, FabricError, MeshConfig};
 
+use crate::query::{QueryEngine, SessionStats};
 use crate::report::Report;
-use crate::verifier::Verifier;
 
 /// What a [`BatchScenario`] builds and verifies: a classic mesh
 /// description or a topology-generic fabric.
@@ -29,14 +35,22 @@ pub enum ScenarioFabric {
 }
 
 impl ScenarioFabric {
-    fn build(&self) -> Result<advocat_automata::System, FabricError> {
+    /// The queue capacity the scenario description itself pins.
+    fn queue_size(&self) -> usize {
         match self {
-            ScenarioFabric::Mesh(config) => {
-                let fabric = config.to_fabric()?;
-                build_fabric(&fabric)
-            }
-            ScenarioFabric::Fabric(config) => build_fabric(config),
+            ScenarioFabric::Mesh(config) => config.queue_size,
+            ScenarioFabric::Fabric(config) => config.queue_size,
         }
+    }
+
+    /// Builds the fabric with queues sized for a sweep up to
+    /// `max_capacity`.
+    fn build_for_sweep(&self, max_capacity: usize) -> Result<System, FabricError> {
+        let fabric = match self {
+            ScenarioFabric::Mesh(config) => config.to_fabric()?,
+            ScenarioFabric::Fabric(config) => (**config).clone(),
+        };
+        build_fabric_for_sweep(&fabric, max_capacity)
     }
 }
 
@@ -51,6 +65,10 @@ pub struct BatchScenario {
     pub spec: DeadlockSpec,
     /// SMT resource limits for this scenario.
     pub config: CheckConfig,
+    /// Optional capacity sweep: when set, the scenario's one session
+    /// answers every capacity in the range (ascending) instead of only the
+    /// fabric's own queue size.
+    pub sweep: Option<RangeInclusive<usize>>,
 }
 
 impl BatchScenario {
@@ -62,6 +80,7 @@ impl BatchScenario {
             fabric: ScenarioFabric::Mesh(mesh),
             spec: DeadlockSpec::default(),
             config: CheckConfig::default(),
+            sweep: None,
         }
     }
 
@@ -72,6 +91,7 @@ impl BatchScenario {
             fabric: ScenarioFabric::Fabric(Box::new(fabric)),
             spec: DeadlockSpec::default(),
             config: CheckConfig::default(),
+            sweep: None,
         }
     }
 
@@ -86,22 +106,45 @@ impl BatchScenario {
         self.config = config;
         self
     }
+
+    /// Sweeps every capacity in `capacities` through the scenario's one
+    /// session (the fabric is built once, at the top of the range).
+    ///
+    /// # Panics
+    ///
+    /// [`run_batch`] panics when the range is empty.
+    pub fn with_sweep(mut self, capacities: RangeInclusive<usize>) -> Self {
+        self.sweep = Some(capacities);
+        self
+    }
 }
 
-/// The per-scenario result of a [`verify_batch`] run.
+/// The per-scenario result of a [`run_batch`] run.
 #[derive(Clone, Debug)]
 pub struct BatchOutcome {
     /// The scenario's label.
     pub name: String,
-    /// The verification report, or the fabric-construction error.
+    /// The verification report at the scenario's own queue size (or, when
+    /// a sweep excludes that size, at the sweep's largest capacity) — or
+    /// the fabric-construction error.
     pub result: Result<Report, FabricError>,
+    /// Every `(capacity, report)` the scenario's session answered, in
+    /// ascending capacity order.  One entry without a sweep; one per
+    /// capacity with one.
+    pub sweep: Vec<(usize, Report)>,
+    /// Cumulative statistics of the scenario's one verification session —
+    /// the evidence that a sweep reused its encoding (`templates_built`
+    /// stays 1) rather than re-analyzing cold.  `None` when the fabric
+    /// failed to build.
+    pub stats: Option<SessionStats>,
     /// Wall-clock time this scenario took on its worker (fabric
-    /// construction plus the full pipeline).
+    /// construction plus every query).
     pub elapsed: Duration,
 }
 
 impl BatchOutcome {
-    /// Returns `true` when the scenario was verified deadlock-free.
+    /// Returns `true` when the scenario was verified deadlock-free (at its
+    /// primary capacity; see [`BatchOutcome::result`]).
     pub fn is_deadlock_free(&self) -> bool {
         matches!(&self.result, Ok(report) if report.is_deadlock_free())
     }
@@ -111,7 +154,9 @@ impl BatchOutcome {
 /// operating-system threads, and returns the outcomes in scenario order.
 ///
 /// Workers pull scenarios from a shared counter, so an expensive scenario
-/// does not hold up the remaining ones.  `workers` is clamped to
+/// does not hold up the remaining ones.  Within a scenario, all queries —
+/// the whole capacity sweep, when one is configured — are answered by one
+/// persistent [`QueryEngine`] session.  `workers` is clamped to
 /// `1..=scenarios.len()`; pass `std::thread::available_parallelism()` for
 /// a machine-sized pool.
 ///
@@ -121,18 +166,21 @@ impl BatchOutcome {
 /// use advocat::prelude::*;
 ///
 /// let scenarios = vec![
-///     BatchScenario::new("2x2 corner, qs 2", MeshConfig::new(2, 2, 2)),
+///     BatchScenario::new("2x2 sweep", MeshConfig::new(2, 2, 2).with_directory(1, 1))
+///         .with_sweep(2..=3),
 ///     BatchScenario::for_fabric(
 ///         "ring of 4, qs 2",
 ///         FabricConfig::new(Topology::ring(4)?, 2),
 ///     ),
 /// ];
-/// let outcomes = verify_batch(&scenarios, 2);
+/// let outcomes = run_batch(&scenarios, 2);
 /// assert_eq!(outcomes.len(), 2);
+/// assert_eq!(outcomes[0].sweep.len(), 2);
+/// assert_eq!(outcomes[0].stats.unwrap().templates_built, 1);
 /// assert!(outcomes.iter().all(|o| o.result.is_ok()));
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn verify_batch(scenarios: &[BatchScenario], workers: usize) -> Vec<BatchOutcome> {
+pub fn run_batch(scenarios: &[BatchScenario], workers: usize) -> Vec<BatchOutcome> {
     if scenarios.is_empty() {
         return Vec::new();
     }
@@ -148,21 +196,9 @@ pub fn verify_batch(scenarios: &[BatchScenario], workers: usize) -> Vec<BatchOut
                 let Some(scenario) = scenarios.get(index) else {
                     break;
                 };
-                let start = Instant::now();
-                let result = scenario.fabric.build().map(|system| {
-                    Verifier::new()
-                        .with_spec(scenario.spec)
-                        .with_config(scenario.config)
-                        .analyze(&system)
-                });
-                let outcome = BatchOutcome {
-                    name: scenario.name.clone(),
-                    result,
-                    elapsed: start.elapsed(),
-                };
                 *slots[index]
                     .lock()
-                    .expect("no worker panicked holding the slot") = Some(outcome);
+                    .expect("no worker panicked holding the slot") = Some(run_scenario(scenario));
             });
         }
     });
@@ -177,10 +213,58 @@ pub fn verify_batch(scenarios: &[BatchScenario], workers: usize) -> Vec<BatchOut
         .collect()
 }
 
+/// Runs one scenario on the calling thread: build the fabric once, open
+/// one session, answer every capacity of its sweep.
+fn run_scenario(scenario: &BatchScenario) -> BatchOutcome {
+    let start = Instant::now();
+    let own_size = scenario.fabric.queue_size();
+    let range = scenario.sweep.clone().unwrap_or(own_size..=own_size);
+    let (result, sweep, stats) = match scenario.fabric.build_for_sweep(*range.end()) {
+        Err(error) => (Err(error), Vec::new(), None),
+        Ok(system) => {
+            let mut engine = QueryEngine::with_config(system, scenario.config, range.clone());
+            let target = scenario.spec.as_target();
+            let mut sweep = Vec::new();
+            for capacity in range.clone() {
+                let report = match target {
+                    Some(target) => engine.check(&Query::new().capacity(capacity).target(target)),
+                    None => engine.trivially_free(),
+                };
+                sweep.push((capacity, report));
+            }
+            let primary = sweep
+                .iter()
+                .find(|(capacity, _)| *capacity == own_size)
+                .or_else(|| sweep.last())
+                .map(|(_, report)| report.clone())
+                .expect("non-empty capacity range");
+            (Ok(primary), sweep, Some(engine.stats()))
+        }
+    };
+    BatchOutcome {
+        name: scenario.name.clone(),
+        result,
+        sweep,
+        stats,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Verifies every scenario at its own queue size.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `run_batch` (same signature, same outcomes, \
+                                      plus per-scenario sweeps and session stats)"
+)]
+pub fn verify_batch(scenarios: &[BatchScenario], workers: usize) -> Vec<BatchOutcome> {
+    run_batch(scenarios, workers)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use advocat_noc::{build_mesh, Topology};
+    use advocat_deadlock::DeadlockTarget;
+    use advocat_noc::Topology;
 
     #[test]
     fn batch_results_come_back_in_scenario_order() {
@@ -189,12 +273,13 @@ mod tests {
             BatchScenario::new("free", MeshConfig::new(2, 2, 3).with_directory(1, 1)),
             BatchScenario::new("invalid", MeshConfig::new(1, 1, 1)),
         ];
-        let outcomes = verify_batch(&scenarios, 4);
+        let outcomes = run_batch(&scenarios, 4);
         assert_eq!(outcomes.len(), 3);
         assert_eq!(outcomes[0].name, "deadlocking");
         assert!(!outcomes[0].is_deadlock_free());
         assert!(outcomes[1].is_deadlock_free());
         assert!(outcomes[2].result.is_err());
+        assert!(outcomes[2].stats.is_none());
     }
 
     #[test]
@@ -209,10 +294,11 @@ mod tests {
             .enumerate()
             .map(|(i, c)| BatchScenario::new(format!("scenario {i}"), *c))
             .collect();
-        let outcomes = verify_batch(&scenarios, 2);
+        let outcomes = run_batch(&scenarios, 2);
         for (config, outcome) in configs.iter().zip(&outcomes) {
-            let sequential = Verifier::new()
-                .analyze(&build_mesh(config).unwrap())
+            let system = advocat_noc::build_mesh(config).unwrap();
+            let sequential = QueryEngine::on(system, config.queue_size..=config.queue_size)
+                .check(&Query::new().capacity(config.queue_size))
                 .is_deadlock_free();
             assert_eq!(outcome.is_deadlock_free(), sequential);
         }
@@ -231,7 +317,7 @@ mod tests {
             ),
             BatchScenario::new("mesh qs3", MeshConfig::new(2, 2, 3).with_directory(1, 1)),
         ];
-        let outcomes = verify_batch(&scenarios, 3);
+        let outcomes = run_batch(&scenarios, 3);
         assert!(outcomes[0].is_deadlock_free(), "datelined ring at qs 2");
         assert!(
             !outcomes[1].is_deadlock_free(),
@@ -241,10 +327,100 @@ mod tests {
     }
 
     #[test]
+    fn capacity_sweeps_reuse_one_session_per_scenario() {
+        let scenarios = vec![
+            BatchScenario::new("mesh sweep", MeshConfig::new(2, 2, 2).with_directory(1, 1))
+                .with_sweep(1..=4),
+            BatchScenario::for_fabric(
+                "ring sweep",
+                FabricConfig::new(Topology::ring(4).unwrap(), 1).with_directory(1),
+            )
+            .with_sweep(1..=3),
+        ];
+        let outcomes = run_batch(&scenarios, 2);
+
+        let mesh = &outcomes[0];
+        let free: Vec<bool> = mesh
+            .sweep
+            .iter()
+            .map(|(_, report)| report.is_deadlock_free())
+            .collect();
+        assert_eq!(free, vec![false, false, true, true], "mesh threshold is 3");
+        // The primary report sits at the scenario's own queue size (2).
+        assert!(!mesh.is_deadlock_free());
+        let stats = mesh.stats.expect("session stats per scenario");
+        assert_eq!(stats.templates_built, 1, "one encoding for the sweep");
+        assert_eq!(stats.queries, 4);
+
+        let ring = &outcomes[1];
+        let free: Vec<bool> = ring
+            .sweep
+            .iter()
+            .map(|(_, report)| report.is_deadlock_free())
+            .collect();
+        assert_eq!(free, vec![false, true, true], "ring threshold is 2");
+        assert_eq!(ring.stats.expect("stats").queries, 3);
+    }
+
+    #[test]
+    fn sweeping_scenarios_cost_less_than_cold_per_capacity_batches() {
+        let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+        let sweep = BatchScenario::new("sweep", config).with_sweep(1..=6);
+        let outcomes = run_batch(&[sweep], 1);
+        let session_effort = outcomes[0].stats.expect("stats").sat_effort();
+
+        let cold: Vec<BatchScenario> = (1..=6)
+            .map(|qs| BatchScenario::new(format!("qs {qs}"), config.with_queue_size(qs)))
+            .collect();
+        let cold_outcomes = run_batch(&cold, 1);
+        let cold_effort: u64 = cold_outcomes
+            .iter()
+            .map(|o| o.stats.expect("stats").sat_effort())
+            .sum();
+        // Same verdicts, shared session: the sweep is strictly cheaper.
+        for (i, outcome) in cold_outcomes.iter().enumerate() {
+            assert_eq!(
+                outcomes[0].sweep[i].1.is_deadlock_free(),
+                outcome.is_deadlock_free(),
+                "capacity {}",
+                i + 1
+            );
+        }
+        assert!(
+            session_effort < cold_effort,
+            "sweep effort {session_effort} is not below per-capacity effort {cold_effort}"
+        );
+    }
+
+    #[test]
+    fn batch_scenarios_honour_the_deadlock_target() {
+        let mesh = MeshConfig::new(2, 2, 2).with_directory(1, 1);
+        let scenarios = vec![
+            BatchScenario::new("stuck", mesh)
+                .with_spec(DeadlockSpec::from(DeadlockTarget::StuckPacket)),
+            BatchScenario::new("neither", mesh).with_spec(DeadlockSpec {
+                stuck_packet: false,
+                dead_automaton: false,
+            }),
+        ];
+        let outcomes = run_batch(&scenarios, 2);
+        let cex = outcomes[0]
+            .result
+            .as_ref()
+            .unwrap()
+            .counterexample()
+            .expect("size 2 deadlocks");
+        assert!(cex.witnesses(DeadlockTarget::StuckPacket));
+        assert!(outcomes[1].is_deadlock_free(), "nothing to look for");
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn empty_batch_and_oversized_worker_counts_are_fine() {
         assert!(verify_batch(&[], 8).is_empty());
         let scenarios = vec![BatchScenario::new("one", MeshConfig::new(2, 2, 3))];
         let outcomes = verify_batch(&scenarios, 64);
         assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].sweep.len(), 1);
     }
 }

@@ -17,28 +17,34 @@
 //! 5. optionally confirm candidates by explicit-state exploration
 //!    (`advocat-explorer`).
 //!
-//! The main entry points are [`Verifier`] (one verification run, returning
-//! a [`Report`]), [`VerificationSession`] (an incremental session answering
-//! many queue-capacity queries from one persistent solver),
-//! [`minimal_queue_size`] (the queue-sizing search behind Figure 4 of the
-//! paper, a binary search on top of a session) and [`verify_batch`]
-//! (parallel verification of independent scenarios).
+//! The public surface is the **Query API**: a [`QueryEngine`] holds one
+//! system, one derived encoding and one persistent solver, and answers any
+//! number of [`Query`]s — each a point in the capacity × [`DeadlockTarget`]
+//! × invariant-strengthening space, every dimension a retractable selector
+//! in the same session.  On top of it sit [`QueryEngine::minimal_capacity`]
+//! (the queue-sizing search behind Figure 4 of the paper) and [`run_batch`]
+//! (parallel scenarios, one session per scenario).  The pre-query entry
+//! points — [`Verifier::analyze`], [`VerificationSession`],
+//! [`minimal_queue_size`], [`minimal_queue_size_for_fabric`] and
+//! [`verify_batch`] — remain as deprecated shims over the same engine for
+//! one release.
 //!
 //! # Examples
 //!
-//! Verify a 2×2 mesh running the abstract MI protocol (Fig. 3 of the
-//! paper): queues of size 2 admit a cross-layer deadlock, size 3 does not.
+//! The Fig. 3 result of the paper — the 2×2 directory mesh deadlocks with
+//! queues of size 2 but not 3 — and its spec ablation, answered by one
+//! engine:
 //!
 //! ```
 //! use advocat::prelude::*;
 //!
-//! let deadlocking = build_mesh(&MeshConfig::new(2, 2, 2).with_directory(1, 1))?;
-//! let report = Verifier::new().analyze(&deadlocking);
-//! assert!(!report.is_deadlock_free());
-//!
-//! let safe = build_mesh(&MeshConfig::new(2, 2, 3).with_directory(1, 1))?;
-//! let report = Verifier::new().analyze(&safe);
-//! assert!(report.is_deadlock_free());
+//! let system = build_mesh_for_sweep(&MeshConfig::new(2, 2, 1).with_directory(1, 1), 3)?;
+//! let mut engine = QueryEngine::on(system, 2..=3);
+//! assert!(!engine.check(&Query::new().capacity(2)).is_deadlock_free());
+//! assert!(engine.check(&Query::new().capacity(3)).is_deadlock_free());
+//! // Same session, different question: only the stuck-packet symptom.
+//! let stuck = Query::new().capacity(2).target(DeadlockTarget::StuckPacket);
+//! assert!(!engine.check(&stuck).is_deadlock_free());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -47,16 +53,27 @@
 
 mod batch;
 pub mod prelude;
+mod query;
 mod report;
 mod session;
 mod sizing;
 mod verifier;
 
-pub use batch::{verify_batch, BatchOutcome, BatchScenario, ScenarioFabric};
+#[allow(deprecated)]
+pub use batch::verify_batch;
+pub use batch::{run_batch, BatchOutcome, BatchScenario, ScenarioFabric};
+pub use query::{QueryEngine, SessionStats};
 pub use report::Report;
-pub use session::{SessionStats, VerificationSession};
-pub use sizing::{minimal_queue_size, minimal_queue_size_for_fabric, SizingOptions, SizingResult};
+#[allow(deprecated)]
+pub use session::VerificationSession;
+#[allow(deprecated)]
+pub use sizing::{minimal_queue_size, minimal_queue_size_for_fabric};
+pub use sizing::{SizingOptions, SizingProbe, SizingResult};
 pub use verifier::Verifier;
+
+// The query vocabulary lives next to the encoding in `advocat-deadlock`;
+// re-export it here so engine users need only this crate.
+pub use advocat_deadlock::{CapacitySelection, DeadlockTarget, Query};
 
 // Re-export the building blocks so downstream users only need one
 // dependency for common workflows.

@@ -4,19 +4,26 @@
 //! use advocat::prelude::*;
 //!
 //! let system = build_mesh(&MeshConfig::new(2, 2, 3).with_directory(1, 1))?;
-//! let report = Verifier::new().analyze(&system);
-//! assert!(report.is_deadlock_free());
+//! let mut engine = QueryEngine::on(system, 3..=3);
+//! assert!(engine.check(&Query::new().capacity(3)).is_deadlock_free());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#[allow(deprecated)]
 pub use crate::{
-    minimal_queue_size, minimal_queue_size_for_fabric, verify_batch, BatchOutcome, BatchScenario,
-    Report, ScenarioFabric, SessionStats, SizingOptions, SizingResult, VerificationSession,
-    Verifier,
+    minimal_queue_size, minimal_queue_size_for_fabric, verify_batch, VerificationSession,
+};
+
+pub use crate::{
+    run_batch, BatchOutcome, BatchScenario, QueryEngine, Report, ScenarioFabric, SessionStats,
+    SizingOptions, SizingProbe, SizingResult, Verifier,
 };
 
 pub use advocat_automata::{derive_colors, AutomatonBuilder, System};
-pub use advocat_deadlock::{verify_system, DeadlockSpec, EncodingTemplate, Verdict};
+pub use advocat_deadlock::{
+    verify_system, CapacitySelection, DeadlockSpec, DeadlockTarget, EncodingTemplate, Query,
+    Verdict,
+};
 pub use advocat_explorer::{explore, random_walk, ExplorerConfig};
 pub use advocat_invariants::{derive_invariants, format_invariant};
 pub use advocat_logic::{CheckConfig, SolverConfig};

@@ -91,13 +91,13 @@ impl Report {
 
 #[cfg(test)]
 mod tests {
-    use crate::Verifier;
+    use crate::{Query, QueryEngine};
     use advocat_noc::{build_mesh, MeshConfig};
 
     #[test]
     fn report_exposes_invariants_and_summary() {
         let system = build_mesh(&MeshConfig::new(2, 2, 3).with_directory(1, 1)).unwrap();
-        let report = Verifier::new().analyze(&system);
+        let report = QueryEngine::on(system, 3..=3).check(&Query::new());
         assert!(report.is_deadlock_free());
         assert!(report.counterexample().is_none());
         assert_eq!(report.invariants().len(), report.invariant_text().len());
@@ -110,7 +110,7 @@ mod tests {
     #[test]
     fn report_carries_the_counterexample_when_deadlocking() {
         let system = build_mesh(&MeshConfig::new(2, 2, 2).with_directory(1, 1)).unwrap();
-        let report = Verifier::new().analyze(&system);
+        let report = QueryEngine::on(system, 2..=2).check(&Query::new());
         assert!(!report.is_deadlock_free());
         let cex = report.counterexample().expect("candidate present");
         assert!(cex.total_packets() >= 1 || !cex.dead_automata.is_empty());

@@ -1,87 +1,43 @@
-//! Incremental verification sessions.
+//! Legacy incremental verification sessions.
 //!
-//! A [`VerificationSession`] runs the expensive, capacity-independent part
-//! of the ADVOCAT pipeline — color derivation, invariant generation and
-//! the structural deadlock encoding — exactly once, and then answers any
-//! number of queue-capacity queries from one persistent solver.  Learnt
-//! clauses and theory lemmas accumulate across queries, so a sweep over
-//! sixteen capacities costs far fewer SAT conflicts and propagations than
-//! sixteen cold [`crate::Verifier::analyze`] calls.
+//! [`VerificationSession`] predates the unified query surface: it froze
+//! the deadlock specification at construction, so only queue capacities
+//! could vary per query.  [`crate::QueryEngine`] supersedes it — the
+//! target and the invariant strengthening are per-[`Query`] dimensions of
+//! the same persistent session — and this module keeps the old names
+//! compiling as thin shims for one release.
 
 use std::ops::RangeInclusive;
-use std::time::Duration;
 
-use advocat_automata::{derive_colors, System};
-use advocat_deadlock::{DeadlockSpec, EncodingTemplate};
-use advocat_invariants::{derive_invariants, InvariantSet};
+use advocat_automata::System;
+use advocat_deadlock::{DeadlockSpec, DeadlockTarget, Query};
+use advocat_invariants::InvariantSet;
 use advocat_logic::CheckConfig;
 
+use crate::query::{QueryEngine, SessionStats};
 use crate::report::Report;
 
-/// Cumulative statistics over every query a session has answered.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct SessionStats {
-    /// Number of capacity queries answered.
-    pub queries: u64,
-    /// Total SAT conflicts across all queries.
-    pub sat_conflicts: u64,
-    /// Total SAT unit propagations across all queries.
-    pub sat_propagations: u64,
-    /// Learnt-database reductions across all queries.  Reduction is what
-    /// keeps a long session's per-query cost from growing with its length.
-    pub reduced_dbs: u64,
-    /// Clauses the solver deleted across all queries (worst-half learnt
-    /// clauses plus permanently satisfied clauses of popped query scopes).
-    pub deleted_clauses: u64,
-    /// Learnt clauses alive in the shared solver after the latest query.
-    pub live_learnts: u64,
-    /// Learnt clauses ever stored by the shared solver (monotone; the gap
-    /// to [`SessionStats::live_learnts`] is what reduction reclaimed).
-    pub total_learnt: u64,
-    /// Total wall-clock time spent answering queries (excluding session
-    /// construction).
-    pub query_elapsed: Duration,
-}
-
-impl SessionStats {
-    /// Total SAT effort — conflicts plus propagations — of the session.
-    pub fn sat_effort(&self) -> u64 {
-        self.sat_conflicts + self.sat_propagations
-    }
-}
-
-/// An incremental verification session: one system, one derived encoding
-/// template, one persistent solver, many queue-capacity queries.
+/// An incremental verification session with a frozen deadlock spec.
 ///
-/// # Examples
-///
-/// The Figure-3 result of the paper, answered by a single session: the 2×2
-/// directory mesh deadlocks with queues of size 2 but is free with 3.
-///
-/// ```
-/// use advocat::prelude::*;
-///
-/// let system = build_mesh_for_sweep(&MeshConfig::new(2, 2, 1).with_directory(1, 1), 4)?;
-/// let mut session = VerificationSession::new(system, DeadlockSpec::default(), 2..=4);
-/// assert!(!session.check_capacity(2).is_deadlock_free());
-/// assert!(session.check_capacity(3).is_deadlock_free());
-/// assert_eq!(session.stats().queries, 2);
-/// # Ok::<(), Box<dyn std::error::Error>>(())
-/// ```
+/// Superseded by [`QueryEngine`], which answers capacity, target and
+/// invariant-ablation queries from one session instead of freezing the
+/// spec at construction.
+#[deprecated(
+    since = "0.3.0",
+    note = "use `QueryEngine` — the deadlock target and invariant strengthening are \
+            per-`Query` dimensions there, not frozen at construction"
+)]
 #[derive(Debug)]
 pub struct VerificationSession {
-    system: System,
-    invariants: InvariantSet,
-    template: EncodingTemplate,
-    config: CheckConfig,
-    stats: SessionStats,
+    engine: QueryEngine,
+    /// The frozen spec's target; `None` when the spec enabled no
+    /// condition (every query is then trivially deadlock-free).
+    target: Option<DeadlockTarget>,
 }
 
+#[allow(deprecated)]
 impl VerificationSession {
     /// Builds a session for `system` with default solver limits.
-    ///
-    /// The session derives colors and invariants once and builds the
-    /// capacity-parameterised encoding for every capacity in `capacities`.
     ///
     /// # Panics
     ///
@@ -90,11 +46,8 @@ impl VerificationSession {
         VerificationSession::with_config(system, spec, CheckConfig::default(), capacities)
     }
 
-    /// Builds a session for an arbitrary topology fabric: the fabric is
-    /// built once at the largest capacity of the range
-    /// ([`advocat_noc::build_fabric_for_sweep`]) and every capacity query
-    /// reuses the one persistent solver.  This is what lets the *same*
-    /// sweep run unchanged on a mesh, torus, ring or fat tree.
+    /// Builds a session for an arbitrary topology fabric
+    /// (see [`QueryEngine::for_fabric`]).
     ///
     /// # Errors
     ///
@@ -105,26 +58,15 @@ impl VerificationSession {
     /// # Panics
     ///
     /// Panics when `capacities` is empty.
-    ///
-    /// # Examples
-    ///
-    /// ```
-    /// use advocat::prelude::*;
-    ///
-    /// let config = FabricConfig::new(Topology::ring(4)?, 1).with_directory(1);
-    /// let mut session =
-    ///     VerificationSession::for_fabric(&config, DeadlockSpec::default(), 1..=3)?;
-    /// assert!(!session.check_capacity(1).is_deadlock_free());
-    /// assert!(session.check_capacity(2).is_deadlock_free());
-    /// # Ok::<(), Box<dyn std::error::Error>>(())
-    /// ```
     pub fn for_fabric(
         config: &advocat_noc::FabricConfig,
         spec: DeadlockSpec,
         capacities: RangeInclusive<usize>,
     ) -> Result<Self, advocat_noc::FabricError> {
-        let system = advocat_noc::build_fabric_for_sweep(config, *capacities.end())?;
-        Ok(VerificationSession::new(system, spec, capacities))
+        Ok(VerificationSession {
+            engine: QueryEngine::for_fabric(config, capacities)?,
+            target: spec.as_target(),
+        })
     }
 
     /// Builds a session with explicit SMT resource limits per query.
@@ -138,15 +80,9 @@ impl VerificationSession {
         config: CheckConfig,
         capacities: RangeInclusive<usize>,
     ) -> Self {
-        let colors = derive_colors(&system);
-        let invariants = derive_invariants(&system, &colors);
-        let template = EncodingTemplate::new(&system, &colors, &invariants, &spec, capacities);
         VerificationSession {
-            system,
-            invariants,
-            template,
-            config,
-            stats: SessionStats::default(),
+            engine: QueryEngine::with_config(system, config, capacities),
+            target: spec.as_target(),
         }
     }
 
@@ -157,66 +93,102 @@ impl VerificationSession {
     ///
     /// Panics when `capacity` lies outside the session's capacity range.
     pub fn check_capacity(&mut self, capacity: usize) -> Report {
-        let analysis = self.template.check_capacity(capacity, &self.config);
-        self.stats.queries += 1;
-        self.stats.sat_conflicts += analysis.stats.sat_conflicts;
-        self.stats.sat_propagations += analysis.stats.sat_propagations;
-        self.stats.reduced_dbs += analysis.stats.sat_reduced_dbs;
-        self.stats.deleted_clauses += analysis.stats.sat_deleted_clauses;
-        self.stats.live_learnts = analysis.stats.sat_live_learnts;
-        self.stats.total_learnt = analysis.stats.sat_total_learnt;
-        self.stats.query_elapsed += analysis.stats.elapsed;
-        Report::new(&self.system, self.invariants.clone(), analysis)
+        match self.target {
+            Some(target) => self
+                .engine
+                .check(&Query::new().capacity(capacity).target(target)),
+            None => {
+                // The engine is never consulted, so enforce the documented
+                // range contract here.
+                assert!(
+                    self.engine.capacity_range().contains(&capacity),
+                    "capacity {capacity} outside the session range {:?}",
+                    self.engine.capacity_range()
+                );
+                self.engine.trivially_free()
+            }
+        }
     }
 
     /// Cumulative statistics of the session's shared SAT solver (all
-    /// queries so far), including the live and total learnt-clause counts
-    /// the database-reduction pass maintains.
+    /// queries so far).
     pub fn sat_stats(&self) -> advocat_logic::SatStats {
-        self.template.sat_stats()
+        self.engine.sat_stats()
     }
 
     /// The capacity range the session accepts.
     pub fn capacity_range(&self) -> RangeInclusive<usize> {
-        self.template.capacity_range()
+        self.engine.capacity_range()
     }
 
     /// The verified system.
     pub fn system(&self) -> &System {
-        &self.system
+        self.engine.system()
     }
 
     /// The cross-layer invariants the session derived (shared by every
     /// query).
     pub fn invariants(&self) -> &InvariantSet {
-        &self.invariants
+        self.engine.invariants()
     }
 
     /// Cumulative statistics over all queries answered so far.
     pub fn stats(&self) -> SessionStats {
-        self.stats
+        self.engine.stats()
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use advocat_noc::{build_mesh_for_sweep, MeshConfig};
 
-    use crate::Verifier;
-
     #[test]
-    fn session_matches_cold_verifier_on_the_2x2_mesh() {
+    fn session_shim_matches_the_engine_on_the_2x2_mesh() {
         let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
         let system = build_mesh_for_sweep(&config, 4).unwrap();
         let mut session = VerificationSession::new(system, DeadlockSpec::default(), 1..=4);
+        let system = build_mesh_for_sweep(&config, 4).unwrap();
+        let mut engine = QueryEngine::on(system, 1..=4);
         for capacity in 1..=4usize {
-            let session_free = session.check_capacity(capacity).is_deadlock_free();
-            let cold_system = advocat_noc::build_mesh(&config.with_queue_size(capacity)).unwrap();
-            let cold_free = Verifier::new().analyze(&cold_system).is_deadlock_free();
-            assert_eq!(session_free, cold_free, "capacity {capacity}");
+            assert_eq!(
+                session.check_capacity(capacity).is_deadlock_free(),
+                engine
+                    .check(&Query::new().capacity(capacity))
+                    .is_deadlock_free(),
+                "capacity {capacity}"
+            );
         }
         assert_eq!(session.stats().queries, 4);
+    }
+
+    #[test]
+    fn empty_specs_answer_trivially_free() {
+        let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+        let system = build_mesh_for_sweep(&config, 2).unwrap();
+        let neither = DeadlockSpec {
+            stuck_packet: false,
+            dead_automaton: false,
+        };
+        let mut session = VerificationSession::new(system, neither, 1..=2);
+        let report = session.check_capacity(1);
+        assert!(report.is_deadlock_free());
+        assert_eq!(report.analysis().stats.sat_effort(), 0);
+        assert_eq!(session.stats().queries, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the session range")]
+    fn empty_specs_still_enforce_the_capacity_range() {
+        let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+        let system = build_mesh_for_sweep(&config, 2).unwrap();
+        let neither = DeadlockSpec {
+            stuck_packet: false,
+            dead_automaton: false,
+        };
+        let mut session = VerificationSession::new(system, neither, 1..=2);
+        let _ = session.check_capacity(99);
     }
 
     #[test]

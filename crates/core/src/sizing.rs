@@ -1,13 +1,19 @@
 //! Minimal-queue-size search (Figure 4 of the paper).
+//!
+//! The search itself is one generic bisection driver over a
+//! [`QueryEngine`] ([`QueryEngine::minimal_capacity`]); the historical
+//! mesh- and fabric-specific entry points survive as deprecated shims
+//! that build an engine and delegate.
 
-use advocat_automata::System;
-use advocat_deadlock::{DeadlockSpec, Verdict};
+use std::ops::RangeInclusive;
+
+use advocat_deadlock::{DeadlockSpec, DeadlockTarget, Query, Verdict};
 use advocat_logic::CheckConfig;
 use advocat_noc::{
     build_fabric_for_sweep, build_mesh_for_sweep, FabricConfig, FabricError, MeshConfig, MeshError,
 };
 
-use crate::session::VerificationSession;
+use crate::query::QueryEngine;
 
 /// Options for the queue-sizing search.
 #[derive(Clone, Debug)]
@@ -33,8 +39,20 @@ impl Default for SizingOptions {
     }
 }
 
+/// One probe of a queue-sizing search: which size was checked, against
+/// which deadlock target, and what came back.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SizingProbe {
+    /// The uniform queue capacity the probe pinned.
+    pub queue_size: usize,
+    /// The deadlock target the probe answered.
+    pub target: DeadlockTarget,
+    /// Whether the probe proved the system deadlock-free at this size.
+    pub deadlock_free: bool,
+}
+
 /// The outcome of a queue-sizing search.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct SizingResult {
     /// The smallest queue size proven deadlock-free, if any size in range
     /// was.
@@ -48,6 +66,12 @@ pub struct SizingResult {
     /// Unprobed sizes carry no entry even though the search's verdict
     /// determines them (deadlock-freedom is monotone in the capacity).
     pub evaluations: Vec<(usize, bool)>,
+    /// The probes again, each recording the deadlock target it answered —
+    /// the attribution needed when sizing results from different spec
+    /// ablations are compared.  Probes a trivial specification answered
+    /// without the engine (a legacy spec with no condition enabled) do not
+    /// appear here.
+    pub probes: Vec<SizingProbe>,
 }
 
 impl SizingResult {
@@ -60,121 +84,34 @@ impl SizingResult {
     }
 }
 
-/// Finds the smallest queue size in `[options.min, options.max]` for which
-/// the mesh described by `config` (ignoring its own `queue_size`) is proven
-/// deadlock-free — the computation behind Figure 4 of the paper.
+/// The generic sizing driver: bisects `range` calling `probe(size)` (which
+/// reports `(deadlock_free, undecided)`), falling back to a linear scan of
+/// the remaining candidates after the first undecided probe.
 ///
-/// The mesh is built **once** (at the largest size of the range) and every
-/// probe is answered by one incremental [`VerificationSession`], so colors,
-/// invariants, the deadlock encoding and all learnt solver state are shared
-/// across probes.  Because deadlock-freedom is monotone in the queue
-/// capacity — enlarging queues only removes "queue full" blocking
-/// scenarios — the search bisects the range instead of scanning it: it
-/// probes `O(log(max − min))` sizes.
-///
-/// Resource-limited probes: *proven-free-within-budget* is **not** monotone
-/// (an undecided midpoint says nothing about smaller sizes), so the first
-/// `Unknown` verdict makes the search fall back to a linear scan of the
-/// remaining candidate range, exactly reproducing the semantics of a
-/// per-size scan: the result is the smallest size *proven* deadlock-free
-/// within the budget.  An empty range (`min > max`) returns no evaluations
-/// and no minimal size.
-///
-/// # Errors
-///
-/// Returns a [`MeshError`] when the mesh configuration is invalid.
-///
-/// # Examples
-///
-/// ```
-/// use advocat::{minimal_queue_size, SizingOptions};
-/// use advocat_noc::MeshConfig;
-///
-/// let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
-/// let result = minimal_queue_size(&config, &SizingOptions { min: 2, max: 4, ..Default::default() })?;
-/// assert_eq!(result.minimal_queue_size, Some(3));
-/// // Probe order: the midpoint 3 first (free), then 2 (deadlocks).
-/// assert_eq!(result.evaluations, vec![(3, true), (2, false)]);
-/// # Ok::<(), advocat_noc::MeshError>(())
-/// ```
-pub fn minimal_queue_size(
-    config: &MeshConfig,
-    options: &SizingOptions,
-) -> Result<SizingResult, MeshError> {
-    if options.min > options.max {
-        return Ok(SizingResult {
-            minimal_queue_size: None,
-            evaluations: Vec::new(),
-        });
-    }
-    let system = build_mesh_for_sweep(config, options.max)?;
-    Ok(search(system, options))
-}
-
-/// The topology-generic sibling of [`minimal_queue_size`]: finds the
-/// smallest queue size for which the fabric described by `config`
-/// (ignoring its own `queue_size`) is proven deadlock-free.  The fabric —
-/// mesh, torus, ring, fat tree or irregular — is built once at the
-/// largest size and every probe is answered by one incremental
-/// [`VerificationSession`].
-///
-/// # Errors
-///
-/// Returns a [`FabricError`] when the fabric configuration is invalid or
-/// its routing function fails the channel-dependency audit.
-///
-/// # Examples
-///
-/// ```
-/// use advocat::{minimal_queue_size_for_fabric, SizingOptions};
-/// use advocat_noc::{FabricConfig, Topology};
-///
-/// let config = FabricConfig::new(Topology::ring(4)?, 1).with_directory(1);
-/// let options = SizingOptions { min: 1, max: 4, ..Default::default() };
-/// let result = minimal_queue_size_for_fabric(&config, &options)?;
-/// assert_eq!(result.minimal_queue_size, Some(2));
-/// # Ok::<(), Box<dyn std::error::Error>>(())
-/// ```
-pub fn minimal_queue_size_for_fabric(
-    config: &FabricConfig,
-    options: &SizingOptions,
-) -> Result<SizingResult, FabricError> {
-    if options.min > options.max {
-        return Ok(SizingResult {
-            minimal_queue_size: None,
-            evaluations: Vec::new(),
-        });
-    }
-    let system = build_fabric_for_sweep(config, options.max)?;
-    Ok(search(system, options))
-}
-
-/// The session-backed binary search shared by both entry points.
-fn search(system: System, options: &SizingOptions) -> SizingResult {
-    let mut session = VerificationSession::with_config(
-        system,
-        options.spec,
-        options.config,
-        options.min..=options.max,
-    );
+/// Because deadlock-freedom is monotone in the queue capacity — enlarging
+/// queues only removes "queue full" blocking scenarios — bisection probes
+/// `O(log(max − min))` sizes.  *Proven-free-within-budget* is **not**
+/// monotone (an undecided midpoint says nothing about smaller sizes), so
+/// the first undecided probe switches to a scan, exactly reproducing the
+/// semantics of a per-size scan: the result is the smallest size *proven*
+/// deadlock-free within the budget.
+fn bisect_minimal(
+    range: RangeInclusive<usize>,
+    mut probe: impl FnMut(usize) -> (bool, bool),
+) -> (Option<usize>, Vec<(usize, bool)>) {
+    let (mut lo, mut hi) = (*range.start(), *range.end());
     let mut evaluations = Vec::new();
     let mut minimal = None;
-    let (mut lo, mut hi) = (options.min, options.max);
     while lo <= hi {
         let mid = lo + (hi - lo) / 2;
-        let report = session.check_capacity(mid);
-        let undecided = matches!(report.verdict(), Verdict::Unknown);
-        let free = report.is_deadlock_free();
+        let (free, undecided) = probe(mid);
         evaluations.push((mid, free));
         if undecided {
-            // Proven-free-within-budget is not monotone: this midpoint says
-            // nothing about smaller sizes, so bisection would prune sizes
-            // it never probed.  Scan the remaining candidates instead.
             for size in lo..=hi {
                 if size == mid {
                     continue;
                 }
-                let free = session.check_capacity(size).is_deadlock_free();
+                let (free, _) = probe(size);
                 evaluations.push((size, free));
                 if free {
                     minimal = Some(size);
@@ -193,15 +130,133 @@ fn search(system: System, options: &SizingOptions) -> SizingResult {
             lo = mid + 1;
         }
     }
-    SizingResult {
-        minimal_queue_size: minimal,
-        evaluations,
+    (minimal, evaluations)
+}
+
+impl QueryEngine {
+    /// Finds the smallest capacity in the engine's range for which the
+    /// system is proven deadlock-free under `base`'s target and invariant
+    /// dimensions — the computation behind Figure 4 of the paper, for any
+    /// spec ablation.
+    ///
+    /// `base`'s capacity selection is ignored; the search pins each probe
+    /// uniformly.  Every probe is one incremental query, so colors,
+    /// invariants, the encoding and all learnt solver state are shared
+    /// across probes — and with any *other* queries this engine answered
+    /// before or answers after.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use advocat::prelude::*;
+    ///
+    /// let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+    /// let system = build_mesh_for_sweep(&config, 4)?;
+    /// let mut engine = QueryEngine::on(system, 2..=4);
+    /// let result = engine.minimal_capacity(&Query::new());
+    /// assert_eq!(result.minimal_queue_size, Some(3));
+    /// // Probe order: the midpoint 3 first (free), then 2 (deadlocks).
+    /// assert_eq!(result.evaluations, vec![(3, true), (2, false)]);
+    /// assert!(result.probes.iter().all(|p| p.target == DeadlockTarget::Any));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn minimal_capacity(&mut self, base: &Query) -> SizingResult {
+        let target = base.deadlock_target();
+        let mut probes = Vec::new();
+        let (minimal, evaluations) = bisect_minimal(self.capacity_range(), |size| {
+            let report = self.check(&base.capacity(size));
+            let undecided = matches!(report.verdict(), Verdict::Unknown);
+            let free = report.is_deadlock_free();
+            probes.push(SizingProbe {
+                queue_size: size,
+                target,
+                deadlock_free: free,
+            });
+            (free, undecided)
+        });
+        SizingResult {
+            minimal_queue_size: minimal,
+            evaluations,
+            probes,
+        }
     }
 }
 
+/// Runs the sizing search for a legacy two-flag spec on a freshly built
+/// engine: a spec with no condition enabled answers every probe trivially
+/// free without touching the engine, reproducing the historical trace.
+fn sizing_for_spec(mut engine: QueryEngine, spec: &DeadlockSpec) -> SizingResult {
+    match spec.as_target() {
+        Some(target) => engine.minimal_capacity(&Query::new().target(target)),
+        None => {
+            let (minimal, evaluations) = bisect_minimal(engine.capacity_range(), |_| (true, false));
+            SizingResult {
+                minimal_queue_size: minimal,
+                evaluations,
+                probes: Vec::new(),
+            }
+        }
+    }
+}
+
+/// Finds the smallest queue size in `[options.min, options.max]` for which
+/// the mesh described by `config` (ignoring its own `queue_size`) is proven
+/// deadlock-free.
+///
+/// The mesh is built **once** (at the largest size of the range) and every
+/// probe is answered by one incremental [`QueryEngine`].  An empty range
+/// (`min > max`) returns no evaluations and no minimal size.
+///
+/// # Errors
+///
+/// Returns a [`MeshError`] when the mesh configuration is invalid.
+#[deprecated(
+    since = "0.3.0",
+    note = "build a `QueryEngine` (`QueryEngine::on` / `for_fabric`) and call \
+            `minimal_capacity` with a `Query`"
+)]
+pub fn minimal_queue_size(
+    config: &MeshConfig,
+    options: &SizingOptions,
+) -> Result<SizingResult, MeshError> {
+    if options.min > options.max {
+        return Ok(SizingResult::default());
+    }
+    let system = build_mesh_for_sweep(config, options.max)?;
+    let engine = QueryEngine::with_config(system, options.config, options.min..=options.max);
+    Ok(sizing_for_spec(engine, &options.spec))
+}
+
+/// The topology-generic sibling of [`minimal_queue_size`]: finds the
+/// smallest queue size for which the fabric described by `config`
+/// (ignoring its own `queue_size`) is proven deadlock-free.
+///
+/// # Errors
+///
+/// Returns a [`FabricError`] when the fabric configuration is invalid or
+/// its routing function fails the channel-dependency audit.
+#[deprecated(
+    since = "0.3.0",
+    note = "build a `QueryEngine` with `QueryEngine::for_fabric` and call \
+            `minimal_capacity` with a `Query`"
+)]
+pub fn minimal_queue_size_for_fabric(
+    config: &FabricConfig,
+    options: &SizingOptions,
+) -> Result<SizingResult, FabricError> {
+    if options.min > options.max {
+        return Ok(SizingResult::default());
+    }
+    let system = build_fabric_for_sweep(config, options.max)?;
+    let engine = QueryEngine::with_config(system, options.config, options.min..=options.max);
+    Ok(sizing_for_spec(engine, &options.spec))
+}
+
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use advocat_noc::Topology;
 
     #[test]
     fn two_by_two_mesh_needs_queues_of_three() {
@@ -217,6 +272,38 @@ mod tests {
         assert_eq!(result.evaluations, vec![(3, true), (2, false)]);
         assert!(result.is_free_at(3));
         assert!(!result.is_free_at(2));
+        // Every probe answered the legacy spec's target.
+        assert_eq!(result.probes.len(), result.evaluations.len());
+        assert!(result
+            .probes
+            .iter()
+            .all(|p| p.target == DeadlockTarget::Any));
+    }
+
+    #[test]
+    fn probes_record_the_spec_target_each_answered() {
+        let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+        let system = build_mesh_for_sweep(&config, 4).unwrap();
+        let mut engine = QueryEngine::on(system, 2..=4);
+        let stuck = engine.minimal_capacity(&Query::new().target(DeadlockTarget::StuckPacket));
+        assert!(stuck
+            .probes
+            .iter()
+            .all(|p| p.target == DeadlockTarget::StuckPacket));
+        let dead = engine.minimal_capacity(&Query::new().target(DeadlockTarget::DeadAutomaton));
+        assert!(dead
+            .probes
+            .iter()
+            .all(|p| p.target == DeadlockTarget::DeadAutomaton));
+        for result in [&stuck, &dead] {
+            assert_eq!(result.probes.len(), result.evaluations.len());
+            for (probe, (size, free)) in result.probes.iter().zip(&result.evaluations) {
+                assert_eq!(probe.queue_size, *size);
+                assert_eq!(probe.deadlock_free, *free);
+            }
+        }
+        // One engine answered both ablations.
+        assert_eq!(engine.stats().templates_built, 1);
     }
 
     #[test]
@@ -254,7 +341,6 @@ mod tests {
 
     #[test]
     fn fabric_sizing_spans_topology_families() {
-        use advocat_noc::Topology;
         let options = SizingOptions {
             min: 1,
             max: 4,
@@ -310,5 +396,23 @@ mod tests {
         probed.sort_unstable();
         assert_eq!(probed, vec![2, 3, 4, 5]);
         assert!(result.evaluations.iter().all(|(_, free)| !free));
+    }
+
+    #[test]
+    fn trivial_specs_reproduce_the_bisection_trace_without_probing() {
+        let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+        let options = SizingOptions {
+            min: 2,
+            max: 5,
+            spec: DeadlockSpec {
+                stuck_packet: false,
+                dead_automaton: false,
+            },
+            ..SizingOptions::default()
+        };
+        let result = minimal_queue_size(&config, &options).unwrap();
+        assert_eq!(result.minimal_queue_size, Some(2));
+        assert!(result.evaluations.iter().all(|(_, free)| *free));
+        assert!(result.probes.is_empty());
     }
 }

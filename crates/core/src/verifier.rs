@@ -1,16 +1,21 @@
-//! The one-call verification pipeline.
+//! The one-call verification pipeline (legacy surface).
 
-use advocat_automata::{derive_colors, System};
-use advocat_deadlock::{verify_with, DeadlockSpec};
-use advocat_invariants::derive_invariants;
+use advocat_automata::System;
+use advocat_deadlock::{DeadlockSpec, Query};
+use advocat_invariants::InvariantSet;
 use advocat_logic::CheckConfig;
 
+use crate::query::{structural_range, QueryEngine};
 use crate::report::Report;
 
 /// Runs the complete ADVOCAT pipeline on a [`System`].
 ///
 /// A `Verifier` carries the deadlock specification (which conditions count
 /// as a deadlock) and the SMT resource limits; both have sensible defaults.
+/// It is now a thin driver over [`QueryEngine`]: one engine per call, one
+/// [`Query`] at the system's structural queue capacities.  Callers that ask
+/// more than one question of the same system should hold a `QueryEngine`
+/// instead and reuse it across queries.
 ///
 /// # Examples
 ///
@@ -18,6 +23,7 @@ use crate::report::Report;
 /// use advocat::prelude::*;
 ///
 /// let system = build_mesh(&MeshConfig::new(2, 2, 3).with_directory(1, 1))?;
+/// # #[allow(deprecated)]
 /// let report = Verifier::new().analyze(&system);
 /// assert!(report.is_deadlock_free());
 /// assert!(report.invariants().len() > 0);
@@ -68,19 +74,36 @@ impl Verifier {
     }
 
     /// Runs the pipeline and returns a full report.
+    ///
+    /// Every call clones the system and constructs a fresh engine just to
+    /// answer one structural query — callers in a loop should hold a
+    /// [`QueryEngine`] instead and amortise that cost across queries.
+    #[deprecated(
+        since = "0.3.0",
+        note = "build a `QueryEngine` over the system and `check` a `Query` — one engine \
+                answers capacity, target and invariant-ablation sweeps incrementally"
+    )]
     pub fn analyze(&self, system: &System) -> Report {
-        let colors = derive_colors(system);
-        let invariants = if self.use_invariants {
-            derive_invariants(system, &colors)
+        let range = structural_range(system);
+        let mut engine = if self.use_invariants {
+            QueryEngine::with_config(system.clone(), self.config, range)
         } else {
-            Default::default()
+            QueryEngine::with_invariants(
+                system.clone(),
+                InvariantSet::default(),
+                self.config,
+                range,
+            )
         };
-        let analysis = verify_with(system, &colors, &invariants, &self.spec, &self.config);
-        Report::new(system, invariants, analysis)
+        match self.spec.as_target() {
+            Some(target) => engine.check(&Query::new().target(target)),
+            None => engine.trivially_free(),
+        }
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use advocat_noc::{build_mesh, MeshConfig};
@@ -108,5 +131,25 @@ mod tests {
         // Just ensure the configuration sticks and the verifier is usable.
         let system = build_mesh(&MeshConfig::new(2, 2, 2).with_directory(0, 0)).unwrap();
         let _ = verifier.analyze(&system);
+    }
+
+    #[test]
+    fn empty_specs_are_trivially_free() {
+        let neither = DeadlockSpec {
+            stuck_packet: false,
+            dead_automaton: false,
+        };
+        let system = build_mesh(&MeshConfig::new(2, 2, 2).with_directory(1, 1)).unwrap();
+        let report = Verifier::new().with_spec(neither).analyze(&system);
+        assert!(report.is_deadlock_free());
+        assert_eq!(report.analysis().stats.sat_effort(), 0);
+    }
+
+    #[test]
+    fn structural_ranges_cover_heterogeneous_queues() {
+        let system = build_mesh(&MeshConfig::new(2, 2, 3).with_directory(1, 1)).unwrap();
+        assert_eq!(structural_range(&system), 3..=3);
+        let empty = System::new(advocat_xmas::Network::new());
+        assert_eq!(structural_range(&empty), 1..=1);
     }
 }

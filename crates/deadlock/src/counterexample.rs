@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::query::DeadlockTarget;
+
 /// A deadlock candidate: a (possibly unreachable) configuration in which
 /// the block/idle equations admit a permanent standstill.
 ///
@@ -17,6 +19,11 @@ pub struct Counterexample {
     pub automaton_states: Vec<(String, String)>,
     /// Names of the automata that are dead in this configuration.
     pub dead_automata: Vec<String>,
+    /// Which deadlock symptoms the configuration actually witnesses —
+    /// [`DeadlockTarget::StuckPacket`], [`DeadlockTarget::DeadAutomaton`]
+    /// or both.  A query for [`DeadlockTarget::Any`] is attributed to the
+    /// concrete symptom(s) its model exhibits, never to `Any` itself.
+    pub witnessed: Vec<DeadlockTarget>,
 }
 
 impl Counterexample {
@@ -41,6 +48,15 @@ impl Counterexample {
             .map(|(_, _, n)| n)
             .sum()
     }
+
+    /// Returns `true` when the configuration witnesses the given target
+    /// (for [`DeadlockTarget::Any`], when it witnesses either symptom).
+    pub fn witnesses(&self, target: DeadlockTarget) -> bool {
+        match target {
+            DeadlockTarget::Any => !self.witnessed.is_empty(),
+            concrete => self.witnessed.contains(&concrete),
+        }
+    }
 }
 
 impl fmt::Display for Counterexample {
@@ -57,6 +73,10 @@ impl fmt::Display for Counterexample {
         }
         if !self.dead_automata.is_empty() {
             writeln!(f, "  dead automata: {}", self.dead_automata.join(", "))?;
+        }
+        if !self.witnessed.is_empty() {
+            let targets: Vec<String> = self.witnessed.iter().map(|t| t.to_string()).collect();
+            writeln!(f, "  witnessed targets: {}", targets.join(", "))?;
         }
         Ok(())
     }
@@ -77,6 +97,7 @@ mod tests {
                 ("dir".into(), "M(1,0)".into()),
             ],
             dead_automata: vec!["cache(1,0)".into()],
+            witnessed: vec![DeadlockTarget::StuckPacket, DeadlockTarget::DeadAutomaton],
         }
     }
 
@@ -96,6 +117,18 @@ mod tests {
         assert!(text.contains("qs: 2 × inv"));
         assert!(text.contains("cache(0,0) in state MI"));
         assert!(text.contains("dead automata: cache(1,0)"));
+        assert!(text.contains("witnessed targets: stuck-packet, dead-automaton"));
+    }
+
+    #[test]
+    fn witness_attribution_answers_per_target() {
+        let cex = sample();
+        assert!(cex.witnesses(DeadlockTarget::StuckPacket));
+        assert!(cex.witnesses(DeadlockTarget::DeadAutomaton));
+        assert!(cex.witnesses(DeadlockTarget::Any));
+        let none = Counterexample::default();
+        assert!(!none.witnesses(DeadlockTarget::Any));
+        assert!(!none.witnesses(DeadlockTarget::StuckPacket));
     }
 
     #[test]

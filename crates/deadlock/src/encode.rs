@@ -59,6 +59,18 @@ pub(crate) struct EncodingVars {
     pub dead: HashMap<PrimitiveId, BoolVar>,
     /// Capacity variable per queue (symbolic-capacity encodings only).
     pub capacity: HashMap<PrimitiveId, IntVar>,
+    /// Indicator defined to hold iff some queue holds a permanently
+    /// blocked packet (the stuck-packet goal).
+    pub goal_stuck: Option<BoolVar>,
+    /// Indicator defined to hold iff some automaton is dead (the
+    /// dead-automaton goal).
+    pub goal_dead: Option<BoolVar>,
+    /// Indicator defined to hold iff either goal holds.
+    pub goal_any: Option<BoolVar>,
+    /// Selector guarding the invariant-strengthening clauses
+    /// (symbolic-capacity encodings with a non-empty invariant set only);
+    /// assumed true to enable the invariants, false to ablate them.
+    pub sel_invariants: Option<BoolVar>,
 }
 
 /// A fully built deadlock encoding: the SMT solver plus variable maps.
@@ -70,7 +82,8 @@ pub(crate) struct Encoding {
 
 /// Builds the SMT instance for the given system, color map, invariants and
 /// deadlock specification, with queue capacities fixed to their structural
-/// sizes (the one-shot, cold-start path).
+/// sizes (the one-shot, cold-start path).  The goal the spec selects is
+/// asserted permanently.
 pub(crate) fn build_encoding(
     system: &System,
     colors: &ColorMap,
@@ -81,20 +94,44 @@ pub(crate) fn build_encoding(
         system,
         colors,
         invariants,
-        spec,
+        Some(spec),
         SmtSolver::new(),
         CapacityMode::Fixed,
     )
 }
 
-/// Builds the SMT instance onto the given solver with the given capacity
-/// mode; [`crate::EncodingTemplate`] uses this with a persistent solver and
-/// [`CapacityMode::Symbolic`].
-pub(crate) fn build_encoding_with(
+/// Builds the query-parameterised SMT instance for
+/// [`crate::EncodingTemplate`]: a persistent solver, symbolic queue
+/// capacities in `min..=max`, the invariants guarded by a retractable
+/// selector, and **no** deadlock goal asserted — the goal indicators are
+/// defined but left free, so each query selects its target with an
+/// assumption literal.
+pub(crate) fn build_encoding_symbolic(
     system: &System,
     colors: &ColorMap,
     invariants: &InvariantSet,
-    spec: &DeadlockSpec,
+    min: i64,
+    max: i64,
+) -> Encoding {
+    build_encoding_with(
+        system,
+        colors,
+        invariants,
+        None,
+        SmtSolver::persistent(),
+        CapacityMode::Symbolic { min, max },
+    )
+}
+
+/// Builds the SMT instance onto the given solver with the given capacity
+/// mode.  With `spec: Some(..)` the selected goal is asserted permanently
+/// (the cold path); with `None` the goal indicators stay free for
+/// assumption-based selection (the template path).
+fn build_encoding_with(
+    system: &System,
+    colors: &ColorMap,
+    invariants: &InvariantSet,
+    spec: Option<&DeadlockSpec>,
     smt: SmtSolver,
     mode: CapacityMode,
 ) -> Encoding {
@@ -105,7 +142,10 @@ pub(crate) fn build_encoding_with(
     enc.assert_invariants(invariants);
     enc.assert_block_idle_definitions();
     enc.assert_automaton_dead_definitions();
-    enc.assert_deadlock_target(spec);
+    enc.define_goal_indicators();
+    if let Some(spec) = spec {
+        enc.assert_deadlock_target(spec);
+    }
     Encoding {
         smt: enc.smt,
         vars: enc.vars,
@@ -293,7 +333,21 @@ impl<'a> EncodingBuilder<'a> {
         }
     }
 
+    /// Asserts the derived cross-layer invariants.  In symbolic-capacity
+    /// (template) mode each equation is guarded by one selector variable,
+    /// so a query can retract the whole strengthening by assuming the
+    /// selector false — the spec-ablation analogue of the `cap(q)`
+    /// retraction for capacities.
     fn assert_invariants(&mut self, invariants: &InvariantSet) {
+        let selector = match self.mode {
+            CapacityMode::Fixed => None,
+            CapacityMode::Symbolic { .. } if invariants.is_empty() => None,
+            CapacityMode::Symbolic { .. } => {
+                let sel = self.smt.new_bool_var("sel(invariants)");
+                self.vars.sel_invariants = Some(sel);
+                Some(sel)
+            }
+        };
         for invariant in invariants.iter() {
             let mut expr = LinExpr::constant(invariant.constant as i64);
             let mut representable = true;
@@ -316,7 +370,13 @@ impl<'a> EncodingBuilder<'a> {
                 }
             }
             if representable {
-                self.smt.assert(Formula::eq(expr, LinExpr::constant(0)));
+                let equation = Formula::eq(expr, LinExpr::constant(0));
+                match selector {
+                    Some(sel) => self
+                        .smt
+                        .assert(Formula::implies(Formula::bool_var(sel), equation)),
+                    None => self.smt.assert(equation),
+                }
             }
         }
     }
@@ -571,30 +631,77 @@ impl<'a> EncodingBuilder<'a> {
         }
     }
 
-    fn assert_deadlock_target(&mut self, spec: &DeadlockSpec) {
+    /// Defines the goal indicator variables: `goal_stuck` holds iff some
+    /// queue holds a permanently blocked packet, `goal_dead` iff some
+    /// automaton is dead, `goal_any` iff either does.  The definitions are
+    /// bi-implications, so a model's indicator values attribute a
+    /// counterexample to the symptom(s) it actually witnesses.
+    fn define_goal_indicators(&mut self) {
         let network = self.network();
-        let mut targets = Vec::new();
-        if spec.stuck_packet {
-            for queue in network.queue_ids().collect::<Vec<_>>() {
-                let Some(out) = network.out_channel(queue, 0) else {
-                    continue;
-                };
-                for color in self.queue_colors(queue) {
-                    targets.push(Formula::and([
-                        Formula::ge(self.occupancy_expr(queue, color), LinExpr::constant(1)),
-                        self.block_of(out, color),
-                    ]));
-                }
+        let mut stuck = Vec::new();
+        for queue in network.queue_ids().collect::<Vec<_>>() {
+            let Some(out) = network.out_channel(queue, 0) else {
+                continue;
+            };
+            for color in self.queue_colors(queue) {
+                stuck.push(Formula::and([
+                    Formula::ge(self.occupancy_expr(queue, color), LinExpr::constant(1)),
+                    self.block_of(out, color),
+                ]));
             }
         }
-        if spec.dead_automaton {
-            for (node, _) in self.system.automata() {
-                targets.push(Formula::bool_var(
-                    *self.vars.dead.get(&node).expect("dead var"),
-                ));
-            }
-        }
-        self.smt.assert(Formula::or(targets));
+        let dead: Vec<Formula> = self
+            .system
+            .automata()
+            .map(|(node, _)| Formula::bool_var(*self.vars.dead.get(&node).expect("dead var")))
+            .collect();
+        let goal_stuck = self.smt.new_bool_var("goal(stuck-packet)");
+        let goal_dead = self.smt.new_bool_var("goal(dead-automaton)");
+        let goal_any = self.smt.new_bool_var("goal(any)");
+        self.smt.assert(Formula::iff(
+            Formula::bool_var(goal_stuck),
+            Formula::or(stuck),
+        ));
+        self.smt.assert(Formula::iff(
+            Formula::bool_var(goal_dead),
+            Formula::or(dead),
+        ));
+        self.smt.assert(Formula::iff(
+            Formula::bool_var(goal_any),
+            Formula::or([Formula::bool_var(goal_stuck), Formula::bool_var(goal_dead)]),
+        ));
+        self.vars.goal_stuck = Some(goal_stuck);
+        self.vars.goal_dead = Some(goal_dead);
+        self.vars.goal_any = Some(goal_any);
+    }
+
+    /// Permanently asserts the goal the legacy two-flag spec selects (the
+    /// cold path; template queries select goals via assumptions instead).
+    fn assert_deadlock_target(&mut self, spec: &DeadlockSpec) {
+        let goal = match spec.as_target() {
+            Some(target) => Formula::bool_var(self.vars.goal_var(target)),
+            // Nothing counts as a deadlock: the instance is unsatisfiable
+            // by construction, matching the historical `or([])` target.
+            None => Formula::False,
+        };
+        self.smt.assert(goal);
+    }
+}
+
+impl EncodingVars {
+    /// The goal indicator selecting the given deadlock target.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the goal indicators have not been defined (they are
+    /// defined by every complete encoding).
+    pub(crate) fn goal_var(&self, target: crate::DeadlockTarget) -> BoolVar {
+        let goal = match target {
+            crate::DeadlockTarget::StuckPacket => self.goal_stuck,
+            crate::DeadlockTarget::DeadAutomaton => self.goal_dead,
+            crate::DeadlockTarget::Any => self.goal_any,
+        };
+        goal.expect("goal indicators declared by the encoding builder")
     }
 }
 

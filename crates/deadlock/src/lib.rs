@@ -47,10 +47,12 @@
 
 mod counterexample;
 mod encode;
+mod query;
 mod template;
 mod verify;
 
 pub use counterexample::Counterexample;
 pub use encode::DeadlockSpec;
-pub use template::EncodingTemplate;
+pub use query::{CapacitySelection, DeadlockTarget, Query};
+pub use template::{structural_capacity_range, EncodingTemplate};
 pub use verify::{verify_system, verify_with, Analysis, AnalysisStats, Verdict};

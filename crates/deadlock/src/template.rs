@@ -1,25 +1,29 @@
-//! Reusable deadlock encodings for incremental verification sessions.
+//! Reusable, query-parameterised deadlock encodings.
 //!
-//! A queue-sizing sweep (Figure 4 of the paper) asks the same question —
-//! "is there a cross-layer deadlock?" — about systems that differ *only*
-//! in their queue capacities.  The cold path ([`crate::verify_with`])
-//! rebuilds the full SMT instance and a fresh solver for every capacity;
-//! an [`EncodingTemplate`] instead builds the structure-dependent part of
-//! the encoding **once** — automata, channels, block/idle definitions and
-//! the derived invariants, none of which mention a concrete capacity — and
-//! pins the capacities per query inside a retractable solver scope:
+//! ADVOCAT's central claim is that one SMT encoding of a fabric answers
+//! many questions.  The cold path ([`crate::verify_with`]) rebuilds the
+//! full instance and a fresh solver for every question; an
+//! [`EncodingTemplate`] instead builds the structure-dependent part of the
+//! encoding **once** — automata, channels, block/idle definitions, the
+//! derived invariants and the goal definitions, none of which pin a
+//! concrete question — and turns every dimension of a [`Query`] into a
+//! retractable selector in one persistent solver:
 //!
-//! * every queue gets a bounded *capacity variable* `cap(q)` and the
-//!   capacity-dependent constraints (`#q ≤ cap(q)`, "q is full" as
-//!   `#q ≥ cap(q)`) are stated over it, so they hold for every capacity in
-//!   the sweep range;
-//! * a query for capacity `k` pushes a scope, asserts `cap(q) = k` for
-//!   every queue, checks, and pops — which the persistent
-//!   [`SmtSolver`] turns into solving under an assumption literal.
+//! * every queue gets a bounded *capacity variable* `cap(q)`; a query pins
+//!   the capacities (uniformly or to the structural sizes) inside a
+//!   retractable solver scope, exactly as a sizing sweep needs;
+//! * the stuck-packet and dead-automaton goals are **defined** by
+//!   indicator variables (`goal(...) ⟺ ...`) but never asserted; a query
+//!   selects its [`DeadlockTarget`] by *assuming* the matching indicator,
+//!   so flipping the target between queries re-encodes nothing;
+//! * the invariant-strengthening equations are guarded by a
+//!   `sel(invariants)` selector assumed true or false per query, making
+//!   the Section-3 ablation one more dimension of the same session.
 //!
 //! Because the solver is persistent, learnt clauses, variable activities
-//! and theory lemmas accumulate across queries: each capacity after the
-//! first is decided with markedly less SAT effort than a cold start.
+//! and theory lemmas accumulate across queries: a capacity sweep under one
+//! target makes the same sweep under the *other* target markedly cheaper
+//! than a cold session.
 
 use std::ops::RangeInclusive;
 use std::time::Instant;
@@ -28,11 +32,12 @@ use advocat_automata::System;
 use advocat_invariants::InvariantSet;
 use advocat_logic::sat::SatStats;
 use advocat_logic::{BoolVar, CheckConfig, Formula, IntVar, LinExpr, Model, SmtSolver};
-use advocat_xmas::ColorMap;
+use advocat_xmas::{ColorMap, Primitive};
 
 use crate::counterexample::Counterexample;
-use crate::encode::{build_encoding_with, CapacityMode, DeadlockSpec, Encoding, EncodingVars};
-use crate::verify::{analysis_from_result, Analysis};
+use crate::encode::{build_encoding_symbolic, DeadlockSpec, Encoding, EncodingVars};
+use crate::query::{CapacitySelection, Query};
+use crate::verify::{analysis_from_result, witnessed_targets, Analysis, AnalysisStats, Verdict};
 
 /// The name tables needed to render a model as a counterexample, captured
 /// from the system at template-construction time.  Owning them makes the
@@ -46,6 +51,9 @@ struct CexLabels {
     state: Vec<(IntVar, String, String)>,
     /// `(dead var, automaton name)` per automaton.
     dead: Vec<(BoolVar, String)>,
+    /// The goal indicators, for attributing a model to its symptom(s).
+    goal_stuck: Option<BoolVar>,
+    goal_dead: Option<BoolVar>,
 }
 
 impl CexLabels {
@@ -83,6 +91,8 @@ impl CexLabels {
             occupancy,
             state,
             dead,
+            goal_stuck: vars.goal_stuck,
+            goal_dead: vars.goal_dead,
         }
     }
 
@@ -109,28 +119,62 @@ impl CexLabels {
             }
         }
         cex.dead_automata.sort();
+        cex.witnessed = witnessed_targets(self.goal_stuck, self.goal_dead, model);
         cex
     }
 }
 
-/// A capacity-parameterised deadlock encoding bound to one persistent
-/// solver, answering deadlock queries for any capacity in its range.
+/// The structural size of one queue (0 for non-queue primitives).
+fn structural_queue_size(
+    network: &advocat_xmas::Network,
+    queue: advocat_xmas::PrimitiveId,
+) -> usize {
+    match network.primitive(queue) {
+        Primitive::Queue { size, .. } => *size,
+        _ => 0,
+    }
+}
+
+/// The inclusive range covering every queue's structural size, or `None`
+/// for a queue-less system.  This is the capacity range a template must
+/// span to answer [`CapacitySelection::Structural`] queries about the
+/// system as built.
+pub fn structural_capacity_range(system: &System) -> Option<RangeInclusive<usize>> {
+    let network = system.network();
+    network
+        .queue_ids()
+        .map(|q| structural_queue_size(network, q))
+        .fold(None, |acc: Option<(usize, usize)>, size| {
+            Some(match acc {
+                None => (size, size),
+                Some((lo, hi)) => (lo.min(size), hi.max(size)),
+            })
+        })
+        .map(|(lo, hi)| lo..=hi)
+}
+
+/// A query-parameterised deadlock encoding bound to one persistent solver,
+/// answering any [`Query`] — capacity × target × invariants — whose
+/// capacities lie in its range.
 ///
 /// # Examples
 ///
 /// ```
 /// use advocat_automata::derive_colors;
-/// use advocat_deadlock::{DeadlockSpec, EncodingTemplate};
+/// use advocat_deadlock::{DeadlockTarget, EncodingTemplate, Query};
 /// use advocat_invariants::derive_invariants;
 /// use advocat_noc::{build_mesh, MeshConfig};
 ///
 /// let system = build_mesh(&MeshConfig::new(2, 2, 1).with_directory(1, 1))?;
 /// let colors = derive_colors(&system);
 /// let invariants = derive_invariants(&system, &colors);
-/// let mut template =
-///     EncodingTemplate::new(&system, &colors, &invariants, &DeadlockSpec::default(), 2..=4);
-/// assert!(!template.check_capacity(2, &Default::default()).verdict.is_deadlock_free());
-/// assert!(template.check_capacity(3, &Default::default()).verdict.is_deadlock_free());
+/// let mut template = EncodingTemplate::build(&system, &colors, &invariants, 2..=4);
+/// let config = Default::default();
+/// // One session, many questions: capacities, targets, ablations.
+/// assert!(!template.check(&Query::new().capacity(2), &config).verdict.is_deadlock_free());
+/// assert!(template.check(&Query::new().capacity(3), &config).verdict.is_deadlock_free());
+/// let stuck = Query::new().capacity(3).target(DeadlockTarget::StuckPacket);
+/// assert!(template.check(&stuck, &config).verdict.is_deadlock_free());
 /// # Ok::<(), advocat_noc::MeshError>(())
 /// ```
 #[derive(Debug)]
@@ -140,19 +184,69 @@ pub struct EncodingTemplate {
     labels: CexLabels,
     invariants: usize,
     capacities: RangeInclusive<usize>,
+    /// `(capacity var, structural queue size)` pairs, sorted by variable,
+    /// for answering [`CapacitySelection::Structural`] queries.
+    structural: Vec<(IntVar, i64)>,
+    /// The spec a deprecated [`EncodingTemplate::new`] constructor froze
+    /// in, replayed by the deprecated [`EncodingTemplate::check_capacity`].
+    legacy_spec: DeadlockSpec,
 }
 
 impl EncodingTemplate {
     /// Builds the structure-dependent encoding once for every capacity in
-    /// `capacities`.
+    /// `capacities`, with no question baked in: the deadlock target and
+    /// the invariant strengthening are selected per [`Query`].
     ///
     /// `colors` must be the `T`-derivation of `system` and `invariants`
-    /// derived for the same color map; neither depends on queue capacities,
-    /// which is what makes the template sound for the whole range.
+    /// derived for the same color map; neither depends on queue capacities
+    /// or on the deadlock target, which is what makes the template sound
+    /// for every query.
     ///
     /// # Panics
     ///
     /// Panics when `capacities` is empty.
+    pub fn build(
+        system: &System,
+        colors: &ColorMap,
+        invariants: &InvariantSet,
+        capacities: RangeInclusive<usize>,
+    ) -> Self {
+        assert!(
+            capacities.start() <= capacities.end(),
+            "capacity range must be non-empty"
+        );
+        let Encoding { smt, vars } = build_encoding_symbolic(
+            system,
+            colors,
+            invariants,
+            *capacities.start() as i64,
+            *capacities.end() as i64,
+        );
+        let labels = CexLabels::new(system, &vars);
+        let network = system.network();
+        let mut structural: Vec<(IntVar, i64)> = vars
+            .capacity
+            .iter()
+            .map(|(queue, var)| (*var, structural_queue_size(network, *queue) as i64))
+            .collect();
+        structural.sort();
+        EncodingTemplate {
+            smt,
+            vars,
+            labels,
+            invariants: invariants.len(),
+            capacities,
+            structural,
+            legacy_spec: DeadlockSpec::default(),
+        }
+    }
+
+    /// Builds a template with a frozen deadlock specification.
+    #[deprecated(
+        since = "0.3.0",
+        note = "build a spec-less template with `EncodingTemplate::build` and select the \
+                target per query via `check`"
+    )]
     pub fn new(
         system: &System,
         colors: &ColorMap,
@@ -160,30 +254,9 @@ impl EncodingTemplate {
         spec: &DeadlockSpec,
         capacities: RangeInclusive<usize>,
     ) -> Self {
-        assert!(
-            capacities.start() <= capacities.end(),
-            "capacity range must be non-empty"
-        );
-        let mode = CapacityMode::Symbolic {
-            min: *capacities.start() as i64,
-            max: *capacities.end() as i64,
-        };
-        let Encoding { smt, vars } = build_encoding_with(
-            system,
-            colors,
-            invariants,
-            spec,
-            SmtSolver::persistent(),
-            mode,
-        );
-        let labels = CexLabels::new(system, &vars);
-        EncodingTemplate {
-            smt,
-            vars,
-            labels,
-            invariants: invariants.len(),
-            capacities,
-        }
+        let mut template = EncodingTemplate::build(system, colors, invariants, capacities);
+        template.legacy_spec = *spec;
+        template
     }
 
     /// The capacity range the template was built for.
@@ -191,41 +264,97 @@ impl EncodingTemplate {
         self.capacities.clone()
     }
 
-    /// Decides the deadlock question with every queue capacity pinned to
-    /// `capacity`, reusing everything the solver learnt in earlier queries.
+    /// Decides one [`Query`], reusing everything the solver learnt in
+    /// earlier queries regardless of which capacities, targets or
+    /// invariant settings those asked about.
+    ///
+    /// The capacity selection is pinned inside a retractable solver scope;
+    /// the target and invariant dimensions are pure assumption literals,
+    /// so nothing is re-encoded when they change between queries.
     ///
     /// # Panics
     ///
-    /// Panics when `capacity` lies outside [`EncodingTemplate::capacity_range`].
-    pub fn check_capacity(&mut self, capacity: usize, config: &CheckConfig) -> Analysis {
-        assert!(
-            self.capacities.contains(&capacity),
-            "capacity {capacity} outside the template range {:?}",
-            self.capacities
-        );
+    /// Panics when the query pins a capacity (uniform or structural)
+    /// outside [`EncodingTemplate::capacity_range`].
+    pub fn check(&mut self, query: &Query, config: &CheckConfig) -> Analysis {
+        match query.capacity_selection() {
+            CapacitySelection::Uniform(capacity) => assert!(
+                self.capacities.contains(&capacity),
+                "capacity {capacity} outside the template range {:?}",
+                self.capacities
+            ),
+            CapacitySelection::Structural => {
+                for (_, size) in &self.structural {
+                    assert!(
+                        self.capacities.contains(&(*size as usize)),
+                        "structural capacity {size} outside the template range {:?}",
+                        self.capacities
+                    );
+                }
+            }
+        }
         let start = Instant::now();
         self.smt.push();
-        // Deterministic assertion order (the map iterates in hash order,
-        // which would make solver effort vary from run to run).
-        let mut caps: Vec<_> = self.vars.capacity.values().copied().collect();
-        caps.sort();
-        for var in caps {
-            self.smt.assert(Formula::eq(
-                LinExpr::var(var),
-                LinExpr::constant(capacity as i64),
-            ));
+        // `self.structural` is sorted by capacity variable, giving a
+        // deterministic assertion order (the capacity map iterates in hash
+        // order, which would make solver effort vary from run to run).
+        for (var, size) in &self.structural {
+            let pinned = match query.capacity_selection() {
+                CapacitySelection::Uniform(capacity) => capacity as i64,
+                CapacitySelection::Structural => *size,
+            };
+            self.smt
+                .assert(Formula::eq(LinExpr::var(*var), LinExpr::constant(pinned)));
         }
-        let result = self.smt.check_with(config);
+        let mut assumptions = vec![(self.vars.goal_var(query.deadlock_target()), true)];
+        if let Some(sel) = self.vars.sel_invariants {
+            assumptions.push((sel, query.invariants_enabled()));
+        }
+        let result = self.smt.check_assuming(&assumptions, config);
         let solver_stats = self.smt.stats();
         self.smt.pop();
+        // An ablated query used no invariants, whatever the template holds.
+        let invariants = if query.invariants_enabled() {
+            self.invariants
+        } else {
+            0
+        };
         analysis_from_result(
             &self.vars,
-            self.invariants,
+            invariants,
             result,
             solver_stats,
             start.elapsed(),
             |m| self.labels.extract(m),
         )
+    }
+
+    /// Decides the deadlock question of the frozen legacy spec with every
+    /// queue capacity pinned to `capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` lies outside [`EncodingTemplate::capacity_range`].
+    #[deprecated(since = "0.3.0", note = "use `check` with a `Query`")]
+    pub fn check_capacity(&mut self, capacity: usize, config: &CheckConfig) -> Analysis {
+        match self.legacy_spec.as_target() {
+            Some(target) => self.check(&Query::new().capacity(capacity).target(target), config),
+            None => {
+                assert!(
+                    self.capacities.contains(&capacity),
+                    "capacity {capacity} outside the template range {:?}",
+                    self.capacities
+                );
+                // Nothing counts as a deadlock: trivially free, no solving.
+                Analysis {
+                    verdict: Verdict::DeadlockFree,
+                    stats: AnalysisStats {
+                        invariants: self.invariants,
+                        ..AnalysisStats::default()
+                    },
+                }
+            }
+        }
     }
 
     /// Cumulative statistics of the underlying SAT solver over the life of
@@ -243,23 +372,28 @@ mod tests {
     use advocat_logic::CheckConfig;
     use advocat_noc::{build_mesh, MeshConfig};
 
-    use crate::verify_system;
+    use crate::query::DeadlockTarget;
+    use crate::{verify_system, verify_with};
+
+    fn mesh_parts(config: &MeshConfig) -> (System, ColorMap, InvariantSet) {
+        let system = build_mesh(config).unwrap();
+        let colors = derive_colors(&system);
+        let invariants = derive_invariants(&system, &colors);
+        (system, colors, invariants)
+    }
 
     #[test]
     fn template_agrees_with_cold_verification_across_capacities() {
         let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
-        let system = build_mesh(&config).unwrap();
-        let colors = derive_colors(&system);
-        let invariants = derive_invariants(&system, &colors);
-        let spec = DeadlockSpec::default();
-        let mut template = EncodingTemplate::new(&system, &colors, &invariants, &spec, 1..=5);
+        let (system, colors, invariants) = mesh_parts(&config);
+        let mut template = EncodingTemplate::build(&system, &colors, &invariants, 1..=5);
         for capacity in 1..=5usize {
             let session = template
-                .check_capacity(capacity, &CheckConfig::default())
+                .check(&Query::new().capacity(capacity), &CheckConfig::default())
                 .verdict
                 .is_deadlock_free();
             let cold_system = build_mesh(&config.with_queue_size(capacity)).unwrap();
-            let cold = verify_system(&cold_system, &spec)
+            let cold = verify_system(&cold_system, &DeadlockSpec::default())
                 .verdict
                 .is_deadlock_free();
             assert_eq!(session, cold, "capacity {capacity}");
@@ -267,15 +401,103 @@ mod tests {
     }
 
     #[test]
+    fn every_target_agrees_with_its_cold_specification() {
+        let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+        let (system, colors, invariants) = mesh_parts(&config);
+        let mut template = EncodingTemplate::build(&system, &colors, &invariants, 2..=3);
+        for capacity in 2..=3usize {
+            for target in [
+                DeadlockTarget::StuckPacket,
+                DeadlockTarget::DeadAutomaton,
+                DeadlockTarget::Any,
+            ] {
+                let session = template
+                    .check(
+                        &Query::new().capacity(capacity).target(target),
+                        &CheckConfig::default(),
+                    )
+                    .verdict
+                    .is_deadlock_free();
+                let cold_system = build_mesh(&config.with_queue_size(capacity)).unwrap();
+                let cold = verify_system(&cold_system, &DeadlockSpec::from(target))
+                    .verdict
+                    .is_deadlock_free();
+                assert_eq!(session, cold, "capacity {capacity}, target {target}");
+            }
+        }
+    }
+
+    #[test]
+    fn invariant_ablation_is_a_query_dimension() {
+        let config = MeshConfig::new(2, 2, 3).with_directory(1, 1);
+        let (system, colors, invariants) = mesh_parts(&config);
+        assert!(!invariants.is_empty());
+        let mut template = EncodingTemplate::build(&system, &colors, &invariants, 3..=3);
+        let with = template.check(&Query::new().capacity(3), &CheckConfig::default());
+        assert!(with.verdict.is_deadlock_free());
+        // Without the invariants the same session reports the Section-3
+        // false candidates — and the cold ablation agrees.
+        let without = template.check(
+            &Query::new().capacity(3).invariants(false),
+            &CheckConfig::default(),
+        );
+        assert!(!without.verdict.is_deadlock_free());
+        let cold = verify_with(
+            &system,
+            &colors,
+            &InvariantSet::default(),
+            &DeadlockSpec::default(),
+            &CheckConfig::default(),
+        );
+        assert!(!cold.verdict.is_deadlock_free());
+        // The ablation is retractable: invariants back on, free again.
+        let again = template.check(&Query::new().capacity(3), &CheckConfig::default());
+        assert!(again.verdict.is_deadlock_free());
+    }
+
+    #[test]
+    fn structural_capacity_queries_match_the_as_built_system() {
+        let config = MeshConfig::new(2, 2, 3).with_directory(1, 1);
+        let (system, colors, invariants) = mesh_parts(&config);
+        let mut template = EncodingTemplate::build(&system, &colors, &invariants, 2..=4);
+        let structural = template.check(&Query::new(), &CheckConfig::default());
+        let cold = verify_system(&system, &DeadlockSpec::default());
+        assert_eq!(
+            structural.verdict.is_deadlock_free(),
+            cold.verdict.is_deadlock_free()
+        );
+    }
+
+    #[test]
+    fn counterexamples_attribute_their_witnessed_targets() {
+        let config = MeshConfig::new(2, 2, 2).with_directory(1, 1);
+        let (system, colors, invariants) = mesh_parts(&config);
+        let mut template = EncodingTemplate::build(&system, &colors, &invariants, 2..=2);
+        let stuck = template.check(
+            &Query::new().capacity(2).target(DeadlockTarget::StuckPacket),
+            &CheckConfig::default(),
+        );
+        let cex = stuck.verdict.counterexample().expect("deadlocks at 2");
+        assert!(cex.witnesses(DeadlockTarget::StuckPacket));
+        let dead = template.check(
+            &Query::new()
+                .capacity(2)
+                .target(DeadlockTarget::DeadAutomaton),
+            &CheckConfig::default(),
+        );
+        let cex = dead.verdict.counterexample().expect("deadlocks at 2");
+        assert!(cex.witnesses(DeadlockTarget::DeadAutomaton));
+        assert!(!cex.dead_automata.is_empty());
+    }
+
+    #[test]
     fn repeated_queries_reuse_learnt_state() {
         let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
-        let system = build_mesh(&config).unwrap();
-        let colors = derive_colors(&system);
-        let invariants = derive_invariants(&system, &colors);
-        let spec = DeadlockSpec::default();
-        let mut template = EncodingTemplate::new(&system, &colors, &invariants, &spec, 2..=2);
-        let first = template.check_capacity(2, &CheckConfig::default());
-        let second = template.check_capacity(2, &CheckConfig::default());
+        let (system, colors, invariants) = mesh_parts(&config);
+        let mut template = EncodingTemplate::build(&system, &colors, &invariants, 2..=2);
+        let query = Query::new().capacity(2);
+        let first = template.check(&query, &CheckConfig::default());
+        let second = template.check(&query, &CheckConfig::default());
         assert_eq!(
             first.verdict.is_deadlock_free(),
             second.verdict.is_deadlock_free()
@@ -293,16 +515,45 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside the template range")]
     fn out_of_range_capacity_is_rejected() {
-        let system = build_mesh(&MeshConfig::new(2, 2, 1).with_directory(1, 1)).unwrap();
-        let colors = derive_colors(&system);
-        let invariants = derive_invariants(&system, &colors);
-        let mut template = EncodingTemplate::new(
-            &system,
-            &colors,
-            &invariants,
-            &DeadlockSpec::default(),
-            2..=4,
-        );
-        let _ = template.check_capacity(7, &CheckConfig::default());
+        let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+        let (system, colors, invariants) = mesh_parts(&config);
+        let mut template = EncodingTemplate::build(&system, &colors, &invariants, 2..=4);
+        let _ = template.check(&Query::new().capacity(7), &CheckConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the template range")]
+    fn out_of_range_structural_sizes_are_rejected() {
+        let config = MeshConfig::new(2, 2, 5).with_directory(1, 1);
+        let (system, colors, invariants) = mesh_parts(&config);
+        // Structural size 5 lies outside the template's 2..=4.
+        let mut template = EncodingTemplate::build(&system, &colors, &invariants, 2..=4);
+        let _ = template.check(&Query::new(), &CheckConfig::default());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_constructor_and_check_capacity_still_answer() {
+        let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+        let (system, colors, invariants) = mesh_parts(&config);
+        let spec = DeadlockSpec::default();
+        let mut template = EncodingTemplate::new(&system, &colors, &invariants, &spec, 2..=4);
+        assert!(!template
+            .check_capacity(2, &CheckConfig::default())
+            .verdict
+            .is_deadlock_free());
+        assert!(template
+            .check_capacity(3, &CheckConfig::default())
+            .verdict
+            .is_deadlock_free());
+        // A spec with both conditions disabled is trivially free.
+        let neither = DeadlockSpec {
+            stuck_packet: false,
+            dead_automaton: false,
+        };
+        let mut template = EncodingTemplate::new(&system, &colors, &invariants, &neither, 2..=2);
+        let analysis = template.check_capacity(2, &CheckConfig::default());
+        assert!(analysis.verdict.is_deadlock_free());
+        assert_eq!(analysis.stats.sat_effort(), 0);
     }
 }

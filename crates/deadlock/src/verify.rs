@@ -168,7 +168,25 @@ pub(crate) fn extract_counterexample(
         }
     }
     cex.dead_automata.sort();
+    cex.witnessed = witnessed_targets(vars.goal_stuck, vars.goal_dead, model);
     cex
+}
+
+/// Reads the goal indicators off a model to attribute the counterexample
+/// to the concrete deadlock symptom(s) it witnesses.
+pub(crate) fn witnessed_targets(
+    goal_stuck: Option<advocat_logic::BoolVar>,
+    goal_dead: Option<advocat_logic::BoolVar>,
+    model: &Model,
+) -> Vec<crate::DeadlockTarget> {
+    let mut witnessed = Vec::new();
+    if goal_stuck.is_some_and(|v| model.bool_value(v)) {
+        witnessed.push(crate::DeadlockTarget::StuckPacket);
+    }
+    if goal_dead.is_some_and(|v| model.bool_value(v)) {
+        witnessed.push(crate::DeadlockTarget::DeadAutomaton);
+    }
+    witnessed
 }
 
 /// Packages an SMT result and its statistics into an [`Analysis`]; shared

@@ -287,30 +287,58 @@ impl SmtSolver {
     /// Checks satisfiability of the active assertions with the given
     /// resource limits.
     pub fn check_with(&mut self, config: &CheckConfig) -> SmtResult {
+        self.check_assuming(&[], config)
+    }
+
+    /// Checks satisfiability of the active assertions **under assumptions**:
+    /// each `(variable, polarity)` pair is held at the given truth value for
+    /// this check only, without being asserted.
+    ///
+    /// Assumptions are the third retraction mechanism next to scopes and
+    /// cold re-encoding, and the cheapest of the three: nothing is encoded,
+    /// nothing has to be garbage-collected afterwards, and in persistent
+    /// mode everything the solver learns under one assumption set keeps
+    /// pruning the search under every later one.  They are what lets a
+    /// verification session flip *specification selectors* (which deadlock
+    /// target is active, whether invariant strengthening applies) between
+    /// queries with no re-encode at all.
+    ///
+    /// A variable that never occurs in any asserted formula is allocated a
+    /// SAT variable on the fly, so selector variables may be declared ahead
+    /// of the formulas they will eventually guard.
+    pub fn check_assuming(
+        &mut self,
+        assumptions: &[(BoolVar, bool)],
+        config: &CheckConfig,
+    ) -> SmtResult {
         match self.persistent.take() {
             Some(mut inc) => {
-                let result = self.check_persistent(&mut inc, config);
+                let result = self.check_persistent(&mut inc, assumptions, config);
                 self.persistent = Some(inc);
                 result
             }
-            None => self.check_cold(config),
+            None => self.check_cold(assumptions, config),
         }
     }
 
     /// One-shot check: fresh encoder and SAT solver, as in the original
     /// pipeline.
-    fn check_cold(&mut self, config: &CheckConfig) -> SmtResult {
+    fn check_cold(&mut self, assumptions: &[(BoolVar, bool)], config: &CheckConfig) -> SmtResult {
         let mut encoder = Encoder::new();
         let mut sat = SatSolver::with_config(config.solver);
         for assertion in &self.assertions {
             encoder.assert(assertion, &mut sat);
         }
+        let assumed: Vec<Lit> = assumptions
+            .iter()
+            .map(|&(v, sign)| Lit::new(encoder.sat_var_for_bool(v, &mut sat), sign))
+            .collect();
         self.stats = SolverStats {
             linear_atoms: encoder.atom_count(),
             sat_variables: sat.num_vars(),
             ..SolverStats::default()
         };
-        let result = self.refinement_loop(&mut encoder, &mut sat, &[], config);
+        let result = self.refinement_loop(&mut encoder, &mut sat, &assumed, config);
         let after = sat.stats();
         self.stats.sat_conflicts = after.conflicts;
         self.stats.sat_propagations = after.propagations;
@@ -322,8 +350,14 @@ impl SmtSolver {
     }
 
     /// Incremental check: encode only the assertions added since the last
-    /// check and solve under the activation literals of the open scopes.
-    fn check_persistent(&mut self, inc: &mut Incremental, config: &CheckConfig) -> SmtResult {
+    /// check and solve under the activation literals of the open scopes
+    /// plus the caller's per-check assumption literals.
+    fn check_persistent(
+        &mut self,
+        inc: &mut Incremental,
+        assumptions: &[(BoolVar, bool)],
+        config: &CheckConfig,
+    ) -> SmtResult {
         for i in inc.encoded..self.assertions.len() {
             // The innermost scope whose mark covers assertion `i` guards
             // it; assertions below every mark are permanent.  The guard
@@ -354,8 +388,13 @@ impl SmtSolver {
         };
         inc.sat.set_config(config.solver);
         let before = inc.sat.stats();
-        let assumptions = inc.scope_lits.clone();
-        let result = self.refinement_loop(&mut inc.encoder, &mut inc.sat, &assumptions, config);
+        let mut assumed = inc.scope_lits.clone();
+        assumed.extend(
+            assumptions
+                .iter()
+                .map(|&(v, sign)| Lit::new(inc.encoder.sat_var_for_bool(v, &mut inc.sat), sign)),
+        );
+        let result = self.refinement_loop(&mut inc.encoder, &mut inc.sat, &assumed, config);
         let after = inc.sat.stats();
         self.stats.sat_conflicts = after.conflicts - before.conflicts;
         self.stats.sat_propagations = after.propagations - before.propagations;
@@ -751,6 +790,82 @@ mod tests {
         assert_eq!(reduced_verdicts, unbounded_verdicts);
         assert_eq!(unbounded_stats.sat_reduced_dbs, 0);
         assert!(reduced_stats.sat_live_learnts <= reduced_stats.sat_total_learnt);
+    }
+
+    #[test]
+    fn assumptions_select_guarded_assertions_without_re_encoding() {
+        let mut smt = SmtSolver::persistent();
+        let sel_a = smt.new_bool_var("sel_a");
+        let sel_b = smt.new_bool_var("sel_b");
+        let x = smt.new_int_var("x", 0, 10);
+        smt.assert(Formula::implies(
+            Formula::bool_var(sel_a),
+            Formula::ge(LinExpr::var(x), LinExpr::constant(7)),
+        ));
+        smt.assert(Formula::implies(
+            Formula::bool_var(sel_b),
+            Formula::le(LinExpr::var(x), LinExpr::constant(3)),
+        ));
+        let config = CheckConfig::default();
+        let m = smt.check_assuming(&[(sel_a, true)], &config).expect_sat();
+        assert!(m.int_value(x) >= 7);
+        let m = smt.check_assuming(&[(sel_b, true)], &config).expect_sat();
+        assert!(m.int_value(x) <= 3);
+        assert!(smt
+            .check_assuming(&[(sel_a, true), (sel_b, true)], &config)
+            .is_unsat());
+        // Nothing was asserted: retracting the assumptions restores
+        // satisfiability without a pop.
+        assert!(smt.check().is_sat());
+    }
+
+    #[test]
+    fn assumptions_compose_with_scopes() {
+        let mut smt = SmtSolver::persistent();
+        let sel = smt.new_bool_var("sel");
+        let x = smt.new_int_var("x", 0, 9);
+        smt.assert(Formula::implies(
+            Formula::bool_var(sel),
+            Formula::ge(LinExpr::var(x), LinExpr::constant(5)),
+        ));
+        smt.push();
+        smt.assert(Formula::le(LinExpr::var(x), LinExpr::constant(4)));
+        assert!(smt
+            .check_assuming(&[(sel, true)], &CheckConfig::default())
+            .is_unsat());
+        // Same scope, selector retracted: satisfiable again.
+        let m = smt
+            .check_assuming(&[(sel, false)], &CheckConfig::default())
+            .expect_sat();
+        assert!(m.int_value(x) <= 4);
+        smt.pop();
+        let m = smt
+            .check_assuming(&[(sel, true)], &CheckConfig::default())
+            .expect_sat();
+        assert!(m.int_value(x) >= 5);
+    }
+
+    #[test]
+    fn assumptions_work_in_cold_mode_and_on_unencoded_variables() {
+        let mut smt = SmtSolver::new();
+        let sel = smt.new_bool_var("sel");
+        let x = smt.new_int_var("x", 0, 5);
+        smt.assert(Formula::implies(
+            Formula::bool_var(sel),
+            Formula::ge(LinExpr::var(x), LinExpr::constant(4)),
+        ));
+        let m = smt
+            .check_assuming(&[(sel, true)], &CheckConfig::default())
+            .expect_sat();
+        assert!(m.int_value(x) >= 4);
+        assert!(m.bool_value(sel));
+        // A variable that occurs in no assertion is allocated on the fly:
+        // assuming it merely pins its value.
+        let free = smt.new_bool_var("free");
+        let m = smt
+            .check_assuming(&[(free, false)], &CheckConfig::default())
+            .expect_sat();
+        assert!(!m.bool_value(free));
     }
 
     #[test]

@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.primitives, stats.automata, stats.queues, stats.colors
     );
 
-    let report = Verifier::new().analyze(&system);
+    let report = QueryEngine::structural(system.clone()).check(&Query::new());
     println!(
         "\n{} cross-layer invariants derived, for example:",
         report.invariants().len()

@@ -16,7 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_directory(1, 1)
             .with_protocol(ProtocolKind::AbstractMi);
         let system = build_mesh(&config)?;
-        let report = Verifier::new().analyze(&system);
+        let report = QueryEngine::structural(system.clone()).check(&Query::new());
         println!("queue size {queue_size}: {}", report.summary());
         if let Some(cex) = report.counterexample() {
             println!("{cex}");

@@ -11,7 +11,6 @@
 //! (the 3×3 entries take a few minutes; pass `--fast` to skip them)
 
 use advocat::prelude::*;
-use advocat::SizingOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fast = std::env::args().any(|a| a == "--fast");
@@ -37,12 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let config = MeshConfig::new(w, h, 1)
             .with_directory(dx, dy)
             .with_protocol(ProtocolKind::AbstractMi);
-        let options = SizingOptions {
-            min: 2,
-            max: 12,
-            ..SizingOptions::default()
-        };
-        let result = advocat::minimal_queue_size(&config, &options)?;
+        let system = build_mesh_for_sweep(&config, 12)?;
+        let result = QueryEngine::on(system, 2..=12).minimal_capacity(&Query::new());
         let min = result
             .minimal_queue_size
             .map(|s| s.to_string())

@@ -52,8 +52,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== ADVOCAT quickstart: the paper's running example (Fig. 1) ==\n");
 
     // With the automatically derived cross-layer invariants the system is
-    // proven deadlock-free.
-    let report = Verifier::new().analyze(&system);
+    // proven deadlock-free.  One engine answers both the strengthened and
+    // the ablated question.
+    let mut engine = QueryEngine::structural(system.clone());
+    let report = engine.check(&Query::new());
     println!("derived invariants:");
     for line in report.invariant_text() {
         println!("  {line}");
@@ -62,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Without them, unfolding the block/idle equations yields unreachable
     // deadlock candidates (Section 3 of the paper).
-    let naive = Verifier::new().with_invariants(false).analyze(&system);
+    let naive = engine.check(&Query::new().invariants(false));
     println!("without invariants: {}", naive.summary());
     if let Some(cex) = naive.counterexample() {
         println!("\nunreachable candidate reported without invariants:\n{cex}");

@@ -13,7 +13,6 @@ use std::sync::Arc;
 
 use advocat::noc::DimensionOrdered;
 use advocat::prelude::*;
-use advocat::SizingOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Minimal deadlock-free queue sizes across topologies ==\n");
@@ -32,12 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     for config in fabrics {
-        let options = SizingOptions {
-            min: 1,
-            max: 8,
-            ..SizingOptions::default()
-        };
-        let result = minimal_queue_size_for_fabric(&config, &options)?;
+        let result = QueryEngine::for_fabric(&config, 1..=8)?.minimal_capacity(&Query::new());
         let min = result
             .minimal_queue_size
             .map(|s| s.to_string())

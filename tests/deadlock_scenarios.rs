@@ -33,10 +33,10 @@ fn fork_with_one_dead_branch_deadlocks() {
         System::new(net)
     };
 
-    let live = Verifier::new().analyze(&build(true));
+    let live = QueryEngine::structural(build(true)).check(&Query::new());
     assert!(live.is_deadlock_free());
 
-    let wedged = Verifier::new().analyze(&build(false));
+    let wedged = QueryEngine::structural(build(false)).check(&Query::new());
     assert!(!wedged.is_deadlock_free());
     // The explorer agrees: the dead branch's queue fills and everything
     // behind the fork stops.
@@ -72,8 +72,12 @@ fn switch_routes_decide_liveness() {
         net.connect(q_dead, 0, dead_sink, 0);
         System::new(net)
     };
-    assert!(Verifier::new().analyze(&build(false)).is_deadlock_free());
-    assert!(!Verifier::new().analyze(&build(true)).is_deadlock_free());
+    assert!(QueryEngine::structural(build(false))
+        .check(&Query::new())
+        .is_deadlock_free());
+    assert!(!QueryEngine::structural(build(true))
+        .check(&Query::new())
+        .is_deadlock_free());
 }
 
 /// Every directory position of the 2×2 mesh behaves identically by
@@ -88,7 +92,9 @@ fn directory_position_symmetry_on_the_2x2_mesh() {
                     .with_protocol(ProtocolKind::AbstractMi),
             )
             .expect("valid mesh");
-            Verifier::new().analyze(&system).is_deadlock_free()
+            QueryEngine::structural(system)
+                .check(&Query::new())
+                .is_deadlock_free()
         };
         assert!(!at(2), "directory at ({x},{y}) must deadlock at size 2");
         assert!(at(3), "directory at ({x},{y}) must be free at size 3");
@@ -103,7 +109,7 @@ fn virtual_channel_fabric_is_deadlock_free_at_size_three() {
         .with_directory(1, 1)
         .with_virtual_channels(true);
     let system = build_mesh(&config).expect("valid mesh");
-    let report = Verifier::new().analyze(&system);
+    let report = QueryEngine::structural(system.clone()).check(&Query::new());
     assert!(report.is_deadlock_free());
     // Spot-check with random walks (the VC state space is larger, so no
     // exhaustive search here): no walk may get stuck.
@@ -118,22 +124,16 @@ fn virtual_channel_fabric_is_deadlock_free_at_size_three() {
 #[test]
 fn both_deadlock_targets_catch_the_fig3_deadlock() {
     let system = build_mesh(&MeshConfig::new(2, 2, 2).with_directory(1, 1)).expect("valid mesh");
-    let stuck_only = DeadlockSpec {
-        stuck_packet: true,
-        dead_automaton: false,
-    };
-    let dead_only = DeadlockSpec {
-        stuck_packet: false,
-        dead_automaton: true,
-    };
-    assert!(!Verifier::new()
-        .with_spec(stuck_only)
-        .analyze(&system)
-        .is_deadlock_free());
-    assert!(!Verifier::new()
-        .with_spec(dead_only)
-        .analyze(&system)
-        .is_deadlock_free());
+    // One engine, both spec ablations: each target finds the deadlock on
+    // its own, and each counterexample is attributed to its own target.
+    let mut engine = QueryEngine::structural(system);
+    let stuck = engine.check(&Query::new().target(DeadlockTarget::StuckPacket));
+    let cex = stuck.counterexample().expect("stuck-packet candidate");
+    assert!(cex.witnesses(DeadlockTarget::StuckPacket));
+    let dead = engine.check(&Query::new().target(DeadlockTarget::DeadAutomaton));
+    let cex = dead.counterexample().expect("dead-automaton candidate");
+    assert!(cex.witnesses(DeadlockTarget::DeadAutomaton));
+    assert_eq!(engine.stats().templates_built, 1);
 }
 
 /// The counterexample of the Fig. 3 deadlock is internally consistent: the
@@ -142,7 +142,7 @@ fn both_deadlock_targets_catch_the_fig3_deadlock() {
 #[test]
 fn counterexamples_respect_structural_bounds() {
     let system = build_mesh(&MeshConfig::new(2, 2, 2).with_directory(1, 1)).expect("valid mesh");
-    let report = Verifier::new().analyze(&system);
+    let report = QueryEngine::structural(system.clone()).check(&Query::new());
     let cex = report.counterexample().expect("size 2 deadlocks");
     let net = system.network();
     for (queue_name, _packet, count) in &cex.queue_contents {

@@ -85,7 +85,7 @@ fn invariants_hold_on_a_long_random_walk() {
 #[test]
 fn verification_produces_a_verdict_with_statistics() {
     let system = full_mi_2x2(4);
-    let report = Verifier::new().analyze(&system);
+    let report = QueryEngine::structural(system).check(&Query::new());
     let stats = report.analysis().stats;
     assert!(stats.int_vars > 20);
     assert!(stats.bool_vars > 50);

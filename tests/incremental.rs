@@ -2,6 +2,13 @@
 //! assumption-based SAT solver, the session/template pipeline, and the
 //! headline claim — a session-based queue-size sweep spends strictly less
 //! SAT effort than independent cold verifications.
+//!
+//! This file deliberately drives the **deprecated** entry points
+//! (`Verifier::analyze`, `VerificationSession`, `minimal_queue_size`): it
+//! is the regression net proving the shims still deliver the historical
+//! verdicts now that they are thin drivers over `QueryEngine`.  The new
+//! surface is covered by `tests/spec_ablation.rs`.
+#![allow(deprecated)]
 
 use advocat::explorer::XorShift64;
 use advocat::logic::sat::{Lit, SatSolver, Var};

@@ -82,7 +82,7 @@ fn at_most_one_getx_or_ack_is_en_route_per_cache() {
 #[test]
 fn derived_invariants_cover_every_cache_and_the_fabric() {
     let system = system_2x2(3);
-    let report = Verifier::new().analyze(&system);
+    let report = QueryEngine::structural(system).check(&Query::new());
     let text = report.invariant_text().join("\n");
     // One one-state invariant per automaton is always present.
     for name in ["cache(0,0)", "cache(1,0)", "cache(0,1)", "dir(1,1)"] {

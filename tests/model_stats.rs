@@ -57,7 +57,7 @@ fn encoding_size_is_independent_of_queue_size() {
     let analyze = |qs| {
         let config = MeshConfig::new(2, 2, qs).with_directory(1, 1);
         let system = build_mesh(&config).unwrap();
-        let report = Verifier::new().analyze(&system);
+        let report = QueryEngine::structural(system).check(&Query::new());
         let stats = report.analysis().stats;
         (stats.int_vars, stats.bool_vars, report.invariants().len())
     };
@@ -71,7 +71,7 @@ fn verification_cost_grows_with_the_mesh() {
     let refinements = |w, h| {
         let config = MeshConfig::new(w, h, 3).with_directory(0, 0);
         let system = build_mesh(&config).unwrap();
-        let report = Verifier::new().analyze(&system);
+        let report = QueryEngine::structural(system).check(&Query::new());
         report.analysis().stats.refinements
     };
     let small = refinements(2, 2);

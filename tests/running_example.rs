@@ -56,11 +56,11 @@ fn running_example(queue_size: usize) -> Example {
 #[test]
 fn deadlock_free_with_invariants_and_candidates_without() {
     let example = running_example(2);
-    let with = Verifier::new().analyze(&example.system);
+    let mut engine = QueryEngine::structural(example.system);
+    let with = engine.check(&Query::new());
     assert!(with.is_deadlock_free());
-    let without = Verifier::new()
-        .with_invariants(false)
-        .analyze(&example.system);
+    // Same session, invariants ablated: the Section-3 false candidates.
+    let without = engine.check(&Query::new().invariants(false));
     let cex = without
         .counterexample()
         .expect("without invariants the block/idle unfolding yields candidates");
@@ -131,7 +131,7 @@ fn the_section_1_invariant_is_implied() {
 fn larger_queues_remain_deadlock_free() {
     for queue_size in [1usize, 3, 5] {
         let example = running_example(queue_size);
-        let report = Verifier::new().analyze(&example.system);
+        let report = QueryEngine::structural(example.system).check(&Query::new());
         assert!(
             report.is_deadlock_free(),
             "queue size {queue_size} should be deadlock-free"

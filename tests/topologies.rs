@@ -7,6 +7,12 @@
 //! deadlock-free only because their routing uses dateline virtual
 //! channels; with the dateline disabled the channel-dependency-graph audit
 //! reports the cycle before anything is encoded.
+//!
+//! The sweep stays on the deprecated `VerificationSession` shim on
+//! purpose: these are the threshold regressions (mesh 3 / torus 3 /
+//! ring 2 / fat-tree 2) that must not move while the shim forwards to
+//! `QueryEngine`.
+#![allow(deprecated)]
 
 use std::sync::Arc;
 
