@@ -6,6 +6,9 @@
 //! configurations with Criterion.  The printed output is what
 //! `EXPERIMENTS.md` records as "measured".
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use advocat::prelude::*;
 
 /// Builds the abstract-MI mesh used throughout the evaluation section.

@@ -1,0 +1,244 @@
+//! Protocol-family selection and cross-protocol comparison sweeps.
+//!
+//! The fabric generator hosts several coherence protocols behind one
+//! [`ProtocolKind`] switch; this module gives that axis a first-class
+//! place in the Query API.  A [`ProtocolFamily`] names a protocol the way
+//! a [`Query`](crate::Query) names a question, and
+//! [`QueryEngine::compare_protocols`] runs the *same* sizing sweep for a
+//! set of families on the *same* fabric — one engine (hence one encoding
+//! template and one persistent solver) per family, with the aggregated
+//! [`SessionStats`] certifying that an MI-vs-MESI study built exactly one
+//! template per protocol rather than one per capacity probe.
+
+use std::fmt;
+use std::ops::RangeInclusive;
+
+use advocat_deadlock::Query;
+use advocat_noc::{FabricConfig, FabricError, ProtocolKind};
+
+use crate::query::{QueryEngine, SessionStats};
+use crate::sizing::SizingResult;
+
+/// A coherence protocol family the fabric generator can host.
+///
+/// This mirrors [`ProtocolKind`] (the `advocat-noc` configuration enum)
+/// one-to-one, adding the protocol metadata the comparison drivers and
+/// reports need — a stable display name and the size of each family's
+/// message vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProtocolFamily {
+    /// The artificial MI protocol of Fig. 2 of the paper.
+    AbstractMi,
+    /// The GEM5-inspired MI protocol with forwarding, nacks and DMA.
+    FullMi,
+    /// The MESI family: shared states, a counting directory and broadcast
+    /// invalidation sweeps.
+    Mesi,
+}
+
+impl ProtocolFamily {
+    /// Every protocol family, in presentation order.
+    pub const ALL: [ProtocolFamily; 3] = [
+        ProtocolFamily::AbstractMi,
+        ProtocolFamily::FullMi,
+        ProtocolFamily::Mesi,
+    ];
+
+    /// The `advocat-noc` configuration value selecting this family.
+    pub fn kind(self) -> ProtocolKind {
+        match self {
+            ProtocolFamily::AbstractMi => ProtocolKind::AbstractMi,
+            ProtocolFamily::FullMi => ProtocolKind::FullMi,
+            ProtocolFamily::Mesi => ProtocolKind::Mesi,
+        }
+    }
+
+    /// A stable, human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolFamily::AbstractMi => "abstract-mi",
+            ProtocolFamily::FullMi => "full-mi",
+            ProtocolFamily::Mesi => "mesi",
+        }
+    }
+
+    /// Number of message kinds the family's agents exchange over the
+    /// fabric.
+    pub fn message_kind_count(self) -> usize {
+        match self {
+            ProtocolFamily::AbstractMi => advocat_protocols::AbstractMi::message_kinds().len(),
+            ProtocolFamily::FullMi => advocat_protocols::FullMi::message_kinds().len(),
+            ProtocolFamily::Mesi => advocat_protocols::Mesi::message_kinds().len(),
+        }
+    }
+}
+
+impl fmt::Display for ProtocolFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl From<ProtocolKind> for ProtocolFamily {
+    fn from(kind: ProtocolKind) -> Self {
+        match kind {
+            ProtocolKind::AbstractMi => ProtocolFamily::AbstractMi,
+            ProtocolKind::FullMi => ProtocolFamily::FullMi,
+            ProtocolKind::Mesi => ProtocolFamily::Mesi,
+        }
+    }
+}
+
+impl From<ProtocolFamily> for ProtocolKind {
+    fn from(family: ProtocolFamily) -> Self {
+        family.kind()
+    }
+}
+
+/// One protocol family's result within a [`ProtocolComparison`]: the full
+/// sizing search and the engine's cumulative statistics.
+#[derive(Clone, Debug)]
+pub struct FamilyOutcome {
+    /// The protocol family this outcome describes.
+    pub family: ProtocolFamily,
+    /// The sizing search over the comparison's capacity range.
+    pub sizing: SizingResult,
+    /// The statistics of the one engine that answered every probe.
+    pub stats: SessionStats,
+}
+
+impl FamilyOutcome {
+    /// The smallest capacity proven deadlock-free, if any in range was.
+    pub fn minimal_free_capacity(&self) -> Option<usize> {
+        self.sizing.minimal_queue_size
+    }
+}
+
+/// The result of a cross-protocol sizing comparison
+/// ([`QueryEngine::compare_protocols`]).
+#[derive(Clone, Debug, Default)]
+pub struct ProtocolComparison {
+    /// One outcome per requested family, in request order.
+    pub outcomes: Vec<FamilyOutcome>,
+}
+
+impl ProtocolComparison {
+    /// Total encoding templates built across the whole study — exactly
+    /// one per compared family by construction, never one per capacity
+    /// probe.
+    pub fn templates_built(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.stats.templates_built).sum()
+    }
+
+    /// Total queries answered across all families.
+    pub fn total_queries(&self) -> u64 {
+        self.outcomes.iter().map(|o| o.stats.queries).sum()
+    }
+
+    /// The outcome of one family, if it was part of the study.
+    pub fn outcome(&self, family: ProtocolFamily) -> Option<&FamilyOutcome> {
+        self.outcomes.iter().find(|o| o.family == family)
+    }
+
+    /// The minimal deadlock-free capacity of one family, if it was part
+    /// of the study and any capacity in range was proven free.
+    pub fn minimal(&self, family: ProtocolFamily) -> Option<usize> {
+        self.outcome(family)?.minimal_free_capacity()
+    }
+}
+
+impl QueryEngine {
+    /// Runs the same minimal-capacity sweep for several protocol families
+    /// on the same fabric: per family, one engine is built over `fabric`
+    /// with that family's agents ([`FabricConfig::with_protocol`]) and
+    /// [`QueryEngine::minimal_capacity`] bisects `capacities` under
+    /// `base`'s target and invariant dimensions.
+    ///
+    /// Every probe of a family reuses that family's persistent solver, so
+    /// the whole study builds exactly `families.len()` encoding templates
+    /// ([`ProtocolComparison::templates_built`]) — the cross-protocol
+    /// analogue of the capacity/target/ablation reuse inside one engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FabricError`] raised while building a family's
+    /// fabric (the topology and routing audit are shared, so this is
+    /// typically all-or-nothing).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacities` is empty.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use advocat::prelude::*;
+    ///
+    /// let fabric = FabricConfig::new(Topology::mesh(2, 2)?, 1).with_directory(3);
+    /// let comparison = QueryEngine::compare_protocols(
+    ///     &fabric,
+    ///     &[ProtocolFamily::AbstractMi, ProtocolFamily::Mesi],
+    ///     &Query::new(),
+    ///     1..=4,
+    /// )?;
+    /// assert_eq!(comparison.templates_built(), 2);
+    /// assert_eq!(comparison.minimal(ProtocolFamily::AbstractMi), Some(3));
+    /// assert_eq!(comparison.minimal(ProtocolFamily::Mesi), Some(3));
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn compare_protocols(
+        fabric: &FabricConfig,
+        families: &[ProtocolFamily],
+        base: &Query,
+        capacities: RangeInclusive<usize>,
+    ) -> Result<ProtocolComparison, FabricError> {
+        let mut outcomes = Vec::with_capacity(families.len());
+        for &family in families {
+            let config = fabric.clone().with_protocol(family.kind());
+            let mut engine = QueryEngine::for_fabric(&config, capacities.clone())?;
+            let sizing = engine.minimal_capacity(base);
+            outcomes.push(FamilyOutcome {
+                family,
+                sizing,
+                stats: engine.stats(),
+            });
+        }
+        Ok(ProtocolComparison { outcomes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advocat_noc::Topology;
+
+    #[test]
+    fn families_and_kinds_round_trip() {
+        for family in ProtocolFamily::ALL {
+            assert_eq!(ProtocolFamily::from(family.kind()), family);
+            assert_eq!(ProtocolKind::from(family), family.kind());
+        }
+        assert_eq!(ProtocolFamily::AbstractMi.message_kind_count(), 4);
+        assert_eq!(ProtocolFamily::FullMi.message_kind_count(), 8);
+        assert_eq!(ProtocolFamily::Mesi.message_kind_count(), 10);
+        assert_eq!(ProtocolFamily::Mesi.to_string(), "mesi");
+    }
+
+    #[test]
+    fn comparison_accessors_answer_per_family() {
+        let fabric = FabricConfig::new(Topology::mesh(2, 2).unwrap(), 1).with_directory(3);
+        let comparison = QueryEngine::compare_protocols(
+            &fabric,
+            &[ProtocolFamily::AbstractMi],
+            &Query::new(),
+            2..=4,
+        )
+        .unwrap();
+        assert_eq!(comparison.outcomes.len(), 1);
+        assert_eq!(comparison.templates_built(), 1);
+        assert!(comparison.total_queries() >= 2);
+        assert_eq!(comparison.minimal(ProtocolFamily::AbstractMi), Some(3));
+        assert_eq!(comparison.minimal(ProtocolFamily::Mesi), None);
+        assert!(comparison.outcome(ProtocolFamily::Mesi).is_none());
+    }
+}

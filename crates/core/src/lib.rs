@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod family;
 pub mod prelude;
 mod query;
 mod report;
@@ -62,6 +63,7 @@ mod verifier;
 #[allow(deprecated)]
 pub use batch::verify_batch;
 pub use batch::{run_batch, BatchOutcome, BatchScenario, ScenarioFabric};
+pub use family::{FamilyOutcome, ProtocolComparison, ProtocolFamily};
 pub use query::{QueryEngine, SessionStats};
 pub use report::Report;
 #[allow(deprecated)]

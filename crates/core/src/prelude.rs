@@ -15,8 +15,9 @@ pub use crate::{
 };
 
 pub use crate::{
-    run_batch, BatchOutcome, BatchScenario, QueryEngine, Report, ScenarioFabric, SessionStats,
-    SizingOptions, SizingProbe, SizingResult, Verifier,
+    run_batch, BatchOutcome, BatchScenario, FamilyOutcome, ProtocolComparison, ProtocolFamily,
+    QueryEngine, Report, ScenarioFabric, SessionStats, SizingOptions, SizingProbe, SizingResult,
+    Verifier,
 };
 
 pub use advocat_automata::{derive_colors, AutomatonBuilder, System};
@@ -32,5 +33,5 @@ pub use advocat_noc::{
     default_routing, fabric_dot, DimensionOrdered, FabricConfig, FabricError, FatTreeRouting,
     MeshConfig, ProtocolKind, RoutingFunction, TableRouting, Topology, UpDownRouting,
 };
-pub use advocat_protocols::{AbstractMi, FullMi};
+pub use advocat_protocols::{AbstractMi, FullMi, Mesi};
 pub use advocat_xmas::{Network, Packet};

@@ -254,6 +254,29 @@ impl QueryEngine {
     /// queries regardless of which capacities, targets or invariant
     /// settings those asked about.
     ///
+    /// # Examples
+    ///
+    /// The README's Query-API tour: every dimension — capacity, deadlock
+    /// target, invariant strengthening — flips freely between queries,
+    /// and nothing is ever re-encoded:
+    ///
+    /// ```
+    /// use advocat::prelude::*;
+    ///
+    /// let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+    /// let mut engine = QueryEngine::on(build_mesh_for_sweep(&config, 3)?, 2..=3);
+    /// for target in [DeadlockTarget::StuckPacket, DeadlockTarget::DeadAutomaton] {
+    ///     for capacity in 2..=3 {
+    ///         let report = engine.check(&Query::new().capacity(capacity).target(target));
+    ///         assert_eq!(report.is_deadlock_free(), capacity >= 3);
+    ///     }
+    /// }
+    /// // The Section-3 ablation is one more query, not a new pipeline.
+    /// assert!(!engine.check(&Query::new().capacity(3).invariants(false)).is_deadlock_free());
+    /// assert_eq!(engine.stats().templates_built, 1); // nothing was re-encoded
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics when the query pins a capacity outside the engine's range.

@@ -22,6 +22,24 @@ use crate::report::Report;
 /// Superseded by [`QueryEngine`], which answers capacity, target and
 /// invariant-ablation queries from one session instead of freezing the
 /// spec at construction.
+///
+/// # Migration
+///
+/// The spec argument dissolves into each [`Query`]'s target; everything
+/// else maps one-to-one (`for_fabric` likewise, minus its spec):
+///
+/// ```
+/// use advocat::prelude::*;
+///
+/// let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+/// let system = build_mesh_for_sweep(&config, 3)?;
+/// // Before: VerificationSession::new(system, spec, 3..=3)
+/// //             .check_capacity(3)
+/// let report = QueryEngine::on(system, 3..=3)
+///     .check(&Query::new().capacity(3).target(DeadlockTarget::Any));
+/// assert!(report.is_deadlock_free());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[deprecated(
     since = "0.3.0",
     note = "use `QueryEngine` — the deadlock target and invariant strengthening are \

@@ -207,6 +207,23 @@ fn sizing_for_spec(mut engine: QueryEngine, spec: &DeadlockSpec) -> SizingResult
 /// probe is answered by one incremental [`QueryEngine`].  An empty range
 /// (`min > max`) returns no evaluations and no minimal size.
 ///
+/// # Migration
+///
+/// Build the sweep engine yourself and call
+/// [`QueryEngine::minimal_capacity`]; `SizingOptions::spec` becomes the
+/// base query's target:
+///
+/// ```
+/// use advocat::prelude::*;
+///
+/// let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+/// // Before: minimal_queue_size(&config, &SizingOptions { min: 2, max: 4, ..Default::default() })
+/// let result = QueryEngine::on(build_mesh_for_sweep(&config, 4)?, 2..=4)
+///     .minimal_capacity(&Query::new());
+/// assert_eq!(result.minimal_queue_size, Some(3));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
 /// # Errors
 ///
 /// Returns a [`MeshError`] when the mesh configuration is invalid.
@@ -230,6 +247,22 @@ pub fn minimal_queue_size(
 /// The topology-generic sibling of [`minimal_queue_size`]: finds the
 /// smallest queue size for which the fabric described by `config`
 /// (ignoring its own `queue_size`) is proven deadlock-free.
+///
+/// # Migration
+///
+/// [`QueryEngine::for_fabric`] builds the sweep engine directly from the
+/// fabric configuration:
+///
+/// ```
+/// use advocat::prelude::*;
+///
+/// let config = FabricConfig::new(Topology::ring(4)?, 1).with_directory(1);
+/// // Before: minimal_queue_size_for_fabric(&config, &SizingOptions { min: 1, max: 3, ..Default::default() })
+/// let result = QueryEngine::for_fabric(&config, 1..=3)?
+///     .minimal_capacity(&Query::new());
+/// assert_eq!(result.minimal_queue_size, Some(2));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 ///
 /// # Errors
 ///

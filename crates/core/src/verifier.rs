@@ -78,6 +78,23 @@ impl Verifier {
     /// Every call clones the system and constructs a fresh engine just to
     /// answer one structural query — callers in a loop should hold a
     /// [`QueryEngine`] instead and amortise that cost across queries.
+    ///
+    /// # Migration
+    ///
+    /// `Verifier::new().analyze(&system)` becomes a structural query on an
+    /// engine; the `with_spec`/`with_invariants` knobs move into the
+    /// [`Query`]:
+    ///
+    /// ```
+    /// use advocat::prelude::*;
+    ///
+    /// let system = build_mesh(&MeshConfig::new(2, 2, 3).with_directory(1, 1))?;
+    /// // Before: Verifier::new().with_invariants(false).analyze(&system)
+    /// let report = QueryEngine::structural(system)
+    ///     .check(&Query::new().invariants(false));
+    /// assert!(!report.is_deadlock_free());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     #[deprecated(
         since = "0.3.0",
         note = "build a `QueryEngine` over the system and `check` a `Query` — one engine \

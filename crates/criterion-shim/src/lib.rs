@@ -12,6 +12,9 @@
 //! bootstrap); the numbers are good enough to compare the relative cost of
 //! the measured configurations, which is all the harness is used for.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::hint;
 use std::time::{Duration, Instant};
 

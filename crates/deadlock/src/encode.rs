@@ -370,12 +370,19 @@ impl<'a> EncodingBuilder<'a> {
                 }
             }
             if representable {
-                let equation = Formula::eq(expr, LinExpr::constant(0));
+                let relation = match invariant.relation {
+                    advocat_invariants::InvariantRelation::Eq => {
+                        Formula::eq(expr, LinExpr::constant(0))
+                    }
+                    advocat_invariants::InvariantRelation::Le => {
+                        Formula::le(expr, LinExpr::constant(0))
+                    }
+                };
                 match selector {
                     Some(sel) => self
                         .smt
-                        .assert(Formula::implies(Formula::bool_var(sel), equation)),
-                    None => self.smt.assert(equation),
+                        .assert(Formula::implies(Formula::bool_var(sel), relation)),
+                    None => self.smt.assert(relation),
                 }
             }
         }

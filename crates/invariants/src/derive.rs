@@ -1,12 +1,12 @@
 //! The invariant-derivation driver.
 
 use advocat_automata::System;
-use advocat_num::{eliminate, LinearRow};
+use advocat_num::{eliminate_with_bounds, LinearRow};
 use advocat_xmas::ColorMap;
 
 use crate::automaton_eqs::automaton_rows;
 use crate::flow::primitive_flow_rows;
-use crate::vars::{Invariant, InvariantVar, VarRegistry};
+use crate::vars::{Invariant, InvariantRelation, InvariantVar, VarRegistry};
 
 /// The set of cross-layer invariants derived for a system.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -23,6 +23,17 @@ impl InvariantSet {
     /// Returns the number of invariants.
     pub fn len(&self) -> usize {
         self.invariants.len()
+    }
+
+    /// Returns the number of conservation equalities in the set.
+    pub fn num_equalities(&self) -> usize {
+        self.invariants.iter().filter(|i| i.is_equality()).count()
+    }
+
+    /// Returns the number of `≤` bounds in the set (see
+    /// [`InvariantRelation::Le`]).
+    pub fn num_bounds(&self) -> usize {
+        self.len() - self.num_equalities()
     }
 
     /// Returns `true` when no invariants were derived.
@@ -49,9 +60,19 @@ impl IntoIterator for InvariantSet {
 ///
 /// Collects the flow equations of every basic primitive and the four
 /// automaton equation families, then eliminates all `λ` (channel flow) and
-/// `κ` (transition firing) variables by Gaussian elimination.  The rows that
-/// survive relate only queue occupancies `#q.d` and automaton state
+/// `κ` (transition firing) variables by Gaussian elimination.  The rows
+/// that survive relate only queue occupancies `#q.d` and automaton state
 /// indicators `A.s` — the invariants of Section 4 of the paper.
+///
+/// Because the eliminated variables are *counters* (transfers through a
+/// channel, firings of a transition — never negative), every pivot
+/// definition the equality elimination discards also implies an upper
+/// bound over the kept variables: `e = −(K + c)` with `e ≥ 0` gives
+/// `K + c ≤ 0`.  These survive as `≤` invariants
+/// ([`InvariantRelation::Le`]) next to the equalities — the strengthening
+/// that matters once shared-state protocol automata (MESI-style counting
+/// directories) make parts of the flow system underdetermined.  Bounds
+/// that nonnegativity of the kept variables already implies are dropped.
 ///
 /// `colors` must be the `T`-derivation of the same system (see
 /// [`advocat_automata::derive_colors`]).
@@ -74,18 +95,39 @@ pub fn derive_invariants(system: &System, colors: &ColorMap) -> InvariantSet {
         }
     }
 
-    let kept_rows = eliminate(rows, |v| registry.is_eliminated(v));
+    // Every eliminated variable is a λ or κ counter, hence nonnegative.
+    let result = eliminate_with_bounds(
+        rows,
+        |v| registry.is_eliminated(v),
+        |v| registry.is_eliminated(v),
+    );
 
-    let mut invariants = Vec::with_capacity(kept_rows.len());
-    for row in kept_rows {
-        if let Some(invariant) = row_to_invariant(&row, &registry) {
+    let mut invariants = Vec::new();
+    for row in result.equalities {
+        if let Some(invariant) = row_to_invariant(&row, &registry, InvariantRelation::Eq) {
             invariants.push(invariant);
         }
+    }
+    for row in result.bounds {
+        let Some(invariant) = row_to_invariant(&row, &registry, InvariantRelation::Le) else {
+            continue;
+        };
+        // Kept variables are nonnegative too (occupancies and 0/1 state
+        // indicators): a bound whose coefficients are all ≤ 0 with a
+        // nonpositive constant is vacuous.
+        if invariant.terms.iter().all(|(_, c)| *c <= 0) && invariant.constant <= 0 {
+            continue;
+        }
+        invariants.push(invariant);
     }
     InvariantSet { invariants }
 }
 
-fn row_to_invariant(row: &LinearRow, registry: &VarRegistry) -> Option<Invariant> {
+fn row_to_invariant(
+    row: &LinearRow,
+    registry: &VarRegistry,
+    relation: InvariantRelation,
+) -> Option<Invariant> {
     let mut terms: Vec<(InvariantVar, i128)> = Vec::with_capacity(row.len());
     for (var, coef) in row.iter() {
         let kept = registry.kept(var)?;
@@ -93,7 +135,11 @@ fn row_to_invariant(row: &LinearRow, registry: &VarRegistry) -> Option<Invariant
         terms.push((kept, coef));
     }
     let constant = row.constant().to_integer()?;
-    Some(Invariant { terms, constant })
+    Some(Invariant {
+        terms,
+        constant,
+        relation,
+    })
 }
 
 #[cfg(test)]
@@ -199,6 +245,102 @@ mod tests {
         assert!(eval(&set, false, false, 0, 0).iter().any(|b| !*b));
         // Unreachable configuration with both queues full violates too.
         assert!(eval(&set, true, true, 2, 2).iter().any(|b| !*b));
+    }
+
+    /// A credit loop with *lossy* token return: a worker consumes a credit
+    /// and sends a request; the responder either returns the credit or
+    /// consumes it silently.  No conservation **equality** over the two
+    /// queues exists (the lost credits are counted by an eliminated,
+    /// underdetermined firing counter), but its relaxation survives as the
+    /// bound `#credits + #flight ≤ initial credits` — the invariant class
+    /// [`derive_invariants`] now harvests from counter nonnegativity.
+    fn lossy_credit_loop() -> (System, PrimitiveId, PrimitiveId) {
+        let mut net = Network::new();
+        let tok = net.intern(Packet::kind("tok"));
+        let req = net.intern(Packet::kind("req"));
+        let worker = net.add_automaton_node("worker", 1, 1);
+        let responder = net.add_automaton_node("responder", 1, 1);
+        let credits = net.add_queue_with_init("credits", 2, vec![tok, tok]);
+        let flight = net.add_queue("flight", 2);
+        net.connect(credits, 0, worker, 0);
+        net.connect(worker, 0, flight, 0);
+        net.connect(flight, 0, responder, 0);
+        net.connect(responder, 0, credits, 0);
+
+        let mut wb = AutomatonBuilder::new("worker", 1, 1);
+        let w = wb.state("w");
+        wb.on_packet(w, w, 0, tok, Some((0, req)));
+
+        let mut rb = AutomatonBuilder::new("responder", 1, 1);
+        let r = rb.state("r");
+        // Return the credit … or lose it.
+        rb.on_packet(r, r, 0, req, Some((0, tok)));
+        rb.on_packet(r, r, 0, req, None);
+
+        let mut system = System::new(net);
+        system.attach(worker, wb.build().unwrap()).unwrap();
+        system.attach(responder, rb.build().unwrap()).unwrap();
+        system.validate().unwrap();
+        (system, credits, flight)
+    }
+
+    #[test]
+    fn lossy_credit_loops_yield_bound_invariants() {
+        let (system, credits, flight) = lossy_credit_loop();
+        let colors = derive_colors(&system);
+        let set = derive_invariants(&system, &colors);
+        assert!(set.num_bounds() >= 1, "a credit bound must be harvested");
+        // The bound #credits.tok + #flight.req ≤ 2 (or an equivalent form
+        // mentioning both queues) holds with ≤, not =: find a bound over
+        // the two queues and check it semantically.
+        let bound = set
+            .iter()
+            .find(|inv| {
+                !inv.is_equality() && inv.mentions_queue(credits) && inv.mentions_queue(flight)
+            })
+            .expect("bound over both queues");
+        // Full credits, empty flight: holds (with equality).
+        assert!(bound.holds(|q, _| if q == credits { 2 } else { 0 }, |_, _| true));
+        // One credit lost forever: strict inequality, still holds.
+        assert!(bound.holds(|q, _| if q == credits { 1 } else { 0 }, |_, _| true));
+        // Credits conjured out of thin air: violated.
+        assert!(!bound.holds(|q, _| if q == credits { 2 } else { 1 }, |_, _| true));
+    }
+
+    #[test]
+    fn lossless_credit_loops_keep_the_conservation_equality() {
+        // The same loop with a *lossless* return still derives the exact
+        // equality (and the bounds pass must not weaken or duplicate it).
+        let mut net = Network::new();
+        let tok = net.intern(Packet::kind("tok"));
+        let req = net.intern(Packet::kind("req"));
+        let worker = net.add_automaton_node("worker", 1, 1);
+        let responder = net.add_automaton_node("responder", 1, 1);
+        let credits = net.add_queue_with_init("credits", 2, vec![tok, tok]);
+        let flight = net.add_queue("flight", 2);
+        net.connect(credits, 0, worker, 0);
+        net.connect(worker, 0, flight, 0);
+        net.connect(flight, 0, responder, 0);
+        net.connect(responder, 0, credits, 0);
+        let mut wb = AutomatonBuilder::new("worker", 1, 1);
+        let w = wb.state("w");
+        wb.on_packet(w, w, 0, tok, Some((0, req)));
+        let mut rb = AutomatonBuilder::new("responder", 1, 1);
+        let r = rb.state("r");
+        rb.on_packet(r, r, 0, req, Some((0, tok)));
+        let mut system = System::new(net);
+        system.attach(worker, wb.build().unwrap()).unwrap();
+        system.attach(responder, rb.build().unwrap()).unwrap();
+        let colors = derive_colors(&system);
+        let set = derive_invariants(&system, &colors);
+        let equality = set
+            .iter()
+            .find(|inv| {
+                inv.is_equality() && inv.mentions_queue(credits) && inv.mentions_queue(flight)
+            })
+            .expect("credit conservation equality");
+        assert!(!equality.holds(|q, _| if q == credits { 1 } else { 0 }, |_, _| true));
+        assert!(equality.holds(|q, _| if q == credits { 2 } else { 0 }, |_, _| true));
     }
 
     #[test]

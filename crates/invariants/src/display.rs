@@ -4,10 +4,11 @@ use std::fmt::Write as _;
 
 use advocat_automata::System;
 
-use crate::vars::{Invariant, InvariantVar};
+use crate::vars::{Invariant, InvariantRelation, InvariantVar};
 
 /// Renders an invariant in the style used by the paper, e.g.
-/// `#q0.req + #q1.ack = S.s1 + T.t0 - 1`.
+/// `#q0.req + #q1.ack = S.s1 + T.t0 - 1` (or with `≤` for derived
+/// bounds).
 ///
 /// Terms with positive coefficients are gathered on the left-hand side and
 /// terms with negative coefficients (sign-flipped) on the right-hand side,
@@ -77,7 +78,11 @@ pub fn format_invariant(system: &System, invariant: &Invariant) -> String {
             }
         }
     }
-    format!("{lhs} = {rhs}")
+    let relation = match invariant.relation {
+        InvariantRelation::Eq => "=",
+        InvariantRelation::Le => "≤",
+    };
+    format!("{lhs} {relation} {rhs}")
 }
 
 #[cfg(test)]
@@ -115,9 +120,15 @@ mod tests {
                 (InvariantVar::AutomatonState { node, state: s1 }, -1),
             ],
             constant: 1,
+            relation: InvariantRelation::Eq,
         };
         let text = format_invariant(&system, &invariant);
         assert_eq!(text, "#q0.req = S.s1 - 1");
+        let bound = Invariant {
+            relation: InvariantRelation::Le,
+            ..invariant
+        };
+        assert_eq!(format_invariant(&system, &bound), "#q0.req ≤ S.s1 - 1");
     }
 
     #[test]
@@ -127,6 +138,7 @@ mod tests {
         let invariant = Invariant {
             terms: vec![],
             constant: 0,
+            relation: InvariantRelation::Eq,
         };
         assert_eq!(format_invariant(&system, &invariant), "0 = 0");
     }

@@ -40,4 +40,4 @@ mod vars;
 
 pub use derive::{derive_invariants, InvariantSet};
 pub use display::format_invariant;
-pub use vars::{Invariant, InvariantVar};
+pub use vars::{Invariant, InvariantRelation, InvariantVar};

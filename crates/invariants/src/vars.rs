@@ -24,19 +24,33 @@ pub enum InvariantVar {
     },
 }
 
-/// A derived cross-layer invariant: the linear equality
-/// `Σ coefᵢ · varᵢ + constant = 0`.
+/// The relation a derived invariant asserts between its linear form and
+/// zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum InvariantRelation {
+    /// `Σ coefᵢ · varᵢ + constant = 0` — a conservation equality.
+    #[default]
+    Eq,
+    /// `Σ coefᵢ · varᵢ + constant ≤ 0` — an upper bound harvested from the
+    /// nonnegativity of an eliminated flow or firing counter.
+    Le,
+}
+
+/// A derived cross-layer invariant: the linear relation
+/// `Σ coefᵢ · varᵢ + constant {=, ≤} 0`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Invariant {
-    /// Terms of the equality.
+    /// Terms of the linear form.
     pub terms: Vec<(InvariantVar, i128)>,
     /// Constant offset.
     pub constant: i128,
+    /// Whether the form is asserted equal to zero or at most zero.
+    pub relation: InvariantRelation,
 }
 
 impl Invariant {
     /// Evaluates the invariant under an assignment of queue occupancies and
-    /// automaton states, returning `true` when the equality holds.
+    /// automaton states, returning `true` when the relation holds.
     ///
     /// Used by the explorer-backed tests: every derived invariant must hold
     /// in every reachable state of the system.
@@ -59,7 +73,15 @@ impl Invariant {
             };
             acc += coef * value;
         }
-        acc == 0
+        match self.relation {
+            InvariantRelation::Eq => acc == 0,
+            InvariantRelation::Le => acc <= 0,
+        }
+    }
+
+    /// Returns `true` for conservation equalities.
+    pub fn is_equality(&self) -> bool {
+        self.relation == InvariantRelation::Eq
     }
 
     /// Returns `true` when the invariant mentions the given queue.
@@ -187,11 +209,32 @@ mod tests {
                 (InvariantVar::AutomatonState { node: q, state: st }, -1),
             ],
             constant: 0,
+            relation: InvariantRelation::Eq,
         };
         assert!(inv.holds(|_, _| 1, |_, _| true));
         assert!(inv.holds(|_, _| 0, |_, _| false));
         assert!(!inv.holds(|_, _| 1, |_, _| false));
         assert!(inv.mentions_queue(q));
         assert!(inv.mentions_automaton(q));
+    }
+
+    #[test]
+    fn bound_invariants_hold_at_or_below_zero() {
+        let (q, _ch, color, st) = sample_ids();
+        // #q.c ≤ A.s  (the queue can only be occupied in state st).
+        let inv = Invariant {
+            terms: vec![
+                (InvariantVar::QueueCount { queue: q, color }, 1),
+                (InvariantVar::AutomatonState { node: q, state: st }, -1),
+            ],
+            constant: 0,
+            relation: InvariantRelation::Le,
+        };
+        assert!(!inv.is_equality());
+        assert!(inv.holds(|_, _| 0, |_, _| false));
+        assert!(inv.holds(|_, _| 0, |_, _| true));
+        assert!(inv.holds(|_, _| 1, |_, _| true));
+        assert!(!inv.holds(|_, _| 1, |_, _| false));
+        assert!(!inv.holds(|_, _| 2, |_, _| true));
     }
 }

@@ -26,7 +26,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use advocat_automata::System;
-use advocat_protocols::{AbstractMi, AgentSpec, FullMi, MessageClass};
+use advocat_protocols::{AbstractMi, AgentSpec, FullMi, Mesi, MessageClass};
 use advocat_xmas::{ColorId, DotOptions, Network, PrimitiveId};
 
 use crate::cdg::{audit_routing, RoutingError};
@@ -280,6 +280,12 @@ pub fn build_fabric(config: &FabricConfig) -> Result<System, FabricError> {
         }
         ProtocolKind::FullMi => {
             let protocol = FullMi::new(num_agents, dir_agent);
+            (0..num_agents)
+                .map(|n| protocol.agent(&mut net, n))
+                .collect()
+        }
+        ProtocolKind::Mesi => {
+            let protocol = Mesi::new(num_agents, dir_agent);
             (0..num_agents)
                 .map(|n| protocol.agent(&mut net, n))
                 .collect()

@@ -2,13 +2,16 @@
 
 use std::fmt;
 
-/// Which protocol the generated mesh hosts.
+/// Which protocol the generated fabric hosts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ProtocolKind {
     /// The artificial MI protocol of Fig. 2 (getX/putX/inv/ack).
     AbstractMi,
     /// The GEM5-inspired MI protocol with forwarding, nacks and DMA.
     FullMi,
+    /// The MESI protocol with shared states: a counting directory,
+    /// broadcast invalidation sweeps and ten message kinds.
+    Mesi,
 }
 
 /// Configuration of a 2D-mesh system.

@@ -36,11 +36,72 @@ pub fn eliminate<F>(rows: Vec<LinearRow>, should_eliminate: F) -> Vec<LinearRow>
 where
     F: Fn(usize) -> bool,
 {
+    // With no variable declared nonnegative the bound harvest is empty and
+    // the shared elimination core produces exactly the equality output.
+    eliminate_with_bounds(rows, should_eliminate, |_| false).equalities
+}
+
+/// The result of [`eliminate_with_bounds`]: the surviving equalities plus
+/// the upper bounds harvested from the nonnegativity of eliminated
+/// variables.
+#[derive(Clone, Debug, Default)]
+pub struct Elimination {
+    /// Rows free of eliminated variables, read as `Σ aᵢ·xᵢ + c = 0` — the
+    /// same output [`eliminate`] produces.
+    pub equalities: Vec<LinearRow>,
+    /// Rows free of eliminated variables, read as `Σ aᵢ·xᵢ + c ≤ 0`.
+    ///
+    /// Each bound is a fully back-substituted pivot definition: the
+    /// elimination solved some row for an eliminated variable `e`, giving
+    /// `e = −(Σ aᵢ·xᵢ + c)`; when `e` is known to be nonnegative (a flow
+    /// or firing counter), the right-hand side must be nonnegative too,
+    /// i.e. `Σ aᵢ·xᵢ + c ≤ 0`.  Equality elimination throws this
+    /// information away — the defining rows "merely define" an eliminated
+    /// variable — but as *inequalities* they survive as genuine invariants
+    /// over the kept variables.
+    pub bounds: Vec<LinearRow>,
+}
+
+/// [`eliminate`], additionally harvesting the upper bounds implied by the
+/// nonnegativity of the eliminated variables (see [`Elimination::bounds`]).
+///
+/// `nonnegative(v)` must return `true` only when variable `v` cannot be
+/// negative in any model of interest; bounds are derived only from pivots
+/// on such variables, and bound rows still mentioning an eliminated
+/// variable with a *negative* coefficient are discarded (dropping a
+/// nonnegative term with a positive coefficient only weakens a `≤ 0` row,
+/// dropping a negative one would not be sound).
+///
+/// # Examples
+///
+/// ```
+/// use advocat_num::{eliminate_with_bounds, LinearRow};
+///
+/// // q = e  for a nonnegative flow counter e: the equality eliminates to
+/// // nothing, but e ≥ 0 survives as the bound  −q ≤ 0  (q is nonneg).
+/// let rows = vec![LinearRow::from_terms([(0, 1), (10, -1)], 0)];
+/// let result = eliminate_with_bounds(rows, |v| v < 10, |v| v < 10);
+/// assert!(result.equalities.is_empty());
+/// assert_eq!(result.bounds.len(), 1);
+/// assert_eq!(result.bounds[0].coefficient(10).to_integer(), Some(-1));
+/// ```
+pub fn eliminate_with_bounds<F, N>(
+    rows: Vec<LinearRow>,
+    should_eliminate: F,
+    nonnegative: N,
+) -> Elimination
+where
+    F: Fn(usize) -> bool,
+    N: Fn(usize) -> bool,
+{
     let mut rows: Vec<LinearRow> = rows.into_iter().filter(|r| !r.is_zero()).collect();
-    let mut kept: Vec<LinearRow> = Vec::new();
+    // `(pivot var, defining row)` pairs; later pivots are substituted into
+    // earlier definitions so every stored row ends up mentioning its own
+    // pivot variable plus (possibly) eliminated variables that were never
+    // chosen as pivots.
+    let mut pivots: Vec<(usize, LinearRow)> = Vec::new();
 
     loop {
-        // Find a row that still mentions a variable to eliminate.
         let mut pivot_idx = None;
         let mut pivot_var = 0usize;
         'outer: for (idx, row) in rows.iter().enumerate() {
@@ -56,26 +117,68 @@ where
         let mut pivot = rows.swap_remove(idx);
         let coef = pivot.coefficient(pivot_var);
         pivot.scale(coef.recip());
-        // Remove pivot_var from every remaining row.
         for row in rows.iter_mut() {
             let c = row.coefficient(pivot_var);
             if !c.is_zero() {
                 row.add_scaled(&pivot, -c);
             }
         }
-        // The pivot row defines an eliminated variable; drop it.
+        for (_, row) in pivots.iter_mut() {
+            let c = row.coefficient(pivot_var);
+            if !c.is_zero() {
+                row.add_scaled(&pivot, -c);
+            }
+        }
+        pivots.push((pivot_var, pivot));
     }
 
+    let mut equalities: Vec<LinearRow> = Vec::new();
     for mut row in rows {
         if row.is_zero() {
             continue;
         }
         row.normalize_integral();
-        if !kept.contains(&row) {
-            kept.push(row);
+        if !equalities.contains(&row) {
+            equalities.push(row);
         }
     }
-    kept
+
+    let mut bounds: Vec<LinearRow> = Vec::new();
+    'pivot: for (var, mut row) in pivots {
+        if !nonnegative(var) {
+            continue;
+        }
+        // `row` is  var + rest = 0  with var ≥ 0, so  rest ≤ 0.  Any other
+        // eliminated variable still present was never pivoted (a free
+        // variable of the system): drop it when that only weakens the
+        // bound, give up otherwise.
+        row.add_term(var, Rational::from_integer(-1));
+        let residual: Vec<(usize, Rational)> =
+            row.iter().filter(|(v, _)| should_eliminate(*v)).collect();
+        for (v, coef) in residual {
+            if nonnegative(v) && !coef.is_negative() {
+                row.add_term(v, -coef);
+            } else {
+                continue 'pivot;
+            }
+        }
+        if row.is_empty() {
+            continue;
+        }
+        row.normalize_integral_signed();
+        let negation = {
+            let mut neg = row.clone();
+            neg.scale(Rational::from_integer(-1));
+            neg
+        };
+        // Skip bounds an equality already implies, and dedup.
+        if equalities.contains(&row) || equalities.contains(&negation) || bounds.contains(&row) {
+            continue;
+        }
+        bounds.push(row);
+    }
+
+    Elimination { equalities, bounds }
 }
 
 /// Reduces a system of equations to reduced row-echelon form over the given

@@ -11,7 +11,11 @@
 //! * [`Rational`] — an exact `i128`-backed rational number,
 //! * [`LinearRow`] — a sparse linear equation `Σ aᵢ·xᵢ + c = 0`,
 //! * [`eliminate`] — Gaussian elimination with a caller-supplied variable
-//!   elimination order, keeping only rows free of eliminated variables.
+//!   elimination order, keeping only rows free of eliminated variables,
+//! * [`eliminate_with_bounds`] — the same elimination, additionally
+//!   harvesting the `≤` bounds implied by the nonnegativity of the
+//!   eliminated counters (each pivot definition `e = −(K + c)` with
+//!   `e ≥ 0` yields `K + c ≤ 0` over the kept variables).
 //!
 //! # Examples
 //!
@@ -34,6 +38,6 @@ mod gauss;
 mod rational;
 mod row;
 
-pub use gauss::{eliminate, reduce_to_echelon, satisfies};
+pub use gauss::{eliminate, eliminate_with_bounds, reduce_to_echelon, satisfies, Elimination};
 pub use rational::{ParseRationalError, Rational};
 pub use row::LinearRow;

@@ -185,6 +185,32 @@ impl LinearRow {
         }
     }
 
+    /// Normalises the row to integer coefficients with overall gcd 1,
+    /// **without** flipping the sign — the variant for rows read as
+    /// inequalities (`Σ aᵢ·xᵢ + c ≤ 0`), where negating the row would
+    /// reverse the relation.
+    pub fn normalize_integral_signed(&mut self) {
+        if self.terms.is_empty() {
+            return;
+        }
+        let mut lcm: i128 = 1;
+        for (_, c) in self.iter() {
+            lcm = lcm_i128(lcm, c.denominator());
+        }
+        lcm = lcm_i128(lcm, self.constant.denominator());
+        self.scale(Rational::from_integer(lcm));
+        let mut g: i128 = 0;
+        for (_, c) in self.iter() {
+            g = gcd_i128(g, c.numerator().abs());
+        }
+        if !self.constant.is_zero() {
+            g = gcd_i128(g, self.constant.numerator().abs());
+        }
+        if g > 1 {
+            self.scale(Rational::new(1, g));
+        }
+    }
+
     /// Evaluates the row under an assignment, returning `Σ aᵢ·xᵢ + c`.
     pub fn evaluate<F>(&self, mut value_of: F) -> Rational
     where

@@ -1,6 +1,7 @@
-//! Directory-based MI cache-coherence protocols modelled as XMAS automata.
+//! Directory-based cache-coherence protocols modelled as XMAS automata.
 //!
-//! The ADVOCAT case study (Section 5) places two protocols on a 2D mesh:
+//! The ADVOCAT case study (Section 5) places two MI protocols on a 2D
+//! mesh; the crate has since grown a MESI family with shared states:
 //!
 //! * [`AbstractMi`] — the deliberately minimal protocol of Fig. 2: an L2
 //!   cache with states `I`, `M`, `MI` and a directory with states `I`,
@@ -12,22 +13,30 @@
 //!   a `4 + n`-state directory, cache-to-cache forwarding, nacks,
 //!   replacement acknowledgments and a DMA engine, using eight message
 //!   kinds.
+//! * [`Mesi`] — a four-stable-state (I/S/E/M) cache with transient states
+//!   for upgrade, downgrade and writeback races, and a *counting*
+//!   directory whose `S(k)` states track a bounded sharer set.  Ten
+//!   message kinds, broadcast invalidation sweeps, and a directory whose
+//!   state count grows quadratically with the cache count — the protocol
+//!   family that stresses the invariant generator with shared states.
 //!
-//! Both protocols expose the same interface: given a mutable
+//! All protocols expose the same interface: given a mutable
 //! [`advocat_xmas::Network`] (for interning packet colors) they produce an
 //! [`AgentSpec`] per node — the agent automaton plus the description of how
 //! its ports attach to the fabric and to local trigger sources.  The
-//! `advocat-noc` crate consumes these specs when generating a mesh.
+//! `advocat-noc` crate consumes these specs when generating a fabric.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod abstract_mi;
 mod full_mi;
+mod mesi;
 mod messages;
 mod spec;
 
 pub use abstract_mi::AbstractMi;
 pub use full_mi::FullMi;
+pub use mesi::Mesi;
 pub use messages::MessageClass;
 pub use spec::{AgentSpec, Role};

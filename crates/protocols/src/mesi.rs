@@ -1,0 +1,661 @@
+//! A directory-based MESI protocol with shared states.
+//!
+//! The MI flavours model a single-owner world: at most one cache holds the
+//! block, and the directory is a pointer machine.  MESI introduces *shared*
+//! states — several caches may hold read-only copies at once — and with
+//! them the scenario class where the interesting cross-layer deadlocks
+//! live: invalidation broadcasts fan one request out into `n − 1`
+//! directory-initiated messages whose acknowledgments all funnel back
+//! through the same fabric, and upgrade/downgrade/writeback races overlap
+//! requests with the sweeps that retire them.
+//!
+//! * **L2 cache** (per node): the four stable MESI states `I`, `S`, `E`,
+//!   `M` plus five transient states covering the three race families —
+//!   `IS`/`IM` (fill in flight), `SM` (upgrade in flight, revocable by a
+//!   concurrent invalidation), `MI`/`SI` (writeback in flight, crossing
+//!   directory-initiated invalidations).
+//! * **Directory**: a *counting* sharer set.  `S(k)` records that `k`
+//!   caches hold read-only copies without recording *which* — the classic
+//!   bounded-directory abstraction.  Exclusive ownership is tracked
+//!   exactly (`E(c)`), and three transient families implement the
+//!   protocol's multi-message operations: `B(r,i)` broadcast states
+//!   emitting one `Inv` per step, `C(r,p)` collect states counting the `p`
+//!   outstanding invalidation acknowledgments for requestor `r`, and
+//!   `EI`/`EIS` owner-invalidation states for exclusive and shared grants.
+//!
+//! Ten message kinds travel the fabric: `GetS`, `GetX`, `Upg`, `PutS`,
+//! `PutX` in the request class and `Inv`, `Ack`, `DataS`, `DataE`,
+//! `DataX` in the response class (see [`crate::MessageClass`]).  The
+//! exclusive data grant is split by purpose — `DataE` resolves a read
+//! fill into `E`, `DataX` resolves a write request into `M` — the way
+//! real MESI responses carry the state the requestor must enter.  The
+//! split also matters formally: it gives every transient cache state a
+//! uniquely attributable resolution flow, which is what lets the flow
+//! method derive *equality* invariants tying directory service states to
+//! requestor states (a shared dual-purpose grant lumps the `GetS` and
+//! `GetX` streams into one equivalence class and the link is lost).
+//! Data payloads are abstracted away, exactly as in the MI models: a
+//! dirty writeback forced by an invalidation is folded into the `Ack`,
+//! which keeps the invalidation/acknowledgment accounting exact — every
+//! `Inv` the directory sends is answered by exactly one cache→directory
+//! `Ack`, whatever state the target is in when the `Inv` lands.
+//!
+//! The counting abstraction is deliberately lossy about *identities*: a
+//! stale `PutS` arriving after its sender was already swept can decrement
+//! the count past the true sharer population.  Broadcast invalidation
+//! makes this harmless for deadlock analysis — sweeps go to every
+//! non-requestor regardless of the count, so orphaned copies are cleaned
+//! up by the next exclusive request — but it is the reason this model
+//! verifies deadlock freedom, not coherence.
+
+use advocat_automata::{AutomatonBuilder, StateId};
+use advocat_xmas::{ColorId, Network, Packet};
+
+use crate::spec::{AgentSpec, Role};
+
+/// The per-cache message colors the directory exchanges with one cache.
+struct CacheMsgs {
+    get_s: ColorId,
+    get_x: ColorId,
+    upg: ColorId,
+    put_s: ColorId,
+    put_x: ColorId,
+    ack_up: ColorId,
+    inv: ColorId,
+    ack_down: ColorId,
+    data_s: ColorId,
+    data_e: ColorId,
+    data_x: ColorId,
+}
+
+/// The directory-based MESI protocol with a counting sharer set.
+///
+/// # Examples
+///
+/// ```
+/// use advocat_protocols::Mesi;
+/// use advocat_xmas::Network;
+///
+/// let protocol = Mesi::new(4, 3);
+/// let mut net = Network::new();
+/// let cache = protocol.cache_agent(&mut net, 0);
+/// let directory = protocol.directory_agent(&mut net);
+/// // I, IS, IM, S, SM, E, M, MI, SI.
+/// assert_eq!(cache.automaton.state_count(), 9);
+/// // Shared states multiply the directory: I + S(k) + E(c) + sweeps.
+/// assert_eq!(directory.automaton.state_count(), Mesi::directory_states(3));
+/// assert_eq!(Mesi::message_kinds().len(), 10);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mesi {
+    num_nodes: u32,
+    directory: u32,
+}
+
+impl Mesi {
+    /// Creates a protocol instance for `num_nodes` fabric terminals with
+    /// the directory at terminal `directory`; all other terminals host
+    /// caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `directory >= num_nodes` or there are fewer than two
+    /// nodes.
+    pub fn new(num_nodes: u32, directory: u32) -> Self {
+        assert!(num_nodes >= 2, "a fabric needs at least two nodes");
+        assert!(directory < num_nodes, "directory must be one of the nodes");
+        Mesi {
+            num_nodes,
+            directory,
+        }
+    }
+
+    /// The ten message kinds exchanged over the fabric.
+    pub fn message_kinds() -> [&'static str; 10] {
+        [
+            "GetS", "GetX", "Upg", "PutS", "PutX", "Inv", "Ack", "DataS", "DataE", "DataX",
+        ]
+    }
+
+    /// Number of directory states for `caches` cache agents: `I`, one
+    /// `S(k)` per count, one `E(c)` per cache, and the transient broadcast
+    /// (`B`), collect (`C`) and owner-invalidation (`EI`/`EIS`) families.
+    ///
+    /// For `n ≥ 2` caches this is quadratic in `n` where the MI
+    /// directories are linear — exactly the state-count pressure shared
+    /// states put on the invariant generator.
+    pub fn directory_states(caches: usize) -> usize {
+        let n = caches;
+        if n == 0 {
+            return 1;
+        }
+        // I + S(1..=n) + E(c) + B(r, 1..=n-2) + C(r, 1..=n-1) + EI + EIS.
+        1 + n + n + n * n.saturating_sub(2) + n * (n - 1) + 2 * n * (n - 1)
+    }
+
+    /// Returns the node hosting the directory.
+    pub fn directory_node(&self) -> u32 {
+        self.directory
+    }
+
+    /// Returns the number of nodes (caches plus directory).
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Iterates over the cache nodes.
+    pub fn cache_nodes(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.num_nodes).filter(move |n| *n != self.directory)
+    }
+
+    /// Returns the role of a node.
+    pub fn role_of(&self, node: u32) -> Role {
+        if node == self.directory {
+            Role::Directory
+        } else {
+            Role::Cache
+        }
+    }
+
+    fn msg(&self, net: &mut Network, kind: &str, src: u32, dst: u32) -> ColorId {
+        net.intern(Packet::kind(kind).with_src(src).with_dst(dst))
+    }
+
+    fn cache_msgs(&self, net: &mut Network, cache: u32) -> CacheMsgs {
+        let dir = self.directory;
+        CacheMsgs {
+            get_s: self.msg(net, "GetS", cache, dir),
+            get_x: self.msg(net, "GetX", cache, dir),
+            upg: self.msg(net, "Upg", cache, dir),
+            put_s: self.msg(net, "PutS", cache, dir),
+            put_x: self.msg(net, "PutX", cache, dir),
+            ack_up: self.msg(net, "Ack", cache, dir),
+            inv: self.msg(net, "Inv", dir, cache),
+            ack_down: self.msg(net, "Ack", dir, cache),
+            data_s: self.msg(net, "DataS", dir, cache),
+            data_e: self.msg(net, "DataE", dir, cache),
+            data_x: self.msg(net, "DataX", dir, cache),
+        }
+    }
+
+    /// Builds the nine-state L2-cache agent for `cache`.
+    ///
+    /// Ports: in 0 = network ejection, in 1 = core triggers (`load`,
+    /// `store`, `repl`), out 0 = network injection.
+    ///
+    /// Every state answers a directory `Inv` with an `Ack` — including the
+    /// transient and invalid states, where the invalidation is stale.
+    /// This keeps the directory's acknowledgment counting exact under
+    /// upgrade, downgrade and writeback races.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` is the directory node.
+    pub fn cache_agent(&self, net: &mut Network, cache: u32) -> AgentSpec {
+        assert_ne!(cache, self.directory, "the directory node hosts no cache");
+        let cm = self.cache_msgs(net, cache);
+        let load = net.intern(Packet::kind("load").with_src(cache));
+        let store = net.intern(Packet::kind("store").with_src(cache));
+        let repl = net.intern(Packet::kind("repl").with_src(cache));
+
+        let mut b = AutomatonBuilder::new(format!("cache{cache}"), 2, 1);
+        let i = b.state("I");
+        let is = b.state("IS");
+        let im = b.state("IM");
+        let s = b.state("S");
+        let sm = b.state("SM");
+        let e = b.state("E");
+        let m = b.state("M");
+        let mi = b.state("MI");
+        let si = b.state("SI");
+        b.set_initial(i);
+
+        // Fills.  I --load?/GetS!--> IS, I --store?/GetX!--> IM.
+        b.on_packet(i, is, 1, load, Some((0, cm.get_s)));
+        b.on_packet(i, im, 1, store, Some((0, cm.get_x)));
+        // IS resolves to S (shared grant) or E (exclusive grant: the MESI
+        // optimisation when the directory had no other sharer).
+        b.on_packet(is, s, 0, cm.data_s, None);
+        b.on_packet(is, e, 0, cm.data_e, None);
+        b.on_packet(im, m, 0, cm.data_x, None);
+
+        // Upgrade race.  S --store?/Upg!--> SM; a concurrent invalidation
+        // revokes the shared copy mid-upgrade and the in-flight Upg is
+        // serviced by the directory as a full GetX (so SM falls back to
+        // IM, waiting for exclusive data).
+        b.on_packet(s, sm, 1, store, Some((0, cm.upg)));
+        b.on_packet(sm, m, 0, cm.data_x, None);
+        b.on_packet(sm, im, 0, cm.inv, Some((0, cm.ack_up)));
+
+        // Silent E→M upgrade: exclusivity already grants write permission.
+        b.on_packet(e, m, 1, store, None);
+
+        // Downgrades and writebacks.
+        b.on_packet(s, si, 1, repl, Some((0, cm.put_s)));
+        b.on_packet(e, mi, 1, repl, Some((0, cm.put_x)));
+        b.on_packet(m, mi, 1, repl, Some((0, cm.put_x)));
+        b.on_packet(mi, i, 0, cm.ack_down, None);
+        b.on_packet(si, i, 0, cm.ack_down, None);
+
+        // Invalidations.  Stable states give the copy up (the forced
+        // writeback of a dirty block is folded into the Ack — data is
+        // abstracted); every other state answers the (then stale) Inv so
+        // the directory's acknowledgment count stays exact.
+        b.on_packet(s, i, 0, cm.inv, Some((0, cm.ack_up)));
+        b.on_packet(e, i, 0, cm.inv, Some((0, cm.ack_up)));
+        b.on_packet(m, i, 0, cm.inv, Some((0, cm.ack_up)));
+        for state in [i, is, im, mi, si] {
+            b.on_packet(state, state, 0, cm.inv, Some((0, cm.ack_up)));
+        }
+
+        let automaton = b.build().expect("MESI cache automaton is well-formed");
+        AgentSpec {
+            automaton,
+            net_in: 0,
+            net_out: 0,
+            core_in: Some(1),
+            core_triggers: vec![load, store, repl],
+            aux_out: None,
+        }
+    }
+
+    /// Builds the counting directory agent.
+    ///
+    /// Ports: in 0 = network ejection, out 0 = network injection.
+    ///
+    /// The directory serialises protocol operations: while a broadcast
+    /// sweep or an owner invalidation is in flight it consumes only the
+    /// acknowledgments that retire it (plus any writeback that crosses it,
+    /// which is acknowledged in place); further requests wait in the
+    /// fabric.  Because every cache answers every `Inv` exactly once, at
+    /// most one operation's invalidations are ever outstanding.
+    ///
+    /// The collect states `C(r,p)` drain those acknowledgments in a
+    /// **deterministic order** (the broadcast order) rather than counting
+    /// them anonymously.  This is a deliberate modelling choice, not a
+    /// simplification of convenience: an anonymous collector is provably
+    /// beyond the flow method.  Its correctness rests on "each cache acks
+    /// each `Inv` exactly once *per operation*", but the flow system only
+    /// sees cumulative counters — a scenario where one cache's
+    /// acknowledgments from different operations are double-counted while
+    /// another's invalidation is left dangling satisfies every
+    /// conservation equality with nonnegative counters, so no derivable
+    /// linear invariant (equality *or* bound) can exclude the resulting
+    /// spurious deadlock candidates.  Fixing the drain order restores
+    /// per-cache attribution, and the derived invariants then pin every
+    /// sweep state to the exact set of in-flight `Inv`/`Ack` messages.
+    /// The xMAS blocking abstraction loses nothing by the fixed order:
+    /// queue occupants are order-free for consumability, so no artificial
+    /// ordering deadlock is introduced.
+    pub fn directory_agent(&self, net: &mut Network) -> AgentSpec {
+        let caches: Vec<u32> = self.cache_nodes().collect();
+        let n = caches.len();
+        let msgs: Vec<CacheMsgs> = caches.iter().map(|&c| self.cache_msgs(net, c)).collect();
+
+        let mut b = AutomatonBuilder::new("dir", 1, 1);
+        let i = b.state("I");
+        b.set_initial(i);
+        let s_k: Vec<StateId> = (1..=n).map(|k| b.state(format!("S({k})"))).collect();
+        let e_c: Vec<StateId> = caches.iter().map(|c| b.state(format!("E({c})"))).collect();
+        let shared = |k: usize| -> StateId {
+            if k == 0 {
+                i
+            } else {
+                s_k[k - 1]
+            }
+        };
+
+        // Stale-writeback self-loops: consume the Put and acknowledge it
+        // without changing the sharing state.  Needed in every state that
+        // can observe a writeback crossing an in-flight operation;
+        // `except` skips a cache whose own writebacks are impossible there
+        // (a sweep requestor waits for its grant and cannot replace).
+        let absorb_puts = |b: &mut AutomatonBuilder, state: StateId, except: Option<usize>| {
+            for (zi, zm) in msgs.iter().enumerate() {
+                if Some(zi) == except {
+                    continue;
+                }
+                b.on_packet(state, state, 0, zm.put_x, Some((0, zm.ack_down)));
+                b.on_packet(state, state, 0, zm.put_s, Some((0, zm.ack_down)));
+            }
+        };
+
+        // --- I: no copies anywhere. -------------------------------------
+        for (ci, cm) in msgs.iter().enumerate() {
+            // The exclusive grant on a read miss from I is the E-state
+            // optimisation that distinguishes MESI from MSI.
+            b.on_packet(i, e_c[ci], 0, cm.get_s, Some((0, cm.data_e)));
+            b.on_any(
+                i,
+                e_c[ci],
+                [
+                    ((0, cm.get_x), Some((0, cm.data_x))),
+                    ((0, cm.upg), Some((0, cm.data_x))),
+                ],
+            );
+        }
+        absorb_puts(&mut b, i, None);
+
+        // --- S(k): k read-only copies (identities unknown). --------------
+        for k in 1..=n {
+            let here = shared(k);
+            for (ci, cm) in msgs.iter().enumerate() {
+                // Another reader joins; at the population cap the count
+                // saturates (a GetS from a current sharer is impossible,
+                // but the counting abstraction cannot see that).
+                b.on_packet(
+                    here,
+                    shared((k + 1).min(n)),
+                    0,
+                    cm.get_s,
+                    Some((0, cm.data_s)),
+                );
+                // A reader leaves.  A stale PutS (sender already swept)
+                // over-decrements — harmless for deadlock freedom, see the
+                // module docs.
+                b.on_packet(here, shared(k - 1), 0, cm.put_s, Some((0, cm.ack_down)));
+                // A stale dirty writeback is acknowledged in place.
+                b.on_packet(here, here, 0, cm.put_x, Some((0, cm.ack_down)));
+
+                // An exclusive request starts the invalidation sweep: Inv
+                // every cache except the requestor (one message per step),
+                // then collect the same number of Acks.  Upg and GetX are
+                // serviced identically — the requestor's cache state (SM
+                // vs IM) decides what the eventual DataX grant means.
+                let others: Vec<usize> = (0..n).filter(|&j| j != ci).collect();
+                let r = caches[ci];
+                if others.is_empty() {
+                    // Single-cache fabric: nothing to invalidate.
+                    b.on_any(
+                        here,
+                        e_c[ci],
+                        [
+                            ((0, cm.get_x), Some((0, cm.data_x))),
+                            ((0, cm.upg), Some((0, cm.data_x))),
+                        ],
+                    );
+                } else {
+                    let first_inv = msgs[others[0]].inv;
+                    let after_first = if others.len() == 1 {
+                        b.state(format!("C({r},1)"))
+                    } else {
+                        b.state(format!("B({r},1)"))
+                    };
+                    b.on_any(
+                        here,
+                        after_first,
+                        [
+                            ((0, cm.get_x), Some((0, first_inv))),
+                            ((0, cm.upg), Some((0, first_inv))),
+                        ],
+                    );
+                }
+            }
+        }
+
+        // --- Broadcast and collect chains, once per requestor. -----------
+        for (ci, cm) in msgs.iter().enumerate() {
+            let others: Vec<usize> = (0..n).filter(|&j| j != ci).collect();
+            if others.is_empty() {
+                continue;
+            }
+            let r = caches[ci];
+            let m_count = others.len();
+            // B(r,i): i invalidations sent, emit the next spontaneously.
+            for sent in 1..m_count {
+                let here = b.state(format!("B({r},{sent})"));
+                let next = if sent + 1 == m_count {
+                    b.state(format!("C({r},{m_count})"))
+                } else {
+                    b.state(format!("B({r},{})", sent + 1))
+                };
+                b.spontaneous_emit(here, next, 0, msgs[others[sent]].inv);
+            }
+            // C(r,p): p acknowledgments outstanding, collected in fixed order.
+            for p in (1..=m_count).rev() {
+                let here = b.state(format!("C({r},{p})"));
+                let expect = others[m_count - p];
+                if p > 1 {
+                    let next = b.state(format!("C({r},{})", p - 1));
+                    b.on_packet(here, next, 0, msgs[expect].ack_up, None);
+                } else {
+                    b.on_packet(here, e_c[ci], 0, msgs[expect].ack_up, Some((0, cm.data_x)));
+                }
+                absorb_puts(&mut b, here, Some(ci));
+            }
+        }
+
+        // --- E(x): cache x holds the block exclusively (clean or dirty). --
+        for (xi, xm) in msgs.iter().enumerate() {
+            let e_x = e_c[xi];
+            // Owner writeback ends the ownership.
+            b.on_packet(e_x, i, 0, xm.put_x, Some((0, xm.ack_down)));
+            // Stale writebacks from everyone else are acknowledged in
+            // place; so is any PutS (the owner cannot hold a shared copy).
+            for (zi, zm) in msgs.iter().enumerate() {
+                if zi != xi {
+                    b.on_packet(e_x, e_x, 0, zm.put_x, Some((0, zm.ack_down)));
+                }
+                b.on_packet(e_x, e_x, 0, zm.put_s, Some((0, zm.ack_down)));
+            }
+            // Requests from other caches invalidate the owner first.
+            for (yi, ym) in msgs.iter().enumerate() {
+                if yi == xi {
+                    continue;
+                }
+                let x = caches[xi];
+                let y = caches[yi];
+                let ei = b.state(format!("EI({x},{y})"));
+                let eis = b.state(format!("EIS({x},{y})"));
+                b.on_any(
+                    e_x,
+                    ei,
+                    [
+                        ((0, ym.get_x), Some((0, xm.inv))),
+                        ((0, ym.upg), Some((0, xm.inv))),
+                    ],
+                );
+                b.on_packet(e_x, eis, 0, ym.get_s, Some((0, xm.inv)));
+                // The owner's acknowledgment completes the transfer (a
+                // forced dirty writeback is folded into the Ack).
+                b.on_packet(ei, e_c[yi], 0, xm.ack_up, Some((0, ym.data_x)));
+                b.on_packet(eis, shared(1), 0, xm.ack_up, Some((0, ym.data_s)));
+                absorb_puts(&mut b, ei, None);
+                absorb_puts(&mut b, eis, None);
+            }
+        }
+
+        let automaton = b.build().expect("MESI directory automaton is well-formed");
+        AgentSpec {
+            automaton,
+            net_in: 0,
+            net_out: 0,
+            core_in: None,
+            core_triggers: Vec::new(),
+            aux_out: None,
+        }
+    }
+
+    /// Builds the agent for an arbitrary node according to its role.
+    pub fn agent(&self, net: &mut Network, node: u32) -> AgentSpec {
+        match self.role_of(node) {
+            Role::Cache => self.cache_agent(net, node),
+            Role::Directory => self.directory_agent(net),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_has_nine_states_and_answers_inv_everywhere() {
+        let protocol = Mesi::new(4, 3);
+        let mut net = Network::new();
+        let spec = protocol.cache_agent(&mut net, 0);
+        let a = &spec.automaton;
+        assert_eq!(a.state_count(), 9);
+        assert!(spec.needs_core_source());
+        assert_eq!(spec.core_triggers.len(), 3);
+        let inv = net
+            .colors()
+            .lookup(&Packet::kind("Inv").with_src(3).with_dst(0))
+            .unwrap();
+        let ack_up = net
+            .colors()
+            .lookup(&Packet::kind("Ack").with_src(0).with_dst(3))
+            .unwrap();
+        // Every state consumes Inv, and the response is always an Ack.
+        for state in a.states() {
+            let handles_inv = a
+                .transitions_from(state)
+                .any(|t| a.transition(t).accepts(0, inv));
+            assert!(handles_inv, "state {} must answer Inv", a.state_name(state));
+        }
+        for t in a.transitions() {
+            if t.accepts(0, inv) {
+                assert_eq!(t.emission_for(0, inv), Some(Some((0, ack_up))));
+            }
+        }
+    }
+
+    #[test]
+    fn directory_state_count_is_quadratic_in_the_cache_count() {
+        for num_nodes in [3u32, 4, 9] {
+            let protocol = Mesi::new(num_nodes, 0);
+            let mut net = Network::new();
+            let spec = protocol.directory_agent(&mut net);
+            let n = (num_nodes - 1) as usize;
+            assert_eq!(
+                spec.automaton.state_count(),
+                Mesi::directory_states(n),
+                "directory states for {n} caches"
+            );
+            assert!(!spec.needs_core_source());
+        }
+    }
+
+    #[test]
+    fn sweep_invalidates_every_non_requestor_exactly_once() {
+        // 4 nodes, directory at 3: requestor 0's sweep must emit Inv to 1
+        // and 2 but never to 0.
+        let protocol = Mesi::new(4, 3);
+        let mut net = Network::new();
+        let spec = protocol.directory_agent(&mut net);
+        let a = &spec.automaton;
+        let inv_to = |c: u32, net: &Network| {
+            net.colors()
+                .lookup(&Packet::kind("Inv").with_src(3).with_dst(c))
+                .unwrap()
+        };
+        let get_x_0 = net
+            .colors()
+            .lookup(&Packet::kind("GetX").with_src(0).with_dst(3))
+            .unwrap();
+        // The transition consuming GetX(0) from S(k) emits the first Inv.
+        let sweep_start: Vec<_> = a
+            .transitions()
+            .iter()
+            .filter(|t| t.accepts(0, get_x_0))
+            .collect();
+        assert!(!sweep_start.is_empty());
+        let emitted: Vec<ColorId> = sweep_start
+            .iter()
+            .flat_map(|t| t.emissions())
+            .map(|(_, c)| c)
+            .collect();
+        assert!(
+            !emitted.contains(&inv_to(0, &net)),
+            "never Inv the requestor"
+        );
+        // Across the whole automaton both other caches are invalidated.
+        assert!(a.ever_emits(0, inv_to(1, &net)));
+        assert!(a.ever_emits(0, inv_to(2, &net)));
+    }
+
+    #[test]
+    fn exclusive_grant_from_i_exercises_the_e_state() {
+        let protocol = Mesi::new(3, 2);
+        let mut net = Network::new();
+        let dir = protocol.directory_agent(&mut net);
+        let get_s = net
+            .colors()
+            .lookup(&Packet::kind("GetS").with_src(0).with_dst(2))
+            .unwrap();
+        let data_e = net
+            .colors()
+            .lookup(&Packet::kind("DataE").with_src(2).with_dst(0))
+            .unwrap();
+        let a = &dir.automaton;
+        let i = a.state_by_name("I").unwrap();
+        let grants_exclusive = a.transitions_from(i).any(|t| {
+            let t = a.transition(t);
+            t.accepts(0, get_s) && t.emissions().contains(&(0, data_e))
+        });
+        assert!(grants_exclusive, "a read miss on an idle line grants E");
+    }
+
+    #[test]
+    fn two_node_fabrics_degenerate_to_single_inv_sweeps() {
+        // One cache, one directory: upgrades need no invalidations at all.
+        let protocol = Mesi::new(2, 1);
+        let mut net = Network::new();
+        let dir = protocol.directory_agent(&mut net);
+        assert_eq!(dir.automaton.state_count(), Mesi::directory_states(1));
+        let cache = protocol.cache_agent(&mut net, 0);
+        assert_eq!(cache.automaton.state_count(), 9);
+    }
+
+    #[test]
+    fn message_kinds_split_into_requests_and_responses() {
+        use crate::MessageClass;
+        let kinds = Mesi::message_kinds();
+        assert_eq!(kinds.len(), 10);
+        let requests = kinds
+            .iter()
+            .filter(|k| MessageClass::of_kind(k) == MessageClass::Request)
+            .count();
+        assert_eq!(requests, 5, "GetS/GetX/Upg/PutS/PutX are requests");
+    }
+
+    #[test]
+    fn data_grants_are_split_by_purpose() {
+        // DataE resolves only read fills (IS→E); DataX resolves only write
+        // requests (IM/SM→M).  The split keeps the GetS and GetX/Upg
+        // request streams separable by the invariant generator.
+        let protocol = Mesi::new(3, 2);
+        let mut net = Network::new();
+        let cache = protocol.cache_agent(&mut net, 0);
+        let a = &cache.automaton;
+        let data_e = net
+            .colors()
+            .lookup(&Packet::kind("DataE").with_src(2).with_dst(0))
+            .unwrap();
+        let data_x = net
+            .colors()
+            .lookup(&Packet::kind("DataX").with_src(2).with_dst(0))
+            .unwrap();
+        let is = a.state_by_name("IS").unwrap();
+        let im = a.state_by_name("IM").unwrap();
+        let sm = a.state_by_name("SM").unwrap();
+        for t in a.transitions() {
+            if t.accepts(0, data_e) {
+                assert_eq!(t.from, is, "DataE is consumed only in IS");
+            }
+            if t.accepts(0, data_x) {
+                assert!(t.from == im || t.from == sm, "DataX only in IM/SM");
+            }
+        }
+        assert!(a.ever_accepts(0, data_e));
+        assert!(a.ever_accepts(0, data_x));
+    }
+
+    #[test]
+    #[should_panic(expected = "no cache")]
+    fn cache_agent_for_directory_node_panics() {
+        let protocol = Mesi::new(4, 1);
+        let mut net = Network::new();
+        let _ = protocol.cache_agent(&mut net, 1);
+    }
+}

@@ -9,10 +9,11 @@
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MessageClass {
     /// Requests travelling towards the directory (`getX`, `putX`, `GetM`,
-    /// `PutM`, `DmaReq`).
+    /// `PutM`, `DmaReq`; for MESI `GetS`, `GetX`, `Upg`, `PutS`, `PutX`).
     Request,
     /// Responses and directory-initiated traffic (`inv`, `ack`, `Data`,
-    /// `FwdGetM`, `WBAck`, `Nack`).
+    /// `FwdGetM`, `WBAck`, `Nack`; for MESI `Inv`, `Ack`, `DataS`,
+    /// `DataE`, `DataX`).
     Response,
 }
 
@@ -25,10 +26,11 @@ impl MessageClass {
         }
     }
 
-    /// Classifies a message kind (shared by both MI protocols).
+    /// Classifies a message kind (shared by all protocol families).
     pub fn of_kind(kind: &str) -> MessageClass {
         match kind {
-            "getX" | "putX" | "GetM" | "PutM" | "DmaReq" => MessageClass::Request,
+            "getX" | "putX" | "GetM" | "PutM" | "DmaReq" | "GetS" | "GetX" | "Upg" | "PutS"
+            | "PutX" => MessageClass::Request,
             _ => MessageClass::Response,
         }
     }

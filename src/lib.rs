@@ -5,6 +5,9 @@
 //! refer to everything through a single dependency. The real public API
 //! lives in the [`advocat`] crate and the substrate crates it builds on.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use advocat;
 pub use advocat_automata as automata;
 pub use advocat_deadlock as deadlock;

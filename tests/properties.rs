@@ -228,6 +228,120 @@ fn deadlock_free_routing_configurations_have_acyclic_cdgs() {
     }
 }
 
+/// Every protocol family's agents wire consistently on random topologies:
+/// the `AgentSpec` contract between `advocat-protocols` and the fabric
+/// builder.  Per spec, the declared ports must exist on the automaton,
+/// `core_triggers` must be local colors (no in-fabric destination, source
+/// stamped with the hosting node), and the built fabric must materialise
+/// exactly the sources and sinks the specs ask for.
+#[test]
+fn agent_specs_wire_consistently_on_random_topologies() {
+    use advocat::protocols::{AgentSpec, Mesi, Role};
+    let mut gen = XorShift64::new(0xA9E57);
+    for case in 0..40 {
+        let topo = match gen.int(0, 2) {
+            0 => Topology::mesh(gen.int(2, 4) as u32, gen.int(1, 3) as u32).unwrap(),
+            1 => Topology::ring(gen.int(3, 6) as u32).unwrap(),
+            _ => Topology::torus(gen.int(2, 3) as u32, gen.int(2, 3) as u32).unwrap(),
+        };
+        let agents = topo.num_terminals() as u32;
+        let directory = gen.int(0, (agents - 1) as i128) as u32;
+        for protocol in [
+            ProtocolKind::AbstractMi,
+            ProtocolKind::FullMi,
+            ProtocolKind::Mesi,
+        ] {
+            let mut net = Network::new();
+            let specs: Vec<(u32, AgentSpec)> = (0..agents)
+                .map(|node| {
+                    let spec = match protocol {
+                        ProtocolKind::AbstractMi => {
+                            AbstractMi::new(agents, directory).agent(&mut net, node)
+                        }
+                        ProtocolKind::FullMi => {
+                            FullMi::new(agents, directory).agent(&mut net, node)
+                        }
+                        ProtocolKind::Mesi => Mesi::new(agents, directory).agent(&mut net, node),
+                    };
+                    (node, spec)
+                })
+                .collect();
+
+            let mut expected_sources = 0usize;
+            let mut expected_sinks = 0usize;
+            for (node, spec) in &specs {
+                let ctx = format!("case {case} {protocol:?} node {node}");
+                let a = &spec.automaton;
+                assert!(spec.net_in < a.input_count(), "{ctx}: net_in port");
+                assert!(spec.net_out < a.output_count(), "{ctx}: net_out port");
+                if let Some(core_in) = spec.core_in {
+                    assert!(core_in < a.input_count(), "{ctx}: core_in port");
+                    assert_ne!(core_in, spec.net_in, "{ctx}: core and net ports differ");
+                }
+                if let Some(aux) = spec.aux_out {
+                    assert!(aux < a.output_count(), "{ctx}: aux_out port");
+                }
+                for trigger in &spec.core_triggers {
+                    let packet = net.colors().packet(*trigger);
+                    // A trigger must not need the fabric: no destination,
+                    // an off-fabric pseudo node (the DMA engine), or the
+                    // hosting node itself (locally consumed requests).
+                    assert!(
+                        packet.dst.is_none()
+                            || packet.dst == Some(agents)
+                            || packet.dst == Some(*node),
+                        "{ctx}: core triggers never route through the fabric"
+                    );
+                    let core_in = spec.core_in.expect("triggers imply a core port");
+                    assert!(
+                        a.ever_accepts(core_in, *trigger),
+                        "{ctx}: trigger {packet} consumable on the core port"
+                    );
+                }
+                if spec.needs_core_source() {
+                    expected_sources += 1;
+                }
+                if spec.aux_out.is_some() {
+                    expected_sinks += 1;
+                }
+                // Role sanity: exactly one directory, everything else caches.
+                let role = match protocol {
+                    ProtocolKind::AbstractMi => AbstractMi::new(agents, directory).role_of(*node),
+                    ProtocolKind::FullMi => FullMi::new(agents, directory).role_of(*node),
+                    ProtocolKind::Mesi => Mesi::new(agents, directory).role_of(*node),
+                };
+                assert_eq!(role == Role::Directory, *node == directory, "{ctx}");
+            }
+
+            // The generic fabric builder realises exactly those specs.
+            let config = FabricConfig::new(topo.clone(), 2)
+                .with_directory(directory as usize)
+                .with_protocol(protocol);
+            let system =
+                build_fabric(&config).unwrap_or_else(|e| panic!("case {case} {protocol:?}: {e}"));
+            system.validate().unwrap();
+            let hist = system.network().kind_histogram();
+            assert_eq!(
+                hist.get("source").copied().unwrap_or(0),
+                expected_sources,
+                "case {case} {protocol:?} ({}): one fair source per needs_core_source",
+                topo.name()
+            );
+            assert_eq!(
+                hist.get("sink").copied().unwrap_or(0),
+                expected_sinks,
+                "case {case} {protocol:?} ({}): one fair sink per aux_out",
+                topo.name()
+            );
+            assert_eq!(
+                hist.get("automaton").copied().unwrap_or(0),
+                agents as usize,
+                "case {case} {protocol:?}: one agent per terminal"
+            );
+        }
+    }
+}
+
 /// Derived invariants hold along random trajectories of arbitrary small
 /// meshes — the central soundness property of the invariant generator.
 #[test]
