@@ -3,25 +3,31 @@
 //! Design-space exploration rarely asks one question: it sweeps
 //! topologies, directory placements, protocols, deadlock targets and
 //! queue capacities.  The scenarios are independent, so [`run_batch`]
-//! fans them out over `std::thread` workers pulling from a shared queue —
-//! wall-clock time scales with the slowest scenario rather than the sum —
-//! and *within* each scenario every query is answered by one persistent
-//! [`QueryEngine`] session, so a scenario's capacity sweep reuses its
-//! encoding and everything its solver learnt instead of re-analyzing cold
-//! per capacity.
+//! fans them out across worker threads — wall-clock time scales with the
+//! slowest scenario rather than the sum — and *within* each scenario
+//! every query is answered by one persistent
+//! [`QueryEngine`](crate::QueryEngine) session, so a scenario's capacity
+//! sweep reuses its encoding and everything its solver learnt instead of
+//! re-analyzing cold per capacity.
+//!
+//! Since the service layer landed, `run_batch` is a thin wrapper over a
+//! private [`Service`]: each scenario expands to `(fabric, capacity)`
+//! jobs via [`Service::submit_sweep`], the work-stealing scheduler fans
+//! them out, and the warm-engine pool's ticket discipline reproduces
+//! exactly the old one-session-per-scenario behaviour (same verdicts,
+//! same witnesses, same per-scenario stats).
 
 use std::ops::RangeInclusive;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use advocat_automata::System;
-use advocat_deadlock::{DeadlockSpec, Query};
+use advocat_deadlock::DeadlockSpec;
 use advocat_logic::CheckConfig;
 use advocat_noc::{build_fabric_for_sweep, FabricConfig, FabricError, MeshConfig};
 
-use crate::query::{QueryEngine, SessionStats};
+use crate::query::SessionStats;
 use crate::report::Report;
+use crate::service::{JobError, Service, ServiceConfig};
 
 /// What a [`BatchScenario`] builds and verifies: a classic mesh
 /// description or a topology-generic fabric.
@@ -36,7 +42,7 @@ pub enum ScenarioFabric {
 
 impl ScenarioFabric {
     /// The queue capacity the scenario description itself pins.
-    fn queue_size(&self) -> usize {
+    pub(crate) fn queue_size(&self) -> usize {
         match self {
             ScenarioFabric::Mesh(config) => config.queue_size,
             ScenarioFabric::Fabric(config) => config.queue_size,
@@ -45,7 +51,7 @@ impl ScenarioFabric {
 
     /// Builds the fabric with queues sized for a sweep up to
     /// `max_capacity`.
-    fn build_for_sweep(&self, max_capacity: usize) -> Result<System, FabricError> {
+    pub(crate) fn build_for_sweep(&self, max_capacity: usize) -> Result<System, FabricError> {
         let fabric = match self {
             ScenarioFabric::Mesh(config) => config.to_fabric()?,
             ScenarioFabric::Fabric(config) => (**config).clone(),
@@ -137,8 +143,11 @@ pub struct BatchOutcome {
     /// stays 1) rather than re-analyzing cold.  `None` when the fabric
     /// failed to build.
     pub stats: Option<SessionStats>,
-    /// Wall-clock time this scenario took on its worker (fabric
-    /// construction plus every query).
+    /// Wall-clock time spent *working* on this scenario: fabric
+    /// construction plus every query, summed over its jobs.  Time the
+    /// jobs waited for a worker is **not** included (the service reports
+    /// queue wait separately, per job, as
+    /// [`JobOutcome::queue_wait`](crate::JobOutcome::queue_wait)).
     pub elapsed: Duration,
 }
 
@@ -153,12 +162,14 @@ impl BatchOutcome {
 /// Verifies every scenario, fanning the work across at most `workers`
 /// operating-system threads, and returns the outcomes in scenario order.
 ///
-/// Workers pull scenarios from a shared counter, so an expensive scenario
-/// does not hold up the remaining ones.  Within a scenario, all queries —
-/// the whole capacity sweep, when one is configured — are answered by one
-/// persistent [`QueryEngine`] session.  `workers` is clamped to
-/// `1..=scenarios.len()`; pass `std::thread::available_parallelism()` for
-/// a machine-sized pool.
+/// Each scenario expands into one job per swept capacity on a private
+/// [`Service`]; the service's warm-engine pool guarantees the whole sweep
+/// runs on one persistent [`QueryEngine`](crate::QueryEngine) session, in
+/// ascending capacity order, exactly as if the scenario ran alone on one
+/// thread — while the work-stealing scheduler keeps every worker busy
+/// across scenarios.  **`workers == 0` means machine-sized**: the pool
+/// uses [`std::thread::available_parallelism`].  Any other value is
+/// clamped to the number of jobs.
 ///
 /// # Examples
 ///
@@ -184,70 +195,74 @@ pub fn run_batch(scenarios: &[BatchScenario], workers: usize) -> Vec<BatchOutcom
     if scenarios.is_empty() {
         return Vec::new();
     }
-    let workers = workers.clamp(1, scenarios.len());
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<BatchOutcome>>> =
-        scenarios.iter().map(|_| Mutex::new(None)).collect();
+    let total_jobs: usize = scenarios
+        .iter()
+        .map(|s| s.sweep.clone().map_or(1, Iterator::count))
+        .sum();
+    let workers = if workers == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        workers
+    }
+    .clamp(1, total_jobs.max(1));
 
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                let Some(scenario) = scenarios.get(index) else {
-                    break;
-                };
-                *slots[index]
-                    .lock()
-                    .expect("no worker panicked holding the slot") = Some(run_scenario(scenario));
-            });
-        }
-    });
+    let service = Service::new(
+        ServiceConfig::default()
+            .with_workers(workers)
+            .with_queue_capacity(total_jobs.max(1))
+            .with_max_engines(scenarios.len()),
+    );
+    let ids: Vec<usize> = scenarios
+        .iter()
+        .map(|scenario| service.submit_sweep(scenario).len())
+        .collect();
+    let mut outcomes = service.drain().into_iter();
 
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("no worker panicked holding the slot")
-                .expect("every index below len was processed")
+    scenarios
+        .iter()
+        .zip(ids)
+        .map(|(scenario, jobs)| {
+            let own_size = scenario.fabric.queue_size();
+            let mut sweep = Vec::with_capacity(jobs);
+            let mut stats = SessionStats::default();
+            let mut elapsed = Duration::ZERO;
+            let mut fabric_error = None;
+            for outcome in outcomes.by_ref().take(jobs) {
+                elapsed += outcome.work_elapsed;
+                match outcome.result {
+                    Ok(report) => sweep.push((outcome.capacity, report)),
+                    Err(JobError::Fabric(error)) => fabric_error = Some(error),
+                    Err(other) => {
+                        unreachable!("batch jobs run without timeouts: {other}")
+                    }
+                }
+                if let Some(delta) = &outcome.session_delta {
+                    stats.absorb(delta);
+                }
+            }
+            let (result, sweep, stats) = match fabric_error {
+                Some(error) => (Err(error), Vec::new(), None),
+                None => {
+                    let primary = sweep
+                        .iter()
+                        .find(|(capacity, _)| *capacity == own_size)
+                        .or_else(|| sweep.last())
+                        .map(|(_, report)| report.clone())
+                        .expect("non-empty capacity range");
+                    (Ok(primary), sweep, Some(stats))
+                }
+            };
+            BatchOutcome {
+                name: scenario.name.clone(),
+                result,
+                sweep,
+                stats,
+                elapsed,
+            }
         })
         .collect()
-}
-
-/// Runs one scenario on the calling thread: build the fabric once, open
-/// one session, answer every capacity of its sweep.
-fn run_scenario(scenario: &BatchScenario) -> BatchOutcome {
-    let start = Instant::now();
-    let own_size = scenario.fabric.queue_size();
-    let range = scenario.sweep.clone().unwrap_or(own_size..=own_size);
-    let (result, sweep, stats) = match scenario.fabric.build_for_sweep(*range.end()) {
-        Err(error) => (Err(error), Vec::new(), None),
-        Ok(system) => {
-            let mut engine = QueryEngine::with_config(system, scenario.config, range.clone());
-            let target = scenario.spec.as_target();
-            let mut sweep = Vec::new();
-            for capacity in range.clone() {
-                let report = match target {
-                    Some(target) => engine.check(&Query::new().capacity(capacity).target(target)),
-                    None => engine.trivially_free(),
-                };
-                sweep.push((capacity, report));
-            }
-            let primary = sweep
-                .iter()
-                .find(|(capacity, _)| *capacity == own_size)
-                .or_else(|| sweep.last())
-                .map(|(_, report)| report.clone())
-                .expect("non-empty capacity range");
-            (Ok(primary), sweep, Some(engine.stats()))
-        }
-    };
-    BatchOutcome {
-        name: scenario.name.clone(),
-        result,
-        sweep,
-        stats,
-        elapsed: start.elapsed(),
-    }
 }
 
 /// Verifies every scenario at its own queue size.
@@ -263,7 +278,8 @@ pub fn verify_batch(scenarios: &[BatchScenario], workers: usize) -> Vec<BatchOut
 #[cfg(test)]
 mod tests {
     use super::*;
-    use advocat_deadlock::DeadlockTarget;
+    use crate::query::QueryEngine;
+    use advocat_deadlock::{DeadlockTarget, Query};
     use advocat_noc::Topology;
 
     #[test]

@@ -56,6 +56,7 @@ mod family;
 pub mod prelude;
 mod query;
 mod report;
+pub mod service;
 mod session;
 mod sizing;
 mod verifier;
@@ -66,6 +67,10 @@ pub use batch::{run_batch, BatchOutcome, BatchScenario, ScenarioFabric};
 pub use family::{FamilyOutcome, ProtocolComparison, ProtocolFamily};
 pub use query::{QueryEngine, SessionStats};
 pub use report::Report;
+pub use service::{
+    Fingerprint, JobError, JobId, JobOutcome, JobRequest, PoolStats, Service, ServiceConfig,
+    SubmitError, TopologySpec, VerifyJob,
+};
 #[allow(deprecated)]
 pub use session::VerificationSession;
 #[allow(deprecated)]

@@ -20,6 +20,11 @@ pub use crate::{
     Verifier,
 };
 
+pub use crate::service::{
+    Fingerprint, JobError, JobId, JobOutcome, JobRequest, PoolStats, Service, ServiceConfig,
+    SubmitError, TopologySpec, VerifyJob,
+};
+
 pub use advocat_automata::{derive_colors, AutomatonBuilder, System};
 pub use advocat_deadlock::{
     verify_system, CapacitySelection, DeadlockSpec, DeadlockTarget, EncodingTemplate, Query,

@@ -60,6 +60,49 @@ impl SessionStats {
     pub fn sat_effort(&self) -> u64 {
         self.sat_conflicts + self.sat_propagations
     }
+
+    /// The stats accumulated since `baseline` was captured from the same
+    /// session: cumulative counters are subtracted (saturating, so a stale
+    /// baseline degrades to the raw value instead of panicking), while the
+    /// point-in-time gauges ([`SessionStats::live_learnts`],
+    /// [`SessionStats::total_learnt`]) keep their latest snapshot.  The
+    /// verification service uses this to attribute a pooled engine's work
+    /// to the individual jobs that ran on it.
+    pub fn delta_since(&self, baseline: &SessionStats) -> SessionStats {
+        SessionStats {
+            templates_built: self
+                .templates_built
+                .saturating_sub(baseline.templates_built),
+            queries: self.queries.saturating_sub(baseline.queries),
+            sat_conflicts: self.sat_conflicts.saturating_sub(baseline.sat_conflicts),
+            sat_propagations: self
+                .sat_propagations
+                .saturating_sub(baseline.sat_propagations),
+            reduced_dbs: self.reduced_dbs.saturating_sub(baseline.reduced_dbs),
+            deleted_clauses: self
+                .deleted_clauses
+                .saturating_sub(baseline.deleted_clauses),
+            live_learnts: self.live_learnts,
+            total_learnt: self.total_learnt,
+            query_elapsed: self.query_elapsed.saturating_sub(baseline.query_elapsed),
+        }
+    }
+
+    /// Accumulates another session's (or delta's) counters into `self`;
+    /// gauges take the other side's latest snapshot.  The inverse of
+    /// [`SessionStats::delta_since`], used to fold per-job deltas back into
+    /// a per-scenario view.
+    pub fn absorb(&mut self, other: &SessionStats) {
+        self.templates_built += other.templates_built;
+        self.queries += other.queries;
+        self.sat_conflicts += other.sat_conflicts;
+        self.sat_propagations += other.sat_propagations;
+        self.reduced_dbs += other.reduced_dbs;
+        self.deleted_clauses += other.deleted_clauses;
+        self.live_learnts = other.live_learnts;
+        self.total_learnt = other.total_learnt;
+        self.query_elapsed += other.query_elapsed;
+    }
 }
 
 /// An incremental verification engine: one system, one derived encoding

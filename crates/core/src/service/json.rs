@@ -1,0 +1,840 @@
+//! A hand-rolled, dependency-free JSON job format.
+//!
+//! The service is meant to sit behind scripts and CI harnesses, so jobs
+//! and outcomes need a wire form.  The container this project builds in is
+//! offline — no serde — so this module carries its own small recursive-
+//! descent parser and writer for exactly the job/outcome shapes:
+//!
+//! ```json
+//! {
+//!   "name": "mesi torus",
+//!   "topology": { "kind": "torus", "width": 3, "height": 3 },
+//!   "queue_size": 2,
+//!   "protocol": "mesi",
+//!   "directory": 4,
+//!   "capacities": [1, 4],
+//!   "target": "any",
+//!   "invariants": true,
+//!   "timeout_ms": 60000
+//! }
+//! ```
+//!
+//! A request file is one such object or an array of them
+//! ([`requests_from_json`]); each request expands to one [`VerifyJob`] per
+//! capacity, all sharing the sweep range (and therefore one pooled
+//! engine).  Outcomes serialise with [`outcome_to_json`].
+
+use std::fmt;
+use std::ops::RangeInclusive;
+use std::time::Duration;
+
+use advocat_deadlock::DeadlockSpec;
+use advocat_logic::CheckConfig;
+use advocat_noc::{FabricConfig, MeshConfig, ProtocolKind, Topology};
+
+use super::{JobError, JobOutcome, VerifyJob};
+
+/// A malformed job request (or an unbuildable topology described by one).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input where parsing stopped (`0` for semantic
+    /// errors discovered after parsing).
+    pub offset: usize,
+}
+
+impl JsonError {
+    fn semantic(message: impl Into<String>) -> Self {
+        JsonError {
+            message: message.into(),
+            offset: 0,
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// The topology a JSON job request asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// A `width × height` 2D mesh (XY-routed).
+    Mesh {
+        /// Columns.
+        width: u32,
+        /// Rows.
+        height: u32,
+    },
+    /// A `width × height` 2D torus (dimension-ordered with dateline VCs).
+    Torus {
+        /// Columns.
+        width: u32,
+        /// Rows.
+        height: u32,
+    },
+    /// A unidirectional ring.
+    Ring {
+        /// Node count.
+        nodes: u32,
+    },
+    /// A k-ary fat tree.
+    FatTree {
+        /// Children per switch.
+        arity: u32,
+        /// Tree depth.
+        levels: u32,
+    },
+}
+
+/// One JSON job request: a fabric description plus a capacity sweep.
+///
+/// Expand with [`JobRequest::to_jobs`]; the jobs share one engine range,
+/// so the whole sweep runs on a single pooled engine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRequest {
+    /// Label carried into every outcome of the sweep.
+    pub name: String,
+    /// The fabric's topology.
+    pub topology: TopologySpec,
+    /// The fabric's configured queue capacity.
+    pub queue_size: usize,
+    /// The hosted cache-coherence protocol.
+    pub protocol: ProtocolKind,
+    /// Directory placement as a node index (`None` keeps the default).
+    pub directory: Option<usize>,
+    /// Whether message classes ride separate virtual channels.
+    pub message_class_vcs: bool,
+    /// The capacities to verify (inclusive); also the engine range.
+    pub capacities: RangeInclusive<usize>,
+    /// Which conditions count as a deadlock.
+    pub spec: DeadlockSpec,
+    /// Whether derived invariants strengthen the encoding.
+    pub invariants: bool,
+    /// Per-job wall-clock budget in milliseconds.
+    pub timeout_ms: Option<u64>,
+    /// Override for [`CheckConfig::max_refinements`].
+    pub max_refinements: Option<u64>,
+    /// Override for [`CheckConfig::theory_node_budget`].
+    pub theory_node_budget: Option<u64>,
+}
+
+impl JobRequest {
+    /// A request over `topology` with every knob at its default: queue
+    /// size 2, abstract-MI protocol, capacity sweep pinned to the queue
+    /// size.
+    pub fn new(name: impl Into<String>, topology: TopologySpec) -> Self {
+        JobRequest {
+            name: name.into(),
+            topology,
+            queue_size: 2,
+            protocol: ProtocolKind::AbstractMi,
+            directory: None,
+            message_class_vcs: false,
+            capacities: 2..=2,
+            spec: DeadlockSpec::default(),
+            invariants: true,
+            timeout_ms: None,
+            max_refinements: None,
+            theory_node_budget: None,
+        }
+    }
+
+    /// Expands the request into one [`VerifyJob`] per capacity, all
+    /// sharing the sweep as their engine range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the requested topology cannot be
+    /// constructed (degenerate dimensions and the like).
+    pub fn to_jobs(&self) -> Result<Vec<VerifyJob>, JsonError> {
+        let fabric = self.build_fabric()?;
+        let mut config = CheckConfig::default();
+        if let Some(limit) = self.max_refinements {
+            config.max_refinements = limit;
+        }
+        if let Some(budget) = self.theory_node_budget {
+            config.theory_node_budget = budget;
+        }
+        Ok(self
+            .capacities
+            .clone()
+            .map(|capacity| {
+                let mut job = VerifyJob::over(self.name.clone(), fabric.clone())
+                    .with_spec(self.spec)
+                    .with_config(config)
+                    .at_capacity(capacity)
+                    .with_engine_range(self.capacities.clone())
+                    .with_invariants(self.invariants);
+                if let Some(ms) = self.timeout_ms {
+                    job = job.with_timeout(Duration::from_millis(ms));
+                }
+                job
+            })
+            .collect())
+    }
+
+    fn build_fabric(&self) -> Result<crate::batch::ScenarioFabric, JsonError> {
+        use crate::batch::ScenarioFabric;
+        match self.topology {
+            TopologySpec::Mesh { width, height } => {
+                let mut mesh = MeshConfig::new(width, height, self.queue_size)
+                    .with_protocol(self.protocol)
+                    .with_virtual_channels(self.message_class_vcs);
+                if let Some(node) = self.directory {
+                    if width == 0 {
+                        return Err(JsonError::semantic("mesh width must be positive"));
+                    }
+                    let node = node as u32;
+                    mesh = mesh.with_directory(node % width, node / width);
+                }
+                Ok(ScenarioFabric::Mesh(mesh))
+            }
+            TopologySpec::Torus { width, height } => self.wrap(Topology::torus(width, height)),
+            TopologySpec::Ring { nodes } => self.wrap(Topology::ring(nodes)),
+            TopologySpec::FatTree { arity, levels } => self.wrap(Topology::fat_tree(arity, levels)),
+        }
+    }
+
+    fn wrap(
+        &self,
+        topology: Result<Topology, impl fmt::Display>,
+    ) -> Result<crate::batch::ScenarioFabric, JsonError> {
+        let topology = topology.map_err(|e| JsonError::semantic(format!("bad topology: {e}")))?;
+        let mut fabric = FabricConfig::new(topology, self.queue_size)
+            .with_protocol(self.protocol)
+            .with_message_class_vcs(self.message_class_vcs);
+        if let Some(node) = self.directory {
+            fabric = fabric.with_directory(node);
+        }
+        Ok(crate::batch::ScenarioFabric::Fabric(Box::new(fabric)))
+    }
+
+    /// Serialises the request back to its JSON object form.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        push_str_field(&mut out, "name", &self.name);
+        out.push_str(",\"topology\":");
+        match self.topology {
+            TopologySpec::Mesh { width, height } => {
+                out.push_str(&format!(
+                    "{{\"kind\":\"mesh\",\"width\":{width},\"height\":{height}}}"
+                ));
+            }
+            TopologySpec::Torus { width, height } => {
+                out.push_str(&format!(
+                    "{{\"kind\":\"torus\",\"width\":{width},\"height\":{height}}}"
+                ));
+            }
+            TopologySpec::Ring { nodes } => {
+                out.push_str(&format!("{{\"kind\":\"ring\",\"nodes\":{nodes}}}"));
+            }
+            TopologySpec::FatTree { arity, levels } => {
+                out.push_str(&format!(
+                    "{{\"kind\":\"fat-tree\",\"arity\":{arity},\"levels\":{levels}}}"
+                ));
+            }
+        }
+        out.push_str(&format!(",\"queue_size\":{}", self.queue_size));
+        out.push_str(&format!(
+            ",\"protocol\":\"{}\"",
+            protocol_name(self.protocol)
+        ));
+        if let Some(node) = self.directory {
+            out.push_str(&format!(",\"directory\":{node}"));
+        }
+        if self.message_class_vcs {
+            out.push_str(",\"message_class_vcs\":true");
+        }
+        out.push_str(&format!(
+            ",\"capacities\":[{},{}]",
+            self.capacities.start(),
+            self.capacities.end()
+        ));
+        out.push_str(&format!(",\"target\":\"{}\"", spec_name(&self.spec)));
+        out.push_str(&format!(",\"invariants\":{}", self.invariants));
+        if let Some(ms) = self.timeout_ms {
+            out.push_str(&format!(",\"timeout_ms\":{ms}"));
+        }
+        if let Some(limit) = self.max_refinements {
+            out.push_str(&format!(",\"max_refinements\":{limit}"));
+        }
+        if let Some(budget) = self.theory_node_budget {
+            out.push_str(&format!(",\"theory_node_budget\":{budget}"));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Parses a request file: one JSON job object, or an array of them.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] locating the first syntactic or semantic
+/// problem.
+pub fn requests_from_json(text: &str) -> Result<Vec<JobRequest>, JsonError> {
+    let value = parse(text)?;
+    match value {
+        Json::Object(_) => Ok(vec![request_from_value(&value)?]),
+        Json::Array(items) => items.iter().map(request_from_value).collect(),
+        _ => Err(JsonError::semantic(
+            "expected a job object or an array of job objects",
+        )),
+    }
+}
+
+/// Serialises a finished job's outcome as one JSON object (status,
+/// timings, warm-hit flag and the job's session-stats delta).
+pub fn outcome_to_json(outcome: &JobOutcome) -> String {
+    let mut out = String::from("{");
+    out.push_str(&format!("\"id\":{}", outcome.id.0));
+    out.push(',');
+    push_str_field(&mut out, "name", &outcome.name);
+    out.push_str(&format!(",\"capacity\":{}", outcome.capacity));
+    out.push_str(&format!(",\"fingerprint\":\"{}\"", outcome.fingerprint));
+    match &outcome.result {
+        Ok(report) if report.is_deadlock_free() => {
+            out.push_str(",\"status\":\"deadlock-free\"");
+        }
+        Ok(_) => out.push_str(",\"status\":\"potential-deadlock\""),
+        Err(error) => {
+            let kind = match error {
+                JobError::Fabric(_) => "fabric-error",
+                JobError::TimedOut { .. } => "timed-out",
+                JobError::EngineLost { .. } => "engine-lost",
+            };
+            out.push_str(&format!(",\"status\":\"{kind}\","));
+            push_str_field(&mut out, "error", &error.to_string());
+        }
+    }
+    out.push_str(&format!(
+        ",\"queue_wait_ms\":{:.3},\"work_elapsed_ms\":{:.3}",
+        outcome.queue_wait.as_secs_f64() * 1e3,
+        outcome.work_elapsed.as_secs_f64() * 1e3
+    ));
+    out.push_str(&format!(",\"warm_hit\":{}", outcome.warm_hit));
+    out.push_str(&format!(
+        ",\"deadline_exceeded\":{}",
+        outcome.deadline_exceeded
+    ));
+    if let Some(delta) = &outcome.session_delta {
+        out.push_str(&format!(
+            ",\"delta\":{{\"templates_built\":{},\"queries\":{},\"sat_conflicts\":{},\"sat_propagations\":{}}}",
+            delta.templates_built, delta.queries, delta.sat_conflicts, delta.sat_propagations
+        ));
+    }
+    out.push('}');
+    out
+}
+
+fn protocol_name(protocol: ProtocolKind) -> &'static str {
+    match protocol {
+        ProtocolKind::AbstractMi => "abstract-mi",
+        ProtocolKind::FullMi => "full-mi",
+        ProtocolKind::Mesi => "mesi",
+    }
+}
+
+fn spec_name(spec: &DeadlockSpec) -> &'static str {
+    match (spec.stuck_packet, spec.dead_automaton) {
+        (true, true) => "any",
+        (true, false) => "stuck-packet",
+        (false, true) => "dead-automaton",
+        (false, false) => "none",
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Request extraction from parsed values.
+// ---------------------------------------------------------------------------
+
+fn request_from_value(value: &Json) -> Result<JobRequest, JsonError> {
+    let Json::Object(fields) = value else {
+        return Err(JsonError::semantic("each job request must be an object"));
+    };
+    for (key, _) in fields {
+        const KNOWN: [&str; 12] = [
+            "name",
+            "topology",
+            "queue_size",
+            "protocol",
+            "directory",
+            "message_class_vcs",
+            "capacities",
+            "target",
+            "invariants",
+            "timeout_ms",
+            "max_refinements",
+            "theory_node_budget",
+        ];
+        if !KNOWN.contains(&key.as_str()) {
+            return Err(JsonError::semantic(format!("unknown job field `{key}`")));
+        }
+    }
+    let name = match get(fields, "name") {
+        Some(Json::String(s)) => s.clone(),
+        Some(_) => return Err(JsonError::semantic("`name` must be a string")),
+        None => return Err(JsonError::semantic("job request is missing `name`")),
+    };
+    let topology = topology_from_value(
+        get(fields, "topology")
+            .ok_or_else(|| JsonError::semantic("job request is missing `topology`"))?,
+    )?;
+    let queue_size = match get(fields, "queue_size") {
+        Some(value) => usize_from(value, "queue_size")?,
+        None => 2,
+    };
+    let protocol = match get(fields, "protocol") {
+        None => ProtocolKind::AbstractMi,
+        Some(Json::String(s)) => match s.as_str() {
+            "abstract-mi" => ProtocolKind::AbstractMi,
+            "full-mi" => ProtocolKind::FullMi,
+            "mesi" => ProtocolKind::Mesi,
+            other => {
+                return Err(JsonError::semantic(format!(
+                    "unknown protocol `{other}` (expected abstract-mi, full-mi or mesi)"
+                )))
+            }
+        },
+        Some(_) => return Err(JsonError::semantic("`protocol` must be a string")),
+    };
+    let directory = match get(fields, "directory") {
+        None => None,
+        Some(value) => Some(usize_from(value, "directory")?),
+    };
+    let message_class_vcs = match get(fields, "message_class_vcs") {
+        None => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err(JsonError::semantic("`message_class_vcs` must be a boolean")),
+    };
+    let capacities = match get(fields, "capacities") {
+        None => queue_size..=queue_size,
+        Some(Json::Array(items)) => match items.as_slice() {
+            [start, end] => {
+                let start = usize_from(start, "capacities[0]")?;
+                let end = usize_from(end, "capacities[1]")?;
+                if start > end {
+                    return Err(JsonError::semantic("`capacities` range is reversed"));
+                }
+                start..=end
+            }
+            _ => {
+                return Err(JsonError::semantic(
+                    "`capacities` must be a number or a [start, end] pair",
+                ))
+            }
+        },
+        Some(value) => {
+            let single = usize_from(value, "capacities")?;
+            single..=single
+        }
+    };
+    let spec = match get(fields, "target") {
+        None => DeadlockSpec::default(),
+        Some(Json::String(s)) => match s.as_str() {
+            "any" => DeadlockSpec {
+                stuck_packet: true,
+                dead_automaton: true,
+            },
+            "stuck-packet" => DeadlockSpec {
+                stuck_packet: true,
+                dead_automaton: false,
+            },
+            "dead-automaton" => DeadlockSpec {
+                stuck_packet: false,
+                dead_automaton: true,
+            },
+            "none" => DeadlockSpec {
+                stuck_packet: false,
+                dead_automaton: false,
+            },
+            other => {
+                return Err(JsonError::semantic(format!(
+                    "unknown target `{other}` (expected any, stuck-packet, dead-automaton or none)"
+                )))
+            }
+        },
+        Some(_) => return Err(JsonError::semantic("`target` must be a string")),
+    };
+    let invariants = match get(fields, "invariants") {
+        None => true,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err(JsonError::semantic("`invariants` must be a boolean")),
+    };
+    let timeout_ms = match get(fields, "timeout_ms") {
+        None => None,
+        Some(value) => Some(usize_from(value, "timeout_ms")? as u64),
+    };
+    let max_refinements = match get(fields, "max_refinements") {
+        None => None,
+        Some(value) => Some(usize_from(value, "max_refinements")? as u64),
+    };
+    let theory_node_budget = match get(fields, "theory_node_budget") {
+        None => None,
+        Some(value) => Some(usize_from(value, "theory_node_budget")? as u64),
+    };
+    Ok(JobRequest {
+        name,
+        topology,
+        queue_size,
+        protocol,
+        directory,
+        message_class_vcs,
+        capacities,
+        spec,
+        invariants,
+        timeout_ms,
+        max_refinements,
+        theory_node_budget,
+    })
+}
+
+fn topology_from_value(value: &Json) -> Result<TopologySpec, JsonError> {
+    let Json::Object(fields) = value else {
+        return Err(JsonError::semantic("`topology` must be an object"));
+    };
+    let kind = match get(fields, "kind") {
+        Some(Json::String(s)) => s.as_str(),
+        _ => return Err(JsonError::semantic("`topology.kind` must be a string")),
+    };
+    let dim = |key: &str| -> Result<u32, JsonError> {
+        match get(fields, key) {
+            Some(value) => Ok(usize_from(value, key)? as u32),
+            None => Err(JsonError::semantic(format!(
+                "topology kind `{kind}` requires `{key}`"
+            ))),
+        }
+    };
+    match kind {
+        "mesh" => Ok(TopologySpec::Mesh {
+            width: dim("width")?,
+            height: dim("height")?,
+        }),
+        "torus" => Ok(TopologySpec::Torus {
+            width: dim("width")?,
+            height: dim("height")?,
+        }),
+        "ring" => Ok(TopologySpec::Ring {
+            nodes: dim("nodes")?,
+        }),
+        "fat-tree" => Ok(TopologySpec::FatTree {
+            arity: dim("arity")?,
+            levels: dim("levels")?,
+        }),
+        other => Err(JsonError::semantic(format!(
+            "unknown topology kind `{other}` (expected mesh, torus, ring or fat-tree)"
+        ))),
+    }
+}
+
+fn get<'a>(fields: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn usize_from(value: &Json, field: &str) -> Result<usize, JsonError> {
+    match value {
+        Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+            Ok(*n as usize)
+        }
+        _ => Err(JsonError::semantic(format!(
+            "`{field}` must be a non-negative integer"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The parser: minimal recursive-descent JSON.
+// ---------------------------------------------------------------------------
+
+enum Json {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after the JSON value"));
+    }
+    Ok(value)
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{text}`")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("numeric bytes are ASCII");
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| self.error(format!("malformed number `{text}`")))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("malformed \\u escape"))?;
+                            out.push(
+                                char::from_u32(hex)
+                                    .ok_or_else(|| self.error("\\u escape is not a scalar"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (multi-byte sequences are
+                    // copied verbatim; the input is a &str, so they are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8 inside string"))?;
+                    let c = rest.chars().next().expect("non-empty remainder");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_full_request_round_trips() {
+        let text = r#"{
+            "name": "torus sweep",
+            "topology": {"kind": "torus", "width": 3, "height": 2},
+            "queue_size": 2,
+            "protocol": "mesi",
+            "directory": 4,
+            "capacities": [1, 3],
+            "target": "stuck-packet",
+            "invariants": false,
+            "timeout_ms": 5000
+        }"#;
+        let requests = requests_from_json(text).unwrap();
+        assert_eq!(requests.len(), 1);
+        let request = &requests[0];
+        assert_eq!(
+            request.topology,
+            TopologySpec::Torus {
+                width: 3,
+                height: 2
+            }
+        );
+        assert_eq!(request.capacities, 1..=3);
+        assert!(!request.invariants);
+        let reparsed = requests_from_json(&request.to_json()).unwrap();
+        assert_eq!(&reparsed[0], request);
+        assert_eq!(request.to_jobs().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn arrays_of_requests_and_defaults_work() {
+        let text = r#"[
+            {"name": "a", "topology": {"kind": "mesh", "width": 2, "height": 2}},
+            {"name": "b", "topology": {"kind": "ring", "nodes": 4}, "capacities": 3}
+        ]"#;
+        let requests = requests_from_json(text).unwrap();
+        assert_eq!(requests.len(), 2);
+        assert_eq!(requests[0].queue_size, 2);
+        assert_eq!(requests[0].capacities, 2..=2);
+        assert_eq!(requests[1].capacities, 3..=3);
+    }
+
+    #[test]
+    fn malformed_requests_are_refused_with_a_reason() {
+        for (text, needle) in [
+            ("{", "expected"),
+            (r#"{"name": 3}"#, "must be a string"),
+            (
+                r#"{"topology": {"kind": "ring", "nodes": 4}}"#,
+                "missing `name`",
+            ),
+            (
+                r#"{"name": "x", "topology": {"kind": "moebius"}}"#,
+                "unknown topology kind",
+            ),
+            (
+                r#"{"name": "x", "topology": {"kind": "ring", "nodes": 4}, "bogus": 1}"#,
+                "unknown job field",
+            ),
+            (
+                r#"{"name": "x", "topology": {"kind": "ring", "nodes": 4}, "capacities": [3, 1]}"#,
+                "reversed",
+            ),
+        ] {
+            let error = requests_from_json(text).unwrap_err();
+            assert!(
+                error.message.contains(needle),
+                "{text} → {error}, wanted `{needle}`"
+            );
+        }
+    }
+}

@@ -1,0 +1,825 @@
+//! The long-running verification service: many clients, one warm fleet.
+//!
+//! [`run_batch`](crate::run_batch) parallelises *one* caller's scenarios;
+//! a [`Service`] is the production shape of the same idea — a persistent,
+//! concurrent front door that amortises engine construction **across**
+//! submissions.  Three layers:
+//!
+//! * a **sharded warm-engine pool** ([`PoolStats`]): engines are keyed by
+//!   a [`Fingerprint`] of the canonical fabric structure, capacity range,
+//!   solver limits and deadlock spec, so a job whose fabric the service
+//!   has already seen checks out a warm [`crate::QueryEngine`] — template,
+//!   invariants and every learnt clause included — instead of cold-building
+//!   its own;
+//! * a **work-stealing scheduler**: per-worker deques with steal-half and
+//!   a bounded injector for admission control (see
+//!   [`Service::try_submit`]);
+//! * a **ticket turnstile** per pool entry: same-fingerprint jobs run in
+//!   submission order, which keeps verdicts and counterexample witnesses
+//!   identical at any worker count.
+//!
+//! Jobs are `(fabric, capacity)`-granular ([`VerifyJob`]), so a giant
+//! sweep becomes many schedulable units; [`Service::submit_sweep`] splits
+//! a [`BatchScenario`] accordingly, and
+//! [`run_batch`](crate::run_batch) is nowadays a thin wrapper over
+//! `submit_sweep` + [`Service::drain`].
+//!
+//! # Examples
+//!
+//! ```
+//! use advocat::prelude::*;
+//!
+//! let service = Service::new(ServiceConfig::default().with_workers(2));
+//! // Two jobs, one fabric: the second hits the warm engine.
+//! let mesh = MeshConfig::new(2, 2, 2).with_directory(1, 1);
+//! service.submit(VerifyJob::mesh("cap 2", mesh).at_capacity(2).with_engine_range(2..=3));
+//! service.submit(VerifyJob::mesh("cap 3", mesh).at_capacity(3).with_engine_range(2..=3));
+//! let outcomes = service.drain();
+//! assert!(!outcomes[0].is_deadlock_free());
+//! assert!(outcomes[1].is_deadlock_free());
+//! assert!(outcomes[1].warm_hit);
+//! assert_eq!(service.pool_stats().engines_built, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod fingerprint;
+mod json;
+mod pool;
+mod scheduler;
+
+pub use fingerprint::Fingerprint;
+pub use json::{outcome_to_json, requests_from_json, JobRequest, JsonError, TopologySpec};
+pub use pool::PoolStats;
+pub use scheduler::SubmitError;
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::ops::RangeInclusive;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use advocat_deadlock::{DeadlockSpec, Query};
+use advocat_logic::CheckConfig;
+use advocat_noc::{FabricConfig, FabricError, MeshConfig};
+
+use crate::batch::{BatchScenario, ScenarioFabric};
+use crate::query::{QueryEngine, SessionStats};
+use crate::report::Report;
+
+use pool::{EngineEntry, EnginePool, EngineSlot};
+use scheduler::{ScheduledJob, Scheduler};
+
+/// Configuration of a [`Service`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads; `0` means
+    /// [`std::thread::available_parallelism`].
+    pub workers: usize,
+    /// Bound of the pending-job queue — the admission-control knob.
+    /// [`Service::submit`] blocks while the queue is full;
+    /// [`Service::try_submit`] refuses instead.
+    pub queue_capacity: usize,
+    /// Cap on warm engines held by the pool; least-recently-used idle
+    /// engines are evicted beyond it.
+    pub max_engines: usize,
+    /// Default per-job wall-clock budget (a job may override it).  A job
+    /// that exceeds its budget *while queued* is refused without running;
+    /// one that exceeds it mid-work finishes and is flagged
+    /// ([`JobOutcome::deadline_exceeded`]) — queries are never interrupted
+    /// mid-solve.
+    pub default_timeout: Option<Duration>,
+    /// `false` disables the warm pool entirely: every job builds and
+    /// discards a private engine.  This is the cold baseline the
+    /// `--bench service` comparison runs against; production wants `true`.
+    pub warm_pool: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 0,
+            queue_capacity: 1024,
+            max_engines: 64,
+            default_timeout: None,
+            warm_pool: true,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the worker-thread count (`0` = machine-sized).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the pending-queue bound.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the warm-engine cap.
+    pub fn with_max_engines(mut self, max_engines: usize) -> Self {
+        self.max_engines = max_engines;
+        self
+    }
+
+    /// Sets the default per-job timeout.
+    pub fn with_default_timeout(mut self, timeout: Duration) -> Self {
+        self.default_timeout = Some(timeout);
+        self
+    }
+
+    /// Enables or disables the warm-engine pool.
+    pub fn with_warm_pool(mut self, enabled: bool) -> Self {
+        self.warm_pool = enabled;
+        self
+    }
+}
+
+/// One `(fabric, capacity)`-granular verification job.
+///
+/// The unit of scheduling: a sweep over many capacities is many jobs
+/// sharing an [`Fingerprint`] (set [`VerifyJob::with_engine_range`] to the
+/// sweep range on each), so they reuse one pooled engine — in submission
+/// order — while unrelated jobs run beside them on other workers.
+#[derive(Clone, Debug)]
+pub struct VerifyJob {
+    /// Human-readable label carried into the outcome.
+    pub name: String,
+    /// The fabric to verify.
+    pub fabric: ScenarioFabric,
+    /// Which conditions count as a deadlock.
+    pub spec: DeadlockSpec,
+    /// SMT resource limits.
+    pub config: CheckConfig,
+    /// The queue capacity to ask about; `None` means the fabric's own
+    /// configured queue size.
+    pub capacity: Option<usize>,
+    /// The capacity range the pooled engine is built over.  Jobs agreeing
+    /// on fabric, spec, solver limits *and* this range share an engine;
+    /// defaults to `capacity..=capacity`.  Widened if it does not contain
+    /// the queried capacity.
+    pub engine_range: Option<RangeInclusive<usize>>,
+    /// Whether derived invariants strengthen the encoding (the Section-3
+    /// ablation flips this off).
+    pub invariants: bool,
+    /// Per-job wall-clock budget overriding the service default.
+    pub timeout: Option<Duration>,
+}
+
+impl VerifyJob {
+    /// A job over a 2D-mesh configuration, at its configured queue size.
+    pub fn mesh(name: impl Into<String>, config: MeshConfig) -> Self {
+        VerifyJob::over(name, ScenarioFabric::Mesh(config))
+    }
+
+    /// A job over an arbitrary topology fabric.
+    pub fn fabric(name: impl Into<String>, config: FabricConfig) -> Self {
+        VerifyJob::over(name, ScenarioFabric::Fabric(Box::new(config)))
+    }
+
+    /// A job over an already-wrapped scenario fabric.
+    pub fn over(name: impl Into<String>, fabric: ScenarioFabric) -> Self {
+        VerifyJob {
+            name: name.into(),
+            fabric,
+            spec: DeadlockSpec::default(),
+            config: CheckConfig::default(),
+            capacity: None,
+            engine_range: None,
+            invariants: true,
+            timeout: None,
+        }
+    }
+
+    /// Replaces the deadlock specification.
+    pub fn with_spec(mut self, spec: DeadlockSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Replaces the SMT resource limits.
+    pub fn with_config(mut self, config: CheckConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Pins the queried capacity.
+    pub fn at_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the engine's capacity range (the warm-sharing key for sweeps).
+    pub fn with_engine_range(mut self, range: RangeInclusive<usize>) -> Self {
+        self.engine_range = Some(range);
+        self
+    }
+
+    /// Enables or disables invariant strengthening.
+    pub fn with_invariants(mut self, enabled: bool) -> Self {
+        self.invariants = enabled;
+        self
+    }
+
+    /// Sets this job's wall-clock budget.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+}
+
+/// Identifier of a submitted job: its submission index, which is also the
+/// order [`Service::drain`] returns outcomes in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Why a job produced no report.
+#[derive(Clone, Debug)]
+pub enum JobError {
+    /// The fabric could not be built (shared by every job of the
+    /// fingerprint: the first failure is cached).
+    Fabric(FabricError),
+    /// The job's wall-clock budget expired while it was still queued; it
+    /// was refused without touching an engine.
+    TimedOut {
+        /// How long the job had waited when it was refused.
+        waited: Duration,
+    },
+    /// The worker running the job panicked; the engine it held was
+    /// discarded (the next same-fingerprint job rebuilds cold).
+    EngineLost {
+        /// The panic message, when one was recoverable.
+        message: String,
+    },
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Fabric(e) => write!(f, "fabric build failed: {e}"),
+            JobError::TimedOut { waited } => {
+                write!(f, "timed out after waiting {waited:.2?} in the queue")
+            }
+            JobError::EngineLost { message } => {
+                write!(f, "worker panicked while running the job: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Everything the service reports about one finished job.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// The job's submission identifier.
+    pub id: JobId,
+    /// The label given at submission.
+    pub name: String,
+    /// The capacity the job asked about.
+    pub capacity: usize,
+    /// The pool key the job ran under.
+    pub fingerprint: Fingerprint,
+    /// The verification report, or why there is none.
+    pub result: Result<Report, JobError>,
+    /// Time between admission and the moment a worker started the job —
+    /// scheduling plus turnstile wait, kept *separate* from the work
+    /// (`run_batch`'s old `elapsed` conflated the two).
+    pub queue_wait: Duration,
+    /// Time spent working: engine build (for the cold job of a
+    /// fingerprint) plus the query itself.
+    pub work_elapsed: Duration,
+    /// Whether the job checked out an already-warm engine.
+    pub warm_hit: bool,
+    /// The job ran to completion but blew through its wall-clock budget
+    /// doing so (queries are never interrupted mid-solve).
+    pub deadline_exceeded: bool,
+    /// This job's share of its engine's [`SessionStats`]: the stats delta
+    /// its queries caused.  `templates_built` is `1` exactly for the job
+    /// that cold-built the engine.  `None` when no engine ran.
+    pub session_delta: Option<SessionStats>,
+}
+
+impl JobOutcome {
+    /// Returns `true` when the job produced a deadlock-free report.
+    pub fn is_deadlock_free(&self) -> bool {
+        matches!(&self.result, Ok(report) if report.is_deadlock_free())
+    }
+}
+
+struct ResultStore {
+    slots: Vec<Option<JobOutcome>>,
+    ready: VecDeque<u64>,
+    submitted: u64,
+    completed: u64,
+    consumed: u64,
+}
+
+struct Shared {
+    scheduler: Scheduler,
+    pool: EnginePool,
+    warm_pool: bool,
+    default_timeout: Option<Duration>,
+    results: Mutex<ResultStore>,
+    results_cv: Condvar,
+}
+
+/// A long-running, concurrent verification service.  See the
+/// [module documentation](self) for the architecture and an example.
+///
+/// Dropping the service shuts it down: workers stop after their current
+/// job and any still-queued jobs are discarded, so call
+/// [`Service::drain`] (or consume every outcome) first.
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for Service {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Service")
+            .field("workers", &self.workers.len())
+            .field("pool", &self.shared.pool.stats())
+            .finish()
+    }
+}
+
+impl Service {
+    /// Starts the service: spawns the worker threads and the (initially
+    /// empty) engine pool.
+    pub fn new(config: ServiceConfig) -> Self {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            scheduler: Scheduler::new(workers, config.queue_capacity),
+            pool: EnginePool::new(config.max_engines),
+            warm_pool: config.warm_pool,
+            default_timeout: config.default_timeout,
+            results: Mutex::new(ResultStore {
+                slots: Vec::new(),
+                ready: VecDeque::new(),
+                submitted: 0,
+                completed: 0,
+                consumed: 0,
+            }),
+            results_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("advocat-worker-{index}"))
+                    .spawn(move || worker_loop(shared, index))
+                    .expect("spawning a service worker")
+            })
+            .collect();
+        Service {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Submits one job, blocking while the bounded queue is full.
+    /// Returns its [`JobId`] (also its position in [`Service::drain`]).
+    pub fn submit(&self, job: VerifyJob) -> JobId {
+        let shared = &self.shared;
+        let id = shared
+            .scheduler
+            .push_with(|| self.prepare(job))
+            .expect("blocking submit never refuses");
+        JobId(id)
+    }
+
+    /// Submits one job unless the bounded queue is full — the
+    /// non-blocking admission-control path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::QueueFull`] (with the job untouched
+    /// service-side) when admission would have to wait.
+    pub fn try_submit(&self, job: VerifyJob) -> Result<JobId, SubmitError> {
+        self.shared
+            .scheduler
+            .try_push_with(|| self.prepare(job))
+            .map(JobId)
+    }
+
+    /// Splits a [`BatchScenario`] into per-capacity jobs sharing one
+    /// pooled engine (the scenario's sweep range is the engine range) and
+    /// submits them all, blocking on backpressure.  Returns the job ids in
+    /// ascending capacity order.
+    pub fn submit_sweep(&self, scenario: &BatchScenario) -> Vec<JobId> {
+        let own = scenario.fabric.queue_size();
+        let range = scenario.sweep.clone().unwrap_or(own..=own);
+        range
+            .clone()
+            .map(|capacity| {
+                self.submit(
+                    VerifyJob::over(scenario.name.clone(), scenario.fabric.clone())
+                        .with_spec(scenario.spec)
+                        .with_config(scenario.config)
+                        .at_capacity(capacity)
+                        .with_engine_range(range.clone()),
+                )
+            })
+            .collect()
+    }
+
+    /// Parses [`JobRequest`]s from JSON (a single object or an array) and
+    /// submits each as a sweep of per-capacity jobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonError`] when the text is not valid job JSON; no
+    /// jobs are submitted in that case.
+    pub fn submit_json(&self, text: &str) -> Result<Vec<JobId>, JsonError> {
+        let requests = requests_from_json(text)?;
+        let mut jobs = Vec::new();
+        for request in &requests {
+            jobs.extend(request.to_jobs()?);
+        }
+        Ok(jobs.into_iter().map(|job| self.submit(job)).collect())
+    }
+
+    /// Resolves a submitted job into its scheduled form: capacity, engine
+    /// range, fingerprint, pool ticket and outcome slot.
+    fn prepare(&self, job: VerifyJob) -> ScheduledJob {
+        let shared = &self.shared;
+        let capacity = job.capacity.unwrap_or_else(|| job.fabric.queue_size());
+        let range = match job.engine_range.clone() {
+            None => capacity..=capacity,
+            Some(range) => *range.start().min(&capacity)..=*range.end().max(&capacity),
+        };
+        let fingerprint = Fingerprint::of_job(&job.fabric, &range, &job.config, &job.spec);
+        let (entry, turn) = if shared.warm_pool {
+            let (entry, turn) = shared.pool.ticket(fingerprint);
+            (Some(entry), turn)
+        } else {
+            (None, 0)
+        };
+        let timeout = job.timeout.or(shared.default_timeout);
+        let id = {
+            let mut results = shared.results.lock().expect("result store lock");
+            let id = results.submitted;
+            results.submitted += 1;
+            results.slots.push(None);
+            id
+        };
+        ScheduledJob {
+            id,
+            fingerprint,
+            job,
+            capacity,
+            range,
+            entry,
+            turn,
+            submitted_at: Instant::now(),
+            timeout,
+        }
+    }
+
+    /// Blocks until the next unconsumed outcome is available and returns
+    /// it, in **completion** order (streaming consumers want results as
+    /// they land).  Returns `None` once every submitted job's outcome has
+    /// been consumed.
+    pub fn next_outcome(&self) -> Option<JobOutcome> {
+        let shared = &self.shared;
+        let mut results = shared.results.lock().expect("result store lock");
+        loop {
+            while let Some(id) = results.ready.pop_front() {
+                if let Some(outcome) = results.slots[id as usize].take() {
+                    results.consumed += 1;
+                    return Some(outcome);
+                }
+            }
+            if results.consumed >= results.submitted {
+                return None;
+            }
+            results = shared.results_cv.wait(results).expect("result store lock");
+        }
+    }
+
+    /// Waits for every submitted job to finish and returns all outcomes
+    /// not yet consumed by [`Service::next_outcome`], in **submission**
+    /// order.
+    pub fn drain(&self) -> Vec<JobOutcome> {
+        let shared = &self.shared;
+        let mut results = shared.results.lock().expect("result store lock");
+        while results.completed < results.submitted {
+            results = shared.results_cv.wait(results).expect("result store lock");
+        }
+        let mut outcomes = Vec::new();
+        for slot in results.slots.iter_mut() {
+            if let Some(outcome) = slot.take() {
+                outcomes.push(outcome);
+            }
+        }
+        results.consumed += outcomes.len() as u64;
+        results.ready.clear();
+        outcomes
+    }
+
+    /// Jobs admitted but not yet finished.
+    pub fn pending(&self) -> u64 {
+        let results = self.shared.results.lock().expect("result store lock");
+        results.submitted - results.completed
+    }
+
+    /// Jobs waiting in the bounded admission queue right now.
+    pub fn queued(&self) -> usize {
+        self.shared.scheduler.queued()
+    }
+
+    /// Cumulative statistics of the warm-engine pool.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.shared.pool.stats()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shared.scheduler.shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, index: usize) {
+    loop {
+        let seen = shared.scheduler.activity();
+        match shared.scheduler.find_work(index) {
+            Some(job) => execute(&shared, index, job),
+            None => {
+                if shared.scheduler.is_shutdown() {
+                    break;
+                }
+                shared.scheduler.idle_wait(seen);
+            }
+        }
+    }
+}
+
+/// Runs (or parks) one scheduled job on the calling worker.
+fn execute(shared: &Shared, worker: usize, mut sj: ScheduledJob) {
+    let Some(entry) = sj.entry.take() else {
+        let outcome = run_pool_free(&sj);
+        record(shared, outcome);
+        return;
+    };
+
+    let mut state = entry.state.lock().expect("pool entry lock");
+    if state.now_serving != sj.turn {
+        // Not this job's turn yet: park it at the entry (the `entry` Arc
+        // stays out of the job to avoid a reference cycle) and free the
+        // worker.  The job is re-scheduled when its predecessor retires.
+        state.parked.insert(sj.turn, sj);
+        return;
+    }
+
+    // Admission-control timeout: refuse jobs that out-waited their budget
+    // before spending any engine time on them.
+    let queue_wait = sj.submitted_at.elapsed();
+    if sj.timeout.is_some_and(|limit| queue_wait > limit) {
+        drop(state);
+        record(
+            shared,
+            outcome_without_work(&sj, JobError::TimedOut { waited: queue_wait }, queue_wait),
+        );
+        advance(shared, worker, &entry);
+        return;
+    }
+
+    match std::mem::replace(&mut state.slot, EngineSlot::CheckedOut) {
+        EngineSlot::CheckedOut => unreachable!("the turnstile serialises checkouts"),
+        EngineSlot::Failed(error) => {
+            state.slot = EngineSlot::Failed(error.clone());
+            drop(state);
+            shared.pool.note_build_failure();
+            record(
+                shared,
+                outcome_without_work(&sj, JobError::Fabric(error), queue_wait),
+            );
+            advance(shared, worker, &entry);
+        }
+        EngineSlot::Ready(engine) => {
+            state.last_used = shared.pool.touch();
+            drop(state);
+            shared.pool.note_warm_hit();
+            let (engine, outcome) = run_on_engine(&sj, engine, true, queue_wait, Duration::ZERO);
+            return_engine(shared, &entry, engine);
+            record(shared, outcome);
+            advance(shared, worker, &entry);
+        }
+        EngineSlot::Empty => {
+            state.last_used = shared.pool.touch();
+            drop(state);
+            let build_start = Instant::now();
+            match build_engine(&sj) {
+                Err(error) => {
+                    entry.state.lock().expect("pool entry lock").slot =
+                        EngineSlot::Failed(error.clone());
+                    shared.pool.note_build_failure();
+                    let mut outcome =
+                        outcome_without_work(&sj, JobError::Fabric(error), queue_wait);
+                    outcome.work_elapsed = build_start.elapsed();
+                    record(shared, outcome);
+                    advance(shared, worker, &entry);
+                }
+                Ok(engine) => {
+                    shared.pool.note_build();
+                    let (engine, outcome) =
+                        run_on_engine(&sj, engine, false, queue_wait, build_start.elapsed());
+                    return_engine(shared, &entry, engine);
+                    advance(shared, worker, &entry);
+                    // Enforce the cap before publishing the outcome, so a
+                    // drained caller observes the pool already within (or
+                    // knowingly over) its bound.
+                    shared.pool.enforce_cap();
+                    record(shared, outcome);
+                }
+            }
+        }
+    }
+}
+
+/// Puts a checked-out engine back (or records its loss after a panic).
+fn return_engine(shared: &Shared, entry: &Arc<EngineEntry>, engine: Option<Box<QueryEngine>>) {
+    let mut state = entry.state.lock().expect("pool entry lock");
+    match engine {
+        Some(engine) => state.slot = EngineSlot::Ready(engine),
+        None => {
+            state.slot = EngineSlot::Empty;
+            shared.pool.note_engine_lost();
+        }
+    }
+}
+
+/// Retires the entry's serving ticket and re-schedules the next parked
+/// job, if it has already arrived.
+fn advance(shared: &Shared, worker: usize, entry: &Arc<EngineEntry>) {
+    let mut state = entry.state.lock().expect("pool entry lock");
+    state.now_serving += 1;
+    let next = state.now_serving;
+    if let Some(mut job) = state.parked.remove(&next) {
+        job.entry = Some(Arc::clone(entry));
+        drop(state);
+        shared.scheduler.push_local(worker, job);
+    }
+}
+
+/// Builds the engine a job's fingerprint calls for: the fabric at the
+/// range maximum, one template over the whole range.
+fn build_engine(sj: &ScheduledJob) -> Result<Box<QueryEngine>, FabricError> {
+    let system = sj.job.fabric.build_for_sweep(*sj.range.end())?;
+    Ok(Box::new(QueryEngine::with_config(
+        system,
+        sj.job.config,
+        sj.range.clone(),
+    )))
+}
+
+/// Answers the job's query on a checked-out engine, panic-safely.  Returns
+/// the engine (`None` when the query panicked and poisoned it) and the
+/// outcome.
+fn run_on_engine(
+    sj: &ScheduledJob,
+    mut engine: Box<QueryEngine>,
+    warm: bool,
+    queue_wait: Duration,
+    build_elapsed: Duration,
+) -> (Option<Box<QueryEngine>>, JobOutcome) {
+    let started = Instant::now();
+    let capacity = sj.capacity;
+    let target = sj.job.spec.as_target();
+    let invariants = sj.job.invariants;
+    let attempt = catch_unwind(AssertUnwindSafe(move || {
+        // A warm engine's cumulative stats belong to earlier jobs; the
+        // delta below isolates this job's share.  The cold baseline is
+        // zero so the builder job's delta keeps `templates_built == 1`.
+        let baseline = if warm {
+            engine.stats()
+        } else {
+            SessionStats::default()
+        };
+        let report = match target {
+            None => engine.trivially_free(),
+            Some(target) => engine.check(
+                &Query::new()
+                    .capacity(capacity)
+                    .target(target)
+                    .invariants(invariants),
+            ),
+        };
+        let delta = engine.stats().delta_since(&baseline);
+        (engine, report, delta)
+    }));
+    let work_elapsed = build_elapsed + started.elapsed();
+    let total = queue_wait + work_elapsed;
+    let deadline_exceeded = sj.timeout.is_some_and(|limit| total > limit);
+    match attempt {
+        Ok((engine, report, delta)) => (
+            Some(engine),
+            JobOutcome {
+                id: JobId(sj.id),
+                name: sj.job.name.clone(),
+                capacity,
+                fingerprint: sj.fingerprint,
+                result: Ok(report),
+                queue_wait,
+                work_elapsed,
+                warm_hit: warm,
+                deadline_exceeded,
+                session_delta: Some(delta),
+            },
+        ),
+        Err(panic) => (
+            None,
+            JobOutcome {
+                id: JobId(sj.id),
+                name: sj.job.name.clone(),
+                capacity,
+                fingerprint: sj.fingerprint,
+                result: Err(JobError::EngineLost {
+                    message: panic_message(&panic),
+                }),
+                queue_wait,
+                work_elapsed,
+                warm_hit: warm,
+                deadline_exceeded,
+                session_delta: None,
+            },
+        ),
+    }
+}
+
+/// The pool-disabled path: build a private engine, answer, discard.
+fn run_pool_free(sj: &ScheduledJob) -> JobOutcome {
+    let queue_wait = sj.submitted_at.elapsed();
+    if sj.timeout.is_some_and(|limit| queue_wait > limit) {
+        return outcome_without_work(sj, JobError::TimedOut { waited: queue_wait }, queue_wait);
+    }
+    let build_start = Instant::now();
+    match build_engine(sj) {
+        Err(error) => {
+            let mut outcome = outcome_without_work(sj, JobError::Fabric(error), queue_wait);
+            outcome.work_elapsed = build_start.elapsed();
+            outcome
+        }
+        Ok(engine) => {
+            let (_, outcome) = run_on_engine(sj, engine, false, queue_wait, build_start.elapsed());
+            outcome
+        }
+    }
+}
+
+fn outcome_without_work(sj: &ScheduledJob, error: JobError, queue_wait: Duration) -> JobOutcome {
+    JobOutcome {
+        id: JobId(sj.id),
+        name: sj.job.name.clone(),
+        capacity: sj.capacity,
+        fingerprint: sj.fingerprint,
+        result: Err(error),
+        queue_wait,
+        work_elapsed: Duration::ZERO,
+        warm_hit: false,
+        deadline_exceeded: false,
+        session_delta: None,
+    }
+}
+
+fn record(shared: &Shared, outcome: JobOutcome) {
+    let mut results = shared.results.lock().expect("result store lock");
+    let id = outcome.id.0;
+    results.slots[id as usize] = Some(outcome);
+    results.ready.push_back(id);
+    results.completed += 1;
+    drop(results);
+    shared.results_cv.notify_all();
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = panic.downcast_ref::<&str>() {
+        (*message).to_owned()
+    } else if let Some(message) = panic.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}

@@ -1,0 +1,223 @@
+//! The sharded warm-engine pool.
+//!
+//! Engines are keyed by [`Fingerprint`] across a fixed number of
+//! lock-striped shards.  Each entry owns at most one [`QueryEngine`] and a
+//! **ticket turnstile**: every job is assigned a ticket at submission, and
+//! the entry serves tickets strictly in order.  A worker whose job's turn
+//! has not come parks the job *at the entry* (freeing the worker — nothing
+//! ever blocks on the turnstile) and the job is re-scheduled by whichever
+//! worker retires the preceding ticket.  The discipline buys two things:
+//!
+//! * **checkout exclusivity** — the serving ticket is unique, so the
+//!   engine needs no lock while solving;
+//! * **determinism** — the engine sees the same query sequence regardless
+//!   of worker count, so verdicts *and counterexample witnesses* are
+//!   reproducible (the solver's model depends on its learnt-clause state,
+//!   which depends on query history).
+//!
+//! Cold engines are evicted least-recently-used once the pool exceeds its
+//! engine cap; entries with outstanding tickets are never evicted.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use advocat_noc::FabricError;
+
+use super::fingerprint::Fingerprint;
+use super::scheduler::ScheduledJob;
+use crate::query::QueryEngine;
+
+/// Number of lock stripes; fixed, small, and far above any realistic
+/// worker count's contention needs.
+const SHARDS: usize = 16;
+
+/// What an entry currently holds.
+pub(crate) enum EngineSlot {
+    /// No engine yet (cold, or evicted).
+    Empty,
+    /// A warm engine ready for checkout.
+    Ready(Box<QueryEngine>),
+    /// The serving ticket's worker took the engine out.
+    CheckedOut,
+    /// The fabric build failed; every later ticket fails fast with the
+    /// same error instead of re-attempting a deterministic failure.
+    Failed(FabricError),
+}
+
+pub(crate) struct EntryState {
+    /// Next ticket to hand out at submission.
+    pub next_ticket: u64,
+    /// The ticket currently allowed to use the engine.
+    pub now_serving: u64,
+    pub slot: EngineSlot,
+    /// Jobs whose turn has not come, keyed by ticket.
+    pub parked: BTreeMap<u64, ScheduledJob>,
+    /// Logical LRU timestamp of the last checkout.
+    pub last_used: u64,
+}
+
+/// One fingerprint's pool entry (the fingerprint itself is the map key).
+pub(crate) struct EngineEntry {
+    pub state: Mutex<EntryState>,
+}
+
+/// Cumulative statistics of a service's engine pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Engines built cold (each one is a full fabric + invariant +
+    /// template derivation).  With a warm pool this is the number of
+    /// *distinct* fingerprints seen (minus re-builds after eviction), not
+    /// the number of jobs.
+    pub engines_built: u64,
+    /// Jobs that checked out an already-warm engine.
+    pub warm_hits: u64,
+    /// Jobs that found their fingerprint's fabric unbuildable (including
+    /// the one that discovered it).
+    pub build_failures: u64,
+    /// Warm engines dropped by the LRU cap.
+    pub evictions: u64,
+    /// Warm engines currently alive.
+    pub live_engines: usize,
+}
+
+impl PoolStats {
+    /// Fraction of engine checkouts that hit a warm engine — the headline
+    /// number of the pool (`0.0` when nothing has run yet).
+    pub fn warm_hit_rate(&self) -> f64 {
+        let checkouts = self.warm_hits + self.engines_built;
+        if checkouts == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / checkouts as f64
+        }
+    }
+}
+
+pub(crate) struct EnginePool {
+    shards: Vec<Mutex<HashMap<Fingerprint, Arc<EngineEntry>>>>,
+    max_engines: usize,
+    clock: AtomicU64,
+    engines_built: AtomicU64,
+    warm_hits: AtomicU64,
+    build_failures: AtomicU64,
+    evictions: AtomicU64,
+    live: AtomicUsize,
+}
+
+impl EnginePool {
+    pub(crate) fn new(max_engines: usize) -> Self {
+        EnginePool {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            max_engines: max_engines.max(1),
+            clock: AtomicU64::new(0),
+            engines_built: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+            build_failures: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            live: AtomicUsize::new(0),
+        }
+    }
+
+    /// Issues the next ticket for `fingerprint`, creating the entry on
+    /// first sight.  Called at submission time, so ticket order equals
+    /// submission order.
+    pub(crate) fn ticket(&self, fingerprint: Fingerprint) -> (Arc<EngineEntry>, u64) {
+        let shard = &self.shards[fingerprint.shard(SHARDS)];
+        let mut map = shard.lock().expect("pool shard lock");
+        let entry = map
+            .entry(fingerprint)
+            .or_insert_with(|| {
+                Arc::new(EngineEntry {
+                    state: Mutex::new(EntryState {
+                        next_ticket: 0,
+                        now_serving: 0,
+                        slot: EngineSlot::Empty,
+                        parked: BTreeMap::new(),
+                        last_used: 0,
+                    }),
+                })
+            })
+            .clone();
+        drop(map);
+        let mut state = entry.state.lock().expect("pool entry lock");
+        let turn = state.next_ticket;
+        state.next_ticket += 1;
+        drop(state);
+        (entry, turn)
+    }
+
+    /// Bumps the logical clock (LRU ordering) and returns the new stamp.
+    pub(crate) fn touch(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    pub(crate) fn note_warm_hit(&self) {
+        self.warm_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_build(&self) {
+        self.engines_built.fetch_add(1, Ordering::Relaxed);
+        self.live.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_build_failure(&self) {
+        self.build_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_engine_lost(&self) {
+        self.live.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Evicts least-recently-used idle engines until the pool is back
+    /// under its cap.  An entry is evictable only when its engine is in
+    /// the slot (not checked out) and every issued ticket has been served
+    /// — evicting under outstanding tickets would rebuild the engine
+    /// mid-stream and break the warm guarantee those jobs were promised.
+    pub(crate) fn enforce_cap(&self) {
+        while self.live.load(Ordering::Relaxed) > self.max_engines {
+            let mut victim: Option<(u64, Fingerprint)> = None;
+            for shard in &self.shards {
+                let map = shard.lock().expect("pool shard lock");
+                for (fingerprint, entry) in map.iter() {
+                    let state = entry.state.lock().expect("pool entry lock");
+                    let idle = matches!(state.slot, EngineSlot::Ready(_))
+                        && state.now_serving == state.next_ticket;
+                    if idle && victim.is_none_or(|(best, _)| state.last_used < best) {
+                        victim = Some((state.last_used, *fingerprint));
+                    }
+                }
+            }
+            let Some((_, fingerprint)) = victim else {
+                return; // everything is busy; allow the temporary overshoot
+            };
+            let shard = &self.shards[fingerprint.shard(SHARDS)];
+            let mut map = shard.lock().expect("pool shard lock");
+            if let Some(entry) = map.get(&fingerprint) {
+                let mut state = entry.state.lock().expect("pool entry lock");
+                // Re-check under the lock: a ticket may have arrived since.
+                if matches!(state.slot, EngineSlot::Ready(_))
+                    && state.now_serving == state.next_ticket
+                {
+                    state.slot = EngineSlot::Empty;
+                    drop(state);
+                    map.remove(&fingerprint);
+                    self.live.fetch_sub(1, Ordering::Relaxed);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    return; // raced with new work; try again next build
+                }
+            }
+        }
+    }
+
+    pub(crate) fn stats(&self) -> PoolStats {
+        PoolStats {
+            engines_built: self.engines_built.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            build_failures: self.build_failures.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            live_engines: self.live.load(Ordering::Relaxed),
+        }
+    }
+}

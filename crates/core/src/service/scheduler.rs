@@ -1,0 +1,245 @@
+//! The work-stealing scheduler of the verification service.
+//!
+//! Jobs enter through a **bounded injector** queue (the admission-control
+//! point: when it is full, submitters block — or, via
+//! [`crate::Service::try_submit`], get an immediate refusal).  Each worker
+//! owns a deque: it pops its own work LIFO (freshly unparked jobs stay
+//! cache-warm), refills from the injector FIFO, and when both are dry it
+//! **steals half** of a victim's deque, oldest jobs first — the classic
+//! steal-half discipline, so a worker that got handed a giant sweep sheds
+//! the bulk of it to the first idle thief instead of being nibbled one job
+//! at a time.
+//!
+//! Blocking is deliberately boring: sleeping workers wake on a condition
+//! variable with a short timeout, so a missed notification costs a
+//! millisecond, never a deadlock.
+
+use std::collections::VecDeque;
+use std::ops::RangeInclusive;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use super::pool::EngineEntry;
+use super::VerifyJob;
+
+/// A submitted job, resolved for execution: the concrete capacity, the
+/// engine range, the pool entry it must run on (in submission-ticket
+/// order) and its admission timestamp.
+pub(crate) struct ScheduledJob {
+    /// Submission index — doubles as the outcome slot.
+    pub id: u64,
+    /// The pool key the job was filed under (reported in the outcome).
+    pub fingerprint: super::Fingerprint,
+    /// The job description as submitted.
+    pub job: VerifyJob,
+    /// The capacity this job queries (resolved from the job/fabric).
+    pub capacity: usize,
+    /// The capacity range of the engine the job runs on.
+    pub range: RangeInclusive<usize>,
+    /// The warm-pool entry (`None` when the pool is disabled: the job
+    /// builds and discards a private engine).
+    pub entry: Option<Arc<EngineEntry>>,
+    /// The job's ticket on its pool entry: same-fingerprint jobs execute
+    /// in ticket order, which makes warm-engine results independent of the
+    /// worker count.
+    pub turn: u64,
+    /// When the job was admitted (queue wait is measured from here).
+    pub submitted_at: Instant,
+    /// Wall-clock budget for the job, if any.
+    pub timeout: Option<Duration>,
+}
+
+/// How long an idle worker sleeps before re-scanning for work; an upper
+/// bound on the cost of any lost wakeup.
+const IDLE_NAP: Duration = Duration::from_millis(1);
+
+struct Injector {
+    queue: VecDeque<ScheduledJob>,
+    shutdown: bool,
+}
+
+/// Bounded injector + per-worker deques.
+pub(crate) struct Scheduler {
+    injector: Mutex<Injector>,
+    /// Signalled when injector space frees up (submitters wait on this).
+    space: Condvar,
+    /// Signalled when work appears anywhere (sleeping workers wait).
+    work: Condvar,
+    sleep: Mutex<()>,
+    locals: Vec<Mutex<VecDeque<ScheduledJob>>>,
+    capacity: usize,
+    /// Bumped on every push so an idle worker can cheaply detect news.
+    activity: AtomicU64,
+}
+
+/// Refusals from [`Service::try_submit`](super::Service::try_submit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded job queue is at capacity; retry later or use the
+    /// blocking submit.
+    QueueFull,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "the service's bounded job queue is full"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl Scheduler {
+    pub(crate) fn new(workers: usize, capacity: usize) -> Self {
+        Scheduler {
+            injector: Mutex::new(Injector {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            space: Condvar::new(),
+            work: Condvar::new(),
+            sleep: Mutex::new(()),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            capacity: capacity.max(1),
+            activity: AtomicU64::new(0),
+        }
+    }
+
+    /// Blocking admission: waits for queue space, *then* materialises the
+    /// job (tickets and outcome slots are only allocated once admission is
+    /// certain — that keeps the ticket order equal to the admission order)
+    /// and enqueues it.  Returns the job's id.
+    pub(crate) fn push_with(&self, make: impl FnOnce() -> ScheduledJob) -> Option<u64> {
+        let mut injector = self.injector.lock().expect("scheduler lock");
+        while injector.queue.len() >= self.capacity && !injector.shutdown {
+            injector = self.space.wait(injector).expect("scheduler lock");
+        }
+        let job = make();
+        let id = job.id;
+        injector.queue.push_back(job);
+        drop(injector);
+        self.announce();
+        Some(id)
+    }
+
+    /// Non-blocking admission: refuses — without allocating a ticket or an
+    /// outcome slot — when the queue is full.
+    pub(crate) fn try_push_with(
+        &self,
+        make: impl FnOnce() -> ScheduledJob,
+    ) -> Result<u64, SubmitError> {
+        let mut injector = self.injector.lock().expect("scheduler lock");
+        if injector.queue.len() >= self.capacity {
+            return Err(SubmitError::QueueFull);
+        }
+        let job = make();
+        let id = job.id;
+        injector.queue.push_back(job);
+        drop(injector);
+        self.announce();
+        Ok(id)
+    }
+
+    /// Hands a job directly to a worker's own deque (used when a finished
+    /// job unparks its engine's next ticket).
+    pub(crate) fn push_local(&self, worker: usize, job: ScheduledJob) {
+        self.locals[worker]
+            .lock()
+            .expect("worker deque lock")
+            .push_back(job);
+        self.announce();
+    }
+
+    fn announce(&self) {
+        self.activity.fetch_add(1, Ordering::Release);
+        self.work.notify_all();
+    }
+
+    /// Finds the next job for `worker`: own deque (LIFO), then the
+    /// injector (FIFO, freeing admission space), then stealing half of the
+    /// fullest victim's deque.
+    pub(crate) fn find_work(&self, worker: usize) -> Option<ScheduledJob> {
+        if let Some(job) = self.locals[worker]
+            .lock()
+            .expect("worker deque lock")
+            .pop_back()
+        {
+            return Some(job);
+        }
+
+        {
+            let mut injector = self.injector.lock().expect("scheduler lock");
+            if let Some(job) = injector.queue.pop_front() {
+                drop(injector);
+                self.space.notify_one();
+                return Some(job);
+            }
+        }
+
+        // Steal half of the first non-empty victim, oldest jobs first.
+        let workers = self.locals.len();
+        for offset in 1..workers {
+            let victim = (worker + offset) % workers;
+            let mut stolen: Vec<ScheduledJob> = Vec::new();
+            {
+                let mut deque = self.locals[victim].lock().expect("worker deque lock");
+                let take = deque.len().div_ceil(2);
+                for _ in 0..take {
+                    if let Some(job) = deque.pop_front() {
+                        stolen.push(job);
+                    }
+                }
+            }
+            if !stolen.is_empty() {
+                let mut jobs = stolen.into_iter();
+                let first = jobs.next().expect("non-empty steal");
+                let rest: Vec<ScheduledJob> = jobs.collect();
+                if !rest.is_empty() {
+                    let mut own = self.locals[worker].lock().expect("worker deque lock");
+                    for job in rest {
+                        own.push_back(job);
+                    }
+                    drop(own);
+                    self.announce();
+                }
+                return Some(first);
+            }
+        }
+        None
+    }
+
+    /// Parks the calling worker until new work is announced (or the nap
+    /// timeout elapses — scans are cheap, lost sleep is not).
+    pub(crate) fn idle_wait(&self, seen_activity: u64) {
+        if self.activity.load(Ordering::Acquire) != seen_activity {
+            return;
+        }
+        let guard = self.sleep.lock().expect("sleep lock");
+        let _ = self.work.wait_timeout(guard, IDLE_NAP).expect("sleep lock");
+    }
+
+    pub(crate) fn activity(&self) -> u64 {
+        self.activity.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn is_shutdown(&self) -> bool {
+        self.injector.lock().expect("scheduler lock").shutdown
+    }
+
+    pub(crate) fn shutdown(&self) {
+        let mut injector = self.injector.lock().expect("scheduler lock");
+        injector.shutdown = true;
+        injector.queue.clear();
+        drop(injector);
+        self.space.notify_all();
+        self.work.notify_all();
+    }
+
+    /// Number of jobs waiting in the bounded injector (not yet picked up
+    /// or parked; a backpressure signal for submitters).
+    pub(crate) fn queued(&self) -> usize {
+        self.injector.lock().expect("scheduler lock").queue.len()
+    }
+}

@@ -1,0 +1,258 @@
+//! Canonical structure digests for fabric configurations.
+//!
+//! A long-running verification service wants to recognise that two jobs
+//! describe *the same fabric* so they can share one warm engine instead of
+//! cold-building two.  Equality on [`crate::FabricConfig`] is not enough:
+//! the routing function is a trait object, and two differently-constructed
+//! configurations (say a [`crate::MeshConfig`] and the equivalent
+//! [`crate::FabricConfig`] over [`Topology::mesh`]) can instantiate
+//! byte-identical systems.  [`FabricConfig::structure_digest`] therefore
+//! hashes the *observable* structure: every node and edge of the topology,
+//! every routing decision the function would ever make, the hosted
+//! protocol, the directory placement and the virtual-channel layout.
+//!
+//! The digest deliberately **excludes the queue size**: engines are built
+//! for a whole capacity sweep (`build_fabric_for_sweep`), so the capacity a
+//! job pins is a per-query selector, not part of the fabric's identity.
+//! Callers that key engines on a capacity *range* mix the range into their
+//! own fingerprint on top of this digest.
+
+use crate::fabric::FabricConfig;
+use crate::routefn::RouteStep;
+use crate::topology::Topology;
+
+/// A 128-bit structural digest (two independent 64-bit FNV-1a streams over
+/// the same canonical byte sequence, so an accidental collision in one
+/// stream does not alias two fabrics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConfigDigest(pub u64, pub u64);
+
+impl std::fmt::Display for ConfigDigest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0, self.1)
+    }
+}
+
+/// Accumulates bytes into two independent FNV-1a streams.
+#[derive(Clone, Debug)]
+pub(crate) struct StructHasher {
+    a: u64,
+    b: u64,
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const FNV_OFFSET_A: u64 = 0xcbf2_9ce4_8422_2325;
+// A second, unrelated offset basis decorrelates the streams.
+const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+
+impl StructHasher {
+    pub(crate) fn new() -> Self {
+        StructHasher {
+            a: FNV_OFFSET_A,
+            b: FNV_OFFSET_B,
+        }
+    }
+
+    pub(crate) fn bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(byte).rotate_left(17)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    pub(crate) fn u64(&mut self, value: u64) {
+        self.bytes(&value.to_le_bytes());
+    }
+
+    pub(crate) fn usize(&mut self, value: usize) {
+        self.u64(value as u64);
+    }
+
+    pub(crate) fn i64(&mut self, value: i64) {
+        self.bytes(&value.to_le_bytes());
+    }
+
+    pub(crate) fn bool(&mut self, value: bool) {
+        self.bytes(&[u8::from(value)]);
+    }
+
+    pub(crate) fn finish(&self) -> ConfigDigest {
+        ConfigDigest(self.a, self.b)
+    }
+}
+
+/// Feeds the full topology structure — nodes with their terminal flags,
+/// coordinates and levels, then every directed edge with its metadata —
+/// into the hasher.
+fn hash_topology(topo: &Topology, h: &mut StructHasher) {
+    h.usize(topo.num_nodes());
+    for node in topo.node_ids() {
+        let n = topo.node(node);
+        h.bool(n.terminal);
+        h.usize(n.level);
+        h.usize(n.coords.len());
+        for &c in &n.coords {
+            h.i64(c);
+        }
+    }
+    h.usize(topo.num_edges());
+    for edge in topo.edge_ids() {
+        let e = topo.edge(edge);
+        h.usize(e.from.index());
+        h.usize(e.to.index());
+        match e.dim {
+            None => h.bool(false),
+            Some(dim) => {
+                h.bool(true);
+                h.usize(dim);
+            }
+        }
+        h.bool(e.positive);
+        h.bool(e.wrap);
+    }
+    h.usize(topo.num_terminals());
+    for t in topo.terminals() {
+        h.usize(t.index());
+    }
+}
+
+/// Feeds every routing decision the function would ever make — for each
+/// node, each arrival context (injection plus every incoming edge), each
+/// escape VC and each destination terminal — into the hasher.  This is the
+/// routing function's observable behaviour, so two differently-named
+/// functions that route identically digest identically.
+fn hash_routing(config: &FabricConfig, h: &mut StructHasher) {
+    let topo = &config.topology;
+    let routing = config.routing.as_ref();
+    let vcs = routing.num_vcs(topo).max(1);
+    h.usize(vcs);
+    for node in topo.node_ids() {
+        let mut arrivals = vec![None];
+        arrivals.extend(topo.in_edges(node).iter().copied().map(Some));
+        for arrived in arrivals {
+            for vc in 0..vcs {
+                for dst in topo.terminals() {
+                    match routing.route(topo, node, arrived, vc, *dst) {
+                        None => h.bytes(&[0]),
+                        Some(RouteStep::Deliver) => h.bytes(&[1]),
+                        Some(RouteStep::Forward { edge, vc: out_vc }) => {
+                            h.bytes(&[2]);
+                            h.usize(edge.index());
+                            h.usize(out_vc);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl FabricConfig {
+    /// Digest of everything that determines the *structure* of the built
+    /// system except the queue capacity: the topology (nodes, edges,
+    /// terminals), the routing function's full decision table, the hosted
+    /// protocol, the directory placement and the virtual-channel layout.
+    ///
+    /// Two configurations with equal digests build identical systems up to
+    /// queue capacity, so a warm-engine pool can key on this digest (plus
+    /// its own capacity-range and solver-configuration fingerprint) to
+    /// share one engine across jobs.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use advocat_noc::{FabricConfig, MeshConfig, Topology};
+    ///
+    /// // The same fabric described two ways digests identically …
+    /// let via_mesh = MeshConfig::new(2, 2, 2).with_directory(1, 1).to_fabric()?;
+    /// let direct = FabricConfig::new(Topology::mesh(2, 2)?, 4).with_directory(3);
+    /// assert_eq!(via_mesh.structure_digest(), direct.structure_digest());
+    ///
+    /// // … and the queue size is a sweep parameter, not structure.
+    /// assert_eq!(
+    ///     direct.structure_digest(),
+    ///     direct.clone().with_queue_size(9).structure_digest()
+    /// );
+    ///
+    /// // Moving the directory is a different fabric.
+    /// let moved = FabricConfig::new(Topology::mesh(2, 2)?, 4).with_directory(0);
+    /// assert_ne!(direct.structure_digest(), moved.structure_digest());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn structure_digest(&self) -> ConfigDigest {
+        let mut h = StructHasher::new();
+        hash_topology(&self.topology, &mut h);
+        hash_routing(self, &mut h);
+        h.usize(match self.protocol {
+            crate::mesh::ProtocolKind::AbstractMi => 0,
+            crate::mesh::ProtocolKind::FullMi => 1,
+            crate::mesh::ProtocolKind::Mesi => 2,
+        });
+        h.usize(self.directory);
+        h.bool(self.message_class_vcs);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::{MeshConfig, ProtocolKind};
+    use crate::routefn::DimensionOrdered;
+    use crate::topology::Topology;
+    use std::sync::Arc;
+
+    #[test]
+    fn digest_is_stable_and_ignores_queue_size() {
+        let config = FabricConfig::new(Topology::ring(4).unwrap(), 2).with_directory(1);
+        let again = FabricConfig::new(Topology::ring(4).unwrap(), 7).with_directory(1);
+        assert_eq!(config.structure_digest(), again.structure_digest());
+    }
+
+    #[test]
+    fn digest_distinguishes_structure() {
+        let base = FabricConfig::new(Topology::mesh(2, 2).unwrap(), 2);
+        let wider = FabricConfig::new(Topology::mesh(3, 2).unwrap(), 2);
+        let torus = FabricConfig::new(Topology::torus(2, 2).unwrap(), 2);
+        let mesi =
+            FabricConfig::new(Topology::mesh(2, 2).unwrap(), 2).with_protocol(ProtocolKind::Mesi);
+        let vcs = FabricConfig::new(Topology::mesh(2, 2).unwrap(), 2).with_message_class_vcs(true);
+        let digests = [
+            base.structure_digest(),
+            wider.structure_digest(),
+            torus.structure_digest(),
+            mesi.structure_digest(),
+            vcs.structure_digest(),
+        ];
+        for (i, a) in digests.iter().enumerate() {
+            for b in &digests[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn digest_sees_through_routing_function_identity() {
+        // A torus with and without the dateline escape VCs routes
+        // differently, so the digests must differ even though topology,
+        // protocol and placement agree.
+        let topo = Topology::torus(4, 2).unwrap();
+        let datelined = FabricConfig::new(topo.clone(), 2);
+        let plain =
+            FabricConfig::new(topo, 2).with_routing(Arc::new(DimensionOrdered::without_dateline()));
+        assert_ne!(datelined.structure_digest(), plain.structure_digest());
+    }
+
+    #[test]
+    fn mesh_config_digests_match_their_fabric_translation() {
+        let mesh = MeshConfig::new(3, 2, 2).with_directory(2, 1);
+        let fabric = mesh.to_fabric().unwrap();
+        assert_eq!(
+            fabric.structure_digest(),
+            mesh.with_queue_size(5)
+                .to_fabric()
+                .unwrap()
+                .structure_digest()
+        );
+    }
+}

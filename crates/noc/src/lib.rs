@@ -45,6 +45,7 @@
 
 mod build;
 mod cdg;
+mod digest;
 mod fabric;
 mod mesh;
 mod routefn;
@@ -53,6 +54,7 @@ mod topology;
 
 pub use build::{build_mesh, build_mesh_for_sweep};
 pub use cdg::{audit_routing, CdgChannel, RoutingAudit, RoutingError};
+pub use digest::ConfigDigest;
 pub use fabric::{build_fabric, build_fabric_for_sweep, fabric_dot, FabricConfig, FabricError};
 pub use mesh::{MeshConfig, MeshError, ProtocolKind};
 pub use routefn::{

@@ -1,0 +1,36 @@
+//! The ADVOCAT verification service, as its own dependency.
+//!
+//! The implementation lives in [`advocat::service`] (it needs access to
+//! the engine internals); this crate is the stable, separately-nameable
+//! facade for deployments that want to depend on "the service" without
+//! spelling out the core crate's whole API.  Everything here is a
+//! re-export — the types are identical to the ones in
+//! `advocat::prelude::*`.
+//!
+//! # Examples
+//!
+//! ```
+//! use advocat_service::{Service, ServiceConfig, VerifyJob};
+//! use advocat_noc::MeshConfig;
+//!
+//! let service = Service::new(ServiceConfig::default().with_workers(2));
+//! let mesh = MeshConfig::new(2, 2, 3).with_directory(1, 1);
+//! service.submit(VerifyJob::mesh("figure 3 at qs 3", mesh));
+//! let outcomes = service.drain();
+//! assert!(outcomes[0].is_deadlock_free());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use advocat::service::{
+    outcome_to_json, requests_from_json, Fingerprint, JobError, JobId, JobOutcome, JobRequest,
+    JsonError, PoolStats, Service, ServiceConfig, SubmitError, TopologySpec, VerifyJob,
+};
+
+// The vocabulary types a job is built from, so service-only users need no
+// second dependency for common calls.
+pub use advocat::{BatchScenario, Report, ScenarioFabric, SessionStats};
+pub use advocat_deadlock::{DeadlockSpec, DeadlockTarget};
+pub use advocat_logic::CheckConfig;
+pub use advocat_noc::{FabricConfig, MeshConfig, ProtocolKind, Topology};

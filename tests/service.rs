@@ -1,0 +1,347 @@
+//! The verification service: warm-engine pooling, scheduling determinism,
+//! admission control, eviction and the JSON wire format.
+
+use advocat::deadlock::Counterexample;
+use advocat::prelude::*;
+use std::time::Duration;
+
+/// A mixed workload touching several topology families, with sweeps that
+/// share engines and a scenario that deadlocks (so counterexample
+/// witnesses are part of the comparison).
+fn mixed_workload(service: &Service) {
+    service.submit_sweep(
+        &BatchScenario::new("mesh sweep", MeshConfig::new(2, 2, 2).with_directory(1, 1))
+            .with_sweep(1..=3),
+    );
+    service.submit_sweep(
+        &BatchScenario::for_fabric(
+            "ring sweep",
+            FabricConfig::new(Topology::ring(4).unwrap(), 1).with_directory(1),
+        )
+        .with_sweep(1..=2),
+    );
+    service.submit(VerifyJob::mesh(
+        "mesh qs3",
+        MeshConfig::new(2, 2, 3).with_directory(1, 1),
+    ));
+    service.submit(VerifyJob::fabric(
+        "fat-tree qs1",
+        FabricConfig::new(Topology::fat_tree(2, 2).unwrap(), 1).with_directory(3),
+    ));
+}
+
+/// What determinism must preserve: verdict and witness per job, in
+/// submission order.
+fn transcript(outcomes: &[JobOutcome]) -> Vec<(u64, String, usize, bool, Option<Counterexample>)> {
+    outcomes
+        .iter()
+        .map(|o| {
+            let report = o.result.as_ref().expect("workload fabrics build");
+            (
+                o.id.0,
+                o.name.clone(),
+                o.capacity,
+                report.is_deadlock_free(),
+                report.counterexample().cloned(),
+            )
+        })
+        .collect()
+}
+
+/// Satellite (c): the same workload yields identical verdicts, sweeps and
+/// counterexample witnesses at 1, 4 and 64 workers — the ticket turnstile
+/// feeds every engine the same query sequence regardless of scheduling.
+#[test]
+fn outcomes_are_identical_at_any_worker_count() {
+    let mut transcripts = Vec::new();
+    for workers in [1, 4, 64] {
+        let service = Service::new(ServiceConfig::default().with_workers(workers));
+        mixed_workload(&service);
+        let outcomes = service.drain();
+        assert_eq!(outcomes.len(), 7);
+        transcripts.push(transcript(&outcomes));
+    }
+    assert_eq!(transcripts[0], transcripts[1], "1 vs 4 workers");
+    assert_eq!(transcripts[0], transcripts[2], "1 vs 64 workers");
+    // Sanity: the transcript is not trivially equal — it contains both
+    // verdicts and at least one real witness.
+    let free: Vec<bool> = transcripts[0].iter().map(|t| t.3).collect();
+    assert!(free.contains(&true) && free.contains(&false));
+    assert!(transcripts[0].iter().any(|t| t.4.is_some()));
+}
+
+/// `run_batch` rides the same machinery, so its outcomes (and the
+/// `workers == 0` machine-sized mode of satellite (a)) must agree across
+/// worker counts too.
+#[test]
+fn run_batch_agrees_across_worker_counts_including_machine_sized() {
+    let scenarios = vec![
+        BatchScenario::new("sweep", MeshConfig::new(2, 2, 2).with_directory(1, 1))
+            .with_sweep(2..=3),
+        BatchScenario::new("invalid", MeshConfig::new(1, 1, 1)),
+    ];
+    let verdicts = |outcomes: &[BatchOutcome]| -> Vec<(String, bool, Vec<bool>)> {
+        outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.name.clone(),
+                    o.is_deadlock_free(),
+                    o.sweep.iter().map(|(_, r)| r.is_deadlock_free()).collect(),
+                )
+            })
+            .collect()
+    };
+    let one = run_batch(&scenarios, 1);
+    let machine = run_batch(&scenarios, 0);
+    let many = run_batch(&scenarios, 64);
+    assert_eq!(verdicts(&one), verdicts(&machine));
+    assert_eq!(verdicts(&one), verdicts(&many));
+    assert!(one[1].result.is_err(), "1x1 mesh cannot build");
+}
+
+/// Satellite (d): identical fingerprints share one engine — the pool
+/// builds a single template — while a differing solver configuration
+/// forces a second engine.
+#[test]
+fn identical_fingerprints_share_one_engine() {
+    let service = Service::new(ServiceConfig::default().with_workers(2));
+    let mesh = MeshConfig::new(2, 2, 2).with_directory(1, 1);
+    for capacity in [2, 3, 2, 3] {
+        service.submit(
+            VerifyJob::mesh(format!("qs {capacity}"), mesh)
+                .at_capacity(capacity)
+                .with_engine_range(2..=3),
+        );
+    }
+    let outcomes = service.drain();
+    let stats = service.pool_stats();
+    assert_eq!(stats.engines_built, 1, "one engine for one fingerprint");
+    assert_eq!(stats.warm_hits, 3);
+    let built: u64 = outcomes
+        .iter()
+        .map(|o| o.session_delta.expect("engine ran").templates_built)
+        .sum();
+    assert_eq!(built, 1, "exactly one job paid for the template");
+    assert_eq!(outcomes.iter().filter(|o| o.warm_hit).count(), 3);
+
+    // A different CheckConfig is a different engine.
+    let tighter = CheckConfig {
+        max_refinements: 7,
+        ..CheckConfig::default()
+    };
+    service.submit(
+        VerifyJob::mesh("tighter", mesh)
+            .at_capacity(2)
+            .with_engine_range(2..=3)
+            .with_config(tighter),
+    );
+    service.drain();
+    assert_eq!(service.pool_stats().engines_built, 2);
+}
+
+/// Admission control: with a one-slot queue and a busy worker,
+/// `try_submit` refuses instead of blocking, and everything admitted still
+/// completes correctly.
+#[test]
+fn try_submit_refuses_when_the_queue_is_full() {
+    let service = Service::new(
+        ServiceConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(1),
+    );
+    let mesh = MeshConfig::new(2, 2, 2).with_directory(1, 1);
+    let mut admitted = 0;
+    let mut refused = 0;
+    for i in 0..16 {
+        match service.try_submit(VerifyJob::mesh(format!("job {i}"), mesh)) {
+            Ok(_) => admitted += 1,
+            Err(SubmitError::QueueFull) => refused += 1,
+        }
+    }
+    assert!(refused > 0, "a 1-slot queue must refuse a 16-job burst");
+    let outcomes = service.drain();
+    assert_eq!(outcomes.len(), admitted);
+    assert!(outcomes.iter().all(|o| !o.is_deadlock_free()));
+}
+
+/// Per-job timeouts surface in the outcome: a hopeless budget is refused
+/// in the queue (or, if the job had already started, flagged as a blown
+/// deadline); a generous budget changes nothing.
+#[test]
+fn timeouts_are_surfaced_in_the_outcome() {
+    let service = Service::new(ServiceConfig::default().with_workers(1));
+    let mesh = MeshConfig::new(2, 2, 2).with_directory(1, 1);
+    service.submit(VerifyJob::mesh("rushed", mesh).with_timeout(Duration::from_nanos(1)));
+    service.submit(VerifyJob::mesh("relaxed", mesh).with_timeout(Duration::from_secs(3600)));
+    let outcomes = service.drain();
+    let rushed = &outcomes[0];
+    let queued_out = matches!(rushed.result, Err(JobError::TimedOut { .. }));
+    assert!(
+        queued_out || rushed.deadline_exceeded,
+        "a 1ns budget is refused or flagged"
+    );
+    let relaxed = &outcomes[1];
+    assert!(relaxed.result.is_ok() && !relaxed.deadline_exceeded);
+    assert!(!relaxed.is_deadlock_free());
+}
+
+/// LRU eviction under the engine cap: a second fingerprint evicts the
+/// idle first engine, and returning to the first costs a rebuild — with
+/// correct verdicts throughout.
+#[test]
+fn cold_engines_are_evicted_lru_under_the_cap() {
+    let service = Service::new(ServiceConfig::default().with_workers(1).with_max_engines(1));
+    let deadlocking = MeshConfig::new(2, 2, 2).with_directory(1, 1);
+    let free = MeshConfig::new(2, 2, 3).with_directory(1, 1);
+    service.submit(VerifyJob::mesh("a", deadlocking));
+    service.drain();
+    service.submit(VerifyJob::mesh("b", free));
+    service.drain();
+    let stats = service.pool_stats();
+    assert_eq!(stats.engines_built, 2);
+    assert_eq!(stats.evictions, 1, "engine `a` was evicted for `b`");
+    assert_eq!(stats.live_engines, 1);
+    // Returning to the evicted fingerprint rebuilds, and still answers
+    // correctly.
+    service.submit(VerifyJob::mesh("a again", deadlocking));
+    let outcomes = service.drain();
+    assert!(!outcomes[0].is_deadlock_free());
+    assert_eq!(service.pool_stats().engines_built, 3);
+}
+
+/// Unbuildable fabrics fail fast: the first job caches the build failure
+/// and later same-fingerprint jobs share it without re-attempting.
+#[test]
+fn build_failures_are_cached_per_fingerprint() {
+    let service = Service::new(ServiceConfig::default().with_workers(2));
+    let invalid = MeshConfig::new(1, 1, 1);
+    for i in 0..3 {
+        service.submit(VerifyJob::mesh(format!("bad {i}"), invalid));
+    }
+    let outcomes = service.drain();
+    assert!(outcomes
+        .iter()
+        .all(|o| matches!(o.result, Err(JobError::Fabric(_)))));
+    let stats = service.pool_stats();
+    assert_eq!(stats.build_failures, 3);
+    assert_eq!(stats.engines_built, 0);
+}
+
+/// The JSON wire format: requests parse, expand to sweeps, and outcomes
+/// serialise with verdicts and warm-hit evidence.
+#[test]
+fn json_jobs_round_trip_through_the_service() {
+    let service = Service::new(ServiceConfig::default().with_workers(2));
+    let ids = service
+        .submit_json(
+            r#"{
+                "name": "figure 3",
+                "topology": {"kind": "mesh", "width": 2, "height": 2},
+                "queue_size": 2,
+                "directory": 3,
+                "capacities": [2, 3]
+            }"#,
+        )
+        .expect("valid job JSON");
+    assert_eq!(ids.len(), 2);
+    let outcomes = service.drain();
+    assert!(!outcomes[0].is_deadlock_free(), "qs 2 deadlocks");
+    assert!(outcomes[1].is_deadlock_free(), "qs 3 is free");
+    let json = advocat::service::outcome_to_json(&outcomes[1]);
+    assert!(json.contains("\"status\":\"deadlock-free\""));
+    assert!(json.contains("\"warm_hit\":true"));
+    assert!(json.contains("\"capacity\":3"));
+
+    assert!(service.submit_json("{\"nope\": 1").is_err());
+    assert!(service
+        .submit_json(r#"{"name": "x", "topology": {"kind": "escher"}}"#)
+        .is_err());
+}
+
+/// Streaming consumption: `next_outcome` hands outcomes out as they
+/// complete and signals exhaustion with `None`.
+#[test]
+fn next_outcome_streams_and_then_reports_exhaustion() {
+    let service = Service::new(ServiceConfig::default().with_workers(2));
+    let mesh = MeshConfig::new(2, 2, 3).with_directory(1, 1);
+    for i in 0..4 {
+        service.submit(VerifyJob::mesh(format!("job {i}"), mesh));
+    }
+    let mut seen = Vec::new();
+    while let Some(outcome) = service.next_outcome() {
+        assert!(outcome.is_deadlock_free());
+        seen.push(outcome.id.0);
+    }
+    seen.sort_unstable();
+    assert_eq!(seen, vec![0, 1, 2, 3]);
+    assert_eq!(service.pending(), 0);
+}
+
+/// The 1000-job stress test (CI runs it with `-- --ignored`): a mixed
+/// mesh/ring/torus/MESI workload at high concurrency, checking outcome
+/// accounting, warm-hit bookkeeping and verdict stability end to end.
+#[test]
+#[ignore = "stress test: ~1000 solver jobs; run explicitly or in CI"]
+fn thousand_job_stress_run_stays_consistent() {
+    let service = Service::new(
+        ServiceConfig::default()
+            .with_workers(8)
+            .with_queue_capacity(64)
+            .with_max_engines(4),
+    );
+    let mesh = MeshConfig::new(2, 2, 2).with_directory(1, 1);
+    let mesi = MeshConfig::new(2, 2, 2)
+        .with_directory(1, 1)
+        .with_protocol(ProtocolKind::Mesi);
+    let ring = FabricConfig::new(Topology::ring(4).unwrap(), 2).with_directory(1);
+    // Thresholds from `tests/topologies.rs`: ring(4) is free at qs 2,
+    // torus(2,2) at qs 3.
+    let torus = FabricConfig::new(Topology::torus(2, 2).unwrap(), 3).with_directory(3);
+    let mut expected_free = Vec::new();
+    for i in 0..250 {
+        let capacity = 2 + (i % 2);
+        service.submit(
+            VerifyJob::mesh(format!("mesh {i}"), mesh)
+                .at_capacity(capacity)
+                .with_engine_range(2..=3),
+        );
+        expected_free.push(capacity == 3);
+        service.submit(
+            VerifyJob::mesh(format!("mesi {i}"), mesi)
+                .at_capacity(capacity)
+                .with_engine_range(2..=3),
+        );
+        service.submit(VerifyJob::fabric(format!("ring {i}"), ring.clone()));
+        expected_free.push(true);
+        service.submit(VerifyJob::fabric(format!("torus {i}"), torus.clone()));
+        expected_free.push(true);
+    }
+    let outcomes = service.drain();
+    assert_eq!(outcomes.len(), 1000);
+    let mut ids: Vec<u64> = outcomes.iter().map(|o| o.id.0).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 1000, "every job has a unique outcome");
+    let mut expected = expected_free.into_iter();
+    for outcome in &outcomes {
+        let report = outcome.result.as_ref().expect("stress fabrics build");
+        if !outcome.name.starts_with("mesi") {
+            assert_eq!(
+                report.is_deadlock_free(),
+                expected.next().unwrap(),
+                "{} capacity {}",
+                outcome.name,
+                outcome.capacity
+            );
+        }
+    }
+    let stats = service.pool_stats();
+    assert_eq!(stats.warm_hits + stats.engines_built, 1000);
+    assert!(
+        stats.warm_hit_rate() > 0.9,
+        "4 fingerprints over 1000 jobs must be overwhelmingly warm (rate {})",
+        stats.warm_hit_rate()
+    );
+    assert!(stats.live_engines <= 4 + 8, "cap plus bounded overshoot");
+}
