@@ -1,0 +1,532 @@
+//! Compositional verification: certified tiles plus a boundary check.
+//!
+//! A flat encoding of a large fabric is one monolithic SMT instance whose
+//! size — and solving time — grows with the whole fabric.  The composed
+//! flow cuts the fabric along a [`Partition`] and never builds the flat
+//! instance at all:
+//!
+//! 1. every tile is closed at its boundary with free environment sources
+//!    and sinks ([`advocat_noc::build_tile_fabric`]) and certified
+//!    deadlock-free on its own small encoding — through the service pool,
+//!    so the 60 interior tiles of a big mesh all hit the one warm engine
+//!    their shared structural class built;
+//! 2. each tile's derived invariants are projected onto its cut queues,
+//!    yielding an [`advocat_invariants::InterfaceContract`] of sound
+//!    occupancy bounds;
+//! 3. the global question is asked over **contract variables only**:
+//!    [`advocat_deadlock::check_composition`] searches for a cycle of
+//!    full, mutually-waiting boundary ports subject to the contracts.
+//!
+//! `Unsat` at step 3 (with every tile certified) means the composition is
+//! deadlock-free; `Sat` is a *candidate* attributed to the interface it
+//! touches ([`Report::attribution`]).  The abstraction is coarser than
+//! the flat encoding — candidates may be spurious where a flat run would
+//! prove freedom — so for small fabrics, where flat is cheap anyway, the
+//! engine transparently falls back to the flat encoding
+//! ([`ComposeOptions::flat_fallback_max_nodes`]); on large fabrics the
+//! composed path is the only one that completes in reasonable time.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use advocat::prelude::*;
+//!
+//! let config = FabricConfig::new(Topology::mesh(2, 2)?, 3).with_directory(3);
+//! let partition = Arc::new(Partition::per_node(&config.topology));
+//! let mut composition = QueryEngine::compose(
+//!     config,
+//!     partition,
+//!     ComposeOptions::new(2..=3),
+//! )?;
+//! let report = composition.check(&Query::new().capacity(3));
+//! assert!(report.is_deadlock_free());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::ops::RangeInclusive;
+use std::sync::Arc;
+use std::time::Instant;
+
+use advocat_automata::{derive_colors, System, SystemStats};
+use advocat_deadlock::{
+    check_composition, Analysis, AnalysisStats, BoundaryOutcome, CapacitySelection,
+    CompositionModel, Counterexample, DeadlockSpec, DeadlockTarget, InterfacePort, Query, Verdict,
+};
+use advocat_invariants::{
+    derive_invariants, project_interface, ContractPort, InterfaceContract, InvariantSet,
+};
+use advocat_logic::CheckConfig;
+use advocat_noc::{
+    boundary_graph, build_tile_fabric, BoundaryGraph, ConfigDigest, FabricConfig, FabricError,
+    Partition, PortDirection,
+};
+use advocat_xmas::ColorMap;
+
+use crate::batch::ScenarioFabric;
+use crate::query::QueryEngine;
+use crate::report::Report;
+use crate::service::{Service, ServiceConfig, VerifyJob};
+
+/// Options of a composed verification.
+#[derive(Clone, Debug)]
+pub struct ComposeOptions {
+    /// The capacity range tile engines are built over (every queried
+    /// capacity must lie inside it, exactly as for a flat engine).
+    pub capacities: RangeInclusive<usize>,
+    /// SMT resource limits for tile certification and the boundary check.
+    pub check: CheckConfig,
+    /// Fabrics with at most this many topology nodes are answered by the
+    /// flat encoding instead (`0` disables the fallback entirely).  Flat
+    /// is exact and cheap at this scale, so small configurations keep
+    /// flat-identical verdicts; the composed machinery is for fabrics
+    /// beyond it.
+    pub flat_fallback_max_nodes: usize,
+    /// Worker threads for tile certification (`0` = machine-sized).
+    pub workers: usize,
+}
+
+impl ComposeOptions {
+    /// Defaults: default solver limits, flat fallback up to 9 nodes
+    /// (covering the paper's 2×2/3×3 study meshes), machine-sized workers.
+    pub fn new(capacities: RangeInclusive<usize>) -> Self {
+        ComposeOptions {
+            capacities,
+            check: CheckConfig::default(),
+            flat_fallback_max_nodes: 9,
+            workers: 0,
+        }
+    }
+
+    /// Replaces the SMT resource limits.
+    pub fn with_check(mut self, check: CheckConfig) -> Self {
+        self.check = check;
+        self
+    }
+
+    /// Sets the flat-fallback node bound (`0` disables the fallback).
+    pub fn with_flat_fallback(mut self, max_nodes: usize) -> Self {
+        self.flat_fallback_max_nodes = max_nodes;
+        self
+    }
+
+    /// Sets the tile-certification worker count (`0` = machine-sized).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+}
+
+/// Counters describing how a [`Composition`] answered its queries so far.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ComposeStats {
+    /// Tiles in the partition.
+    pub tiles: usize,
+    /// Distinct structural tile classes (the number of engines a composed
+    /// sweep needs — an 8×8 mesh has interior, edge, corner and
+    /// directory-hosting classes, not 64 engines).
+    pub distinct_classes: usize,
+    /// Cut ports in the boundary graph.
+    pub boundary_ports: usize,
+    /// Tile engines built cold by the certification service.
+    pub engines_built: u64,
+    /// Tile jobs that ran on an already-warm engine.
+    pub warm_hits: u64,
+    /// Queries answered by the flat fallback instead of composition.
+    pub flat_fallbacks: u64,
+}
+
+/// One tile's certified-build artefacts, kept for contract projection and
+/// attribution.
+struct TileData {
+    name: String,
+    system: System,
+    colors: ColorMap,
+    invariants: InvariantSet,
+    ports: Vec<ContractPort>,
+}
+
+/// A composed verification session over one partitioned fabric: tiles are
+/// certified through a private warm-engine service, contracts projected,
+/// and the boundary checked — once per [`Composition::check`] call, with
+/// engines staying warm across calls.  See the documentation of
+/// [`QueryEngine::compose`] for the architecture.
+pub struct Composition {
+    config: FabricConfig,
+    partition: Arc<Partition>,
+    options: ComposeOptions,
+    service: Service,
+    tiles: Vec<TileData>,
+    graph: BoundaryGraph,
+    distinct_classes: usize,
+    flat: Option<Box<QueryEngine>>,
+    flat_fallbacks: u64,
+}
+
+impl std::fmt::Debug for Composition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Composition")
+            .field("tiles", &self.tiles.len())
+            .field("distinct_classes", &self.distinct_classes)
+            .field("boundary_ports", &self.graph.ports.len())
+            .finish()
+    }
+}
+
+impl QueryEngine {
+    /// Opens a composed verification session: cuts `config` along
+    /// `partition`, builds and validates every tile's closed subsystem
+    /// (deriving its colors and invariants), and prepares the boundary
+    /// waiting graph.  No SMT solving happens yet — queries do, via
+    /// [`Composition::check`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FabricError`] when a tile subsystem cannot be built
+    /// (which implies the flat fabric could not be built either).
+    pub fn compose(
+        config: FabricConfig,
+        partition: Arc<Partition>,
+        options: ComposeOptions,
+    ) -> Result<Composition, FabricError> {
+        let mut tiles = Vec::with_capacity(partition.num_tiles());
+        let mut classes: Vec<ConfigDigest> = Vec::new();
+        for tile in 0..partition.num_tiles() {
+            let system = build_tile_fabric(&config, &partition, tile)?;
+            let colors = derive_colors(&system);
+            let invariants = derive_invariants(&system, &colors);
+            let ports = partition
+                .boundary_ports(&config, tile)
+                .into_iter()
+                .map(|p| ContractPort {
+                    queue: p.name,
+                    class: p.class,
+                    ingress: p.direction == PortDirection::Ingress,
+                })
+                .collect();
+            tiles.push(TileData {
+                name: partition.tile(tile).name.clone(),
+                system,
+                colors,
+                invariants,
+                ports,
+            });
+            let digest = partition.tile_class_digest(&config, tile);
+            if !classes.contains(&digest) {
+                classes.push(digest);
+            }
+        }
+        let graph = boundary_graph(&config, &partition);
+        let service = Service::new(
+            ServiceConfig::default()
+                .with_workers(options.workers)
+                .with_queue_capacity(tiles.len().max(1))
+                // One engine per structural class, plus headroom so the
+                // LRU never evicts a class mid-sweep.
+                .with_max_engines(classes.len() + 1),
+        );
+        Ok(Composition {
+            config,
+            partition,
+            options,
+            service,
+            tiles,
+            graph,
+            distinct_classes: classes.len(),
+            flat: None,
+            flat_fallbacks: 0,
+        })
+    }
+}
+
+impl Composition {
+    /// Answers one [`Query`] for the whole fabric.
+    ///
+    /// Small fabrics (at most
+    /// [`ComposeOptions::flat_fallback_max_nodes`] topology nodes) are
+    /// answered by a lazily built flat engine — exact, and cheap at that
+    /// scale.  Beyond it the composed path runs: every tile certified at
+    /// the queried capacity (warm engines shared per structural class),
+    /// contracts projected, boundary checked.  A deadlock-free composed
+    /// verdict is sound; a composed candidate is over-approximate and
+    /// carries an attribution naming the tile or interface it touches.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the query pins a capacity outside
+    /// [`ComposeOptions::capacities`], mirroring the flat engine.
+    pub fn check(&mut self, query: &Query) -> Report {
+        let nodes = self.config.topology.num_nodes();
+        if self.options.flat_fallback_max_nodes > 0 && nodes <= self.options.flat_fallback_max_nodes
+        {
+            self.flat_fallbacks += 1;
+            return self.flat_engine().check(query);
+        }
+        self.check_composed(query)
+    }
+
+    /// The lazily built flat-fallback engine.
+    fn flat_engine(&mut self) -> &mut QueryEngine {
+        if self.flat.is_none() {
+            let engine = QueryEngine::for_fabric_with(
+                &self.config,
+                self.options.check,
+                self.options.capacities.clone(),
+            )
+            .expect("tiles built, so the flat fabric builds");
+            self.flat = Some(Box::new(engine));
+        }
+        self.flat.as_mut().expect("just built")
+    }
+
+    /// The composed path: certify every tile, then check the boundary.
+    fn check_composed(&mut self, query: &Query) -> Report {
+        let start = Instant::now();
+        let capacity = match query.capacity_selection() {
+            CapacitySelection::Uniform(capacity) => capacity,
+            CapacitySelection::Structural => self.config.queue_size,
+        };
+        let spec = DeadlockSpec::from(query.deadlock_target());
+        for (index, tile) in self.tiles.iter().enumerate() {
+            self.service.submit(
+                VerifyJob::over(
+                    tile.name.clone(),
+                    ScenarioFabric::Tile {
+                        fabric: Box::new(self.config.clone()),
+                        partition: Arc::clone(&self.partition),
+                        tile: index,
+                    },
+                )
+                .with_spec(spec)
+                .with_config(self.options.check)
+                .at_capacity(capacity)
+                .with_engine_range(self.options.capacities.clone())
+                .with_invariants(query.invariants_enabled()),
+            );
+        }
+
+        let mut stats = AnalysisStats::default();
+        let mut failing: Option<(String, Verdict)> = None;
+        for outcome in self.service.drain() {
+            match outcome.result {
+                Ok(report) => {
+                    accumulate(&mut stats, &report.analysis().stats);
+                    if !report.is_deadlock_free() && failing.is_none() {
+                        failing = Some((outcome.name, report.analysis().verdict.clone()));
+                    }
+                }
+                Err(_) => {
+                    if failing.is_none() {
+                        failing = Some((outcome.name, Verdict::Unknown));
+                    }
+                }
+            }
+        }
+        if let Some((tile, verdict)) = failing {
+            // A tile that is not certified free under its liberal
+            // environment closure already yields the composed candidate
+            // (or resource-limit verdict), attributed to the tile.
+            stats.elapsed = start.elapsed();
+            return Report::composed(
+                self.aggregate_system_stats(),
+                Analysis { verdict, stats },
+                Some(format!("tile {tile}")),
+            );
+        }
+
+        let model = self.composition_model(capacity, query.invariants_enabled());
+        let boundary = check_composition(&model, &self.options.check);
+        stats.elapsed = start.elapsed();
+        let (verdict, attribution) = match boundary.outcome {
+            BoundaryOutcome::Free => (Verdict::DeadlockFree, None),
+            BoundaryOutcome::Unknown => (Verdict::Unknown, None),
+            BoundaryOutcome::Candidate { ports } => {
+                let attribution = self.attribute_ports(&ports);
+                let mut cex = Counterexample::default();
+                for name in &ports {
+                    cex.queue_contents.push((
+                        name.clone(),
+                        "boundary packet".to_owned(),
+                        capacity as i64,
+                    ));
+                }
+                cex.witnessed = vec![DeadlockTarget::StuckPacket];
+                (Verdict::PotentialDeadlock(cex), Some(attribution))
+            }
+        };
+        Report::composed(
+            self.aggregate_system_stats(),
+            Analysis { verdict, stats },
+            attribution,
+        )
+    }
+
+    /// The interface contracts of every tile at `capacity`, in tile order.
+    pub fn contracts(&self, capacity: usize) -> Vec<InterfaceContract> {
+        self.tiles
+            .iter()
+            .map(|tile| {
+                project_interface(
+                    &tile.system,
+                    &tile.colors,
+                    &tile.invariants,
+                    &tile.name,
+                    &tile.ports,
+                    capacity,
+                )
+            })
+            .collect()
+    }
+
+    /// Counters of the session so far (tile/class/boundary sizes are
+    /// fixed at [`QueryEngine::compose`] time; the engine counters grow
+    /// with every composed query).
+    pub fn stats(&self) -> ComposeStats {
+        let pool = self.service.pool_stats();
+        ComposeStats {
+            tiles: self.tiles.len(),
+            distinct_classes: self.distinct_classes,
+            boundary_ports: self.graph.ports.len(),
+            engines_built: pool.engines_built,
+            warm_hits: pool.warm_hits,
+            flat_fallbacks: self.flat_fallbacks,
+        }
+    }
+
+    /// The partition the session composes over.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Builds the port-level abstraction the boundary check runs on.
+    fn composition_model(&self, capacity: usize, invariants: bool) -> CompositionModel {
+        let ports = self
+            .graph
+            .ports
+            .iter()
+            .map(|p| InterfacePort {
+                name: p.name.clone(),
+                capacity,
+                deps: p.deps.clone(),
+            })
+            .collect();
+        let constraints = if invariants {
+            self.contracts(capacity)
+                .into_iter()
+                .flat_map(|contract| contract.rows)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        CompositionModel { ports, constraints }
+    }
+
+    /// Names the interface (and its two tiles) of a boundary candidate.
+    fn attribute_ports(&self, ports: &[String]) -> String {
+        let named = ports.first().and_then(|name| {
+            self.graph
+                .ports
+                .iter()
+                .find(|p| &p.name == name)
+                .map(|p| (name, p))
+        });
+        match named {
+            Some((name, port)) => {
+                let from = &self.partition.tile(port.from_tile).name;
+                let to = &self.partition.tile(port.to_tile).name;
+                let more = match ports.len() {
+                    0 | 1 => String::new(),
+                    n => format!(" and {} more", n - 1),
+                };
+                format!("interface {name} (tile {from} → tile {to}){more}")
+            }
+            None => "boundary".to_owned(),
+        }
+    }
+
+    /// Sum of the certified tiles' size statistics (environment closures
+    /// included, so slightly above the flat fabric's numbers).
+    fn aggregate_system_stats(&self) -> SystemStats {
+        let mut total = SystemStats::default();
+        for tile in &self.tiles {
+            let stats = tile.system.stats();
+            total.primitives += stats.primitives;
+            total.queues += stats.queues;
+            total.automata += stats.automata;
+            total.channels += stats.channels;
+            total.colors = total.colors.max(stats.colors);
+        }
+        total
+    }
+}
+
+fn accumulate(total: &mut AnalysisStats, delta: &AnalysisStats) {
+    total.invariants += delta.invariants;
+    total.int_vars += delta.int_vars;
+    total.bool_vars += delta.bool_vars;
+    total.linear_atoms += delta.linear_atoms;
+    total.refinements += delta.refinements;
+    total.sat_conflicts += delta.sat_conflicts;
+    total.sat_propagations += delta.sat_propagations;
+    total.sat_reduced_dbs += delta.sat_reduced_dbs;
+    total.sat_deleted_clauses += delta.sat_deleted_clauses;
+    total.sat_live_learnts += delta.sat_live_learnts;
+    total.sat_total_learnt += delta.sat_total_learnt;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use advocat_noc::Topology;
+
+    #[test]
+    fn small_fabrics_fall_back_to_the_flat_engine() {
+        let config = FabricConfig::new(Topology::mesh(2, 2).unwrap(), 2).with_directory(3);
+        let partition = Arc::new(Partition::per_node(&config.topology));
+        let mut composition =
+            QueryEngine::compose(config, partition, ComposeOptions::new(2..=3)).unwrap();
+        assert!(!composition
+            .check(&Query::new().capacity(2))
+            .is_deadlock_free());
+        assert!(composition
+            .check(&Query::new().capacity(3))
+            .is_deadlock_free());
+        let stats = composition.stats();
+        assert_eq!(stats.flat_fallbacks, 2);
+        assert_eq!(stats.engines_built, 0, "no tile engine was needed");
+    }
+
+    #[test]
+    fn composed_runs_certify_each_class_once() {
+        let config = FabricConfig::new(Topology::mesh(3, 3).unwrap(), 3).with_directory(4);
+        let partition = Arc::new(Partition::per_node(&config.topology));
+        let options = ComposeOptions::new(3..=3).with_flat_fallback(0);
+        let mut composition = QueryEngine::compose(config, partition, options).unwrap();
+        let report = composition.check(&Query::new().capacity(3));
+        // Composition may report a (spurious) boundary candidate, but a
+        // deadlock-free answer must be sound; either way every tile ran.
+        let stats = composition.stats();
+        assert_eq!(stats.tiles, 9);
+        // Corner, edge, interior and directory-hosting classes.
+        assert!(stats.distinct_classes <= 4, "{stats:?}");
+        assert_eq!(
+            stats.engines_built as usize, stats.distinct_classes,
+            "one cold build per class"
+        );
+        assert_eq!(stats.warm_hits, 9 - stats.engines_built);
+        if !report.is_deadlock_free() {
+            assert!(report.attribution().is_some(), "candidates are attributed");
+        }
+    }
+
+    #[test]
+    fn contracts_project_per_tile() {
+        let config = FabricConfig::new(Topology::mesh(2, 2).unwrap(), 2).with_directory(3);
+        let partition = Arc::new(Partition::per_node(&config.topology));
+        let composition =
+            QueryEngine::compose(config, partition, ComposeOptions::new(2..=2)).unwrap();
+        let contracts = composition.contracts(2);
+        assert_eq!(contracts.len(), 4);
+        assert!(contracts.iter().all(|c| !c.flows.is_empty()));
+    }
+}

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod batch;
+mod compose;
 mod family;
 pub mod prelude;
 mod query;
@@ -64,6 +65,7 @@ mod verifier;
 #[allow(deprecated)]
 pub use batch::verify_batch;
 pub use batch::{run_batch, BatchOutcome, BatchScenario, ScenarioFabric};
+pub use compose::{ComposeOptions, ComposeStats, Composition};
 pub use family::{FamilyOutcome, ProtocolComparison, ProtocolFamily};
 pub use query::{QueryEngine, SessionStats};
 pub use report::Report;

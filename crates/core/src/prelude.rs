@@ -15,9 +15,9 @@ pub use crate::{
 };
 
 pub use crate::{
-    run_batch, BatchOutcome, BatchScenario, FamilyOutcome, ProtocolComparison, ProtocolFamily,
-    QueryEngine, Report, ScenarioFabric, SessionStats, SizingOptions, SizingProbe, SizingResult,
-    Verifier,
+    run_batch, BatchOutcome, BatchScenario, ComposeOptions, ComposeStats, Composition,
+    FamilyOutcome, ProtocolComparison, ProtocolFamily, QueryEngine, Report, ScenarioFabric,
+    SessionStats, SizingOptions, SizingProbe, SizingResult, Verifier,
 };
 
 pub use crate::service::{
@@ -34,9 +34,10 @@ pub use advocat_explorer::{explore, random_walk, ExplorerConfig};
 pub use advocat_invariants::{derive_invariants, format_invariant};
 pub use advocat_logic::{CheckConfig, SolverConfig};
 pub use advocat_noc::{
-    audit_routing, build_fabric, build_fabric_for_sweep, build_mesh, build_mesh_for_sweep,
-    default_routing, fabric_dot, DimensionOrdered, FabricConfig, FabricError, FatTreeRouting,
-    MeshConfig, ProtocolKind, RoutingFunction, TableRouting, Topology, UpDownRouting,
+    audit_routing, boundary_graph, build_fabric, build_fabric_for_sweep, build_mesh,
+    build_mesh_for_sweep, build_tile_fabric, default_routing, fabric_dot, BoundaryPort,
+    DimensionOrdered, FabricConfig, FabricError, FatTreeRouting, MeshConfig, Partition,
+    ProtocolKind, RoutingFunction, TableRouting, Topology, UpDownRouting,
 };
 pub use advocat_protocols::{AbstractMi, FullMi, Mesi};
 pub use advocat_xmas::{Network, Packet};

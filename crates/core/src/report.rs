@@ -13,6 +13,7 @@ pub struct Report {
     invariant_text: Vec<String>,
     analysis: Analysis,
     system_stats: SystemStats,
+    attribution: Option<String>,
 }
 
 impl Report {
@@ -26,6 +27,25 @@ impl Report {
             invariant_text,
             analysis,
             system_stats: system.stats(),
+            attribution: None,
+        }
+    }
+
+    /// A report for a composed run, where no whole-fabric system exists:
+    /// the size statistics are the sum over the certified tiles (their
+    /// environment closures included), and a candidate carries an
+    /// attribution naming the tile or boundary interface it touches.
+    pub(crate) fn composed(
+        system_stats: SystemStats,
+        analysis: Analysis,
+        attribution: Option<String>,
+    ) -> Report {
+        Report {
+            invariants: InvariantSet::default(),
+            invariant_text: Vec::new(),
+            analysis,
+            system_stats,
+            attribution,
         }
     }
 
@@ -64,6 +84,13 @@ impl Report {
         self.system_stats
     }
 
+    /// For composed runs: which tile or boundary interface a candidate
+    /// (or a tile-level failure) touches.  `None` on flat runs and on
+    /// deadlock-free composed runs.
+    pub fn attribution(&self) -> Option<&str> {
+        self.attribution.as_deref()
+    }
+
     /// Renders a short multi-line summary in the style of the paper's
     /// experimental-results paragraphs.
     pub fn summary(&self) -> String {
@@ -72,14 +99,19 @@ impl Report {
             Verdict::PotentialDeadlock(_) => "potential deadlock".to_owned(),
             Verdict::Unknown => "unknown (resource limit)".to_owned(),
         };
+        let at = match &self.attribution {
+            Some(location) => format!(" at {location}"),
+            None => String::new(),
+        };
         format!(
-            "{} primitives, {} automata, {} queues; {} invariants; verdict: {} in {:.2?} \
+            "{} primitives, {} automata, {} queues; {} invariants; verdict: {}{} in {:.2?} \
              ({} refinements; learnt DB {} live / {} total, {} reductions)",
             self.system_stats.primitives,
             self.system_stats.automata,
             self.system_stats.queues,
             self.invariants.len(),
             verdict,
+            at,
             self.analysis.stats.elapsed,
             self.analysis.stats.refinements,
             self.analysis.stats.sat_live_learnts,

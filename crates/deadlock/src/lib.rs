@@ -45,14 +45,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod boundary;
 mod counterexample;
 mod encode;
 mod query;
 mod template;
 mod verify;
 
+pub use boundary::{
+    check_composition, Boundary, BoundaryAnalysis, BoundaryOutcome, CompositionModel, InterfacePort,
+};
 pub use counterexample::Counterexample;
 pub use encode::DeadlockSpec;
 pub use query::{CapacitySelection, DeadlockTarget, Query};
-pub use template::{structural_capacity_range, EncodingTemplate};
+pub use template::{structural_capacity_range, ContractCheck, EncodingTemplate};
 pub use verify::{verify_system, verify_with, Analysis, AnalysisStats, Verdict};

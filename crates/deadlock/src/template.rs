@@ -29,11 +29,12 @@ use std::ops::RangeInclusive;
 use std::time::Instant;
 
 use advocat_automata::System;
-use advocat_invariants::InvariantSet;
+use advocat_invariants::{InterfaceContract, InvariantSet};
 use advocat_logic::sat::SatStats;
 use advocat_logic::{BoolVar, CheckConfig, Formula, IntVar, LinExpr, Model, SmtSolver};
 use advocat_xmas::{ColorMap, Primitive};
 
+use crate::boundary::Boundary;
 use crate::counterexample::Counterexample;
 use crate::encode::{build_encoding_symbolic, DeadlockSpec, Encoding, EncodingVars};
 use crate::query::{CapacitySelection, Query};
@@ -190,6 +191,24 @@ pub struct EncodingTemplate {
     /// The spec a deprecated [`EncodingTemplate::new`] constructor froze
     /// in, replayed by the deprecated [`EncodingTemplate::check_capacity`].
     legacy_spec: DeadlockSpec,
+    /// The boundary interface the encoding was built over; empty for the
+    /// classic flat (whole-fabric) encoding.
+    boundary: Boundary,
+}
+
+/// The result of re-asserting a neighbouring tile's contract inside this
+/// template's encoding (a *checked import*): the strengthened analysis,
+/// plus an account of which contract rows actually bound.
+#[derive(Debug)]
+pub struct ContractCheck {
+    /// The analysis under the imported contract rows.
+    pub analysis: Analysis,
+    /// Contract rows successfully resolved and asserted.
+    pub imported: usize,
+    /// Queue names the contract mentioned that this encoding does not
+    /// contain (their rows were dropped, never asserted — dropping rows
+    /// only weakens the import, so the check stays sound).
+    pub skipped: Vec<String>,
 }
 
 impl EncodingTemplate {
@@ -211,6 +230,28 @@ impl EncodingTemplate {
         invariants: &InvariantSet,
         capacities: RangeInclusive<usize>,
     ) -> Self {
+        EncodingTemplate::build_over(system, colors, invariants, capacities, Boundary::flat())
+    }
+
+    /// Builds the encoding over an explicit [`Boundary`]: the template
+    /// additionally binds the named cut queues so interface contracts can
+    /// be imported by name through
+    /// [`EncodingTemplate::check_contract`].  [`EncodingTemplate::build`]
+    /// is the [`Boundary::flat`] special case — the encoding and every
+    /// verdict are identical; the boundary only names which queues face
+    /// the environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacities` is empty, or when a boundary port names a
+    /// queue the system does not contain.
+    pub fn build_over(
+        system: &System,
+        colors: &ColorMap,
+        invariants: &InvariantSet,
+        capacities: RangeInclusive<usize>,
+        boundary: Boundary,
+    ) -> Self {
         assert!(
             capacities.start() <= capacities.end(),
             "capacity range must be non-empty"
@@ -224,6 +265,12 @@ impl EncodingTemplate {
         );
         let labels = CexLabels::new(system, &vars);
         let network = system.network();
+        for port in boundary.ports() {
+            assert!(
+                labels.occupancy.iter().any(|(_, queue, _)| queue == port),
+                "boundary port {port:?} names no queue of the system"
+            );
+        }
         let mut structural: Vec<(IntVar, i64)> = vars
             .capacity
             .iter()
@@ -238,7 +285,14 @@ impl EncodingTemplate {
             capacities,
             structural,
             legacy_spec: DeadlockSpec::default(),
+            boundary,
         }
+    }
+
+    /// The boundary interface the encoding was built over (empty for a
+    /// flat template).
+    pub fn boundary(&self) -> &Boundary {
+        &self.boundary
     }
 
     /// Builds a template with a frozen deadlock specification.
@@ -327,6 +381,62 @@ impl EncodingTemplate {
             start.elapsed(),
             |m| self.labels.extract(m),
         )
+    }
+
+    /// Decides `query` with a neighbouring tile's [`InterfaceContract`]
+    /// re-asserted inside this encoding — the *checked import* of the
+    /// compositional flow.  Each contract row `Σ coefᵢ·occ(qᵢ) + c ≤ 0`
+    /// is resolved by queue name against this encoding's occupancy
+    /// variables and asserted inside a retractable scope; rows naming
+    /// queues absent from this tile are dropped (recorded in
+    /// [`ContractCheck::skipped`]), which only weakens the import and so
+    /// keeps the verdict sound.
+    pub fn check_contract(
+        &mut self,
+        contract: &InterfaceContract,
+        query: &Query,
+        config: &CheckConfig,
+    ) -> ContractCheck {
+        self.smt.push();
+        let mut imported = 0usize;
+        let mut skipped = Vec::new();
+        'rows: for row in &contract.rows {
+            let mut expr = LinExpr::zero();
+            for (queue, coef) in &row.terms {
+                // occ(q) is the sum of the per-color occupancy variables.
+                let mut found = false;
+                let Ok(coef) = i64::try_from(*coef) else {
+                    skipped.push(queue.clone());
+                    continue 'rows;
+                };
+                for (var, name, _) in &self.labels.occupancy {
+                    if name == queue {
+                        expr.add_term(coef, *var);
+                        found = true;
+                    }
+                }
+                if !found {
+                    skipped.push(queue.clone());
+                    continue 'rows;
+                }
+            }
+            let Ok(constant) = i64::try_from(row.constant) else {
+                skipped.push(format!("constant of row {imported}"));
+                continue;
+            };
+            expr.add_constant(constant);
+            self.smt.assert(Formula::le(expr, LinExpr::zero()));
+            imported += 1;
+        }
+        let analysis = self.check(query, config);
+        self.smt.pop();
+        skipped.sort();
+        skipped.dedup();
+        ContractCheck {
+            analysis,
+            imported,
+            skipped,
+        }
     }
 
     /// Decides the deadlock question of the frozen legacy spec with every
@@ -529,6 +639,77 @@ mod tests {
         // Structural size 5 lies outside the template's 2..=4.
         let mut template = EncodingTemplate::build(&system, &colors, &invariants, 2..=4);
         let _ = template.check(&Query::new(), &CheckConfig::default());
+    }
+
+    #[test]
+    fn the_flat_build_is_the_empty_boundary_case() {
+        let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+        let (system, colors, invariants) = mesh_parts(&config);
+        let mut flat = EncodingTemplate::build(&system, &colors, &invariants, 2..=3);
+        assert!(flat.boundary().is_flat());
+        let mut over =
+            EncodingTemplate::build_over(&system, &colors, &invariants, 2..=3, Boundary::flat());
+        for capacity in 2..=3usize {
+            let query = Query::new().capacity(capacity);
+            assert_eq!(
+                flat.check(&query, &CheckConfig::default())
+                    .verdict
+                    .is_deadlock_free(),
+                over.check(&query, &CheckConfig::default())
+                    .verdict
+                    .is_deadlock_free(),
+                "capacity {capacity}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "names no queue")]
+    fn boundary_ports_must_name_real_queues() {
+        let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+        let (system, colors, invariants) = mesh_parts(&config);
+        let boundary = Boundary::over(vec!["q-not-a-queue".to_string()]);
+        let _ = EncodingTemplate::build_over(&system, &colors, &invariants, 2..=2, boundary);
+    }
+
+    #[test]
+    fn contract_imports_are_retractable_and_accounted() {
+        use advocat_invariants::{ContractRow, InterfaceContract};
+
+        let config = MeshConfig::new(2, 2, 1).with_directory(1, 1);
+        let (system, colors, invariants) = mesh_parts(&config);
+        let mut template = EncodingTemplate::build(&system, &colors, &invariants, 2..=2);
+        let query = Query::new().capacity(2);
+        // The fabric deadlocks at capacity 2 without any import.
+        assert!(!template
+            .check(&query, &CheckConfig::default())
+            .verdict
+            .is_deadlock_free());
+        // A contradictory import (1 ≤ 0) rules every model out; rows over
+        // unknown queues are dropped and recorded, not asserted.
+        let contract = InterfaceContract {
+            tile: "neighbour".into(),
+            rows: vec![
+                ContractRow {
+                    terms: Vec::new(),
+                    constant: 1,
+                },
+                ContractRow {
+                    terms: vec![("q-not-here".into(), 1)],
+                    constant: 0,
+                },
+            ],
+            flows: Vec::new(),
+        };
+        let checked = template.check_contract(&contract, &query, &CheckConfig::default());
+        assert!(checked.analysis.verdict.is_deadlock_free());
+        assert_eq!(checked.imported, 1);
+        assert_eq!(checked.skipped, vec!["q-not-here".to_string()]);
+        // The import was scoped: the plain query deadlocks again.
+        assert!(!template
+            .check(&query, &CheckConfig::default())
+            .verdict
+            .is_deadlock_free());
     }
 
     #[test]

@@ -15,6 +15,12 @@ pub struct InvariantSet {
 }
 
 impl InvariantSet {
+    /// Wraps an explicit list of invariants (hand-written sets for tests
+    /// and contract tooling; derived sets come from [`derive_invariants`]).
+    pub fn from_invariants(invariants: Vec<Invariant>) -> Self {
+        InvariantSet { invariants }
+    }
+
     /// Returns the invariants.
     pub fn invariants(&self) -> &[Invariant] {
         &self.invariants

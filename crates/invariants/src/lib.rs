@@ -35,9 +35,11 @@ mod automaton_eqs;
 mod derive;
 mod display;
 mod flow;
+mod interface;
 mod partition;
 mod vars;
 
 pub use derive::{derive_invariants, InvariantSet};
 pub use display::format_invariant;
+pub use interface::{project_interface, ContractPort, ContractRow, FlowSummary, InterfaceContract};
 pub use vars::{Invariant, InvariantRelation, InvariantVar};

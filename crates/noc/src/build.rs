@@ -10,10 +10,6 @@ use advocat_automata::System;
 use crate::fabric::build_fabric;
 use crate::mesh::{MeshConfig, MeshError};
 
-/// Number of virtual-channel planes used when message-class VCs are
-/// enabled.
-pub(crate) const VC_PLANES: usize = 2;
-
 /// Builds the complete system for a mesh configuration: the
 /// store-and-forward fabric with XY routing (optionally split into
 /// request/response virtual channels), one protocol agent per node,

@@ -19,7 +19,7 @@
 
 use crate::fabric::FabricConfig;
 use crate::routefn::RouteStep;
-use crate::topology::Topology;
+use crate::topology::{EdgeId, Topology};
 
 /// A 128-bit structural digest (two independent 64-bit FNV-1a streams over
 /// the same canonical byte sequence, so an accidental collision in one
@@ -81,6 +81,21 @@ impl StructHasher {
     }
 }
 
+/// Edges in a canonical order independent of the order they were fed to
+/// the topology constructor: sorted by endpoints, then metadata.  Hashing
+/// edges (and edge *references* in the routing table) through this order
+/// makes the digest insensitive to the input edge-list permutation of an
+/// irregular topology — two descriptions of the same graph digest
+/// identically.
+fn canonical_edge_order(topo: &Topology) -> Vec<EdgeId> {
+    let mut edges: Vec<EdgeId> = topo.edge_ids().collect();
+    edges.sort_by_key(|&id| {
+        let e = topo.edge(id);
+        (e.from.index(), e.to.index(), e.dim, e.positive, e.wrap)
+    });
+    edges
+}
+
 /// Feeds the full topology structure — nodes with their terminal flags,
 /// coordinates and levels, then every directed edge with its metadata —
 /// into the hasher.
@@ -96,7 +111,7 @@ fn hash_topology(topo: &Topology, h: &mut StructHasher) {
         }
     }
     h.usize(topo.num_edges());
-    for edge in topo.edge_ids() {
+    for edge in canonical_edge_order(topo) {
         let e = topo.edge(edge);
         h.usize(e.from.index());
         h.usize(e.to.index());
@@ -126,9 +141,19 @@ fn hash_routing(config: &FabricConfig, h: &mut StructHasher) {
     let routing = config.routing.as_ref();
     let vcs = routing.num_vcs(topo).max(1);
     h.usize(vcs);
+    // Edge *references* in the decision table are hashed through their
+    // canonical rank, not their raw id, so the digest survives a permuted
+    // edge-list input; arrival contexts are visited in the same order.
+    let canonical = canonical_edge_order(topo);
+    let mut rank = vec![0usize; topo.num_edges()];
+    for (pos, edge) in canonical.iter().enumerate() {
+        rank[edge.index()] = pos;
+    }
     for node in topo.node_ids() {
-        let mut arrivals = vec![None];
-        arrivals.extend(topo.in_edges(node).iter().copied().map(Some));
+        let mut arrivals: Vec<Option<EdgeId>> =
+            topo.in_edges(node).iter().copied().map(Some).collect();
+        arrivals.sort_by_key(|a| a.map(|e| rank[e.index()]));
+        arrivals.insert(0, None);
         for arrived in arrivals {
             for vc in 0..vcs {
                 for dst in topo.terminals() {
@@ -137,7 +162,7 @@ fn hash_routing(config: &FabricConfig, h: &mut StructHasher) {
                         Some(RouteStep::Deliver) => h.bytes(&[1]),
                         Some(RouteStep::Forward { edge, vc: out_vc }) => {
                             h.bytes(&[2]);
-                            h.usize(edge.index());
+                            h.usize(rank[edge.index()]);
                             h.usize(out_vc);
                         }
                     }
@@ -241,6 +266,37 @@ mod tests {
         let plain =
             FabricConfig::new(topo, 2).with_routing(Arc::new(DimensionOrdered::without_dateline()));
         assert_ne!(datelined.structure_digest(), plain.structure_digest());
+    }
+
+    #[test]
+    fn digest_is_insensitive_to_edge_list_input_order() {
+        // The "kite" graph from the routing tests, described twice with
+        // the edge list in different input orders.  `TableRouting` breaks
+        // next-hop ties by node index, so on a simple graph (no parallel
+        // edges) the two descriptions build identical fabrics — and the
+        // digests must agree even though the raw edge ids are permuted.
+        let edges: &[(u32, u32)] = &[
+            (0, 1),
+            (1, 0),
+            (1, 2),
+            (2, 1),
+            (2, 3),
+            (3, 2),
+            (3, 0),
+            (0, 3),
+            (3, 4),
+            (4, 3),
+        ];
+        let mut permuted = edges.to_vec();
+        permuted.rotate_left(3);
+        permuted.swap(0, 5);
+        let base = Topology::irregular("kite", 5, &[0, 2, 4], edges).unwrap();
+        let shuffled = Topology::irregular("kite", 5, &[0, 2, 4], &permuted).unwrap();
+        let a = FabricConfig::new(base, 2).with_directory(1);
+        let b = FabricConfig::new(shuffled, 2).with_directory(1);
+        assert_eq!(a.structure_digest(), b.structure_digest());
+        // And building twice from the very same description is stable.
+        assert_eq!(a.structure_digest(), a.clone().structure_digest());
     }
 
     #[test]

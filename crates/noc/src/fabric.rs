@@ -139,6 +139,29 @@ impl From<crate::MeshError> for FabricError {
     }
 }
 
+/// Number of message-class planes a fabric multiplies its routing escape
+/// VCs by: [`MessageClass::PLANES`] with request/response planes enabled,
+/// 1 otherwise.  The single source of truth for every plane computation —
+/// [`FabricConfig::planes`], [`crate::MeshConfig::planes`], the flat
+/// builder and the tile builder all go through it.
+pub(crate) fn class_planes(message_class_vcs: bool) -> usize {
+    if message_class_vcs {
+        MessageClass::PLANES
+    } else {
+        1
+    }
+}
+
+/// The name suffix distinguishing a link queue's virtual-channel plane
+/// (empty for single-plane fabrics, matching the historical names).
+pub(crate) fn plane_suffix(planes: usize, plane: usize) -> String {
+    if planes == 1 {
+        String::new()
+    } else {
+        format!(".vc{plane}")
+    }
+}
+
 impl FabricConfig {
     /// A fabric over `topology` with the family's default routing, the
     /// abstract MI protocol, the directory at terminal 0 and no
@@ -195,12 +218,7 @@ impl FabricConfig {
     /// Number of virtual-channel planes per link this configuration
     /// produces (message classes × routing escape VCs).
     pub fn planes(&self) -> usize {
-        let classes = if self.message_class_vcs {
-            MessageClass::PLANES
-        } else {
-            1
-        };
-        classes * self.routing.num_vcs(&self.topology).max(1)
+        class_planes(self.message_class_vcs) * self.routing.num_vcs(&self.topology).max(1)
     }
 
     /// Validates the configuration (without running the routing audit).
@@ -245,10 +263,36 @@ impl FabricConfig {
 /// Panics only on internal invariant violations (the generated network
 /// always validates).
 pub fn build_fabric(config: &FabricConfig) -> Result<System, FabricError> {
+    build_fabric_scoped(config, None)
+}
+
+/// The internal, scope-aware fabric builder behind both [`build_fabric`]
+/// (`scope: None` — the whole topology) and
+/// [`crate::build_tile_fabric`] (`scope: Some((partition, tile))` — one
+/// tile of a partition, closed off with an explicit environment).
+///
+/// In tile scope the builder instantiates only the primitives owned by the
+/// tile: link queues of edges *ending* inside it (a cut queue belongs to
+/// its downstream tile), routing logic and agents of its nodes.  Each cut
+/// is closed with environment primitives named after the cut queue:
+/// an ingress queue is fed by an `env.q…` source injecting every color the
+/// routing function could deliver over that link, and an egress merge
+/// drains into an always-ready `env.q…` sink (the "free environment" — the
+/// neighbouring tile never refuses; the composition-level boundary check
+/// is what accounts for neighbours that do).  Protocol agent specs are
+/// still built for *every* terminal so the interned color space — and with
+/// it every queue, switch and invariant name — matches the flat build.
+pub(crate) fn build_fabric_scoped(
+    config: &FabricConfig,
+    scope: Option<(&crate::Partition, usize)>,
+) -> Result<System, FabricError> {
     config.check()?;
     let topo = &config.topology;
     let routing = config.routing.as_ref();
-    if config.audit {
+    // The audit is a whole-fabric property; a lone tile is audited by the
+    // flat configuration it was cut from, not in isolation (where the cut
+    // would sever routes and fail connectivity vacuously).
+    if config.audit && scope.is_none() {
         let audit = audit_routing(topo, routing)?;
         if let Some(cycle) = audit.describe_cycle(topo) {
             return Err(FabricError::CyclicChannelDependencies {
@@ -257,13 +301,12 @@ pub fn build_fabric(config: &FabricConfig) -> Result<System, FabricError> {
             });
         }
     }
+    let in_tile = |node: crate::topology::NodeId| -> bool {
+        scope.is_none_or(|(partition, tile)| partition.tile_of(node) == tile)
+    };
 
     let route_vcs = routing.num_vcs(topo).max(1);
-    let classes = if config.message_class_vcs {
-        MessageClass::PLANES
-    } else {
-        1
-    };
+    let classes = class_planes(config.message_class_vcs);
     let planes = classes * route_vcs;
     let num_agents = topo.num_terminals() as u32;
     let dir_agent = config.directory as u32;
@@ -313,30 +356,56 @@ pub fn build_fabric(config: &FabricConfig) -> Result<System, FabricError> {
         .collect();
 
     let plane_of = |class: usize, vc: usize| class * route_vcs + vc;
-    let plane_suffix = |p: usize| -> String {
-        if planes == 1 {
-            String::new()
-        } else {
-            format!(".vc{p}")
-        }
-    };
+    let plane_suffix = |p: usize| -> String { crate::fabric::plane_suffix(planes, p) };
 
-    // Link queues: one per directed topology edge per plane.
-    let link_queue: Vec<Vec<PrimitiveId>> = topo
+    // Link queues: one per directed topology edge per plane.  A cut queue
+    // belongs to its *downstream* tile, so in tile scope only edges ending
+    // inside the tile get queues; ingress cuts (upstream node outside) are
+    // fed by environment sources instead of the absent upstream merge.
+    let link_queue: Vec<Option<Vec<PrimitiveId>>> = topo
         .edge_ids()
         .map(|e| {
-            (0..planes)
+            let edge = topo.edge(e);
+            if !in_tile(edge.to) {
+                return None;
+            }
+            let queues: Vec<PrimitiveId> = (0..planes)
                 .map(|p| {
                     let name = format!("q{}{}", topo.edge_label(e), plane_suffix(p));
                     net.add_queue(name, config.queue_size)
                 })
-                .collect()
+                .collect();
+            if !in_tile(edge.from) {
+                for (p, queue) in queues.iter().enumerate() {
+                    let (class, vc) = (p / route_vcs, p % route_vcs);
+                    // Everything of the plane's class that the routing
+                    // function could carry over this link: a (sound)
+                    // over-approximation of the real arrivals.
+                    let colors: Vec<ColorId> = routable
+                        .iter()
+                        .filter(|(_, c, _)| *c == class)
+                        .filter(|(_, _, dst)| {
+                            routing.route(topo, edge.to, Some(e), vc, *dst).is_some()
+                        })
+                        .map(|(color, _, _)| *color)
+                        .collect();
+                    let src = net.add_source(
+                        format!("env.q{}{}", topo.edge_label(e), plane_suffix(p)),
+                        colors,
+                    );
+                    net.connect(src, 0, *queue, 0);
+                }
+            }
+            Some(queues)
         })
         .collect();
 
-    // Agent nodes at the terminals.
-    let agent_node: Vec<PrimitiveId> = (0..num_agents as usize)
+    // Agent nodes at the terminals (in tile scope, only the tile's own).
+    let agent_node: Vec<Option<PrimitiveId>> = (0..num_agents as usize)
         .map(|t| {
+            if !in_tile(topo.terminal_node(t)) {
+                return None;
+            }
             let label = &topo.node(topo.terminal_node(t)).label;
             let spec = &specs[t];
             let name = if t as u32 == dir_agent {
@@ -344,16 +413,19 @@ pub fn build_fabric(config: &FabricConfig) -> Result<System, FabricError> {
             } else {
                 format!("cache{label}")
             };
-            net.add_automaton_node(
+            Some(net.add_automaton_node(
                 name,
                 spec.automaton.input_count(),
                 spec.automaton.output_count(),
-            )
+            ))
         })
         .collect();
 
     // Per-node routing logic.
     for node in topo.node_ids() {
+        if !in_tile(node) {
+            continue;
+        }
         let label = &topo.node(node).label;
         let in_edges = topo.in_edges(node);
         let out_edges = topo.out_edges(node);
@@ -380,13 +452,14 @@ pub fn build_fabric(config: &FabricConfig) -> Result<System, FabricError> {
             None => Vec::new(),
             Some(t) => {
                 let spec = &specs[t];
+                let agent_prim = agent_node[t].expect("in-tile terminal has an agent node");
                 if classes == 1 {
-                    vec![(agent_node[t], spec.net_out)]
+                    vec![(agent_prim, spec.net_out)]
                 } else {
                     let routes: BTreeMap<ColorId, usize> =
                         routable.iter().map(|(c, class, _)| (*c, *class)).collect();
                     let cs = net.add_switch(format!("vc_split{label}"), routes, classes, 0);
-                    net.connect(agent_node[t], spec.net_out, cs, 0);
+                    net.connect(agent_prim, spec.net_out, cs, 0);
                     (0..classes).map(|c| (cs, c)).collect()
                 }
             }
@@ -443,7 +516,10 @@ pub fn build_fabric(config: &FabricConfig) -> Result<System, FabricError> {
                         out_count,
                         if agent.is_some() { local_index } else { 0 },
                     );
-                    net.connect(link_queue[in_edge.index()][plane_of(class, vc)], 0, sw, 0);
+                    let queues = link_queue[in_edge.index()]
+                        .as_ref()
+                        .expect("edges into an in-scope node carry queues");
+                    net.connect(queues[plane_of(class, vc)], 0, sw, 0);
                     members.push(sw);
                     plane_switches[plane_of(class, vc)].push(sw);
                 }
@@ -472,27 +548,34 @@ pub fn build_fabric(config: &FabricConfig) -> Result<System, FabricError> {
         }
 
         // One merge per (outgoing link, plane), fed by every switch of the
-        // plane's class.
+        // plane's class.  An egress cut (downstream node outside the tile)
+        // has no queue on this side: the merge drains into an always-ready
+        // environment sink instead.
         for (pos, out_edge) in out_edges.iter().enumerate() {
             let to_label = &topo.node(topo.edge(*out_edge).to).label;
-            for class in 0..classes {
+            for (class, class_switches) in switches.iter().enumerate() {
                 for vc in 0..route_vcs {
+                    let plane = plane_of(class, vc);
                     let merge = net.add_merge(
-                        format!(
-                            "arb{label}.to{to_label}{}",
-                            plane_suffix(plane_of(class, vc))
-                        ),
-                        switches[class].len(),
+                        format!("arb{label}.to{to_label}{}", plane_suffix(plane)),
+                        class_switches.len(),
                     );
-                    for (i, sw) in switches[class].iter().enumerate() {
+                    for (i, sw) in class_switches.iter().enumerate() {
                         net.connect(*sw, pos * route_vcs + vc, merge, i);
                     }
-                    net.connect(
-                        merge,
-                        0,
-                        link_queue[out_edge.index()][plane_of(class, vc)],
-                        0,
-                    );
+                    match &link_queue[out_edge.index()] {
+                        Some(queues) => {
+                            net.connect(merge, 0, queues[plane], 0);
+                        }
+                        None => {
+                            let sink = net.add_sink(format!(
+                                "env.q{}{}",
+                                topo.edge_label(*out_edge),
+                                plane_suffix(plane)
+                            ));
+                            net.connect(merge, 0, sink, 0);
+                        }
+                    }
                 }
             }
         }
@@ -502,6 +585,7 @@ pub fn build_fabric(config: &FabricConfig) -> Result<System, FabricError> {
         // over the planes feeds the agent.
         if let Some(t) = agent {
             let spec = &specs[t];
+            let agent_prim = agent_node[t].expect("in-tile terminal has an agent node");
             let mut plane_locals: Vec<PrimitiveId> = Vec::new();
             for (p, members) in plane_switches.iter().enumerate() {
                 if members.is_empty() {
@@ -517,13 +601,13 @@ pub fn build_fabric(config: &FabricConfig) -> Result<System, FabricError> {
                 plane_locals.push(merge);
             }
             if plane_locals.len() == 1 {
-                net.connect(plane_locals[0], 0, agent_node[t], spec.net_in);
+                net.connect(plane_locals[0], 0, agent_prim, spec.net_in);
             } else {
                 let em = net.add_merge(format!("eject_arb{label}"), plane_locals.len());
                 for (i, merge) in plane_locals.iter().enumerate() {
                     net.connect(*merge, 0, em, i);
                 }
-                net.connect(em, 0, agent_node[t], spec.net_in);
+                net.connect(em, 0, agent_prim, spec.net_in);
             }
 
             // Core-side trigger source and auxiliary sink.
@@ -532,13 +616,13 @@ pub fn build_fabric(config: &FabricConfig) -> Result<System, FabricError> {
                 net.connect(
                     src,
                     0,
-                    agent_node[t],
+                    agent_prim,
                     spec.core_in.expect("needs_core_source implies core_in"),
                 );
             }
             if let Some(aux) = spec.aux_out {
                 let sink = net.add_sink(format!("aux_sink{label}"));
-                net.connect(agent_node[t], aux, sink, 0);
+                net.connect(agent_prim, aux, sink, 0);
             }
         }
     }
@@ -546,9 +630,11 @@ pub fn build_fabric(config: &FabricConfig) -> Result<System, FabricError> {
     // Attach the automata.
     let mut system = System::new(net);
     for t in 0..num_agents as usize {
-        system
-            .attach(agent_node[t], specs[t].automaton.clone())
-            .expect("agent node ports match the automaton by construction");
+        if let Some(prim) = agent_node[t] {
+            system
+                .attach(prim, specs[t].automaton.clone())
+                .expect("agent node ports match the automaton by construction");
+        }
     }
     debug_assert!(system.validate().is_ok());
     Ok(system)

@@ -48,6 +48,7 @@ mod cdg;
 mod digest;
 mod fabric;
 mod mesh;
+mod partition;
 mod routefn;
 mod routing;
 mod topology;
@@ -57,6 +58,10 @@ pub use cdg::{audit_routing, CdgChannel, RoutingAudit, RoutingError};
 pub use digest::ConfigDigest;
 pub use fabric::{build_fabric, build_fabric_for_sweep, fabric_dot, FabricConfig, FabricError};
 pub use mesh::{MeshConfig, MeshError, ProtocolKind};
+pub use partition::{
+    boundary_graph, build_tile_fabric, BoundaryGraph, BoundaryPort, CutPort, Partition,
+    PartitionError, PortDirection, Tile,
+};
 pub use routefn::{
     default_routing, DimensionOrdered, FatTreeRouting, RouteStep, RoutingFunction, TableRouting,
     UpDownRouting,

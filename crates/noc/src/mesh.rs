@@ -148,11 +148,7 @@ impl MeshConfig {
 
     /// Number of virtual-channel planes of the fabric.
     pub fn planes(&self) -> usize {
-        if self.virtual_channels {
-            crate::build::VC_PLANES
-        } else {
-            1
-        }
+        crate::fabric::class_planes(self.virtual_channels)
     }
 
     /// Translates this mesh description into the topology-generic

@@ -210,6 +210,41 @@ fn cold_engines_are_evicted_lru_under_the_cap() {
     assert_eq!(service.pool_stats().engines_built, 3);
 }
 
+/// Eviction accounting: warm-hit statistics must reflect that an evicted
+/// fingerprint *rebuilds* — the post-eviction return is a cold build, not
+/// a warm hit, and only the jobs after the rebuild count warm again.
+#[test]
+fn warm_hit_accounting_survives_eviction_and_rebuild() {
+    let service = Service::new(ServiceConfig::default().with_workers(1).with_max_engines(1));
+    let a = MeshConfig::new(2, 2, 2).with_directory(1, 1);
+    let b = MeshConfig::new(2, 2, 3).with_directory(1, 1);
+
+    service.submit(VerifyJob::mesh("a cold", a));
+    service.submit(VerifyJob::mesh("a warm", a));
+    service.drain();
+    let stats = service.pool_stats();
+    assert_eq!((stats.engines_built, stats.warm_hits), (1, 1));
+
+    // `b` evicts `a`; returning to `a` must be a cold rebuild, and only
+    // the job after it is warm again.
+    service.submit(VerifyJob::mesh("b evicts a", b));
+    service.drain();
+    assert_eq!(service.pool_stats().evictions, 1);
+    service.submit(VerifyJob::mesh("a rebuilds", a));
+    service.submit(VerifyJob::mesh("a warm again", a));
+    let outcomes = service.drain();
+    assert!(!outcomes[0].warm_hit, "the rebuild is not a warm hit");
+    assert!(outcomes[1].warm_hit, "the rebuilt engine serves warm");
+
+    let stats = service.pool_stats();
+    assert_eq!(stats.engines_built, 3, "a, b, and the rebuild of a");
+    assert_eq!(stats.warm_hits, 2);
+    assert_eq!(stats.evictions, 2, "the rebuild of a evicted b in turn");
+    assert_eq!(stats.live_engines, 1);
+    // Every job is accounted exactly once, as a build or a warm hit.
+    assert_eq!(stats.engines_built + stats.warm_hits, 5);
+}
+
 /// Unbuildable fabrics fail fast: the first job caches the build failure
 /// and later same-fingerprint jobs share it without re-attempting.
 #[test]
