@@ -38,12 +38,12 @@ fn composed_check() -> (Duration, ComposeStats, Report) {
 }
 
 fn print_comparison() {
-    println!("== E11: composed 8x8 certification vs the flat encoding ==");
+    advocat_telemetry::info!("== E11: composed 8x8 certification vs the flat encoding ==");
 
     let (composed_elapsed, stats, report) = composed_check();
     let total = stats.engines_built + stats.warm_hits;
     let warm_rate = stats.warm_hits as f64 / total as f64;
-    println!(
+    advocat_telemetry::info!(
         "composed: {} tiles via {} fingerprints, {}/{} warm ({:.0}%), \
          {} boundary ports, end-to-end {:.2?}",
         stats.tiles,
@@ -54,7 +54,7 @@ fn print_comparison() {
         stats.boundary_ports,
         composed_elapsed,
     );
-    println!("composed verdict: {}", report.summary());
+    advocat_telemetry::info!("composed verdict: {}", report.summary());
     assert_eq!(stats.tiles, 64);
     assert!(
         stats.distinct_classes <= 4,
@@ -82,12 +82,14 @@ fn print_comparison() {
         let _ = sender.send((start.elapsed(), verdict));
     });
     match receiver.recv_timeout(budget) {
-        Err(_) => println!(
+        Err(_) => advocat_telemetry::info!(
             "flat:     did not complete within the 5x budget ({budget:.2?}) — \
              the 8x8 flat encoding is out of reach"
         ),
         Ok((flat_elapsed, verdict)) => {
-            println!("flat:     completed in {flat_elapsed:.2?} (verdict free = {verdict:?})");
+            advocat_telemetry::info!(
+                "flat:     completed in {flat_elapsed:.2?} (verdict free = {verdict:?})"
+            );
             assert!(
                 flat_elapsed >= composed_elapsed * 5,
                 "flat completed faster than 5x the composed check \
@@ -95,7 +97,7 @@ fn print_comparison() {
             );
         }
     }
-    println!();
+    advocat_telemetry::info!("");
 }
 
 fn bench(c: &mut Criterion) {

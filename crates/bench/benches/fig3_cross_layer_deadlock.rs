@@ -9,8 +9,8 @@ use advocat_bench::{abstract_mesh, verdict_label};
 use criterion::{criterion_group, Criterion};
 
 fn print_table() {
-    println!("== E2: cross-layer deadlock on the 2×2 mesh (Fig. 3) ==");
-    println!("{:<12} {:<22} details", "queue size", "verdict");
+    advocat_telemetry::info!("== E2: cross-layer deadlock on the 2×2 mesh (Fig. 3) ==");
+    advocat_telemetry::info!("{:<12} {:<22} details", "queue size", "verdict");
     for queue_size in [2usize, 3, 4] {
         let system = abstract_mesh(2, 2, queue_size, (1, 1));
         let report = QueryEngine::structural(system.clone()).check(&Query::new());
@@ -25,9 +25,9 @@ fn print_table() {
                 )
             })
             .unwrap_or_else(|| format!("{} invariants", report.invariants().len()));
-        println!("{:<12} {:<22} {detail}", queue_size, verdict_label(&report));
+        advocat_telemetry::info!("{:<12} {:<22} {detail}", queue_size, verdict_label(&report));
     }
-    println!();
+    advocat_telemetry::info!("");
 }
 
 fn bench(c: &mut Criterion) {

@@ -11,8 +11,8 @@ use advocat_bench::minimal_size;
 use criterion::{criterion_group, Criterion};
 
 fn print_table() {
-    println!("== E3: minimal deadlock-free queue sizes (Fig. 4) ==");
-    println!("{:<8} {:<12} minimal queue size", "mesh", "directory");
+    advocat_telemetry::info!("== E3: minimal deadlock-free queue sizes (Fig. 4) ==");
+    advocat_telemetry::info!("{:<8} {:<12} minimal queue size", "mesh", "directory");
     let cases = [
         (2u32, 2u32, (0u32, 0u32)),
         (2, 2, (1, 0)),
@@ -22,14 +22,14 @@ fn print_table() {
     ];
     for (w, h, dir) in cases {
         let min = minimal_size(w, h, dir, false, 10);
-        println!(
+        advocat_telemetry::info!(
             "{:<8} {:<12} {}",
             format!("{w}x{h}"),
             format!("({},{})", dir.0, dir.1),
             min.map(|s| s.to_string()).unwrap_or_else(|| "> 10".into())
         );
     }
-    println!();
+    advocat_telemetry::info!("");
 }
 
 fn bench(c: &mut Criterion) {

@@ -10,12 +10,12 @@ use advocat_bench::full_mi_mesh;
 use criterion::{criterion_group, Criterion};
 
 fn print_table() {
-    println!("== E7: full MI protocol on the 2×2 mesh ==");
+    advocat_telemetry::info!("== E7: full MI protocol on the 2×2 mesh ==");
     let protocol = FullMi::new(4, 3);
     let mut scratch = Network::new();
     let cache = protocol.cache_agent(&mut scratch, 0);
     let directory = protocol.directory_agent(&mut scratch);
-    println!(
+    advocat_telemetry::info!(
         "  protocol: cache {} states, directory {} states, {} message kinds",
         cache.automaton.state_count(),
         directory.automaton.state_count(),
@@ -24,21 +24,21 @@ fn print_table() {
 
     let system = full_mi_mesh(2, 2, 4, (1, 1));
     let report = QueryEngine::structural(system.clone()).check(&Query::new());
-    println!(
+    advocat_telemetry::info!(
         "  2x2 model: {} primitives, {} queues, {} colors",
         report.system_stats().primitives,
         report.system_stats().queues,
         report.system_stats().colors
     );
-    println!(
+    advocat_telemetry::info!(
         "  invariants derived: {} (paper: 14); verdict: {}",
         report.invariants().len(),
         advocat_bench::verdict_label(&report)
     );
     for line in report.invariant_text().iter().take(8) {
-        println!("    {line}");
+        advocat_telemetry::info!("    {line}");
     }
-    println!();
+    advocat_telemetry::info!("");
 }
 
 fn bench(c: &mut Criterion) {

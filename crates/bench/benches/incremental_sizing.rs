@@ -48,13 +48,15 @@ fn session_sweep() -> (Vec<bool>, u64) {
 }
 
 fn print_comparison() {
-    println!("== incremental sessions vs. cold starts (2x2 directory mesh, sizes 1..=16) ==");
+    advocat_telemetry::info!(
+        "== incremental sessions vs. cold starts (2x2 directory mesh, sizes 1..=16) =="
+    );
     let (cold_verdicts, cold_effort) = cold_sweep();
     let (session_verdicts, session_effort) = session_sweep();
     assert_eq!(cold_verdicts, session_verdicts, "paths must agree");
-    println!("cold starts:   {cold_effort:>9} SAT conflicts+propagations");
-    println!("session:       {session_effort:>9} SAT conflicts+propagations");
-    println!(
+    advocat_telemetry::info!("cold starts:   {cold_effort:>9} SAT conflicts+propagations");
+    advocat_telemetry::info!("session:       {session_effort:>9} SAT conflicts+propagations");
+    advocat_telemetry::info!(
         "effort ratio:  {:.2}x less work with the session",
         cold_effort as f64 / session_effort.max(1) as f64
     );
@@ -62,13 +64,13 @@ fn print_comparison() {
     // The production entry point bisects instead of sweeping linearly.
     let system = build_mesh_for_sweep(&mesh_config(), *SIZES.end()).expect("valid mesh");
     let result = QueryEngine::on(system, SIZES).minimal_capacity(&Query::new());
-    println!(
+    advocat_telemetry::info!(
         "binary search: minimal size {:?} found with {} probes: {:?}",
         result.minimal_queue_size,
         result.evaluations.len(),
         result.evaluations
     );
-    println!();
+    advocat_telemetry::info!("");
 }
 
 fn bench(c: &mut Criterion) {

@@ -10,13 +10,15 @@ use advocat_bench::abstract_mesh;
 use criterion::{criterion_group, Criterion};
 
 fn print_table() {
-    println!("== E4: derived cross-layer invariants, 2×2 mesh, directory at (1,1) ==");
+    advocat_telemetry::info!(
+        "== E4: derived cross-layer invariants, 2×2 mesh, directory at (1,1) =="
+    );
     let system = abstract_mesh(2, 2, 2, (1, 1));
     let report = QueryEngine::structural(system.clone()).check(&Query::new());
     for line in report.invariant_text() {
-        println!("  {line}");
+        advocat_telemetry::info!("  {line}");
     }
-    println!(
+    advocat_telemetry::info!(
         "  total: {} invariants ({} mention both queues and automaton states)",
         report.invariants().len(),
         report
@@ -33,7 +35,7 @@ fn print_table() {
             })
             .count()
     );
-    println!();
+    advocat_telemetry::info!("");
 }
 
 fn bench(c: &mut Criterion) {

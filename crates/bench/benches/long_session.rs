@@ -61,8 +61,8 @@ fn avg(slice: &[u64]) -> u64 {
 }
 
 fn print_comparison() {
-    println!("== long sessions: bounded vs. unbounded learnt database ==");
-    println!("   (2x2 directory mesh, queue sizes 1..=32 through one session)");
+    advocat_telemetry::info!("== long sessions: bounded vs. unbounded learnt database ==");
+    advocat_telemetry::info!("   (2x2 directory mesh, queue sizes 1..=32 through one session)");
     let (bounded_verdicts, bounded, bounded_stats) = sweep(bounded_solver());
     let (unbounded_verdicts, unbounded, unbounded_stats) = sweep(unbounded_solver());
     assert_eq!(bounded_verdicts, unbounded_verdicts, "verdicts must agree");
@@ -70,9 +70,11 @@ fn print_comparison() {
     // The first two sizes deadlock and dominate absolute cost; the trend
     // of the satisfiable tail is where unbounded growth shows.
     let quarters: Vec<(usize, usize)> = vec![(2, 8), (8, 16), (16, 24), (24, 32)];
-    println!("per-query SAT effort (conflicts+propagations), averaged per quarter:");
+    advocat_telemetry::info!(
+        "per-query SAT effort (conflicts+propagations), averaged per quarter:"
+    );
     for &(lo, hi) in &quarters {
-        println!(
+        advocat_telemetry::info!(
             "  sizes {:>2}..={:>2}:  bounded {:>8}   unbounded {:>8}",
             lo + 1,
             hi,
@@ -81,12 +83,12 @@ fn print_comparison() {
         );
     }
     let growth = |efforts: &[u64]| avg(&efforts[16..]) as f64 / avg(&efforts[2..16]) as f64;
-    println!(
+    advocat_telemetry::info!(
         "late/early cost ratio:  bounded {:.2}x   unbounded {:.2}x",
         growth(&bounded),
         growth(&unbounded)
     );
-    println!(
+    advocat_telemetry::info!(
         "bounded:   {:>8} total props, learnt DB {} live / {} total, \
          {} reductions, {} clauses deleted",
         bounded_stats.sat_propagations,
@@ -95,13 +97,13 @@ fn print_comparison() {
         bounded_stats.reduced_dbs,
         bounded_stats.deleted_clauses,
     );
-    println!(
+    advocat_telemetry::info!(
         "unbounded: {:>8} total props, learnt DB {} live / {} total",
         unbounded_stats.sat_propagations,
         unbounded_stats.live_learnts,
         unbounded_stats.total_learnt,
     );
-    println!();
+    advocat_telemetry::info!("");
 }
 
 fn bench(c: &mut Criterion) {

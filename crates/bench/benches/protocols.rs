@@ -38,17 +38,24 @@ fn fabrics() -> Vec<(&'static str, FabricConfig)> {
 }
 
 fn print_comparison() {
-    println!("== one sizing study per (fabric, protocol family), sizes {SIZES:?} ==");
-    println!(
+    advocat_telemetry::info!(
+        "== one sizing study per (fabric, protocol family), sizes {SIZES:?} =="
+    );
+    advocat_telemetry::info!(
         "{:<12} {:<12} {:<7} {:<9} {:>9} {:>12}",
-        "fabric", "protocol", "kinds", "min free", "queries", "SAT effort"
+        "fabric",
+        "protocol",
+        "kinds",
+        "min free",
+        "queries",
+        "SAT effort"
     );
     for (name, fabric) in fabrics() {
         let comparison =
             QueryEngine::compare_protocols(&fabric, &ProtocolFamily::ALL, &Query::new(), SIZES)
                 .expect("fabric builds for every family");
         for outcome in &comparison.outcomes {
-            println!(
+            advocat_telemetry::info!(
                 "{:<12} {:<12} {:<7} {:<9} {:>9} {:>12}",
                 name,
                 outcome.family.name(),
@@ -67,7 +74,7 @@ fn print_comparison() {
             "one template per family, never per probe"
         );
     }
-    println!();
+    advocat_telemetry::info!("");
 }
 
 fn bench(c: &mut Criterion) {

@@ -38,16 +38,16 @@ fn running_example(queue_size: usize) -> System {
 }
 
 fn print_table() {
-    println!("== E1: running example (Fig. 1) ==");
+    advocat_telemetry::info!("== E1: running example (Fig. 1) ==");
     let system = running_example(2);
     let report = QueryEngine::structural(system.clone()).check(&Query::new());
     for line in report.invariant_text() {
-        println!("  invariant: {line}");
+        advocat_telemetry::info!("  invariant: {line}");
     }
-    println!("  with invariants:    {}", report.summary());
+    advocat_telemetry::info!("  with invariants:    {}", report.summary());
     let naive = QueryEngine::structural(system.clone()).check(&Query::new().invariants(false));
-    println!("  without invariants: {}", naive.summary());
-    println!();
+    advocat_telemetry::info!("  without invariants: {}", naive.summary());
+    advocat_telemetry::info!("");
 }
 
 fn bench(c: &mut Criterion) {

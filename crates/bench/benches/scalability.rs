@@ -15,7 +15,7 @@ use advocat_bench::abstract_mesh;
 use criterion::{criterion_group, Criterion};
 
 fn print_table() {
-    println!("== E6: model sizes and verification-time scaling ==");
+    advocat_telemetry::info!("== E6: model sizes and verification-time scaling ==");
 
     // (a) Model size of the 6×6 fabric with VCs (building is cheap).
     let big = build_mesh(
@@ -25,19 +25,22 @@ fn print_table() {
     )
     .expect("6x6 mesh builds");
     let stats = big.stats();
-    println!(
+    advocat_telemetry::info!(
         "  6x6 mesh with VCs: {} primitives, {} automata, {} queues, {} channels \
          (paper: 2844 primitives, 36 automata, 432 queues)",
-        stats.primitives, stats.automata, stats.queues, stats.channels
+        stats.primitives,
+        stats.automata,
+        stats.queues,
+        stats.channels
     );
 
     // (b) Verification time vs mesh size (fixed queue size).
-    println!("  verification time vs mesh size (queue size 3):");
+    advocat_telemetry::info!("  verification time vs mesh size (queue size 3):");
     for (w, h) in [(2u32, 2u32), (3, 2), (2, 3)] {
         let system = abstract_mesh(w, h, 3, (w - 1, h - 1));
         let start = Instant::now();
         let report = QueryEngine::structural(system.clone()).check(&Query::new());
-        println!(
+        advocat_telemetry::info!(
             "    {w}x{h}: {:?} ({}, {} refinements)",
             start.elapsed(),
             if report.is_deadlock_free() {
@@ -50,19 +53,19 @@ fn print_table() {
     }
 
     // (c) Verification time vs queue size (fixed 2×2 mesh).
-    println!("  verification time vs queue size (2x2 mesh):");
+    advocat_telemetry::info!("  verification time vs queue size (2x2 mesh):");
     for queue_size in [3usize, 6, 12] {
         let system = abstract_mesh(2, 2, queue_size, (1, 1));
         let start = Instant::now();
         let report = QueryEngine::structural(system.clone()).check(&Query::new());
-        println!(
+        advocat_telemetry::info!(
             "    queue size {queue_size}: {:?} ({} int vars, {} bool vars)",
             start.elapsed(),
             report.analysis().stats.int_vars,
             report.analysis().stats.bool_vars
         );
     }
-    println!();
+    advocat_telemetry::info!("");
 }
 
 fn bench(c: &mut Criterion) {

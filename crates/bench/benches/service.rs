@@ -74,10 +74,14 @@ fn run_workload(clients: usize, warm_pool: bool) -> (Duration, usize, PoolStats)
 }
 
 fn print_comparison() {
-    println!("== E10: service throughput, warm pool vs cold per-job engines ==");
-    println!(
+    advocat_telemetry::info!("== E10: service throughput, warm pool vs cold per-job engines ==");
+    advocat_telemetry::info!(
         "{:<9} {:<7} {:>10} {:>14} {:>10}",
-        "clients", "pool", "jobs", "jobs/s", "warm rate"
+        "clients",
+        "pool",
+        "jobs",
+        "jobs/s",
+        "warm rate"
     );
     for clients in [1usize, 8, 64] {
         let (cold_elapsed, cold_jobs, _) = run_workload(clients, false);
@@ -87,7 +91,7 @@ fn print_comparison() {
             ("cold", cold_elapsed, None),
             ("warm", warm_elapsed, Some(stats.warm_hit_rate())),
         ] {
-            println!(
+            advocat_telemetry::info!(
                 "{:<9} {:<7} {:>10} {:>14.1} {:>10}",
                 clients,
                 label,
@@ -107,7 +111,7 @@ fn print_comparison() {
             );
         }
     }
-    println!();
+    advocat_telemetry::info!("");
 }
 
 fn bench(c: &mut Criterion) {

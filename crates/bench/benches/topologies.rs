@@ -36,14 +36,18 @@ fn session_sweep(config: &FabricConfig) -> (Option<usize>, u64) {
 }
 
 fn print_comparison() {
-    println!("== one session sweep (sizes {SIZES:?}) per topology family ==");
-    println!(
+    advocat_telemetry::info!("== one session sweep (sizes {SIZES:?}) per topology family ==");
+    advocat_telemetry::info!(
         "{:<12} {:<8} {:<7} {:<9} {:>12}",
-        "topology", "agents", "planes", "min free", "SAT effort"
+        "topology",
+        "agents",
+        "planes",
+        "min free",
+        "SAT effort"
     );
     for config in fabrics() {
         let (min_free, effort) = session_sweep(&config);
-        println!(
+        advocat_telemetry::info!(
             "{:<12} {:<8} {:<7} {:<9} {:>12}",
             config.topology.name(),
             config.topology.num_terminals(),
@@ -52,7 +56,7 @@ fn print_comparison() {
             effort
         );
     }
-    println!();
+    advocat_telemetry::info!("");
 }
 
 fn bench(c: &mut Criterion) {

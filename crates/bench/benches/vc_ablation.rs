@@ -12,16 +12,19 @@ use advocat_bench::minimal_size;
 use criterion::{criterion_group, Criterion};
 
 fn print_table() {
-    println!("== E5: virtual-channel ablation ==");
-    println!(
+    advocat_telemetry::info!("== E5: virtual-channel ablation ==");
+    advocat_telemetry::info!(
         "{:<8} {:<12} {:<16} {:<16}",
-        "mesh", "directory", "min size (no VC)", "min size (VCs)"
+        "mesh",
+        "directory",
+        "min size (no VC)",
+        "min size (VCs)"
     );
     let cases = [(2u32, 2u32, (1u32, 1u32)), (2, 2, (0, 0)), (3, 2, (1, 0))];
     for (w, h, dir) in cases {
         let without = minimal_size(w, h, dir, false, 10);
         let with = minimal_size(w, h, dir, true, 10);
-        println!(
+        advocat_telemetry::info!(
             "{:<8} {:<12} {:<16} {:<16}",
             format!("{w}x{h}"),
             format!("({},{})", dir.0, dir.1),
@@ -40,7 +43,7 @@ fn print_table() {
     )
     .expect("valid mesh");
     let report = QueryEngine::structural(vc_small.clone()).check(&Query::new());
-    println!(
+    advocat_telemetry::info!(
         "  2x2 with VCs at queue size 1: {}",
         if report.is_deadlock_free() {
             "deadlock-free"
@@ -48,7 +51,7 @@ fn print_table() {
             "still deadlocks (VCs alone do not help)"
         }
     );
-    println!();
+    advocat_telemetry::info!("");
 }
 
 fn bench(c: &mut Criterion) {

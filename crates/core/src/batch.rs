@@ -174,6 +174,12 @@ pub struct BatchOutcome {
     /// queue wait separately, per job, as
     /// [`JobOutcome::queue_wait`](crate::JobOutcome::queue_wait)).
     pub elapsed: Duration,
+    /// Wall-clock time this scenario's jobs spent *waiting* — for a
+    /// worker, or for their turn on the scenario's shared engine — summed
+    /// over its jobs.  `queued_for + elapsed` is the scenario's total
+    /// occupancy of the service; keeping the two separate is what lets a
+    /// saturated batch distinguish slow solving from a congested queue.
+    pub queued_for: Duration,
 }
 
 impl BatchOutcome {
@@ -253,9 +259,11 @@ pub fn run_batch(scenarios: &[BatchScenario], workers: usize) -> Vec<BatchOutcom
             let mut sweep = Vec::with_capacity(jobs);
             let mut stats = SessionStats::default();
             let mut elapsed = Duration::ZERO;
+            let mut queued_for = Duration::ZERO;
             let mut fabric_error = None;
             for outcome in outcomes.by_ref().take(jobs) {
                 elapsed += outcome.work_elapsed;
+                queued_for += outcome.queue_wait;
                 match outcome.result {
                     Ok(report) => sweep.push((outcome.capacity, report)),
                     Err(JobError::Fabric(error)) => fabric_error = Some(error),
@@ -285,6 +293,7 @@ pub fn run_batch(scenarios: &[BatchScenario], workers: usize) -> Vec<BatchOutcom
                 sweep,
                 stats,
                 elapsed,
+                queued_for,
             }
         })
         .collect()

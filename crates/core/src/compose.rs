@@ -223,7 +223,11 @@ impl QueryEngine {
                 .with_queue_capacity(tiles.len().max(1))
                 // One engine per structural class, plus headroom so the
                 // LRU never evicts a class mid-sweep.
-                .with_max_engines(classes.len() + 1),
+                .with_max_engines(classes.len() + 1)
+                // The certification service inherits the caller's
+                // telemetry handle, so tile jobs trace and profile under
+                // the same sink as the boundary check.
+                .with_telemetry(options.check.solver.telemetry.clone()),
         );
         Ok(Composition {
             config,
@@ -270,7 +274,7 @@ impl Composition {
         if self.flat.is_none() {
             let engine = QueryEngine::for_fabric_with(
                 &self.config,
-                self.options.check,
+                self.options.check.clone(),
                 self.options.capacities.clone(),
             )
             .expect("tiles built, so the flat fabric builds");
@@ -282,11 +286,19 @@ impl Composition {
     /// The composed path: certify every tile, then check the boundary.
     fn check_composed(&mut self, query: &Query) -> Report {
         let start = Instant::now();
+        let telemetry = self.options.check.solver.telemetry.clone();
         let capacity = match query.capacity_selection() {
             CapacitySelection::Uniform(capacity) => capacity,
             CapacitySelection::Structural => self.config.queue_size,
         };
         let spec = DeadlockSpec::from(query.deadlock_target());
+        let certify_span = telemetry.span_with("compose.certify", || {
+            vec![
+                ("tiles", self.tiles.len().to_string()),
+                ("classes", self.distinct_classes.to_string()),
+                ("capacity", capacity.to_string()),
+            ]
+        });
         for (index, tile) in self.tiles.iter().enumerate() {
             self.service.submit(
                 VerifyJob::over(
@@ -298,7 +310,7 @@ impl Composition {
                     },
                 )
                 .with_spec(spec)
-                .with_config(self.options.check)
+                .with_config(self.options.check.clone())
                 .at_capacity(capacity)
                 .with_engine_range(self.options.capacities.clone())
                 .with_invariants(query.invariants_enabled()),
@@ -322,6 +334,7 @@ impl Composition {
                 }
             }
         }
+        drop(certify_span);
         if let Some((tile, verdict)) = failing {
             // A tile that is not certified free under its liberal
             // environment closure already yields the composed candidate
@@ -329,13 +342,24 @@ impl Composition {
             stats.elapsed = start.elapsed();
             return Report::composed(
                 self.aggregate_system_stats(),
-                Analysis { verdict, stats },
+                Analysis {
+                    verdict,
+                    stats,
+                    profile: None,
+                },
                 Some(format!("tile {tile}")),
             );
         }
 
+        let boundary_span = telemetry.span_with("compose.boundary", || {
+            vec![
+                ("ports", self.graph.ports.len().to_string()),
+                ("capacity", capacity.to_string()),
+            ]
+        });
         let model = self.composition_model(capacity, query.invariants_enabled());
         let boundary = check_composition(&model, &self.options.check);
+        drop(boundary_span);
         stats.elapsed = start.elapsed();
         let (verdict, attribution) = match boundary.outcome {
             BoundaryOutcome::Free => (Verdict::DeadlockFree, None),
@@ -356,7 +380,11 @@ impl Composition {
         };
         Report::composed(
             self.aggregate_system_stats(),
-            Analysis { verdict, stats },
+            Analysis {
+                verdict,
+                stats,
+                profile: None,
+            },
             attribution,
         )
     }

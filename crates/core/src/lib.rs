@@ -94,4 +94,5 @@ pub use advocat_logic as logic;
 pub use advocat_noc as noc;
 pub use advocat_num as num;
 pub use advocat_protocols as protocols;
+pub use advocat_telemetry as telemetry;
 pub use advocat_xmas as xmas;

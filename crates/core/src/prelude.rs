@@ -40,4 +40,5 @@ pub use advocat_noc::{
     ProtocolKind, RoutingFunction, TableRouting, Topology, UpDownRouting,
 };
 pub use advocat_protocols::{AbstractMi, FullMi, Mesi};
+pub use advocat_telemetry::{MetricsRegistry, SolverProfile, Telemetry, TraceBuffer};
 pub use advocat_xmas::{Network, Packet};

@@ -216,6 +216,13 @@ impl QueryEngine {
         config: CheckConfig,
         capacities: RangeInclusive<usize>,
     ) -> Self {
+        let _span = config.solver.telemetry.span_with("template.build", || {
+            vec![
+                ("primitives", system.network().primitive_count().to_string()),
+                ("invariants", invariants.len().to_string()),
+                ("capacities", format!("{capacities:?}")),
+            ]
+        });
         let template = EncodingTemplate::build(&system, colors, &invariants, capacities);
         QueryEngine {
             system,
@@ -362,6 +369,7 @@ impl QueryEngine {
                 invariants: self.invariants.len(),
                 ..AnalysisStats::default()
             },
+            profile: None,
         };
         Report::new(&self.system, self.invariants.clone(), analysis)
     }

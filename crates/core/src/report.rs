@@ -91,6 +91,13 @@ impl Report {
         self.attribution.as_deref()
     }
 
+    /// The phase-attributed solver profile of the run.  `None` unless the
+    /// check ran with an enabled telemetry handle (see
+    /// [`SolverConfig::telemetry`](advocat_logic::SolverConfig)).
+    pub fn solver_profile(&self) -> Option<&advocat_logic::SolverProfile> {
+        self.analysis.profile.as_ref()
+    }
+
     /// Renders a short multi-line summary in the style of the paper's
     /// experimental-results paragraphs.
     pub fn summary(&self) -> String {
@@ -103,7 +110,7 @@ impl Report {
             Some(location) => format!(" at {location}"),
             None => String::new(),
         };
-        format!(
+        let mut summary = format!(
             "{} primitives, {} automata, {} queues; {} invariants; verdict: {}{} in {:.2?} \
              ({} refinements; learnt DB {} live / {} total, {} reductions)",
             self.system_stats.primitives,
@@ -117,7 +124,11 @@ impl Report {
             self.analysis.stats.sat_live_learnts,
             self.analysis.stats.sat_total_learnt,
             self.analysis.stats.sat_reduced_dbs,
-        )
+        );
+        if let Some(profile) = &self.analysis.profile {
+            summary.push_str(&format!("\nsolver profile: {profile}"));
+        }
+        summary
     }
 }
 
@@ -137,6 +148,29 @@ mod tests {
         let summary = report.summary();
         assert!(summary.contains("deadlock-free"));
         assert!(summary.contains("4 automata"));
+        // Telemetry was disabled, so no profile line is rendered.
+        assert!(report.solver_profile().is_none());
+        assert!(!summary.contains("solver profile"));
+    }
+
+    #[test]
+    fn summary_renders_the_solver_profile_when_telemetry_is_on() {
+        use advocat_logic::{CheckConfig, SolverConfig, Telemetry};
+
+        let system = build_mesh(&MeshConfig::new(2, 2, 3).with_directory(1, 1)).unwrap();
+        let config = CheckConfig {
+            solver: SolverConfig {
+                telemetry: Telemetry::null(),
+                ..SolverConfig::default()
+            },
+            ..CheckConfig::default()
+        };
+        let report = QueryEngine::with_config(system, config, 3..=3).check(&Query::new());
+        let profile = report.solver_profile().expect("telemetry was enabled");
+        assert!(profile.propagate.count > 0);
+        let summary = report.summary();
+        assert!(summary.contains("solver profile: propagate"), "{summary}");
+        assert!(summary.contains("analyze"), "{summary}");
     }
 
     #[test]

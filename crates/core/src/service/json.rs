@@ -167,7 +167,7 @@ impl JobRequest {
             .map(|capacity| {
                 let mut job = VerifyJob::over(self.name.clone(), fabric.clone())
                     .with_spec(self.spec)
-                    .with_config(config)
+                    .with_config(config.clone())
                     .at_capacity(capacity)
                     .with_engine_range(self.capacities.clone())
                     .with_invariants(self.invariants);

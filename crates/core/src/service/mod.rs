@@ -63,6 +63,7 @@ use std::time::{Duration, Instant};
 use advocat_deadlock::{DeadlockSpec, Query};
 use advocat_logic::CheckConfig;
 use advocat_noc::{FabricConfig, FabricError, MeshConfig};
+use advocat_telemetry::{Counter, Gauge, Histogram, Telemetry};
 
 use crate::batch::{BatchScenario, ScenarioFabric};
 use crate::query::{QueryEngine, SessionStats};
@@ -94,6 +95,12 @@ pub struct ServiceConfig {
     /// discards a private engine.  This is the cold baseline the
     /// `--bench service` comparison runs against; production wants `true`.
     pub warm_pool: bool,
+    /// Observability handle (disabled by default).  When enabled the
+    /// service traces job execution, engine checkouts and evictions,
+    /// keeps queue/steal/latency metrics in the handle's registry, and
+    /// passes the handle down into every job's solver configuration
+    /// (jobs that bring their own enabled handle keep it).
+    pub telemetry: Telemetry,
 }
 
 impl Default for ServiceConfig {
@@ -104,6 +111,7 @@ impl Default for ServiceConfig {
             max_engines: 64,
             default_timeout: None,
             warm_pool: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -136,6 +144,13 @@ impl ServiceConfig {
     /// Enables or disables the warm-engine pool.
     pub fn with_warm_pool(mut self, enabled: bool) -> Self {
         self.warm_pool = enabled;
+        self
+    }
+
+    /// Attaches a telemetry handle: traces, metrics and solver profiles
+    /// for everything the service runs.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -316,6 +331,16 @@ impl JobOutcome {
     pub fn is_deadlock_free(&self) -> bool {
         matches!(&self.result, Ok(report) if report.is_deadlock_free())
     }
+
+    /// The phase-attributed solver profile of this job's query — present
+    /// when the job ran under an enabled telemetry handle and produced a
+    /// report.
+    pub fn solver_profile(&self) -> Option<&advocat_logic::SolverProfile> {
+        self.result
+            .as_ref()
+            .ok()
+            .and_then(|report| report.solver_profile())
+    }
 }
 
 struct ResultStore {
@@ -326,6 +351,55 @@ struct ResultStore {
     consumed: u64,
 }
 
+/// The service's pre-registered instruments (one registry lookup each at
+/// construction, plain atomic updates afterwards).  Present only when the
+/// service was configured with an enabled telemetry handle.
+struct ServiceMetrics {
+    queue_wait: Histogram,
+    work: Histogram,
+    warm_hits: Counter,
+    cold_builds: Counter,
+    rebuilds: Counter,
+    live_learnts: Gauge,
+    total_learnts: Gauge,
+}
+
+impl ServiceMetrics {
+    fn register(telemetry: &Telemetry) -> Option<ServiceMetrics> {
+        let metrics = telemetry.metrics()?;
+        Some(ServiceMetrics {
+            queue_wait: metrics.histogram(
+                "service_job_queue_wait_seconds",
+                "Admission-to-start wait of each job (scheduling plus turnstile)",
+            ),
+            work: metrics.histogram(
+                "service_job_work_seconds",
+                "Work time of each job: engine build (cold jobs) plus the query",
+            ),
+            warm_hits: metrics.counter(
+                "service_warm_hits_total",
+                "Jobs that checked out an already-warm engine",
+            ),
+            cold_builds: metrics.counter(
+                "service_cold_builds_total",
+                "Jobs that cold-built their fingerprint's engine for the first time",
+            ),
+            rebuilds: metrics.counter(
+                "service_rebuilds_total",
+                "Cold builds for fingerprints whose engine was evicted or lost",
+            ),
+            live_learnts: metrics.gauge(
+                "sat_live_learnt_clauses",
+                "Learnt clauses alive in the most recently reported engine",
+            ),
+            total_learnts: metrics.gauge(
+                "sat_total_learnt_clauses",
+                "Learnt clauses ever stored by the most recently reported engine",
+            ),
+        })
+    }
+}
+
 struct Shared {
     scheduler: Scheduler,
     pool: EnginePool,
@@ -333,6 +407,8 @@ struct Shared {
     default_timeout: Option<Duration>,
     results: Mutex<ResultStore>,
     results_cv: Condvar,
+    telemetry: Telemetry,
+    metrics: Option<ServiceMetrics>,
 }
 
 /// A long-running, concurrent verification service.  See the
@@ -366,9 +442,22 @@ impl Service {
         } else {
             config.workers
         };
+        let registry = config.telemetry.metrics();
+        let depth_gauge = registry.as_ref().map(|m| {
+            m.gauge(
+                "service_queue_depth",
+                "Jobs waiting in the bounded admission queue",
+            )
+        });
+        let steal_counter = registry.as_ref().map(|m| {
+            m.counter(
+                "service_steals_total",
+                "Successful steal operations (each may move several jobs)",
+            )
+        });
         let shared = Arc::new(Shared {
-            scheduler: Scheduler::new(workers, config.queue_capacity),
-            pool: EnginePool::new(config.max_engines),
+            scheduler: Scheduler::new(workers, config.queue_capacity, depth_gauge, steal_counter),
+            pool: EnginePool::new(config.max_engines, config.telemetry.clone()),
             warm_pool: config.warm_pool,
             default_timeout: config.default_timeout,
             results: Mutex::new(ResultStore {
@@ -379,6 +468,8 @@ impl Service {
                 consumed: 0,
             }),
             results_cv: Condvar::new(),
+            metrics: ServiceMetrics::register(&config.telemetry),
+            telemetry: config.telemetry,
         });
         let handles = (0..workers)
             .map(|index| {
@@ -433,7 +524,7 @@ impl Service {
                 self.submit(
                     VerifyJob::over(scenario.name.clone(), scenario.fabric.clone())
                         .with_spec(scenario.spec)
-                        .with_config(scenario.config)
+                        .with_config(scenario.config.clone())
                         .at_capacity(capacity)
                         .with_engine_range(range.clone()),
                 )
@@ -459,8 +550,14 @@ impl Service {
 
     /// Resolves a submitted job into its scheduled form: capacity, engine
     /// range, fingerprint, pool ticket and outcome slot.
-    fn prepare(&self, job: VerifyJob) -> ScheduledJob {
+    fn prepare(&self, mut job: VerifyJob) -> ScheduledJob {
         let shared = &self.shared;
+        // Jobs inherit the service's telemetry handle unless they brought
+        // their own enabled one.  The handle never reaches the
+        // fingerprint, so warm-pool keying is telemetry-blind.
+        if !job.config.solver.telemetry.is_enabled() {
+            job.config.solver.telemetry = shared.telemetry.clone();
+        }
         let capacity = job.capacity.unwrap_or_else(|| job.fabric.queue_size());
         let range = match job.engine_range.clone() {
             None => capacity..=capacity,
@@ -546,6 +643,12 @@ impl Service {
         self.shared.scheduler.queued()
     }
 
+    /// Successful steal operations so far (each may have moved several
+    /// jobs from a victim worker's deque to an idle one's).
+    pub fn steals(&self) -> u64 {
+        self.shared.scheduler.steals()
+    }
+
     /// Cumulative statistics of the warm-engine pool.
     pub fn pool_stats(&self) -> PoolStats {
         self.shared.pool.stats()
@@ -576,9 +679,21 @@ fn worker_loop(shared: Arc<Shared>, index: usize) {
     }
 }
 
+/// The trace fields identifying one scheduled job.
+fn job_fields(sj: &ScheduledJob) -> Vec<(&'static str, String)> {
+    vec![
+        ("job", sj.id.to_string()),
+        ("name", sj.job.name.clone()),
+        ("capacity", sj.capacity.to_string()),
+    ]
+}
+
 /// Runs (or parks) one scheduled job on the calling worker.
 fn execute(shared: &Shared, worker: usize, mut sj: ScheduledJob) {
     let Some(entry) = sj.entry.take() else {
+        let _span = shared
+            .telemetry
+            .span_with("job.execute", || job_fields(&sj));
         let outcome = run_pool_free(&sj);
         record(shared, outcome);
         return;
@@ -589,9 +704,18 @@ fn execute(shared: &Shared, worker: usize, mut sj: ScheduledJob) {
         // Not this job's turn yet: park it at the entry (the `entry` Arc
         // stays out of the job to avoid a reference cycle) and free the
         // worker.  The job is re-scheduled when its predecessor retires.
+        shared.telemetry.event_with("job.park", || {
+            let mut fields = job_fields(&sj);
+            fields.push(("turn", sj.turn.to_string()));
+            fields
+        });
         state.parked.insert(sj.turn, sj);
         return;
     }
+
+    let _span = shared
+        .telemetry
+        .span_with("job.execute", || job_fields(&sj));
 
     // Admission-control timeout: refuse jobs that out-waited their budget
     // before spending any engine time on them.
@@ -622,6 +746,14 @@ fn execute(shared: &Shared, worker: usize, mut sj: ScheduledJob) {
             state.last_used = shared.pool.touch();
             drop(state);
             shared.pool.note_warm_hit();
+            if let Some(metrics) = &shared.metrics {
+                metrics.warm_hits.inc();
+            }
+            shared.telemetry.event_with("engine.checkout", || {
+                let mut fields = job_fields(&sj);
+                fields.push(("slot", "warm".to_owned()));
+                fields
+            });
             let (engine, outcome) = run_on_engine(&sj, engine, true, queue_wait, Duration::ZERO);
             return_engine(shared, &entry, engine);
             record(shared, outcome);
@@ -643,7 +775,19 @@ fn execute(shared: &Shared, worker: usize, mut sj: ScheduledJob) {
                     advance(shared, worker, &entry);
                 }
                 Ok(engine) => {
-                    shared.pool.note_build();
+                    let rebuild = shared.pool.note_build(sj.fingerprint);
+                    if let Some(metrics) = &shared.metrics {
+                        if rebuild {
+                            metrics.rebuilds.inc();
+                        } else {
+                            metrics.cold_builds.inc();
+                        }
+                    }
+                    shared.telemetry.event_with("engine.checkout", || {
+                        let mut fields = job_fields(&sj);
+                        fields.push(("slot", if rebuild { "rebuild" } else { "cold" }.to_owned()));
+                        fields
+                    });
                     let (engine, outcome) =
                         run_on_engine(&sj, engine, false, queue_wait, build_start.elapsed());
                     return_engine(shared, &entry, engine);
@@ -690,7 +834,7 @@ fn build_engine(sj: &ScheduledJob) -> Result<Box<QueryEngine>, FabricError> {
     let system = sj.job.fabric.build_for_sweep(*sj.range.end())?;
     Ok(Box::new(QueryEngine::with_config(
         system,
-        sj.job.config,
+        sj.job.config.clone(),
         sj.range.clone(),
     )))
 }
@@ -805,6 +949,18 @@ fn outcome_without_work(sj: &ScheduledJob, error: JobError, queue_wait: Duration
 }
 
 fn record(shared: &Shared, outcome: JobOutcome) {
+    if let Some(metrics) = &shared.metrics {
+        metrics.queue_wait.observe(outcome.queue_wait);
+        // The work histogram only counts jobs that actually ran (timed-out
+        // and refused jobs never touched an engine).
+        if outcome.session_delta.is_some() {
+            metrics.work.observe(outcome.work_elapsed);
+        }
+        if let Some(delta) = &outcome.session_delta {
+            metrics.live_learnts.set(delta.live_learnts as i64);
+            metrics.total_learnts.set(delta.total_learnt as i64);
+        }
+    }
     let mut results = shared.results.lock().expect("result store lock");
     let id = outcome.id.0;
     results.slots[id as usize] = Some(outcome);

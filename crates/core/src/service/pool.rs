@@ -18,11 +18,12 @@
 //! Cold engines are evicted least-recently-used once the pool exceeds its
 //! engine cap; entries with outstanding tickets are never evicted.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use advocat_noc::FabricError;
+use advocat_telemetry::Telemetry;
 
 use super::fingerprint::Fingerprint;
 use super::scheduler::ScheduledJob;
@@ -79,6 +80,16 @@ pub struct PoolStats {
     pub evictions: u64,
     /// Warm engines currently alive.
     pub live_engines: usize,
+    /// Successful engine checkouts: every job that actually got an engine,
+    /// warm or cold.  Balances exactly:
+    /// `checkouts == warm_hits + engines_built` (timeouts and build
+    /// failures never check anything out).
+    pub checkouts: u64,
+    /// Cold builds for a fingerprint the pool had built before — the
+    /// engine was lost to eviction or a worker panic and had to be
+    /// re-derived.  A subset of [`PoolStats::engines_built`]:
+    /// `engines_built == first_time_builds + rebuilds`.
+    pub rebuilds: u64,
 }
 
 impl PoolStats {
@@ -92,6 +103,12 @@ impl PoolStats {
             self.warm_hits as f64 / checkouts as f64
         }
     }
+
+    /// Cold builds for fingerprints never built before (see
+    /// [`PoolStats::rebuilds`]).
+    pub fn first_time_builds(&self) -> u64 {
+        self.engines_built - self.rebuilds
+    }
 }
 
 pub(crate) struct EnginePool {
@@ -103,10 +120,16 @@ pub(crate) struct EnginePool {
     build_failures: AtomicU64,
     evictions: AtomicU64,
     live: AtomicUsize,
+    checkouts: AtomicU64,
+    rebuilds: AtomicU64,
+    /// Every fingerprint ever built: a later build of one of these is a
+    /// *rebuild* (its engine was evicted or lost to a panic).
+    ever_built: Mutex<HashSet<Fingerprint>>,
+    telemetry: Telemetry,
 }
 
 impl EnginePool {
-    pub(crate) fn new(max_engines: usize) -> Self {
+    pub(crate) fn new(max_engines: usize, telemetry: Telemetry) -> Self {
         EnginePool {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             max_engines: max_engines.max(1),
@@ -116,6 +139,10 @@ impl EnginePool {
             build_failures: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             live: AtomicUsize::new(0),
+            checkouts: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(0),
+            ever_built: Mutex::new(HashSet::new()),
+            telemetry,
         }
     }
 
@@ -154,11 +181,25 @@ impl EnginePool {
 
     pub(crate) fn note_warm_hit(&self) {
         self.warm_hits.fetch_add(1, Ordering::Relaxed);
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn note_build(&self) {
+    /// Records a cold build of `fingerprint`; returns `true` when it is a
+    /// *rebuild* (the fingerprint had been built before and its engine was
+    /// evicted or lost).
+    pub(crate) fn note_build(&self, fingerprint: Fingerprint) -> bool {
         self.engines_built.fetch_add(1, Ordering::Relaxed);
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
         self.live.fetch_add(1, Ordering::Relaxed);
+        let rebuild = !self
+            .ever_built
+            .lock()
+            .expect("pool history lock")
+            .insert(fingerprint);
+        if rebuild {
+            self.rebuilds.fetch_add(1, Ordering::Relaxed);
+        }
+        rebuild
     }
 
     pub(crate) fn note_build_failure(&self) {
@@ -204,6 +245,12 @@ impl EnginePool {
                     map.remove(&fingerprint);
                     self.live.fetch_sub(1, Ordering::Relaxed);
                     self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry.event_with("engine.evict", || {
+                        vec![
+                            ("fingerprint", format!("{fingerprint:?}")),
+                            ("live", self.live.load(Ordering::Relaxed).to_string()),
+                        ]
+                    });
                 } else {
                     return; // raced with new work; try again next build
                 }
@@ -218,6 +265,8 @@ impl EnginePool {
             build_failures: self.build_failures.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             live_engines: self.live.load(Ordering::Relaxed),
+            checkouts: self.checkouts.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
         }
     }
 }

@@ -20,6 +20,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use advocat_telemetry::{Counter, Gauge};
+
 use super::pool::EngineEntry;
 use super::VerifyJob;
 
@@ -71,6 +73,13 @@ pub(crate) struct Scheduler {
     capacity: usize,
     /// Bumped on every push so an idle worker can cheaply detect news.
     activity: AtomicU64,
+    /// Successful steal operations (each may move several jobs).
+    steals: AtomicU64,
+    /// Live mirror of the injector depth in the service's metrics
+    /// registry, when telemetry is enabled.
+    depth_gauge: Option<Gauge>,
+    /// Steal counter in the metrics registry, when telemetry is enabled.
+    steal_counter: Option<Counter>,
 }
 
 /// Refusals from [`Service::try_submit`](super::Service::try_submit).
@@ -92,7 +101,12 @@ impl std::fmt::Display for SubmitError {
 impl std::error::Error for SubmitError {}
 
 impl Scheduler {
-    pub(crate) fn new(workers: usize, capacity: usize) -> Self {
+    pub(crate) fn new(
+        workers: usize,
+        capacity: usize,
+        depth_gauge: Option<Gauge>,
+        steal_counter: Option<Counter>,
+    ) -> Self {
         Scheduler {
             injector: Mutex::new(Injector {
                 queue: VecDeque::new(),
@@ -104,6 +118,15 @@ impl Scheduler {
             locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             capacity: capacity.max(1),
             activity: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            depth_gauge,
+            steal_counter,
+        }
+    }
+
+    fn note_depth(&self, depth: usize) {
+        if let Some(gauge) = &self.depth_gauge {
+            gauge.set(depth as i64);
         }
     }
 
@@ -119,6 +142,7 @@ impl Scheduler {
         let job = make();
         let id = job.id;
         injector.queue.push_back(job);
+        self.note_depth(injector.queue.len());
         drop(injector);
         self.announce();
         Some(id)
@@ -137,6 +161,7 @@ impl Scheduler {
         let job = make();
         let id = job.id;
         injector.queue.push_back(job);
+        self.note_depth(injector.queue.len());
         drop(injector);
         self.announce();
         Ok(id)
@@ -172,6 +197,7 @@ impl Scheduler {
         {
             let mut injector = self.injector.lock().expect("scheduler lock");
             if let Some(job) = injector.queue.pop_front() {
+                self.note_depth(injector.queue.len());
                 drop(injector);
                 self.space.notify_one();
                 return Some(job);
@@ -193,6 +219,10 @@ impl Scheduler {
                 }
             }
             if !stolen.is_empty() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                if let Some(counter) = &self.steal_counter {
+                    counter.inc();
+                }
                 let mut jobs = stolen.into_iter();
                 let first = jobs.next().expect("non-empty steal");
                 let rest: Vec<ScheduledJob> = jobs.collect();
@@ -241,5 +271,11 @@ impl Scheduler {
     /// or parked; a backpressure signal for submitters).
     pub(crate) fn queued(&self) -> usize {
         self.injector.lock().expect("scheduler lock").queue.len()
+    }
+
+    /// Successful steal operations so far (each may have moved several
+    /// jobs from a victim's deque).
+    pub(crate) fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
     }
 }

@@ -240,7 +240,8 @@ pub fn minimal_queue_size(
         return Ok(SizingResult::default());
     }
     let system = build_mesh_for_sweep(config, options.max)?;
-    let engine = QueryEngine::with_config(system, options.config, options.min..=options.max);
+    let engine =
+        QueryEngine::with_config(system, options.config.clone(), options.min..=options.max);
     Ok(sizing_for_spec(engine, &options.spec))
 }
 
@@ -281,7 +282,8 @@ pub fn minimal_queue_size_for_fabric(
         return Ok(SizingResult::default());
     }
     let system = build_fabric_for_sweep(config, options.max)?;
-    let engine = QueryEngine::with_config(system, options.config, options.min..=options.max);
+    let engine =
+        QueryEngine::with_config(system, options.config.clone(), options.min..=options.max);
     Ok(sizing_for_spec(engine, &options.spec))
 }
 

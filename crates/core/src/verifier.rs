@@ -103,12 +103,12 @@ impl Verifier {
     pub fn analyze(&self, system: &System) -> Report {
         let range = structural_range(system);
         let mut engine = if self.use_invariants {
-            QueryEngine::with_config(system.clone(), self.config, range)
+            QueryEngine::with_config(system.clone(), self.config.clone(), range)
         } else {
             QueryEngine::with_invariants(
                 system.clone(),
                 InvariantSet::default(),
-                self.config,
+                self.config.clone(),
                 range,
             )
         };

@@ -43,7 +43,7 @@ impl Criterion {
 
     /// Prints a closing line (the real Criterion prints its summary here).
     pub fn final_summary(&self) {
-        println!("(criterion shim: benchmarks complete)");
+        advocat_telemetry::info!("(criterion shim: benchmarks complete)");
     }
 
     /// Runs one stand-alone benchmark and prints its per-iteration timing.
@@ -60,7 +60,7 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
         let samples = self.sample_size;
-        println!("-- bench group: {name}");
+        advocat_telemetry::info!("-- bench group: {name}");
         BenchmarkGroup {
             _criterion: self,
             sample_size: samples,
@@ -81,7 +81,7 @@ where
     };
     routine(&mut bencher);
     let (mean, min) = bencher.summary();
-    println!(
+    advocat_telemetry::info!(
         "   {id}: mean {mean:.3?}, min {min:.3?} ({} iters)",
         bencher.iterations
     );

@@ -348,7 +348,18 @@ impl EncodingTemplate {
             }
         }
         let start = Instant::now();
+        let telemetry = &config.solver.telemetry;
+        let _span = telemetry.span_with("query.check", || {
+            vec![
+                ("capacity", format!("{:?}", query.capacity_selection())),
+                ("target", format!("{:?}", query.deadlock_target())),
+                ("invariants", query.invariants_enabled().to_string()),
+            ]
+        });
         self.smt.push();
+        telemetry.event_with("smt.push", || {
+            vec![("depth", self.smt.scope_depth().to_string())]
+        });
         // `self.structural` is sorted by capacity variable, giving a
         // deterministic assertion order (the capacity map iterates in hash
         // order, which would make solver effort vary from run to run).
@@ -366,7 +377,11 @@ impl EncodingTemplate {
         }
         let result = self.smt.check_assuming(&assumptions, config);
         let solver_stats = self.smt.stats();
+        let profile = self.smt.take_profile();
         self.smt.pop();
+        telemetry.event_with("smt.pop", || {
+            vec![("depth", self.smt.scope_depth().to_string())]
+        });
         // An ablated query used no invariants, whatever the template holds.
         let invariants = if query.invariants_enabled() {
             self.invariants
@@ -378,6 +393,7 @@ impl EncodingTemplate {
             invariants,
             result,
             solver_stats,
+            profile,
             start.elapsed(),
             |m| self.labels.extract(m),
         )
@@ -462,6 +478,7 @@ impl EncodingTemplate {
                         invariants: self.invariants,
                         ..AnalysisStats::default()
                     },
+                    profile: None,
                 }
             }
         }

@@ -4,7 +4,7 @@ use std::time::{Duration, Instant};
 
 use advocat_automata::{derive_colors, System};
 use advocat_invariants::{derive_invariants, InvariantSet};
-use advocat_logic::{CheckConfig, Model, SmtResult};
+use advocat_logic::{CheckConfig, Model, SmtResult, SolverProfile};
 use advocat_xmas::ColorMap;
 
 use crate::counterexample::Counterexample;
@@ -89,6 +89,11 @@ pub struct Analysis {
     pub verdict: Verdict,
     /// Statistics about the run.
     pub stats: AnalysisStats,
+    /// Phase-attributed solver profile (propagate/analyze/reduce/restart
+    /// time and the restart timeline).  `None` unless the check ran with
+    /// an enabled telemetry handle in its
+    /// [`SolverConfig`](advocat_logic::SolverConfig).
+    pub profile: Option<SolverProfile>,
 }
 
 /// Runs the full ADVOCAT pipeline on a system: `T`-derivation, invariant
@@ -122,11 +127,13 @@ pub fn verify_with(
     let Encoding { mut smt, vars } = build_encoding(system, colors, invariants, spec);
     let result = smt.check_with(config);
     let stats = smt.stats();
+    let profile = smt.take_profile();
     analysis_from_result(
         &vars,
         invariants.len(),
         result,
         stats,
+        profile,
         start.elapsed(),
         |m| extract_counterexample(system, &vars, m),
     )
@@ -197,6 +204,7 @@ pub(crate) fn analysis_from_result(
     invariants: usize,
     result: SmtResult,
     solver_stats: advocat_logic::SolverStats,
+    profile: SolverProfile,
     elapsed: Duration,
     cex_of: impl FnOnce(&Model) -> Counterexample,
 ) -> Analysis {
@@ -207,6 +215,7 @@ pub(crate) fn analysis_from_result(
     };
     Analysis {
         verdict,
+        profile: (!profile.is_empty()).then_some(profile),
         stats: AnalysisStats {
             invariants,
             int_vars: vars.occupancy.len() + vars.state.len(),

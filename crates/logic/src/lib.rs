@@ -51,6 +51,7 @@ pub mod sat;
 pub mod smt;
 pub mod theory;
 
+pub use advocat_telemetry::{SolverProfile, Telemetry};
 pub use expr::{BoolVar, CmpOp, Formula, IntVar, LinExpr, VarPool};
 pub use model::Model;
 pub use sat::{SatStats, SolverConfig};

@@ -43,7 +43,9 @@
 //! assert!(model[b]);
 //! ```
 
+use advocat_telemetry::{SolverProfile, Telemetry};
 use std::fmt;
+use std::time::Instant;
 
 /// A propositional variable, identified by index.
 pub type Var = usize;
@@ -132,7 +134,7 @@ struct Clause {
 /// of a verification sweep behave exactly as before (the first reduction
 /// only fires after [`SolverConfig::first_reduce`] conflicts), while long
 /// sessions keep their learnt database and watcher lists bounded.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SolverConfig {
     /// Periodically delete the worst half of the deletable learnt clauses
     /// (and drop clauses permanently satisfied at level zero).
@@ -155,6 +157,13 @@ pub struct SolverConfig {
     /// Branch on the polarity each variable last held instead of a fixed
     /// negative default, keeping locality across restarts and queries.
     pub phase_saving: bool,
+    /// Observability handle (disabled by default).  When enabled the
+    /// solver collects a phase-attributed [`SolverProfile`] per query and
+    /// emits `sat.restart` / `sat.reduce_db` trace events; when disabled
+    /// the hot loop pays a single cached-boolean branch and reads no
+    /// clocks.  The handle is excluded from engine-pool fingerprints, so
+    /// attaching telemetry never changes engine reuse.
+    pub telemetry: Telemetry,
 }
 
 impl Default for SolverConfig {
@@ -167,6 +176,7 @@ impl Default for SolverConfig {
             luby_base: 100,
             restart_ema_ratio: 1.25,
             phase_saving: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -389,6 +399,12 @@ pub struct SatSolver {
     /// session scope) trigger another sweep at the next solve.
     simplified_trail_len: usize,
     config: SolverConfig,
+    /// Cached `config.telemetry.is_enabled()`: the only thing the hot
+    /// search loop branches on when telemetry is disabled.
+    profiling: bool,
+    /// Phase attribution accumulated since the last
+    /// [`SatSolver::take_profile`]; empty while `profiling` is off.
+    profile: SolverProfile,
     ok: bool,
     stats: SatStats,
     last_core: Vec<Lit>,
@@ -435,6 +451,8 @@ impl SatSolver {
             ema_slow: Ema::new(1.0 / 4096.0),
             next_reduce: config.first_reduce,
             simplified_trail_len: 0,
+            profiling: config.telemetry.is_enabled(),
+            profile: SolverProfile::default(),
             config,
             ok: true,
             stats: SatStats::default(),
@@ -443,8 +461,8 @@ impl SatSolver {
     }
 
     /// Returns the current search parameters.
-    pub fn config(&self) -> SolverConfig {
-        self.config
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
     }
 
     /// Replaces the search parameters.  Takes effect at the next solve;
@@ -453,8 +471,16 @@ impl SatSolver {
     pub fn set_config(&mut self, config: SolverConfig) {
         if self.config != config {
             self.next_reduce = self.stats.conflicts + config.first_reduce;
+            self.profiling = config.telemetry.is_enabled();
             self.config = config;
         }
+    }
+
+    /// Takes (and resets) the phase-attributed profile accumulated since
+    /// the last call.  Empty unless [`SolverConfig::telemetry`] is
+    /// enabled.
+    pub fn take_profile(&mut self) -> SolverProfile {
+        std::mem::take(&mut self.profile)
     }
 
     /// Allocates a fresh variable and returns it.
@@ -960,6 +986,19 @@ impl SatSolver {
             && self.ema_fast.get() > self.ema_slow.get() * self.config.restart_ema_ratio
     }
 
+    /// [`SatSolver::propagate`] with phase attribution: reads the clock
+    /// only while profiling is on, so the disabled path costs one branch.
+    fn timed_propagate(&mut self) -> Option<ClauseRef> {
+        if self.profiling {
+            let start = Instant::now();
+            let conflict = self.propagate();
+            self.profile.propagate.add(start.elapsed());
+            conflict
+        } else {
+            self.propagate()
+        }
+    }
+
     /// Solves the current clause set.
     ///
     /// Returns `Ok(model)` with one Boolean per variable when satisfiable,
@@ -997,7 +1036,7 @@ impl SatSolver {
             );
         }
         self.cancel_until(0);
-        if self.propagate().is_some() {
+        if self.timed_propagate().is_some() {
             self.ok = false;
             return Err(Unsat);
         }
@@ -1008,18 +1047,25 @@ impl SatSolver {
         let mut restart_limit = self.config.luby_base * luby(self.stats.restarts);
 
         loop {
-            if let Some(conflict) = self.propagate() {
+            if let Some(conflict) = self.timed_propagate() {
                 self.stats.conflicts += 1;
                 conflicts_since_restart += 1;
+                if self.profiling {
+                    self.profile.conflicts += 1;
+                }
                 if self.decision_level() == 0 {
                     self.ok = false;
                     return Err(Unsat);
                 }
+                let analyze_start = self.profiling.then(Instant::now);
                 let (learnt, backjump) = self.analyze(conflict);
                 // LBD is measured before backjumping, while the literals
                 // still carry the levels the conflict saw.
                 let lbd = self.compute_lbd(&learnt);
                 self.note_learnt_lbd(lbd);
+                if let Some(start) = analyze_start {
+                    self.profile.analyze.add(start.elapsed());
+                }
                 self.cancel_until(backjump);
                 if learnt.len() == 1 {
                     let ok = self.enqueue(learnt[0], None);
@@ -1042,17 +1088,49 @@ impl SatSolver {
                 conflicts_since_restart = 0;
                 self.stats.restarts += 1;
                 restart_limit = self.config.luby_base * luby(self.stats.restarts);
+                let restart_start = if self.profiling {
+                    // The timeline samples the EMAs before the alignment
+                    // below erases what the restart decision saw.
+                    self.profile
+                        .restarts
+                        .push(advocat_telemetry::RestartSample {
+                            conflicts: self.stats.conflicts,
+                            lbd_ema_fast: self.ema_fast.get(),
+                            lbd_ema_slow: self.ema_slow.get(),
+                        });
+                    let conflicts = self.stats.conflicts;
+                    self.config
+                        .telemetry
+                        .event_with("sat.restart", || vec![("conflicts", conflicts.to_string())]);
+                    Some(Instant::now())
+                } else {
+                    None
+                };
                 // Restarting resets the fast EMA's influence by aligning it
                 // with the long-run average, so one bad stretch does not
                 // force a cascade of restarts.
                 let long_run = self.ema_slow.get();
                 self.ema_fast.align_to(long_run);
                 self.cancel_until(0);
+                if let Some(start) = restart_start {
+                    self.profile.restart.add(start.elapsed());
+                }
                 continue;
             }
             if self.config.clause_reduction && self.stats.conflicts >= self.next_reduce {
                 self.cancel_until(0);
+                let reduce_start = self.profiling.then(Instant::now);
                 self.reduce_db();
+                if let Some(start) = reduce_start {
+                    self.profile.reduce.add(start.elapsed());
+                    let (live, total) = (self.stats.learnt_clauses, self.stats.total_learnt);
+                    self.config.telemetry.event_with("sat.reduce_db", || {
+                        vec![
+                            ("live_learnts", live.to_string()),
+                            ("total_learnts", total.to_string()),
+                        ]
+                    });
+                }
                 continue;
             }
             // Establish the next pending assumption, if any, before
@@ -1162,6 +1240,7 @@ mod tests {
             luby_base: 2,
             restart_ema_ratio: 1.1,
             phase_saving: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -1278,6 +1357,63 @@ mod tests {
         assert!(stats.reduced_dbs > 0, "reduction never fired: {stats:?}");
         assert!(stats.deleted_clauses > 0, "nothing deleted: {stats:?}");
         assert!(stats.learnt_clauses <= stats.total_learnt);
+    }
+
+    #[test]
+    fn profile_attributes_phases_when_telemetry_is_enabled() {
+        // Same pigeonhole as above, but with an enabled telemetry handle:
+        // the profile must attribute the phases the stats say happened, and
+        // the trace must carry the restart/reduction events.
+        let n = 5usize;
+        let (telemetry, trace) = Telemetry::ring(4096);
+        let config = SolverConfig {
+            telemetry,
+            ..churn_config()
+        };
+        let mut s = SatSolver::with_config(config);
+        let p: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..n - 1).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &p {
+            let clause: Vec<Lit> = row.iter().map(|&v| lit(v, true)).collect();
+            s.add_clause(&clause);
+        }
+        #[allow(clippy::needless_range_loop)] // j indexes all rows at once
+        for j in 0..n - 1 {
+            for i in 0..n {
+                for k in (i + 1)..n {
+                    s.add_clause(&[lit(p[i][j], false), lit(p[k][j], false)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), Err(Unsat));
+        let stats = s.stats();
+        let profile = s.take_profile();
+        assert!(profile.propagate.count > 0, "{profile:?}");
+        assert_eq!(profile.conflicts, stats.conflicts);
+        // The final conflict lands at level zero and ends the query
+        // without an analysis, so analyze may trail conflicts by one.
+        assert!(profile.analyze.count >= stats.conflicts - 1, "{profile:?}");
+        assert_eq!(profile.restart.count, stats.restarts);
+        assert_eq!(profile.restarts.len() as u64, stats.restarts);
+        assert_eq!(profile.reduce.count, stats.reduced_dbs);
+        for pair in profile.restarts.windows(2) {
+            assert!(pair[0].conflicts <= pair[1].conflicts);
+        }
+        // Taking the profile resets it.
+        assert!(s.take_profile().is_empty());
+        let lines = trace.lines();
+        let restart_events = lines
+            .iter()
+            .filter(|l| l.contains("\"name\":\"sat.restart\""))
+            .count();
+        let reduce_events = lines
+            .iter()
+            .filter(|l| l.contains("\"name\":\"sat.reduce_db\""))
+            .count();
+        assert_eq!(trace.dropped(), 0, "ring too small for this instance");
+        assert_eq!(restart_events as u64, stats.restarts);
+        assert_eq!(reduce_events as u64, stats.reduced_dbs);
     }
 
     #[test]

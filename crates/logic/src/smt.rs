@@ -24,9 +24,10 @@ use crate::expr::{BoolVar, Formula, IntVar, VarPool};
 use crate::model::Model;
 use crate::sat::{Lit, SatSolver, SatStats, SolverConfig};
 use crate::theory::{self, Constraint, TheoryVerdict};
+use advocat_telemetry::SolverProfile;
 
 /// Resource limits and search parameters for a satisfiability check.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CheckConfig {
     /// Maximum number of theory-driven refinement iterations before the
     /// solver gives up with [`SmtResult::Unknown`].
@@ -179,6 +180,9 @@ pub struct SmtSolver {
     scope_marks: Vec<usize>,
     persistent: Option<Box<Incremental>>,
     stats: SolverStats,
+    /// Phase attribution of the most recent check; empty unless the
+    /// check's [`SolverConfig::telemetry`] handle was enabled.
+    profile: SolverProfile,
 }
 
 impl SmtSolver {
@@ -270,6 +274,13 @@ impl SmtSolver {
         self.stats
     }
 
+    /// Takes the phase-attributed solver profile of the most recent check.
+    /// Empty unless that check ran with an enabled
+    /// [`SolverConfig::telemetry`] handle.
+    pub fn take_profile(&mut self) -> SolverProfile {
+        std::mem::take(&mut self.profile)
+    }
+
     /// Returns the cumulative statistics of the underlying SAT solver.
     ///
     /// In persistent mode the counters accumulate over the whole life of
@@ -325,7 +336,7 @@ impl SmtSolver {
     /// pipeline.
     fn check_cold(&mut self, assumptions: &[(BoolVar, bool)], config: &CheckConfig) -> SmtResult {
         let mut encoder = Encoder::new();
-        let mut sat = SatSolver::with_config(config.solver);
+        let mut sat = SatSolver::with_config(config.solver.clone());
         for assertion in &self.assertions {
             encoder.assert(assertion, &mut sat);
         }
@@ -339,6 +350,7 @@ impl SmtSolver {
             ..SolverStats::default()
         };
         let result = self.refinement_loop(&mut encoder, &mut sat, &assumed, config);
+        self.profile = sat.take_profile();
         let after = sat.stats();
         self.stats.sat_conflicts = after.conflicts;
         self.stats.sat_propagations = after.propagations;
@@ -386,7 +398,7 @@ impl SmtSolver {
             sat_variables: inc.sat.num_vars(),
             ..SolverStats::default()
         };
-        inc.sat.set_config(config.solver);
+        inc.sat.set_config(config.solver.clone());
         let before = inc.sat.stats();
         let mut assumed = inc.scope_lits.clone();
         assumed.extend(
@@ -395,6 +407,7 @@ impl SmtSolver {
                 .map(|&(v, sign)| Lit::new(inc.encoder.sat_var_for_bool(v, &mut inc.sat), sign)),
         );
         let result = self.refinement_loop(&mut inc.encoder, &mut inc.sat, &assumed, config);
+        self.profile = inc.sat.take_profile();
         let after = inc.sat.stats();
         self.stats.sat_conflicts = after.conflicts - before.conflicts;
         self.stats.sat_propagations = after.propagations - before.propagations;

@@ -33,4 +33,7 @@ pub use advocat::service::{
 pub use advocat::{BatchScenario, Report, ScenarioFabric, SessionStats};
 pub use advocat_deadlock::{DeadlockSpec, DeadlockTarget};
 pub use advocat_logic::CheckConfig;
+// The observability vocabulary: a service configured with an enabled
+// handle traces jobs and keeps queue/steal/latency metrics.
+pub use advocat_logic::{SolverProfile, Telemetry};
 pub use advocat_noc::{FabricConfig, MeshConfig, ProtocolKind, Topology};

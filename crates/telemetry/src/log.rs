@@ -1,0 +1,121 @@
+//! A minimal leveled logging shim.
+//!
+//! Library crates in this workspace never print; benches, examples and the
+//! Criterion shim route their human-facing output through these macros so
+//! it stays visible by default (`Info`) but can be silenced or widened
+//! with the `ADVOCAT_LOG` environment variable (`error`, `warn`, `info`,
+//! `debug`, or `off`).  `Error`/`Warn` go to stderr, `Info`/`Debug` to
+//! stdout (bench tables are data, not diagnostics).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Failures the run cannot paper over.
+    Error = 0,
+    /// Suspicious but survivable conditions.
+    Warn = 1,
+    /// Normal human-facing output (the default threshold).
+    Info = 2,
+    /// Extra detail for debugging runs.
+    Debug = 3,
+}
+
+/// Sentinel for "nothing was parsed yet" in the cached threshold.
+const UNSET: u8 = u8::MAX;
+/// Threshold below which everything is silenced (`ADVOCAT_LOG=off`).
+const OFF: u8 = u8::MAX - 1;
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+
+fn threshold() -> u8 {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        UNSET => {
+            let parsed = match std::env::var("ADVOCAT_LOG").ok().as_deref() {
+                Some("off") | Some("none") => OFF,
+                Some("error") => Level::Error as u8,
+                Some("warn") => Level::Warn as u8,
+                Some("debug") => Level::Debug as u8,
+                // `info`, unset, or unrecognised: the default threshold.
+                _ => Level::Info as u8,
+            };
+            MAX_LEVEL.store(parsed, Ordering::Relaxed);
+            parsed
+        }
+        cached => cached,
+    }
+}
+
+/// Overrides the threshold programmatically (wins over `ADVOCAT_LOG`).
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Returns `true` when messages at `level` are currently emitted.
+pub fn enabled(level: Level) -> bool {
+    let max = threshold();
+    max != OFF && (level as u8) <= max
+}
+
+/// Emits one formatted message at `level` (the macros' runtime).
+pub fn log(level: Level, args: std::fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
+    match level {
+        Level::Error | Level::Warn => eprintln!("{args}"),
+        Level::Info | Level::Debug => println!("{args}"),
+    }
+}
+
+/// Logs at [`Level::Error`] with `format!` syntax.
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Error, ::std::format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Warn`] with `format!` syntax.
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Warn, ::std::format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Info`] with `format!` syntax — the level benches and
+/// examples print their tables at.
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Info, ::std::format_args!($($arg)*))
+    };
+}
+
+/// Logs at [`Level::Debug`] with `format!` syntax.
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => {
+        $crate::log::log($crate::log::Level::Debug, ::std::format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_threshold_gate() {
+        set_max_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_max_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        // The macros format lazily and run without panicking.
+        crate::info!("info at {}", Level::Debug as u8);
+        set_max_level(Level::Info);
+    }
+}

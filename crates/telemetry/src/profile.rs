@@ -1,0 +1,173 @@
+//! Solver profiles: per-query attribution of time and conflicts to the
+//! CDCL search phases, plus the restart / LBD-EMA timeline.
+//!
+//! A profile is collected by the SAT solver **only while telemetry is
+//! enabled** (the phase timers cost two monotonic-clock reads per phase
+//! entry, which the disabled path must not pay) and rides the analysis up
+//! the stack: `SatSolver → SmtSolver → Analysis → Report`/`JobOutcome`,
+//! where `Report::summary()` renders it.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Time and invocation count of one search phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseCost {
+    /// Wall-clock time spent in the phase.
+    pub time: Duration,
+    /// Number of times the phase ran.
+    pub count: u64,
+}
+
+impl PhaseCost {
+    /// Adds one invocation of `elapsed`.
+    pub fn add(&mut self, elapsed: Duration) {
+        self.time += elapsed;
+        self.count += 1;
+    }
+
+    /// Merges another cost into this one.
+    pub fn merge(&mut self, other: &PhaseCost) {
+        self.time += other.time;
+        self.count += other.count;
+    }
+}
+
+/// One point of the restart timeline: the search state at the moment a
+/// restart fired.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RestartSample {
+    /// Cumulative conflict count at the restart.
+    pub conflicts: u64,
+    /// Fast exponential moving average of recent learnt-clause LBDs.
+    pub lbd_ema_fast: f64,
+    /// Slow (long-run) LBD average the fast one is compared against.
+    pub lbd_ema_slow: f64,
+}
+
+/// Phase-attributed cost of one query (or one analysis): where the
+/// solver's time and conflicts went.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SolverProfile {
+    /// Unit propagation (the BCP inner loop).
+    pub propagate: PhaseCost,
+    /// First-UIP conflict analysis, LBD computation included.
+    pub analyze: PhaseCost,
+    /// Learnt-database reductions (worst-half deletion + garbage sweeps).
+    pub reduce: PhaseCost,
+    /// Restarts (backtracking to level zero and EMA re-alignment).
+    pub restart: PhaseCost,
+    /// Conflicts attributed to this profile.  At most one more than
+    /// `analyze.count`: a conflict at decision level zero ends the query
+    /// without a conflict analysis.
+    pub conflicts: u64,
+    /// The restart timeline, in firing order.
+    pub restarts: Vec<RestartSample>,
+}
+
+impl SolverProfile {
+    /// Returns `true` when nothing was recorded (e.g. telemetry was
+    /// disabled for the whole query).
+    pub fn is_empty(&self) -> bool {
+        self.propagate.count == 0
+            && self.analyze.count == 0
+            && self.reduce.count == 0
+            && self.restart.count == 0
+            && self.restarts.is_empty()
+    }
+
+    /// Merges another profile into this one (phase costs add, timelines
+    /// concatenate).
+    pub fn merge(&mut self, other: &SolverProfile) {
+        self.propagate.merge(&other.propagate);
+        self.analyze.merge(&other.analyze);
+        self.reduce.merge(&other.reduce);
+        self.restart.merge(&other.restart);
+        self.conflicts += other.conflicts;
+        self.restarts.extend_from_slice(&other.restarts);
+    }
+
+    /// Total time attributed to the four phases.
+    pub fn attributed_time(&self) -> Duration {
+        self.propagate.time + self.analyze.time + self.reduce.time + self.restart.time
+    }
+}
+
+impl fmt::Display for SolverProfile {
+    /// One line of phase attribution, as rendered into
+    /// `Report::summary()`: each phase as `time/count`, then the restart
+    /// count and the final LBD-EMA point of the timeline.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "propagate {:.2?}/{}, analyze {:.2?}/{}, reduce {:.2?}/{}, restart {:.2?}/{}",
+            self.propagate.time,
+            self.propagate.count,
+            self.analyze.time,
+            self.analyze.count,
+            self.reduce.time,
+            self.reduce.count,
+            self.restart.time,
+            self.restart.count,
+        )?;
+        if let Some(last) = self.restarts.last() {
+            write!(
+                f,
+                "; lbd-ema at last restart {:.2} fast / {:.2} slow",
+                last.lbd_ema_fast, last.lbd_ema_slow
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_profile_reports_empty() {
+        assert!(SolverProfile::default().is_empty());
+    }
+
+    #[test]
+    fn merge_adds_costs_and_concatenates_timelines() {
+        let mut a = SolverProfile::default();
+        a.propagate.add(Duration::from_micros(5));
+        a.restarts.push(RestartSample {
+            conflicts: 10,
+            lbd_ema_fast: 3.0,
+            lbd_ema_slow: 4.0,
+        });
+        let mut b = SolverProfile::default();
+        b.propagate.add(Duration::from_micros(7));
+        b.conflicts = 2;
+        b.restarts.push(RestartSample {
+            conflicts: 20,
+            lbd_ema_fast: 2.0,
+            lbd_ema_slow: 3.0,
+        });
+        a.merge(&b);
+        assert_eq!(a.propagate.count, 2);
+        assert_eq!(a.propagate.time, Duration::from_micros(12));
+        assert_eq!(a.conflicts, 2);
+        assert_eq!(a.restarts.len(), 2);
+        assert!(!a.is_empty());
+        assert_eq!(a.attributed_time(), Duration::from_micros(12));
+    }
+
+    #[test]
+    fn display_names_every_phase() {
+        let mut profile = SolverProfile::default();
+        profile.analyze.add(Duration::from_micros(3));
+        profile.restarts.push(RestartSample {
+            conflicts: 1,
+            lbd_ema_fast: 1.5,
+            lbd_ema_slow: 2.5,
+        });
+        let text = profile.to_string();
+        for phase in ["propagate", "analyze", "reduce", "restart", "lbd-ema"] {
+            assert!(text.contains(phase), "{text}");
+        }
+    }
+}

@@ -243,6 +243,92 @@ fn warm_hit_accounting_survives_eviction_and_rebuild() {
     assert_eq!(stats.live_engines, 1);
     // Every job is accounted exactly once, as a build or a warm hit.
     assert_eq!(stats.engines_built + stats.warm_hits, 5);
+    assert_eq!(stats.checkouts, 5);
+    assert_eq!(stats.rebuilds, 1, "only a was built twice");
+}
+
+/// `BatchOutcome` separates queueing (`queued_for`) from work
+/// (`elapsed`).  For single-job scenarios the two partition the job's
+/// admission-to-completion span, so their sum is bounded by the whole
+/// batch's wall-clock time; and on one worker the jobs serialise, so the
+/// batch as a whole visibly waits.
+#[test]
+fn batch_outcomes_split_queueing_from_work() {
+    let mesh = MeshConfig::new(2, 2, 2).with_directory(1, 1);
+    let scenarios: Vec<BatchScenario> = (0..3)
+        .map(|i| BatchScenario::new(format!("job {i}"), mesh))
+        .collect();
+    let wall = std::time::Instant::now();
+    let outcomes = run_batch(&scenarios, 1);
+    let wall = wall.elapsed();
+    for outcome in &outcomes {
+        assert!(
+            outcome.elapsed > Duration::ZERO,
+            "{} did work",
+            outcome.name
+        );
+        assert!(
+            outcome.queued_for + outcome.elapsed <= wall,
+            "{}: wait {:?} + work {:?} exceed the batch wall time {:?}",
+            outcome.name,
+            outcome.queued_for,
+            outcome.elapsed,
+            wall
+        );
+    }
+    let waited: Duration = outcomes.iter().map(|o| o.queued_for).sum();
+    assert!(
+        waited > Duration::ZERO,
+        "serialised jobs wait for the one worker"
+    );
+}
+
+/// Pool accounting balances across every path — warm hits, cold builds,
+/// rebuilds after eviction, cached build failures and queue-refused
+/// timeouts: `checkouts == warm_hits + engines_built` and
+/// `engines_built == first_time_builds() + rebuilds`.
+#[test]
+fn pool_accounting_balances_across_all_paths() {
+    let service = Service::new(ServiceConfig::default().with_workers(1).with_max_engines(1));
+    let a = MeshConfig::new(2, 2, 2).with_directory(1, 1);
+    let b = MeshConfig::new(2, 2, 3).with_directory(1, 1);
+    let invalid = MeshConfig::new(1, 1, 1);
+
+    service.submit(VerifyJob::mesh("a cold", a));
+    service.submit(VerifyJob::mesh("a warm", a));
+    service.drain();
+    service.submit(VerifyJob::mesh("b evicts a", b));
+    service.drain();
+    service.submit(VerifyJob::mesh("a rebuilds", a));
+    service.submit(VerifyJob::mesh("bad", invalid));
+    service.submit(VerifyJob::mesh("bad cached", invalid));
+    service.submit(VerifyJob::mesh("rushed", b).with_timeout(Duration::from_nanos(1)));
+    let outcomes = service.drain();
+    assert!(matches!(outcomes[1].result, Err(JobError::Fabric(_))));
+    assert!(matches!(outcomes[2].result, Err(JobError::Fabric(_))));
+    assert!(
+        matches!(outcomes[3].result, Err(JobError::TimedOut { .. })),
+        "a 1ns budget is always out-waited in the queue"
+    );
+
+    let stats = service.pool_stats();
+    assert_eq!(
+        stats.checkouts,
+        stats.warm_hits + stats.engines_built,
+        "every checkout is a warm hit or a build: {stats:?}"
+    );
+    assert_eq!(
+        stats.engines_built,
+        stats.first_time_builds() + stats.rebuilds,
+        "{stats:?}"
+    );
+    assert_eq!(stats.rebuilds, 1, "a's second build is a rebuild");
+    assert_eq!(stats.first_time_builds(), 2, "a and b");
+    assert_eq!(stats.checkouts, 4, "a cold, a warm, b, a rebuilt");
+    assert_eq!(
+        stats.build_failures, 2,
+        "both bad jobs count, the second from the cache"
+    );
 }
 
 /// Unbuildable fabrics fail fast: the first job caches the build failure
@@ -373,6 +459,11 @@ fn thousand_job_stress_run_stays_consistent() {
     }
     let stats = service.pool_stats();
     assert_eq!(stats.warm_hits + stats.engines_built, 1000);
+    assert_eq!(stats.checkouts, 1000);
+    assert_eq!(
+        stats.engines_built,
+        stats.first_time_builds() + stats.rebuilds
+    );
     assert!(
         stats.warm_hit_rate() > 0.9,
         "4 fingerprints over 1000 jobs must be overwhelmingly warm (rate {})",
