@@ -70,8 +70,8 @@ pub use family::{FamilyOutcome, ProtocolComparison, ProtocolFamily};
 pub use query::{QueryEngine, SessionStats};
 pub use report::Report;
 pub use service::{
-    Fingerprint, JobError, JobId, JobOutcome, JobRequest, PoolStats, Service, ServiceConfig,
-    SubmitError, TopologySpec, VerifyJob,
+    Fingerprint, JobError, JobId, JobOutcome, JobRequest, JsonSubmitError, OutcomeError, PoolStats,
+    Service, ServiceConfig, ServiceStats, SubmitError, TopologySpec, VerifyJob,
 };
 #[allow(deprecated)]
 pub use session::VerificationSession;

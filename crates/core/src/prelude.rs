@@ -21,8 +21,8 @@ pub use crate::{
 };
 
 pub use crate::service::{
-    Fingerprint, JobError, JobId, JobOutcome, JobRequest, PoolStats, Service, ServiceConfig,
-    SubmitError, TopologySpec, VerifyJob,
+    Fingerprint, JobError, JobId, JobOutcome, JobRequest, JsonSubmitError, OutcomeError, PoolStats,
+    Service, ServiceConfig, ServiceStats, SubmitError, TopologySpec, VerifyJob,
 };
 
 pub use advocat_automata::{derive_colors, AutomatonBuilder, System};

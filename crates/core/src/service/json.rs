@@ -289,8 +289,22 @@ pub fn requests_from_json(text: &str) -> Result<Vec<JobRequest>, JsonError> {
     }
 }
 
+/// Checks that `text` is one syntactically well-formed JSON value of any
+/// shape, with a position-carrying error when it is not.  The HTTP
+/// front-end uses this to refuse malformed payloads before touching the
+/// service, and tests use it to pin that every emitted wire string is
+/// valid JSON.
+///
+/// # Errors
+///
+/// Returns the [`JsonError`] locating the first syntactic problem.
+pub fn validate_json(text: &str) -> Result<(), JsonError> {
+    parse(text).map(|_| ())
+}
+
 /// Serialises a finished job's outcome as one JSON object (status,
-/// timings, warm-hit flag and the job's session-stats delta).
+/// deadlock witness when one exists, timings, warm-hit flag and the
+/// job's session-stats delta).
 pub fn outcome_to_json(outcome: &JobOutcome) -> String {
     let mut out = String::from("{");
     out.push_str(&format!("\"id\":{}", outcome.id.0));
@@ -302,7 +316,19 @@ pub fn outcome_to_json(outcome: &JobOutcome) -> String {
         Ok(report) if report.is_deadlock_free() => {
             out.push_str(",\"status\":\"deadlock-free\"");
         }
-        Ok(_) => out.push_str(",\"status\":\"potential-deadlock\""),
+        Ok(report) => {
+            match report.counterexample() {
+                Some(witness) => {
+                    out.push_str(",\"status\":\"potential-deadlock\",");
+                    // The full candidate state, byte-identical to the
+                    // in-process `Display` rendering — what lets a remote
+                    // client compare witnesses against a local run.
+                    push_str_field(&mut out, "witness", &witness.to_string());
+                }
+                // Not free, no candidate: the solver hit a resource limit.
+                None => out.push_str(",\"status\":\"unknown\""),
+            }
+        }
         Err(error) => {
             let kind = match error {
                 JobError::Fabric(_) => "fabric-error",
@@ -581,15 +607,21 @@ enum Json {
     Object(Vec<(String, Json)>),
 }
 
+/// Maximum nesting depth of arrays/objects: far above any legitimate job
+/// request, far below anything that could exhaust the stack.
+const MAX_DEPTH: usize = 64;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 fn parse(text: &str) -> Result<Json, JsonError> {
     let mut parser = Parser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     let value = parser.value()?;
     parser.skip_ws();
@@ -645,13 +677,50 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Consumes a run of ASCII digits, returning how many there were.
+    fn digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+
+    /// Strict JSON number grammar: `-?(0|[1-9][0-9]*)(\.[0-9]+)?`
+    /// `([eE][+-]?[0-9]+)?`.  The permissive scan this replaces accepted
+    /// `+1`, `01`, `1.` and `.5`, none of which are JSON — a front-end
+    /// must refuse them with a position, not guess.
     fn number(&mut self) -> Result<Json, JsonError> {
         let start = self.pos;
-        while matches!(
-            self.bytes.get(self.pos),
-            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
-        ) {
+        if self.bytes.get(self.pos) == Some(&b'-') {
             self.pos += 1;
+        }
+        match self.bytes.get(self.pos) {
+            Some(b'0') => {
+                self.pos += 1;
+                if matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                    return Err(self.error("numbers may not have leading zeros"));
+                }
+            }
+            Some(b'1'..=b'9') => {
+                self.digits();
+            }
+            _ => return Err(self.error("malformed number: expected a digit")),
+        }
+        if self.bytes.get(self.pos) == Some(&b'.') {
+            self.pos += 1;
+            if self.digits() == 0 {
+                return Err(self.error("malformed number: expected digits after `.`"));
+            }
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.bytes.get(self.pos), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.digits() == 0 {
+                return Err(self.error("malformed number: expected exponent digits"));
+            }
         }
         let text =
             std::str::from_utf8(&self.bytes[start..self.pos]).expect("numeric bytes are ASCII");
@@ -681,19 +750,7 @@ impl<'a> Parser<'a> {
                         Some(b'r') => out.push('\r'),
                         Some(b'b') => out.push('\u{8}'),
                         Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| self.error("malformed \\u escape"))?;
-                            out.push(
-                                char::from_u32(hex)
-                                    .ok_or_else(|| self.error("\\u escape is not a scalar"))?,
-                            );
-                            self.pos += 4;
-                        }
+                        Some(b'u') => out.push(self.unicode_escape()?),
                         _ => return Err(self.error("unknown escape")),
                     }
                     self.pos += 1;
@@ -711,7 +768,66 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Reads exactly four hex digits starting at `at` (no sign, no
+    /// shortfall — `u32::from_str_radix` alone would accept `+1ab`).
+    fn hex4_at(&self, at: usize) -> Result<u32, JsonError> {
+        self.bytes
+            .get(at..at + 4)
+            .filter(|h| h.iter().all(u8::is_ascii_hexdigit))
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| self.error("malformed \\u escape: expected 4 hex digits"))
+    }
+
+    /// Decodes one `\u` escape with `self.pos` on the `u`, handling UTF-16
+    /// surrogate pairs (`𝄞` → 𝄞) and refusing unpaired
+    /// surrogates — both previously slipped through as errors without a
+    /// cause or, worse, as garbage characters.  Leaves `self.pos` on the
+    /// escape's final consumed byte (the caller advances past it).
+    fn unicode_escape(&mut self) -> Result<char, JsonError> {
+        let first = self.hex4_at(self.pos + 1)?;
+        match first {
+            0xD800..=0xDBFF => {
+                // High surrogate: a low surrogate escape must follow.
+                if self.bytes.get(self.pos + 5) != Some(&b'\\')
+                    || self.bytes.get(self.pos + 6) != Some(&b'u')
+                {
+                    return Err(self.error("unpaired high surrogate in \\u escape"));
+                }
+                let second = self.hex4_at(self.pos + 7)?;
+                if !(0xDC00..=0xDFFF).contains(&second) {
+                    return Err(self.error("high surrogate not followed by a low surrogate"));
+                }
+                self.pos += 10;
+                let scalar = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                char::from_u32(scalar).ok_or_else(|| self.error("\\u escape is not a scalar"))
+            }
+            0xDC00..=0xDFFF => Err(self.error("unpaired low surrogate in \\u escape")),
+            _ => {
+                self.pos += 4;
+                char::from_u32(first).ok_or_else(|| self.error("\\u escape is not a scalar"))
+            }
+        }
+    }
+
+    /// Bounds recursion: arbitrarily deep input must fail with a parse
+    /// error at a position, not blow the stack.
+    fn enter(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error("value nesting exceeds the depth limit"));
+        }
+        Ok(())
+    }
+
     fn array(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
+        let result = self.array_body();
+        self.depth -= 1;
+        result
+    }
+
+    fn array_body(&mut self) -> Result<Json, JsonError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -734,6 +850,13 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
+        self.enter()?;
+        let result = self.object_body();
+        self.depth -= 1;
+        result
+    }
+
+    fn object_body(&mut self) -> Result<Json, JsonError> {
         self.expect(b'{')?;
         let mut fields = Vec::new();
         self.skip_ws();
@@ -806,6 +929,194 @@ mod tests {
         assert_eq!(requests[0].queue_size, 2);
         assert_eq!(requests[0].capacities, 2..=2);
         assert_eq!(requests[1].capacities, 3..=3);
+    }
+
+    /// A tiny deterministic xorshift64* generator — the build environment
+    /// has no `rand`, and determinism makes a failing seed reproducible.
+    struct XorShift(u64);
+
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        fn below(&mut self, bound: u64) -> u64 {
+            self.next() % bound.max(1)
+        }
+
+        fn chance(&mut self, percent: u64) -> bool {
+            self.below(100) < percent
+        }
+    }
+
+    fn random_request(rng: &mut XorShift, index: usize) -> JobRequest {
+        let topology = match rng.below(4) {
+            0 => TopologySpec::Mesh {
+                width: 1 + rng.below(4) as u32,
+                height: 1 + rng.below(4) as u32,
+            },
+            1 => TopologySpec::Torus {
+                width: 2 + rng.below(3) as u32,
+                height: 2 + rng.below(3) as u32,
+            },
+            2 => TopologySpec::Ring {
+                nodes: 2 + rng.below(6) as u32,
+            },
+            _ => TopologySpec::FatTree {
+                arity: 2 + rng.below(2) as u32,
+                levels: 2 + rng.below(2) as u32,
+            },
+        };
+        let mut request =
+            JobRequest::new(format!("random {index} \"quoted\\\u{1}\u{7}名"), topology);
+        request.queue_size = 1 + rng.below(4) as usize;
+        request.protocol = match rng.below(3) {
+            0 => ProtocolKind::AbstractMi,
+            1 => ProtocolKind::FullMi,
+            _ => ProtocolKind::Mesi,
+        };
+        if rng.chance(50) {
+            request.directory = Some(rng.below(8) as usize);
+        }
+        request.message_class_vcs = rng.chance(30);
+        let low = 1 + rng.below(3) as usize;
+        request.capacities = low..=low + rng.below(3) as usize;
+        request.spec = DeadlockSpec {
+            stuck_packet: rng.chance(70),
+            dead_automaton: rng.chance(70),
+        };
+        request.invariants = rng.chance(80);
+        if rng.chance(40) {
+            request.timeout_ms = Some(rng.below(100_000));
+        }
+        if rng.chance(30) {
+            request.max_refinements = Some(1 + rng.below(1_000_000));
+        }
+        if rng.chance(30) {
+            request.theory_node_budget = Some(1 + rng.below(10_000_000));
+        }
+        request
+    }
+
+    /// Property: any representable request survives
+    /// `to_json → requests_from_json` unchanged, alone and in arrays —
+    /// including names that need every escape class.
+    #[test]
+    fn random_requests_round_trip_through_the_wire_format() {
+        let mut rng = XorShift(0x5EED_CAFE_F00D_0001);
+        let mut batch = Vec::new();
+        for index in 0..256 {
+            let request = random_request(&mut rng, index);
+            let json = request.to_json();
+            validate_json(&json).expect("emitted request JSON is well-formed");
+            let reparsed = requests_from_json(&json).expect("round trip parses");
+            assert_eq!(reparsed.len(), 1, "{json}");
+            assert_eq!(reparsed[0], request, "{json}");
+            batch.push(request);
+            if batch.len() == 16 {
+                let array = format!(
+                    "[{}]",
+                    batch
+                        .iter()
+                        .map(JobRequest::to_json)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                );
+                assert_eq!(requests_from_json(&array).expect("array parses"), batch);
+                batch.clear();
+            }
+        }
+    }
+
+    /// Property: mutated request text never panics the parser — it either
+    /// parses (the mutation stayed inside the grammar) or errors with a
+    /// position inside the input.
+    #[test]
+    fn mutated_request_text_never_panics() {
+        let mut rng = XorShift(0xBAD5_EED5_0000_0042);
+        for index in 0..128 {
+            let base = random_request(&mut rng, index).to_json();
+            let bytes = base.as_bytes();
+            for _ in 0..16 {
+                let mutated = match rng.below(3) {
+                    // Truncate anywhere (may split a UTF-8 sequence).
+                    0 => String::from_utf8_lossy(&bytes[..rng.below(bytes.len() as u64) as usize])
+                        .into_owned(),
+                    // Flip one byte to a printable ASCII character.
+                    1 => {
+                        let mut copy = bytes.to_vec();
+                        let at = rng.below(copy.len() as u64) as usize;
+                        copy[at] = b' ' + (rng.below(94) as u8);
+                        String::from_utf8_lossy(&copy).into_owned()
+                    }
+                    // Duplicate a random slice into the middle.
+                    _ => {
+                        let a = rng.below(bytes.len() as u64) as usize;
+                        let b = a + rng.below((bytes.len() - a) as u64 + 1) as usize;
+                        let mut copy = String::from_utf8_lossy(&bytes[..b]).into_owned();
+                        copy.push_str(&String::from_utf8_lossy(&bytes[a..]));
+                        copy
+                    }
+                };
+                if let Err(error) = requests_from_json(&mutated) {
+                    assert!(
+                        error.offset <= mutated.len(),
+                        "error position {} outside input of {} bytes",
+                        error.offset,
+                        mutated.len()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The hardening cases the front-end depends on: trailing garbage,
+    /// unterminated strings and bad `\u` escapes are refused with a
+    /// position; strict numbers and the depth cap hold.
+    #[test]
+    fn malformed_syntax_is_refused_with_positions() {
+        for (text, needle) in [
+            (r#"{"name": "x"} trailing"#, "trailing characters"),
+            (r#"{"name": "unterminated"#, "unterminated string"),
+            (r#"{"name": "bad \uZZZZ escape"}"#, "4 hex digits"),
+            (
+                r#"{"name": "high alone \ud834"}"#,
+                "unpaired high surrogate",
+            ),
+            (r#"{"name": "low alone \udd1e"}"#, "unpaired low surrogate"),
+            (r#"{"name": "pairless \ud834A"}"#, "unpaired high surrogate"),
+            (
+                r#"{"name": "pair \ud834\u0041"}"#,
+                "not followed by a low surrogate",
+            ),
+            (r#"{"queue_size": 01}"#, "leading zeros"),
+            (r#"{"queue_size": +1}"#, "expected a JSON value"),
+            (r#"{"queue_size": 1.}"#, "digits after `.`"),
+            (r#"{"queue_size": 1e}"#, "exponent digits"),
+            (r#"{"queue_size": -}"#, "expected a digit"),
+        ] {
+            let error = requests_from_json(text).unwrap_err();
+            assert!(
+                error.message.contains(needle),
+                "{text} → {error}, wanted `{needle}`"
+            );
+            assert!(error.offset > 0, "{text}: syntax errors carry a position");
+        }
+        // Surrogate pairs decode; the depth cap trips at 64 nested arrays.
+        let paired =
+            requests_from_json(r#"{"name": "clef 𝄞", "topology": {"kind": "ring", "nodes": 3}}"#)
+                .expect("surrogate pair decodes");
+        assert!(paired[0].name.contains('\u{1D11E}'));
+        let deep = format!("{}1{}", "[".repeat(80), "]".repeat(80));
+        let error = validate_json(&deep).unwrap_err();
+        assert!(error.message.contains("depth limit"));
+        validate_json(&format!("{}1{}", "[".repeat(60), "]".repeat(60)))
+            .expect("60 levels is under the cap");
     }
 
     #[test]

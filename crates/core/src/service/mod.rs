@@ -48,7 +48,9 @@ mod pool;
 mod scheduler;
 
 pub use fingerprint::Fingerprint;
-pub use json::{outcome_to_json, requests_from_json, JobRequest, JsonError, TopologySpec};
+pub use json::{
+    outcome_to_json, requests_from_json, validate_json, JobRequest, JsonError, TopologySpec,
+};
 pub use pool::PoolStats;
 pub use scheduler::SubmitError;
 
@@ -343,13 +345,136 @@ impl JobOutcome {
     }
 }
 
+/// One job's outcome slot: distinguishing "not finished yet" from
+/// "already handed out" is what lets [`Service::wait_outcome`] answer
+/// by-id queries (the front-end's `GET /v1/jobs/{id}`) truthfully.
+enum Slot {
+    /// The job has been admitted but no outcome has landed.
+    Pending,
+    /// The outcome landed and nobody has consumed it.
+    Ready(Box<JobOutcome>),
+    /// The outcome was consumed (by [`Service::next_outcome`],
+    /// [`Service::drain`] or a by-id wait); it will not be seen again.
+    Taken,
+}
+
 struct ResultStore {
-    slots: Vec<Option<JobOutcome>>,
+    slots: Vec<Slot>,
     ready: VecDeque<u64>,
     submitted: u64,
     completed: u64,
     consumed: u64,
 }
+
+/// Why a by-id outcome query ([`Service::take_outcome`],
+/// [`Service::wait_outcome`]) returned no outcome and never will.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutcomeError {
+    /// No job with this id was ever admitted.
+    Unknown(JobId),
+    /// The job finished but its outcome was already consumed — outcomes
+    /// are delivered at most once.
+    Taken(JobId),
+}
+
+impl fmt::Display for OutcomeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OutcomeError::Unknown(id) => write!(f, "job {id} was never admitted"),
+            OutcomeError::Taken(id) => write!(f, "job {id}'s outcome was already consumed"),
+        }
+    }
+}
+
+impl std::error::Error for OutcomeError {}
+
+/// Point-in-time snapshot of a [`Service`]'s health: the warm pool,
+/// the admission queue and the job ledger in one struct.  This is the
+/// payload of the front-end's `GET /healthz`; every field is also
+/// available through the metrics registry when telemetry is enabled,
+/// but the snapshot needs no telemetry and is always coherent (one
+/// lock acquisition for the ledger numbers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Cumulative warm-engine pool statistics.
+    pub pool: PoolStats,
+    /// Jobs waiting in the bounded admission queue right now.
+    pub queued: usize,
+    /// The admission queue's bound (the backpressure knob).
+    pub queue_capacity: usize,
+    /// Jobs admitted since the service started.
+    pub submitted: u64,
+    /// Jobs that have produced an outcome.
+    pub completed: u64,
+    /// Jobs admitted but not yet finished (`submitted - completed`).
+    pub pending: u64,
+    /// Worker threads serving the scheduler.
+    pub workers: usize,
+    /// Successful steal operations so far.
+    pub steals: u64,
+}
+
+impl ServiceStats {
+    /// Renders the snapshot as one JSON object, in the house wire style
+    /// (hand-rolled, serde-free) — the `GET /healthz` response body.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"workers\":{},\"queued\":{},\"queue_capacity\":{},\"submitted\":{},\
+             \"completed\":{},\"pending\":{},\"steals\":{},\"pool\":{{\
+             \"engines_built\":{},\"warm_hits\":{},\"build_failures\":{},\
+             \"evictions\":{},\"live_engines\":{},\"checkouts\":{},\"rebuilds\":{},\
+             \"warm_hit_rate\":{:.4}}}}}",
+            self.workers,
+            self.queued,
+            self.queue_capacity,
+            self.submitted,
+            self.completed,
+            self.pending,
+            self.steals,
+            self.pool.engines_built,
+            self.pool.warm_hits,
+            self.pool.build_failures,
+            self.pool.evictions,
+            self.pool.live_engines,
+            self.pool.checkouts,
+            self.pool.rebuilds,
+            self.pool.warm_hit_rate(),
+        )
+    }
+}
+
+/// Refusals from [`Service::try_submit_json`]: either the text was not a
+/// valid job request, or the whole request set could not be admitted
+/// atomically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JsonSubmitError {
+    /// The text failed to parse or described an unbuildable topology; no
+    /// jobs were admitted.
+    Json(JsonError),
+    /// The bounded queue lacks room for the request's full job set; no
+    /// jobs were admitted (admission is all-or-nothing, so a partial
+    /// sweep never dangles).
+    QueueFull {
+        /// How many jobs the request would have admitted.
+        jobs: usize,
+        /// The queue bound that refused them.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for JsonSubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonSubmitError::Json(e) => write!(f, "{e}"),
+            JsonSubmitError::QueueFull { jobs, capacity } => write!(
+                f,
+                "the bounded job queue (capacity {capacity}) cannot admit {jobs} more jobs"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JsonSubmitError {}
 
 /// The service's pre-registered instruments (one registry lookup each at
 /// construction, plain atomic updates afterwards).  Present only when the
@@ -548,6 +673,37 @@ impl Service {
         Ok(jobs.into_iter().map(|job| self.submit(job)).collect())
     }
 
+    /// Like [`Service::submit_json`], but admission is **non-blocking and
+    /// all-or-nothing**: either every job of the request set fits in the
+    /// bounded queue and all are admitted, or none is.  This is the
+    /// admission path of the HTTP front-end, where a full queue must turn
+    /// into `429 Too Many Requests` instead of a stalled connection.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonSubmitError::Json`] when the text is not valid job JSON;
+    /// [`JsonSubmitError::QueueFull`] when the queue lacks room for the
+    /// whole set.  No jobs are admitted in either case.
+    pub fn try_submit_json(&self, text: &str) -> Result<Vec<JobId>, JsonSubmitError> {
+        let requests = requests_from_json(text).map_err(JsonSubmitError::Json)?;
+        let mut jobs = Vec::new();
+        for request in &requests {
+            jobs.extend(request.to_jobs().map_err(JsonSubmitError::Json)?);
+        }
+        let count = jobs.len();
+        let mut pending = jobs.into_iter();
+        self.shared
+            .scheduler
+            .try_push_all_with(count, || {
+                self.prepare(pending.next().expect("one job per reserved slot"))
+            })
+            .map(|ids| ids.into_iter().map(JobId).collect())
+            .map_err(|SubmitError::QueueFull| JsonSubmitError::QueueFull {
+                jobs: count,
+                capacity: self.shared.scheduler.capacity(),
+            })
+    }
+
     /// Resolves a submitted job into its scheduled form: capacity, engine
     /// range, fingerprint, pool ticket and outcome slot.
     fn prepare(&self, mut job: VerifyJob) -> ScheduledJob {
@@ -575,7 +731,7 @@ impl Service {
             let mut results = shared.results.lock().expect("result store lock");
             let id = results.submitted;
             results.submitted += 1;
-            results.slots.push(None);
+            results.slots.push(Slot::Pending);
             id
         };
         ScheduledJob {
@@ -600,8 +756,7 @@ impl Service {
         let mut results = shared.results.lock().expect("result store lock");
         loop {
             while let Some(id) = results.ready.pop_front() {
-                if let Some(outcome) = results.slots[id as usize].take() {
-                    results.consumed += 1;
+                if let Some(outcome) = take_slot(&mut results, id) {
                     return Some(outcome);
                 }
             }
@@ -609,6 +764,58 @@ impl Service {
                 return None;
             }
             results = shared.results_cv.wait(results).expect("result store lock");
+        }
+    }
+
+    /// Takes job `id`'s outcome if it has landed, without blocking.
+    /// `Ok(None)` means the job is still queued or running.
+    ///
+    /// # Errors
+    ///
+    /// [`OutcomeError::Unknown`] for an id never admitted;
+    /// [`OutcomeError::Taken`] when the outcome was already consumed
+    /// (delivery is at most once).
+    pub fn take_outcome(&self, id: JobId) -> Result<Option<JobOutcome>, OutcomeError> {
+        let mut results = self.shared.results.lock().expect("result store lock");
+        poll_slot(&mut results, id)
+    }
+
+    /// Blocks until job `id`'s outcome lands (or `timeout` expires, when
+    /// one is given) and takes it.  `Ok(None)` means the wait timed out
+    /// with the job still in flight — the front-end's long-poll path
+    /// (`GET /v1/jobs/{id}?wait_ms=…`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Service::take_outcome`].
+    pub fn wait_outcome(
+        &self,
+        id: JobId,
+        timeout: Option<Duration>,
+    ) -> Result<Option<JobOutcome>, OutcomeError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let shared = &self.shared;
+        let mut results = shared.results.lock().expect("result store lock");
+        loop {
+            match poll_slot(&mut results, id)? {
+                Some(outcome) => return Ok(Some(outcome)),
+                None => match deadline {
+                    None => {
+                        results = shared.results_cv.wait(results).expect("result store lock");
+                    }
+                    Some(deadline) => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Ok(None);
+                        }
+                        results = shared
+                            .results_cv
+                            .wait_timeout(results, deadline - now)
+                            .expect("result store lock")
+                            .0;
+                    }
+                },
+            }
         }
     }
 
@@ -623,13 +830,37 @@ impl Service {
         }
         let mut outcomes = Vec::new();
         for slot in results.slots.iter_mut() {
-            if let Some(outcome) = slot.take() {
-                outcomes.push(outcome);
+            if matches!(slot, Slot::Ready(_)) {
+                if let Slot::Ready(outcome) = std::mem::replace(slot, Slot::Taken) {
+                    outcomes.push(*outcome);
+                }
             }
         }
         results.consumed += outcomes.len() as u64;
         results.ready.clear();
         outcomes
+    }
+
+    /// Waits until every admitted job has finished (without consuming any
+    /// outcome), or until `timeout` expires.  Returns `true` when the
+    /// service went idle — the graceful-drain hook: a front-end that has
+    /// stopped admitting calls this, then flushes sinks, then exits.
+    pub fn await_idle(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let shared = &self.shared;
+        let mut results = shared.results.lock().expect("result store lock");
+        while results.completed < results.submitted {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            results = shared
+                .results_cv
+                .wait_timeout(results, deadline - now)
+                .expect("result store lock")
+                .0;
+        }
+        true
     }
 
     /// Jobs admitted but not yet finished.
@@ -652,6 +883,58 @@ impl Service {
     /// Cumulative statistics of the warm-engine pool.
     pub fn pool_stats(&self) -> PoolStats {
         self.shared.pool.stats()
+    }
+
+    /// The bound of the admission queue (see
+    /// [`ServiceConfig::queue_capacity`]).
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.scheduler.capacity()
+    }
+
+    /// A coherent point-in-time snapshot of the service: pool, queue and
+    /// job-ledger statistics in one struct (the `/healthz` payload).
+    pub fn stats(&self) -> ServiceStats {
+        let (submitted, completed) = {
+            let results = self.shared.results.lock().expect("result store lock");
+            (results.submitted, results.completed)
+        };
+        ServiceStats {
+            pool: self.shared.pool.stats(),
+            queued: self.shared.scheduler.queued(),
+            queue_capacity: self.shared.scheduler.capacity(),
+            submitted,
+            completed,
+            pending: submitted - completed,
+            workers: self.workers.len(),
+            steals: self.shared.scheduler.steals(),
+        }
+    }
+}
+
+/// Takes the outcome in slot `id` if it is ready, updating the consumed
+/// count.  (Free function because it borrows only the store, not the
+/// service.)
+fn take_slot(results: &mut ResultStore, id: u64) -> Option<JobOutcome> {
+    match results.slots.get_mut(id as usize) {
+        Some(slot @ Slot::Ready(_)) => {
+            let Slot::Ready(outcome) = std::mem::replace(slot, Slot::Taken) else {
+                unreachable!("matched Ready above");
+            };
+            results.consumed += 1;
+            Some(*outcome)
+        }
+        _ => None,
+    }
+}
+
+/// By-id poll against the store: distinguishes ready, pending, consumed
+/// and never-admitted.
+fn poll_slot(results: &mut ResultStore, id: JobId) -> Result<Option<JobOutcome>, OutcomeError> {
+    match results.slots.get(id.0 as usize) {
+        None => Err(OutcomeError::Unknown(id)),
+        Some(Slot::Taken) => Err(OutcomeError::Taken(id)),
+        Some(Slot::Pending) => Ok(None),
+        Some(Slot::Ready(_)) => Ok(take_slot(results, id.0)),
     }
 }
 
@@ -963,7 +1246,7 @@ fn record(shared: &Shared, outcome: JobOutcome) {
     }
     let mut results = shared.results.lock().expect("result store lock");
     let id = outcome.id.0;
-    results.slots[id as usize] = Some(outcome);
+    results.slots[id as usize] = Slot::Ready(Box::new(outcome));
     results.ready.push_back(id);
     results.completed += 1;
     drop(results);

@@ -167,6 +167,39 @@ impl Scheduler {
         Ok(id)
     }
 
+    /// All-or-nothing non-blocking admission of `count` jobs: either the
+    /// queue has room for every one of them (they are materialised and
+    /// enqueued contiguously, so their ticket order is their slot order)
+    /// or none is admitted.  The front-end's `POST /v1/jobs` uses this so
+    /// a refused request never leaves half a sweep behind.
+    pub(crate) fn try_push_all_with(
+        &self,
+        count: usize,
+        mut make: impl FnMut() -> ScheduledJob,
+    ) -> Result<Vec<u64>, SubmitError> {
+        let mut injector = self.injector.lock().expect("scheduler lock");
+        if injector.queue.len() + count > self.capacity {
+            return Err(SubmitError::QueueFull);
+        }
+        let ids = (0..count)
+            .map(|_| {
+                let job = make();
+                let id = job.id;
+                injector.queue.push_back(job);
+                id
+            })
+            .collect();
+        self.note_depth(injector.queue.len());
+        drop(injector);
+        self.announce();
+        Ok(ids)
+    }
+
+    /// The admission queue's bound.
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Hands a job directly to a worker's own deque (used when a finished
     /// job unparks its engine's next ticket).
     pub(crate) fn push_local(&self, worker: usize, job: ScheduledJob) {

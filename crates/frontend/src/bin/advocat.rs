@@ -1,0 +1,6 @@
+//! The `advocat` CLI: a thin shell over [`advocat_frontend::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(advocat_frontend::cli::run(&args));
+}

@@ -1,0 +1,130 @@
+//! The ADVOCAT verification daemon: one [`Service`] behind the HTTP
+//! front-end, draining gracefully on SIGTERM.
+//!
+//! ```text
+//! advocatd [--addr HOST:PORT] [--workers N] [--queue N] [--max-engines N]
+//!          [--ring N] [--port-file PATH]
+//! ```
+//!
+//! `--ring 0` disables telemetry entirely (`/metrics` and `/v1/trace`
+//! then answer 404).  `--port-file` writes the resolved `HOST:PORT` —
+//! the handshake CI uses with an ephemeral `--addr 127.0.0.1:0`.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use advocat::service::{Service, ServiceConfig};
+use advocat_frontend::{cli, FrontendConfig, Server};
+use advocat_telemetry::Telemetry;
+
+struct Options {
+    addr: String,
+    workers: Option<usize>,
+    queue: Option<usize>,
+    max_engines: Option<usize>,
+    ring: usize,
+    port_file: Option<String>,
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        addr: format!("127.0.0.1:{}", cli::DEFAULT_PORT),
+        workers: None,
+        queue: None,
+        max_engines: None,
+        ring: 4096,
+        port_file: None,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |flag: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => options.addr = value("--addr")?,
+            "--workers" => options.workers = Some(parse_num(&value("--workers")?, "--workers")?),
+            "--queue" => options.queue = Some(parse_num(&value("--queue")?, "--queue")?),
+            "--max-engines" => {
+                options.max_engines = Some(parse_num(&value("--max-engines")?, "--max-engines")?);
+            }
+            "--ring" => options.ring = parse_num(&value("--ring")?, "--ring")?,
+            "--port-file" => options.port_file = Some(value("--port-file")?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+fn parse_num(text: &str, flag: &str) -> Result<usize, String> {
+    text.parse()
+        .map_err(|_| format!("{flag} needs a number, got `{text}`"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("advocatd: {message}");
+            eprintln!(
+                "usage: advocatd [--addr HOST:PORT] [--workers N] [--queue N] \
+                 [--max-engines N] [--ring N] [--port-file PATH]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let (telemetry, trace) = if options.ring == 0 {
+        (Telemetry::disabled(), None)
+    } else {
+        let (telemetry, trace) = Telemetry::ring(options.ring);
+        (telemetry, Some(trace))
+    };
+
+    let mut service_config = ServiceConfig::default().with_telemetry(telemetry.clone());
+    if let Some(workers) = options.workers {
+        service_config = service_config.with_workers(workers);
+    }
+    if let Some(queue) = options.queue {
+        service_config = service_config.with_queue_capacity(queue);
+    }
+    if let Some(max_engines) = options.max_engines {
+        service_config = service_config.with_max_engines(max_engines);
+    }
+    let service = Arc::new(Service::new(service_config));
+
+    let frontend = FrontendConfig {
+        addr: options.addr,
+        on_sigterm: true,
+        drain_timeout: Duration::from_secs(600),
+        ..FrontendConfig::default()
+    };
+    let server = match Server::start(service, telemetry, trace, frontend) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("advocatd: bind failed: {error}");
+            std::process::exit(1);
+        }
+    };
+
+    let addr = server.addr();
+    if let Some(path) = &options.port_file {
+        if let Err(error) = std::fs::write(path, addr.to_string()) {
+            eprintln!("advocatd: cannot write port file {path}: {error}");
+            std::process::exit(1);
+        }
+    }
+    println!("advocatd listening on {addr}");
+
+    // Serves until SIGTERM (or POST /v1/shutdown) starts the drain;
+    // join finishes every accepted job and flushes sinks.
+    let drained = server.join();
+    if drained {
+        println!("advocatd drained cleanly");
+    } else {
+        eprintln!("advocatd: drain timed out with jobs still running");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,162 @@
+//! The `advocat` command-line client.
+//!
+//! ```text
+//! advocat submit [FILE]            submit a job request (file or stdin), print ids
+//! advocat wait ID [--wait-ms N]    poll/block for one outcome, print it
+//! advocat batch [FILE] [--wait-ms N]  submit and wait for a whole batch
+//! advocat metrics                  print the Prometheus exposition
+//! advocat trace [--wait-ms N]      stream the trace ring for a window
+//! advocat health                   print the service stats snapshot
+//! advocat shutdown                 ask the daemon to drain
+//! ```
+//!
+//! Every subcommand takes `--server HOST:PORT` (default
+//! `127.0.0.1:7177`, overridable via `ADVOCAT_SERVER`).  The exit code
+//! is `0` for a 2xx response, `2` for usage errors, `3` when the
+//! server refused (4xx/5xx), and `1` for transport failures.
+
+use std::io::Read;
+
+use crate::client::{Client, ClientConfig, Exchange};
+
+/// The port `advocatd` binds when none is given.
+pub const DEFAULT_PORT: u16 = 7177;
+
+/// Parsed common flags plus the positional remainder.
+struct Args {
+    server: String,
+    wait_ms: Option<u64>,
+    positional: Vec<String>,
+}
+
+/// Runs one `advocat` invocation (`args` excludes the program name).
+/// Returns the process exit code; output goes to stdout/stderr.
+pub fn run(args: &[String]) -> i32 {
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let parsed = match parse_args(rest) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("advocat: {message}\n{USAGE}");
+            return 2;
+        }
+    };
+
+    let mut client = match Client::connect(parsed.server.clone(), ClientConfig::default()) {
+        Ok(client) => client,
+        Err(error) => {
+            eprintln!("advocat: {error}");
+            return 1;
+        }
+    };
+
+    let exchange = match command.as_str() {
+        "submit" => match read_payload(&parsed) {
+            Ok(payload) => client.submit(&payload).map(|result| match result {
+                Ok(ids) => Exchange {
+                    status: 200,
+                    headers: Vec::new(),
+                    body: format!(
+                        "{{\"ids\":[{}]}}",
+                        ids.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+                    ),
+                },
+                Err(exchange) => exchange,
+            }),
+            Err(message) => {
+                eprintln!("advocat: {message}");
+                return 2;
+            }
+        },
+        "wait" => {
+            let Some(id) = parsed.positional.first().and_then(|s| s.parse().ok()) else {
+                eprintln!("advocat: wait needs a numeric job id\n{USAGE}");
+                return 2;
+            };
+            client.wait(id, parsed.wait_ms.unwrap_or(60_000))
+        }
+        "batch" => match read_payload(&parsed) {
+            Ok(payload) => client.batch(&payload, parsed.wait_ms.unwrap_or(300_000)),
+            Err(message) => {
+                eprintln!("advocat: {message}");
+                return 2;
+            }
+        },
+        "metrics" => client.metrics(),
+        "trace" => client.trace(parsed.wait_ms.unwrap_or(1_000)),
+        "health" => client.health(),
+        "shutdown" => client.shutdown(),
+        other => {
+            eprintln!("advocat: unknown command `{other}`\n{USAGE}");
+            return 2;
+        }
+    };
+
+    match exchange {
+        Ok(exchange) => {
+            println!("{}", exchange.body.trim_end());
+            if (200..300).contains(&exchange.status) {
+                0
+            } else {
+                eprintln!("advocat: server answered {}", exchange.status);
+                3
+            }
+        }
+        Err(error) => {
+            eprintln!("advocat: {error}");
+            1
+        }
+    }
+}
+
+const USAGE: &str = "usage: advocat <submit [FILE] | wait ID | batch [FILE] | metrics | trace | health | shutdown> [--server HOST:PORT] [--wait-ms N]";
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        server: std::env::var("ADVOCAT_SERVER")
+            .unwrap_or_else(|_| format!("127.0.0.1:{DEFAULT_PORT}")),
+        wait_ms: None,
+        positional: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--server" => {
+                parsed.server = iter
+                    .next()
+                    .ok_or("--server needs a HOST:PORT argument")?
+                    .clone();
+            }
+            "--wait-ms" => {
+                parsed.wait_ms = Some(
+                    iter.next()
+                        .ok_or("--wait-ms needs a number")?
+                        .parse()
+                        .map_err(|_| "--wait-ms needs a number".to_owned())?,
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+            positional => parsed.positional.push(positional.to_owned()),
+        }
+    }
+    Ok(parsed)
+}
+
+/// The JSON payload for submit/batch: the positional FILE, or stdin
+/// when none (or `-`) was given.
+fn read_payload(args: &Args) -> Result<String, String> {
+    match args.positional.first().map(String::as_str) {
+        Some("-") | None => {
+            let mut payload = String::new();
+            std::io::stdin()
+                .read_to_string(&mut payload)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+            Ok(payload)
+        }
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}")),
+    }
+}

@@ -1,0 +1,361 @@
+//! A blocking client for `advocatd`, used by the CLI and by tests.
+//!
+//! One client holds one keep-alive connection and replays the service's
+//! wire protocol verbatim: it does not reinterpret bodies, it hands
+//! back the status code and the payload.  The only parsing it does is
+//! pulling job ids out of a `POST /v1/jobs` acknowledgement, because
+//! `wait` needs them.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Connection and deadline tuning for a [`Client`].
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Total budget for establishing a connection (retries included).
+    pub connect_timeout: Duration,
+    /// First retry backoff; doubles per attempt, capped at one second.
+    pub initial_backoff: Duration,
+    /// Socket read deadline per response.
+    pub read_timeout: Duration,
+    /// Socket write deadline per request.
+    pub write_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            initial_backoff: Duration::from_millis(50),
+            read_timeout: Duration::from_secs(120),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// No connection could be established within the budget.
+    Connect(std::io::Error),
+    /// The connection died mid-exchange.
+    Io(std::io::Error),
+    /// The server's bytes were not a readable HTTP response.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(error) => write!(f, "could not connect: {error}"),
+            ClientError::Io(error) => write!(f, "connection failed: {error}"),
+            ClientError::Protocol(what) => write!(f, "bad response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(error: std::io::Error) -> Self {
+        ClientError::Io(error)
+    }
+}
+
+/// One HTTP exchange's result: status code, headers and body.
+#[derive(Debug)]
+pub struct Exchange {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers, names lowercased, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// Response body (chunked bodies arrive fully decoded).
+    pub body: String,
+}
+
+impl Exchange {
+    /// The first header with this (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find_map(|(k, v)| (k == name).then_some(v.as_str()))
+    }
+}
+
+/// A blocking `advocatd` client over one keep-alive connection.
+pub struct Client {
+    addr: String,
+    config: ClientConfig,
+    stream: Option<BufReader<TcpStream>>,
+}
+
+impl Client {
+    /// Connects to `addr` (`host:port`), retrying with doubling backoff
+    /// until the connect budget runs out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Connect`] with the last refusal when the
+    /// server never came up.
+    pub fn connect(addr: impl Into<String>, config: ClientConfig) -> Result<Client, ClientError> {
+        let mut client = Client {
+            addr: addr.into(),
+            config,
+            stream: None,
+        };
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    fn ensure_connected(&mut self) -> Result<(), ClientError> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let deadline = Instant::now() + self.config.connect_timeout;
+        let mut backoff = self.config.initial_backoff;
+        loop {
+            match TcpStream::connect(&self.addr) {
+                Ok(stream) => {
+                    stream
+                        .set_read_timeout(Some(self.config.read_timeout))
+                        .and(stream.set_write_timeout(Some(self.config.write_timeout)))
+                        // Small single-write requests: without NODELAY
+                        // every exchange eats a Nagle/delayed-ACK stall.
+                        .and(stream.set_nodelay(true))
+                        .map_err(ClientError::Connect)?;
+                    self.stream = Some(BufReader::new(stream));
+                    return Ok(());
+                }
+                Err(error) => {
+                    if Instant::now() + backoff > deadline {
+                        return Err(ClientError::Connect(error));
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_secs(1));
+                }
+            }
+        }
+    }
+
+    /// Submits a JSON job request; returns the admitted ids on 200, or
+    /// the refusing exchange.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only — an HTTP refusal is the `Err`-free
+    /// `Err(exchange)`-style right variant of the returned result.
+    pub fn submit(
+        &mut self,
+        request_json: &str,
+    ) -> Result<Result<Vec<u64>, Exchange>, ClientError> {
+        let exchange = self.request("POST", "/v1/jobs", request_json.as_bytes())?;
+        if exchange.status != 200 {
+            return Ok(Err(exchange));
+        }
+        Ok(Ok(parse_id_array(&exchange.body)))
+    }
+
+    /// Polls (or with `wait_ms > 0` blocks) for one job outcome.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn wait(&mut self, id: u64, wait_ms: u64) -> Result<Exchange, ClientError> {
+        self.request("GET", &format!("/v1/jobs/{id}?wait_ms={wait_ms}"), b"")
+    }
+
+    /// Submits a batch and waits for all of its outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn batch(&mut self, request_json: &str, wait_ms: u64) -> Result<Exchange, ClientError> {
+        self.request(
+            "POST",
+            &format!("/v1/batch?wait_ms={wait_ms}"),
+            request_json.as_bytes(),
+        )
+    }
+
+    /// Fetches the Prometheus metrics exposition.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn metrics(&mut self) -> Result<Exchange, ClientError> {
+        self.request("GET", "/metrics", b"")
+    }
+
+    /// Streams the trace ring for `wait_ms`; the decoded JSON-lines
+    /// arrive in the exchange body.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn trace(&mut self, wait_ms: u64) -> Result<Exchange, ClientError> {
+        self.request("GET", &format!("/v1/trace?wait_ms={wait_ms}"), b"")
+    }
+
+    /// Fetches the `/healthz` service snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn health(&mut self) -> Result<Exchange, ClientError> {
+        self.request("GET", "/healthz", b"")
+    }
+
+    /// Asks the server to begin a graceful drain.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn shutdown(&mut self) -> Result<Exchange, ClientError> {
+        self.request("POST", "/v1/shutdown", b"")
+    }
+
+    /// One request/response exchange; reconnects once if the keep-alive
+    /// connection had gone stale between calls.
+    fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> Result<Exchange, ClientError> {
+        self.ensure_connected()?;
+        match self.try_request(method, target, body) {
+            Ok(exchange) => Ok(exchange),
+            Err(ClientError::Io(_)) => {
+                // The server may have closed an idle keep-alive
+                // connection; one fresh connection, one more try.
+                self.stream = None;
+                self.ensure_connected()?;
+                self.try_request(method, target, body)
+            }
+            Err(error) => Err(error),
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> Result<Exchange, ClientError> {
+        let reader = self.stream.as_mut().expect("connected before request");
+        {
+            let stream = reader.get_mut();
+            let head = format!(
+                "{method} {target} HTTP/1.1\r\nHost: advocatd\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            );
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(body)?;
+            stream.flush()?;
+        }
+        let exchange = read_response(reader)?;
+        Ok(exchange)
+    }
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> Result<Exchange, ClientError> {
+    let status_line = read_line(reader)?;
+    let mut parts = status_line.split(' ');
+    let (Some(version), Some(code)) = (parts.next(), parts.next()) else {
+        return Err(ClientError::Protocol(format!(
+            "bad status line `{status_line}`"
+        )));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ClientError::Protocol(format!("unsupported {version}")));
+    }
+    let status: u16 = code
+        .parse()
+        .map_err(|_| ClientError::Protocol(format!("bad status code `{code}`")))?;
+
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ClientError::Protocol(format!("bad header `{line}`")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            content_length = Some(
+                value
+                    .parse()
+                    .map_err(|_| ClientError::Protocol(format!("bad length `{value}`")))?,
+            );
+        } else if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+            chunked = true;
+        }
+        headers.push((name, value.to_owned()));
+    }
+
+    let body = if chunked {
+        let mut body = Vec::new();
+        loop {
+            let size_line = read_line(reader)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| ClientError::Protocol(format!("bad chunk size `{size_line}`")))?;
+            if size == 0 {
+                // Trailing CRLF after the last chunk.
+                let _ = read_line(reader)?;
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk)?;
+            body.extend_from_slice(&chunk);
+            let _ = read_line(reader)?; // chunk-terminating CRLF
+        }
+        body
+    } else {
+        let mut body = vec![0u8; content_length.unwrap_or(0)];
+        reader.read_exact(&mut body)?;
+        body
+    };
+
+    Ok(Exchange {
+        status,
+        headers,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, ClientError> {
+    let mut line = String::new();
+    let read = reader.read_line(&mut line)?;
+    if read == 0 {
+        return Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "connection closed mid-response",
+        )));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Pulls the numbers out of an `{"ids":[…]}` acknowledgement.  The
+/// shape is fixed by our own server, so a scan is sufficient — no JSON
+/// parser needed on the client side.
+fn parse_id_array(body: &str) -> Vec<u64> {
+    let Some(open) = body.find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = body[open..].find(']') else {
+        return Vec::new();
+    };
+    body[open + 1..open + close]
+        .split(',')
+        .filter_map(|n| n.trim().parse().ok())
+        .collect()
+}

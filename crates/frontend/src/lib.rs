@@ -1,0 +1,43 @@
+//! The ADVOCAT HTTP front-end: `advocatd`, its client, and the CLI.
+//!
+//! The verification [`Service`](advocat::service::Service) is an
+//! in-process API; this crate puts it on a socket.  [`Server`] speaks a
+//! deliberately small slice of HTTP/1.1 — hand-rolled like the rest of
+//! the wire layer, because the build environment is offline and the
+//! house style is dependency-free — and carries the service's semantics
+//! across it unchanged:
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /v1/jobs` | submit a job request (or array); all-or-nothing admission |
+//! | `GET /v1/jobs/{id}` | poll (`?wait_ms=` blocks) for one outcome |
+//! | `POST /v1/batch` | submit a request array and wait for every outcome |
+//! | `GET /metrics` | Prometheus text exposition of the metrics registry |
+//! | `GET /v1/trace` | chunked JSON-lines stream of the telemetry ring |
+//! | `GET /healthz` | [`ServiceStats`](advocat::service::ServiceStats) snapshot |
+//! | `POST /v1/shutdown` | begin a graceful drain |
+//!
+//! Back-pressure is not hidden: a full admission queue is HTTP 429 with
+//! a `Retry-After`, a job that blew its wall-clock budget is 504, and a
+//! malformed payload is 400 carrying the parser's byte offset.  On
+//! SIGTERM (opt-in per server, because the flag is process-global) the
+//! daemon stops accepting, finishes every accepted job, flushes
+//! telemetry sinks and exits.
+//!
+//! [`Client`] is the blocking counterpart (connect-with-backoff, one
+//! keep-alive connection) and [`cli`] wraps it as the `advocat
+//! submit|wait|batch|metrics|trace|health|shutdown` subcommands.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+mod client;
+mod http;
+mod server;
+mod signal;
+
+pub use client::{Client, ClientConfig, ClientError};
+pub use http::{HttpError, Request, Response, StatusLine};
+pub use server::{FrontendConfig, Server};
+pub use signal::sigterm_flag;

@@ -1,0 +1,55 @@
+//! SIGTERM as an [`AtomicBool`], without a `libc` dependency.
+//!
+//! The build environment is offline, so the crate cannot pull in `libc`
+//! or `signal-hook`; instead this module declares the one POSIX symbol
+//! it needs.  The disposition is process-global, which is why servers
+//! opt *in* to honoring the flag ([`crate::FrontendConfig::on_sigterm`])
+//! — a test running many servers in one process must not have them all
+//! drain because one of them asked for signal handling.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+
+/// Set by the handler on the first SIGTERM delivery.
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+static INSTALL: Once = Once::new();
+
+/// `SIGTERM` on every platform this project targets (Linux).
+const SIGTERM: i32 = 15;
+
+#[allow(unsafe_code)]
+mod sys {
+    extern "C" {
+        /// POSIX `signal(2)` — present in the libc that `std` already
+        /// links; only the async-signal-safe store below runs in handler
+        /// context.
+        pub(super) fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub(super) extern "C" fn on_sigterm(_signum: i32) {
+        // A relaxed store is async-signal-safe; everything else happens
+        // on the threads polling the flag.
+        super::TERM_REQUESTED.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    pub(super) fn install(signum: i32) {
+        // SAFETY: `signal` is the POSIX function of that name; the
+        // handler does nothing but store an atomic.
+        unsafe {
+            signal(signum, on_sigterm as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+/// Installs the SIGTERM handler (idempotent) and returns the flag it
+/// sets.  Poll the flag; never block on it.
+pub fn sigterm_flag() -> &'static AtomicBool {
+    INSTALL.call_once(|| sys::install(SIGTERM));
+    &TERM_REQUESTED
+}
+
+/// Whether SIGTERM has been delivered since the handler was installed.
+/// `false` forever if [`sigterm_flag`] was never called.
+pub(crate) fn sigterm_pending() -> bool {
+    TERM_REQUESTED.load(Ordering::Relaxed)
+}

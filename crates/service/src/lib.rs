@@ -24,8 +24,9 @@
 #![warn(missing_docs)]
 
 pub use advocat::service::{
-    outcome_to_json, requests_from_json, Fingerprint, JobError, JobId, JobOutcome, JobRequest,
-    JsonError, PoolStats, Service, ServiceConfig, SubmitError, TopologySpec, VerifyJob,
+    outcome_to_json, requests_from_json, validate_json, Fingerprint, JobError, JobId, JobOutcome,
+    JobRequest, JsonError, JsonSubmitError, OutcomeError, PoolStats, Service, ServiceConfig,
+    ServiceStats, SubmitError, TopologySpec, VerifyJob,
 };
 
 // The vocabulary types a job is built from, so service-only users need no

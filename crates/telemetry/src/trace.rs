@@ -27,7 +27,8 @@
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::io::Write as _;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Where trace records go.  Implementations receive complete JSON-lines
 /// records (no trailing newline) in emission order.
@@ -61,40 +62,52 @@ struct RingShared {
     dropped: u64,
 }
 
+/// The ring plus the arrival signal readers block on.
+#[derive(Debug, Default)]
+struct Ring {
+    shared: Mutex<RingShared>,
+    arrived: Condvar,
+}
+
 /// An in-memory sink keeping the most recent `capacity` records.
 ///
 /// Construct via [`super::Telemetry::ring`], which returns the matching
 /// [`TraceBuffer`] for reading the trace back after the run.
 #[derive(Clone, Debug)]
 pub struct RingBufferSink {
-    shared: Arc<Mutex<RingShared>>,
+    ring: Arc<Ring>,
 }
 
 impl RingBufferSink {
     /// Creates a ring sink and the buffer handle that reads it.
     pub fn new(capacity: usize) -> (RingBufferSink, TraceBuffer) {
-        let shared = Arc::new(Mutex::new(RingShared {
-            lines: VecDeque::new(),
-            capacity: capacity.max(1),
-            dropped: 0,
-        }));
+        let ring = Arc::new(Ring {
+            shared: Mutex::new(RingShared {
+                lines: VecDeque::new(),
+                capacity: capacity.max(1),
+                dropped: 0,
+            }),
+            arrived: Condvar::new(),
+        });
         (
             RingBufferSink {
-                shared: Arc::clone(&shared),
+                ring: Arc::clone(&ring),
             },
-            TraceBuffer { shared },
+            TraceBuffer { ring },
         )
     }
 }
 
 impl TraceSink for RingBufferSink {
     fn record(&mut self, line: &str) {
-        let mut shared = self.shared.lock().expect("trace ring lock");
+        let mut shared = self.ring.shared.lock().expect("trace ring lock");
         if shared.lines.len() == shared.capacity {
             shared.lines.pop_front();
             shared.dropped += 1;
         }
         shared.lines.push_back(line.to_owned());
+        drop(shared);
+        self.ring.arrived.notify_all();
     }
 }
 
@@ -102,25 +115,56 @@ impl TraceSink for RingBufferSink {
 /// JSON-lines records after (or during) a run.
 #[derive(Clone, Debug)]
 pub struct TraceBuffer {
-    shared: Arc<Mutex<RingShared>>,
+    ring: Arc<Ring>,
 }
 
 impl TraceBuffer {
     /// Returns a snapshot of the retained records, oldest first.
     pub fn lines(&self) -> Vec<String> {
-        let shared = self.shared.lock().expect("trace ring lock");
+        let shared = self.ring.shared.lock().expect("trace ring lock");
         shared.lines.iter().cloned().collect()
     }
 
     /// Removes and returns the retained records, oldest first.
     pub fn drain(&self) -> Vec<String> {
-        let mut shared = self.shared.lock().expect("trace ring lock");
+        let mut shared = self.ring.shared.lock().expect("trace ring lock");
         shared.lines.drain(..).collect()
+    }
+
+    /// Drains the retained records, blocking up to `timeout` for at least
+    /// one to arrive when the ring is empty.  Returns an empty vector only
+    /// on timeout — the streaming handoff behind the front-end's
+    /// `GET /v1/trace`, which parks between chunks instead of spinning.
+    pub fn wait_drain(&self, timeout: Duration) -> Vec<String> {
+        let deadline = Instant::now() + timeout;
+        let mut shared = self.ring.shared.lock().expect("trace ring lock");
+        loop {
+            if !shared.lines.is_empty() {
+                return shared.lines.drain(..).collect();
+            }
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                return Vec::new();
+            };
+            let (guard, result) = self
+                .ring
+                .arrived
+                .wait_timeout(shared, remaining)
+                .expect("trace ring lock");
+            shared = guard;
+            if result.timed_out() && shared.lines.is_empty() {
+                return Vec::new();
+            }
+        }
     }
 
     /// Number of records currently retained.
     pub fn len(&self) -> usize {
-        self.shared.lock().expect("trace ring lock").lines.len()
+        self.ring
+            .shared
+            .lock()
+            .expect("trace ring lock")
+            .lines
+            .len()
     }
 
     /// Returns `true` when no records are retained.
@@ -131,7 +175,7 @@ impl TraceBuffer {
     /// Records evicted because the ring was full — non-zero means the
     /// trace is a suffix of the run, not the whole run.
     pub fn dropped(&self) -> u64 {
-        self.shared.lock().expect("trace ring lock").dropped
+        self.ring.shared.lock().expect("trace ring lock").dropped
     }
 }
 
@@ -225,6 +269,23 @@ mod tests {
         assert_eq!(buffer.dropped(), 1);
         assert_eq!(buffer.drain().len(), 2);
         assert!(buffer.is_empty());
+    }
+
+    #[test]
+    fn wait_drain_blocks_until_a_record_arrives_or_times_out() {
+        let (mut sink, buffer) = RingBufferSink::new(8);
+        // Already-buffered records return immediately.
+        sink.record("early");
+        assert_eq!(buffer.wait_drain(Duration::from_secs(5)), vec!["early"]);
+        // An empty ring times out empty.
+        assert!(buffer.wait_drain(Duration::from_millis(10)).is_empty());
+        // A record arriving mid-wait wakes the reader.
+        let writer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            sink.record("late");
+        });
+        assert_eq!(buffer.wait_drain(Duration::from_secs(5)), vec!["late"]);
+        writer.join().expect("writer thread");
     }
 
     #[test]

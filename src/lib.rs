@@ -12,6 +12,7 @@ pub use advocat;
 pub use advocat_automata as automata;
 pub use advocat_deadlock as deadlock;
 pub use advocat_explorer as explorer;
+pub use advocat_frontend as frontend;
 pub use advocat_invariants as invariants;
 pub use advocat_logic as logic;
 pub use advocat_noc as noc;

@@ -471,3 +471,143 @@ fn thousand_job_stress_run_stays_consistent() {
     );
     assert!(stats.live_engines <= 4 + 8, "cap plus bounded overshoot");
 }
+
+/// Satellite: racing submitters against a small admission queue.  Every
+/// attempt must resolve to acceptance or an immediate `QueueFull` —
+/// never a hang, never a lost job — and the books must balance exactly:
+/// admitted + refused == attempts, with one unique outcome per admitted
+/// id and not one more.
+#[test]
+fn racing_submitters_never_hang_or_lose_jobs() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Barrier, Mutex};
+
+    const THREADS: usize = 8;
+    const ATTEMPTS: usize = 25;
+
+    let service = Arc::new(Service::new(
+        ServiceConfig::default()
+            .with_workers(2)
+            .with_queue_capacity(3),
+    ));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let refused = Arc::new(AtomicUsize::new(0));
+    let admitted: Arc<Mutex<Vec<JobId>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let service = Arc::clone(&service);
+            let barrier = Arc::clone(&barrier);
+            let refused = Arc::clone(&refused);
+            let admitted = Arc::clone(&admitted);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..ATTEMPTS {
+                    let job = VerifyJob::fabric(
+                        format!("race {t}-{i}"),
+                        FabricConfig::new(Topology::ring(3).unwrap(), 1).with_directory(1),
+                    );
+                    match service.try_submit(job) {
+                        Ok(id) => admitted.lock().unwrap().push(id),
+                        Err(SubmitError::QueueFull) => {
+                            refused.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("submitter thread");
+    }
+
+    let admitted = Arc::try_unwrap(admitted)
+        .expect("threads joined")
+        .into_inner()
+        .unwrap();
+    let refused = refused.load(Ordering::Relaxed);
+    assert_eq!(
+        admitted.len() + refused,
+        THREADS * ATTEMPTS,
+        "every attempt resolved exactly once"
+    );
+
+    // Ids are unique — no attempt was double-admitted.
+    let mut ids: Vec<u64> = admitted.iter().map(|id| id.0).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), admitted.len(), "admitted ids are unique");
+
+    // Exactly the admitted jobs produce outcomes, every one a verdict.
+    let outcomes = service.drain();
+    assert_eq!(outcomes.len(), admitted.len(), "no admitted job is lost");
+    for outcome in &outcomes {
+        assert!(
+            outcome.result.is_ok(),
+            "{}: {:?}",
+            outcome.name,
+            outcome.result
+        );
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.submitted, admitted.len() as u64);
+    assert_eq!(stats.completed, admitted.len() as u64);
+    assert_eq!(stats.pending, 0);
+}
+
+/// Satellite: the `stats()` snapshot agrees with the live sources it
+/// summarises — the pool's own accounting, the scheduler's queue bound
+/// and the metrics registry's gauges — and `to_json` round-trips as
+/// well-formed JSON carrying the same numbers.
+#[test]
+fn stats_snapshot_pins_pool_queue_and_registry() {
+    let (telemetry, _trace) = Telemetry::ring(1024);
+    let service = Service::new(
+        ServiceConfig::default()
+            .with_workers(2)
+            .with_queue_capacity(17)
+            .with_telemetry(telemetry.clone()),
+    );
+    service.submit_sweep(
+        &BatchScenario::for_fabric(
+            "stats ring",
+            FabricConfig::new(Topology::ring(3).unwrap(), 1).with_directory(1),
+        )
+        .with_sweep(1..=2),
+    );
+    let outcomes = service.drain();
+    assert_eq!(outcomes.len(), 2);
+
+    let stats = service.stats();
+    assert_eq!(stats.workers, 2);
+    assert_eq!(stats.queue_capacity, 17);
+    assert_eq!(stats.queued, 0, "drained service has an empty queue");
+    assert_eq!(stats.submitted, 2);
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.pending, 0);
+    assert_eq!(stats.pool, service.pool_stats(), "one pool, one truth");
+    assert_eq!(stats.steals, service.steals());
+
+    let json = stats.to_json();
+    advocat::service::validate_json(&json).expect("snapshot JSON is well-formed");
+    for needle in [
+        "\"workers\":2",
+        "\"queue_capacity\":17",
+        "\"submitted\":2",
+        "\"completed\":2",
+        "\"pending\":0",
+    ] {
+        assert!(json.contains(needle), "{json} missing {needle}");
+    }
+
+    // The registry's live gauge tells the same story as the snapshot.
+    let exposition = telemetry
+        .metrics()
+        .expect("ring enables metrics")
+        .render_prometheus();
+    assert!(
+        exposition.contains("service_queue_depth 0"),
+        "queue gauge agrees with stats().queued:\n{exposition}"
+    );
+}
