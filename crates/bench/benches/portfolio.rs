@@ -1,0 +1,140 @@
+//! Portfolio solving: racing diversified CDCL workers on the hard tail.
+//!
+//! On the easy instances of the suite the sequential solver is already
+//! near-instant and a portfolio can only add overhead; the interesting
+//! subset is the *hard tail* — near-threshold queries where solve time is
+//! dominated by search.  Racing diversified workers (different phase
+//! polarity, restart schedule and reduction cadence, plus glue-clause
+//! exchange) turns the per-instance cost from "the default strategy's
+//! time" into "the best strategy's time" — *provided the host can actually
+//! overlap the workers*.
+//!
+//! The race is honest about hardware: `N` workers burn `N` hardware
+//! threads until the winner's verdict cancels the rest.  On a host with
+//! `>= N` cores the wall-clock is the fastest worker's time; on a
+//! single-core host the same race time-slices and costs up to `N` times
+//! the fastest worker.  The bench therefore prints the measured host
+//! parallelism next to each row — the speedup column is only expected to
+//! exceed 1x when the cores are there.  Verdicts are asserted identical
+//! in every mode either way (the determinism the differential suite pins).
+
+use std::time::{Duration, Instant};
+
+use advocat::prelude::*;
+use criterion::{criterion_group, Criterion};
+
+/// The hard-tail instances: near-threshold queries whose answers the
+/// differential suite pins, so the bench doubles as a sanity check that
+/// the portfolio changes only the time, never the verdict.
+fn instances() -> Vec<(
+    &'static str,
+    FabricConfig,
+    std::ops::RangeInclusive<usize>,
+    Query,
+)> {
+    vec![
+        (
+            "mesi-mesh/cap2",
+            FabricConfig::new(Topology::mesh(2, 2).unwrap(), 1)
+                .with_directory(1)
+                .with_protocol(ProtocolKind::Mesi),
+            1..=2,
+            Query::new().capacity(2),
+        ),
+        (
+            "mesi-torus/cap2",
+            FabricConfig::new(Topology::torus(2, 2).unwrap(), 1)
+                .with_directory(3)
+                .with_protocol(ProtocolKind::Mesi),
+            1..=2,
+            Query::new().capacity(2),
+        ),
+        (
+            "mesh3x3/cap1/no-invariants",
+            FabricConfig::new(Topology::mesh(3, 3).unwrap(), 1).with_directory(4),
+            1..=1,
+            Query::new().capacity(1).invariants(false),
+        ),
+    ]
+}
+
+/// Cold-start wall-clock of one query at the given worker count: engine
+/// build (template, invariants) excluded, solving included.
+fn solve_cold(
+    fabric: &FabricConfig,
+    range: std::ops::RangeInclusive<usize>,
+    query: &Query,
+    workers: usize,
+) -> (Duration, bool) {
+    let mut engine = QueryEngine::for_fabric(fabric, range).expect("fabric builds");
+    engine.set_portfolio(workers);
+    let start = Instant::now();
+    let report = engine.check(query);
+    (start.elapsed(), report.is_deadlock_free())
+}
+
+fn print_comparison() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    advocat_telemetry::info!(
+        "== portfolio: sequential vs. diversified race (cold start, {cores} host core{}) ==",
+        if cores == 1 { "" } else { "s" }
+    );
+    let counts = [1usize, 2, 8];
+    let mut totals = [Duration::ZERO; 3];
+    for (name, fabric, range, query) in instances() {
+        let mut row = format!("  {name:<28}");
+        let mut reference = None;
+        for (slot, workers) in counts.iter().enumerate() {
+            let (elapsed, free) = solve_cold(&fabric, range.clone(), &query, *workers);
+            let reference = *reference.get_or_insert(free);
+            assert_eq!(
+                free, reference,
+                "{name} verdict changed at {workers} workers"
+            );
+            totals[slot] += elapsed;
+            row.push_str(&format!("  {workers}w {:>8.1?}", elapsed));
+        }
+        advocat_telemetry::info!("{row}");
+    }
+    for (slot, workers) in counts.iter().enumerate() {
+        advocat_telemetry::info!(
+            "  subset total at {workers} worker(s): {:>8.1?}  (speedup {:.2}x)",
+            totals[slot],
+            totals[0].as_secs_f64() / totals[slot].as_secs_f64()
+        );
+    }
+    advocat_telemetry::info!(
+        "  (a racing portfolio needs as many cores as workers to win wall-clock; \
+         on {cores} core(s) expect ~{}x overhead instead)",
+        if cores >= 8 { 0 } else { 8 / cores }
+    );
+    advocat_telemetry::info!("");
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("portfolio");
+    group.sample_size(10);
+    // One representative hard instance, sequential vs. full race, so the
+    // criterion numbers track both the solver and the race overhead.
+    let (_, fabric, range, query) = instances().swap_remove(2);
+    for workers in [1usize, 8] {
+        let (fabric, range) = (fabric.clone(), range.clone());
+        group.bench_function(
+            format!("mesh3x3_no_invariants_{workers}_workers"),
+            move |b| {
+                b.iter(|| std::hint::black_box(solve_cold(&fabric, range.clone(), &query, workers)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_comparison();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -31,7 +31,10 @@ use std::time::Instant;
 use advocat_automata::System;
 use advocat_invariants::{InterfaceContract, InvariantSet};
 use advocat_logic::sat::SatStats;
-use advocat_logic::{BoolVar, CheckConfig, Formula, IntVar, LinExpr, Model, SmtSolver};
+use advocat_logic::{
+    BoolVar, CheckConfig, Formula, IntVar, LinExpr, Model, SmtResult, SmtSolver, SolverConfig,
+    Telemetry,
+};
 use advocat_xmas::{ColorMap, Primitive};
 
 use crate::boundary::Boundary;
@@ -378,6 +381,9 @@ impl EncodingTemplate {
         let result = self.smt.check_assuming(&assumptions, config);
         let solver_stats = self.smt.stats();
         let profile = self.smt.take_profile();
+        // Stats and profile above describe the *deciding* check only; the
+        // canonicalisation probes below are bookkeeping, not search effort.
+        let result = self.canonicalize_witness(result, &assumptions, config);
         self.smt.pop();
         telemetry.event_with("smt.pop", || {
             vec![("depth", self.smt.scope_depth().to_string())]
@@ -397,6 +403,105 @@ impl EncodingTemplate {
             start.elapsed(),
             |m| self.labels.extract(m),
         )
+    }
+
+    /// Replaces a satisfiable result's model with the **canonical
+    /// witness**: the lexicographically minimal assignment to the
+    /// counterexample-visible variables, in a fixed name-sorted order.
+    ///
+    /// Any model the solver happens to return is a valid witness, but
+    /// *which* one depends on search order — and under portfolio solving
+    /// (`SolverConfig::portfolio`) on which diversified worker won the
+    /// race.  Pinning each variable to its smallest feasible value, one at
+    /// a time in a deterministic order, lands every mode on the same model
+    /// of the same formula, which is what lets the differential harness
+    /// demand byte-identical counterexamples at 1, 2 and 8 workers.
+    ///
+    /// The probes run inside the query's capacity scope, so the pinning
+    /// assertions are retracted by the caller's `pop`.  They always run
+    /// sequentially with telemetry disabled: the probe must not itself
+    /// depend on the portfolio dimension, and its spans would pollute the
+    /// query's trace.  If a probe comes back [`SmtResult::Unknown`] (budget
+    /// exhaustion) the raw model is kept — still sound, merely not pinned.
+    fn canonicalize_witness(
+        &mut self,
+        result: SmtResult,
+        assumptions: &[(BoolVar, bool)],
+        config: &CheckConfig,
+    ) -> SmtResult {
+        let SmtResult::Sat(mut witness) = result else {
+            return result;
+        };
+        let probe = CheckConfig {
+            solver: SolverConfig {
+                portfolio: 1,
+                telemetry: Telemetry::disabled(),
+                ..config.solver.clone()
+            },
+            ..config.clone()
+        };
+        // The label tables are built from hash maps, so sort owned copies
+        // by name to fix the pinning order once and for all.
+        let mut int_order: Vec<(IntVar, (u8, String, String))> = Vec::new();
+        for (var, queue, packet) in &self.labels.occupancy {
+            int_order.push((*var, (0, queue.clone(), packet.clone())));
+        }
+        for (var, automaton, state) in &self.labels.state {
+            int_order.push((*var, (1, automaton.clone(), state.clone())));
+        }
+        int_order.sort_by(|a, b| a.1.cmp(&b.1));
+        for (var, _) in int_order {
+            let (lo, _) = self.smt.pool().int_bounds(var);
+            let current = witness.int_value(var);
+            let mut pinned = current;
+            for candidate in lo..current {
+                let sel = self.smt.new_bool_var("canon!sel");
+                self.smt.assert(Formula::implies(
+                    Formula::bool_var(sel),
+                    Formula::eq(LinExpr::var(var), LinExpr::constant(candidate)),
+                ));
+                let mut trial = assumptions.to_vec();
+                trial.push((sel, true));
+                match self.smt.check_assuming(&trial, &probe) {
+                    SmtResult::Sat(model) => {
+                        witness = model;
+                        pinned = candidate;
+                        break;
+                    }
+                    SmtResult::Unsat => continue,
+                    SmtResult::Unknown => return SmtResult::Sat(witness),
+                }
+            }
+            self.smt
+                .assert(Formula::eq(LinExpr::var(var), LinExpr::constant(pinned)));
+        }
+        let mut bool_order: Vec<(BoolVar, String)> = self
+            .labels
+            .dead
+            .iter()
+            .map(|(var, automaton)| (*var, automaton.clone()))
+            .collect();
+        bool_order.sort_by(|a, b| a.1.cmp(&b.1));
+        let goals = [self.labels.goal_stuck, self.labels.goal_dead];
+        bool_order.extend(goals.into_iter().flatten().map(|var| (var, String::new())));
+        for (var, _) in bool_order {
+            if witness.bool_value(var) {
+                let mut trial = assumptions.to_vec();
+                trial.push((var, false));
+                match self.smt.check_assuming(&trial, &probe) {
+                    SmtResult::Sat(model) => witness = model,
+                    SmtResult::Unsat => {}
+                    SmtResult::Unknown => return SmtResult::Sat(witness),
+                }
+            }
+            let pin = if witness.bool_value(var) {
+                Formula::bool_var(var)
+            } else {
+                Formula::not(Formula::bool_var(var))
+            };
+            self.smt.assert(pin);
+        }
+        SmtResult::Sat(witness)
     }
 
     /// Decides `query` with a neighbouring tile's [`InterfaceContract`]

@@ -1,0 +1,351 @@
+//! Lock-free bounded clause exchange for portfolio solving.
+//!
+//! A portfolio race runs N diversified clones of one SAT solver on the
+//! same clause set; the clones help each other by exchanging *glue*
+//! learnt clauses (low literal-block-distance, see
+//! [`SolverConfig::glue_share_lbd`](crate::sat::SolverConfig)).  CDCL
+//! learnt clauses are logical consequences of the clause set **alone** —
+//! assumptions enter the search as decisions, never as reasons that
+//! conflict analysis could resolve on — so a clause learnt by one worker
+//! under one assumption set is sound to import into any clone, under any
+//! assumptions, at any time.  (`tests/` cross-checks this implication
+//! property against brute-force enumeration.)
+//!
+//! The transport is a bounded multi-producer single-consumer ring per
+//! worker ([`ClauseChannel`]), wired all-to-all by [`ClauseExchange`]:
+//! worker `i` publishes into every other worker's inbox and drains only
+//! its own.  Slot hand-off uses the classic sequence-number protocol
+//! (Vyukov): producers claim a slot by a single compare-and-swap on the
+//! head counter, publish the payload, then release the slot by bumping
+//! its sequence number; the consumer observes the sequence number before
+//! touching the payload.  The payload cell itself is a `Mutex<Option<_>>`
+//! because this crate forbids `unsafe`; the protocol guarantees the lock
+//! is uncontended (exactly one thread touches a claimed slot at a time),
+//! so the fast path is the two atomic operations.  A full inbox drops the
+//! clause — sharing is an optimisation, never required for soundness.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::sat::Lit;
+
+/// A learnt clause in transit between portfolio workers.
+#[derive(Clone, Debug)]
+pub struct SharedClause {
+    /// The literals, in the exporter's (shared) variable numbering.
+    pub lits: Vec<Lit>,
+    /// The exporter's literal-block-distance at learn time.
+    pub lbd: u32,
+}
+
+const SLOT_EMPTY_LAG: usize = 0;
+
+/// A bounded multi-producer single-consumer ring of [`SharedClause`]s.
+#[derive(Debug)]
+pub struct ClauseChannel {
+    slots: Vec<Slot>,
+    /// Next sequence number a producer will claim.
+    head: AtomicUsize,
+    /// Next sequence number the consumer will drain.
+    tail: AtomicUsize,
+}
+
+#[derive(Debug)]
+struct Slot {
+    /// Slot `i` is writable when `seq == i + k·capacity` (for lap `k`) and
+    /// readable when `seq == i + k·capacity + 1`.
+    seq: AtomicUsize,
+    payload: Mutex<Option<SharedClause>>,
+}
+
+impl ClauseChannel {
+    /// Creates a channel holding at most `capacity` clauses.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "clause channel needs at least one slot");
+        ClauseChannel {
+            slots: (0..capacity)
+                .map(|i| Slot {
+                    seq: AtomicUsize::new(i + SLOT_EMPTY_LAG),
+                    payload: Mutex::new(None),
+                })
+                .collect(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+        }
+    }
+
+    /// Publishes a clause.  Returns `false` (dropping the clause) when the
+    /// ring is full — the consumer is behind and sharing is best-effort.
+    pub fn send(&self, clause: SharedClause) -> bool {
+        let cap = self.slots.len();
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            let slot = &self.slots[head % cap];
+            let seq = slot.seq.load(Ordering::Acquire);
+            if seq == head {
+                // Slot is writable for this lap: claim it.
+                if self
+                    .head
+                    .compare_exchange_weak(head, head + 1, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    // The claim makes this thread the slot's only visitor
+                    // until the release below, so the lock is uncontended.
+                    *slot.payload.lock().expect("slot lock poisoned") = Some(clause);
+                    slot.seq.store(head + 1, Ordering::Release);
+                    return true;
+                }
+                // Lost the race for this slot; retry with the new head.
+            } else if seq < head + 1 {
+                // The consumer has not freed this slot yet: the ring is
+                // full from this producer's point of view.
+                return false;
+            }
+            // seq > head: another producer advanced past us; retry.
+        }
+    }
+
+    /// Takes the oldest pending clause, or `None` when the ring is empty.
+    /// Single consumer: only the owning worker may call this.
+    pub fn try_recv(&self) -> Option<SharedClause> {
+        let cap = self.slots.len();
+        let tail = self.tail.load(Ordering::Acquire);
+        let slot = &self.slots[tail % cap];
+        let seq = slot.seq.load(Ordering::Acquire);
+        if seq != tail + 1 {
+            return None; // nothing published here yet
+        }
+        let clause = slot
+            .payload
+            .lock()
+            .expect("slot lock poisoned")
+            .take()
+            .expect("published slot holds a payload");
+        // Free the slot for the producer lap after next.
+        slot.seq.store(tail + cap, Ordering::Release);
+        self.tail.store(tail + 1, Ordering::Release);
+        Some(clause)
+    }
+}
+
+/// Shared counters of one portfolio race, for telemetry.
+#[derive(Debug, Default)]
+pub struct ExchangeStats {
+    /// Clauses successfully published (to any inbox).
+    pub exported: AtomicU64,
+    /// Clauses attached (or enqueued as units) by an importer.
+    pub imported: AtomicU64,
+    /// Publications dropped because an inbox was full.
+    pub dropped: AtomicU64,
+}
+
+/// One worker's view of the all-to-all exchange: an inbox to drain and
+/// every other worker's inbox to publish into.  Handed to a
+/// [`SatSolver`](crate::sat::SatSolver) via
+/// [`set_exchange`](crate::sat::SatSolver::set_exchange).
+#[derive(Clone, Debug)]
+pub struct ExchangeHandle {
+    inbox: Arc<ClauseChannel>,
+    outboxes: Vec<Arc<ClauseChannel>>,
+    stats: Arc<ExchangeStats>,
+}
+
+impl ExchangeHandle {
+    /// Publishes a learnt clause to every other worker.
+    pub fn publish(&self, lits: &[Lit], lbd: u32) {
+        for outbox in &self.outboxes {
+            let sent = outbox.send(SharedClause {
+                lits: lits.to_vec(),
+                lbd,
+            });
+            if sent {
+                self.stats.exported.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Takes the oldest clause other workers published to this worker.
+    pub fn try_recv(&self) -> Option<SharedClause> {
+        self.inbox.try_recv()
+    }
+
+    /// Records `n` successful imports in the shared counters.
+    pub fn note_imported(&self, n: u64) {
+        if n > 0 {
+            self.stats.imported.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The all-to-all glue-clause exchange of one portfolio race.
+#[derive(Debug)]
+pub struct ClauseExchange {
+    inboxes: Vec<Arc<ClauseChannel>>,
+    stats: Arc<ExchangeStats>,
+}
+
+impl ClauseExchange {
+    /// Creates an exchange for `workers` participants with a per-inbox
+    /// capacity of `capacity` clauses.
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        ClauseExchange {
+            inboxes: (0..workers)
+                .map(|_| Arc::new(ClauseChannel::new(capacity)))
+                .collect(),
+            stats: Arc::new(ExchangeStats::default()),
+        }
+    }
+
+    /// The handle of worker `i`: drains inbox `i`, publishes to the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is not a worker index of this exchange.
+    pub fn handle(&self, i: usize) -> ExchangeHandle {
+        assert!(i < self.inboxes.len(), "no worker {i} in this exchange");
+        ExchangeHandle {
+            inbox: Arc::clone(&self.inboxes[i]),
+            outboxes: self
+                .inboxes
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, c)| Arc::clone(c))
+                .collect(),
+            stats: Arc::clone(&self.stats),
+        }
+    }
+
+    /// An extra consume-only handle draining inbox `i` without publishing
+    /// anywhere; used to fold leftover glue clauses into the persistent
+    /// session solver after a race.
+    pub fn drain_handle(&self, i: usize) -> ExchangeHandle {
+        assert!(i < self.inboxes.len(), "no worker {i} in this exchange");
+        ExchangeHandle {
+            inbox: Arc::clone(&self.inboxes[i]),
+            outboxes: Vec::new(),
+            stats: Arc::clone(&self.stats),
+        }
+    }
+
+    /// Snapshot of the shared exchange counters
+    /// `(exported, imported, dropped)`.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.stats.exported.load(Ordering::Relaxed),
+            self.stats.imported.load(Ordering::Relaxed),
+            self.stats.dropped.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A shared cancellation flag: the race sets it once a definitive verdict
+/// is in; workers poll it once per conflict and exit promptly.
+pub type CancelFlag = Arc<AtomicBool>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as TestCounter;
+
+    fn clause(v: usize) -> SharedClause {
+        SharedClause {
+            lits: vec![Lit::positive(v)],
+            lbd: 1,
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_bounded_capacity() {
+        let ch = ClauseChannel::new(2);
+        assert!(ch.send(clause(0)));
+        assert!(ch.send(clause(1)));
+        // Full: the third send is dropped, not blocked.
+        assert!(!ch.send(clause(2)));
+        assert_eq!(ch.try_recv().unwrap().lits[0].var(), 0);
+        assert!(ch.send(clause(3)));
+        assert_eq!(ch.try_recv().unwrap().lits[0].var(), 1);
+        assert_eq!(ch.try_recv().unwrap().lits[0].var(), 3);
+        assert!(ch.try_recv().is_none());
+    }
+
+    #[test]
+    fn ring_survives_many_laps() {
+        let ch = ClauseChannel::new(3);
+        for round in 0..100usize {
+            assert!(ch.send(clause(round)));
+            assert_eq!(ch.try_recv().unwrap().lits[0].var(), round);
+        }
+        assert!(ch.try_recv().is_none());
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing_that_was_accepted() {
+        let ch = Arc::new(ClauseChannel::new(64));
+        let accepted = Arc::new(TestCounter::new(0));
+        let received = Arc::new(TestCounter::new(0));
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let ch = Arc::clone(&ch);
+                let accepted = Arc::clone(&accepted);
+                scope.spawn(move || {
+                    for i in 0..500usize {
+                        if ch.send(clause(t * 1000 + i)) {
+                            accepted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+            let ch = Arc::clone(&ch);
+            let received = Arc::clone(&received);
+            scope.spawn(move || {
+                let mut idle = 0;
+                while idle < 1000 {
+                    if ch.try_recv().is_some() {
+                        received.fetch_add(1, Ordering::Relaxed);
+                        idle = 0;
+                    } else {
+                        idle += 1;
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
+        // Whatever remains in the ring after the consumer gave up:
+        let mut rest = 0;
+        while ch.try_recv().is_some() {
+            rest += 1;
+        }
+        assert_eq!(
+            accepted.load(Ordering::Relaxed),
+            received.load(Ordering::Relaxed) + rest,
+            "an accepted clause was lost or duplicated"
+        );
+    }
+
+    #[test]
+    fn exchange_routes_between_workers_but_not_to_self() {
+        let ex = ClauseExchange::new(3, 16);
+        let h0 = ex.handle(0);
+        let h1 = ex.handle(1);
+        let h2 = ex.handle(2);
+        h0.publish(&[Lit::positive(7)], 2);
+        // Workers 1 and 2 receive it; worker 0 does not.
+        assert!(h0.try_recv().is_none());
+        assert_eq!(h1.try_recv().unwrap().lits[0].var(), 7);
+        assert_eq!(h2.try_recv().unwrap().lits[0].var(), 7);
+        assert!(h1.try_recv().is_none());
+        let (exported, imported, dropped) = ex.stats();
+        assert_eq!(exported, 2);
+        assert_eq!(imported, 0);
+        assert_eq!(dropped, 0);
+        h1.note_imported(2);
+        assert_eq!(ex.stats().1, 2);
+    }
+}

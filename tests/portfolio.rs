@@ -1,0 +1,209 @@
+//! Differential pinning of the portfolio solver.
+//!
+//! Portfolio solving ([`advocat::logic::SolverConfig::portfolio`]) races
+//! diversified CDCL workers that exchange glue clauses and cancel each
+//! other — none of which is allowed to show in the *answers*.  These tests
+//! run the same studies sequentially and at several worker counts and
+//! demand that verdicts, counterexample witnesses (byte-identical, thanks
+//! to the canonical-witness probe in the encoding template) and
+//! minimal-capacity thresholds agree exactly.
+//!
+//! Each study keeps one persistent engine and flips the worker count
+//! between rounds: that is both the cheapest way to run the comparison
+//! and the strongest claim — the modes must agree even while sharing one
+//! solver's accumulated learnt state.  Cold-start equivalence is covered
+//! by the solver-level differential test in `advocat-logic` and by the
+//! release-mode stress test below.
+//!
+//! The worker counts come from `ADVOCAT_PORTFOLIO_WORKERS` (a
+//! comma-separated list, default `1,2,8`), which is how the CI matrix
+//! exercises each count in isolation without multiplying the suite.
+
+use advocat::prelude::*;
+
+fn workers_under_test() -> Vec<usize> {
+    match std::env::var("ADVOCAT_PORTFOLIO_WORKERS") {
+        Ok(list) => {
+            let parsed: Vec<usize> = list
+                .split(',')
+                .filter_map(|w| w.trim().parse().ok())
+                .filter(|w| *w >= 1)
+                .collect();
+            assert!(
+                !parsed.is_empty(),
+                "ADVOCAT_PORTFOLIO_WORKERS={list:?} names no worker counts"
+            );
+            parsed
+        }
+        Err(_) => vec![1, 2, 8],
+    }
+}
+
+/// Runs the reference study sequentially, then re-runs it at every worker
+/// count on the same engine and compares every answer: the verdict (and
+/// witness) just below and at the threshold, and the bisected threshold.
+fn pin_threshold_study(engine: &mut QueryEngine, expected: usize, name: &str) {
+    let probes: Vec<usize> = [expected.saturating_sub(1).max(1), expected].into();
+    engine.set_portfolio(1);
+    let reference: Vec<Verdict> = probes
+        .iter()
+        .map(|cap| engine.check(&Query::new().capacity(*cap)).verdict().clone())
+        .collect();
+    let sizing = engine.minimal_capacity(&Query::new());
+    assert_eq!(
+        sizing.minimal_queue_size,
+        Some(expected),
+        "pinned threshold of {name}"
+    );
+    for workers in workers_under_test() {
+        engine.set_portfolio(workers);
+        for (reference, cap) in reference.iter().zip(probes.iter()) {
+            let verdict = engine.check(&Query::new().capacity(*cap)).verdict().clone();
+            assert_eq!(
+                &verdict, reference,
+                "{name} at capacity {cap} with {workers} workers"
+            );
+        }
+        let sized = engine.minimal_capacity(&Query::new());
+        assert_eq!(
+            sized.minimal_queue_size,
+            Some(expected),
+            "{name} threshold with {workers} workers"
+        );
+    }
+}
+
+/// The four topology-engine fabrics with their pinned minimal capacities:
+/// verdicts, deadlock witnesses and thresholds must not depend on the
+/// worker count.
+#[test]
+fn portfolio_agrees_with_sequential_across_topologies() {
+    let fabrics = [
+        (
+            FabricConfig::new(Topology::mesh(2, 2).unwrap(), 1).with_directory(3),
+            3,
+        ),
+        (
+            FabricConfig::new(Topology::torus(2, 2).unwrap(), 1).with_directory(3),
+            3,
+        ),
+        (
+            FabricConfig::new(Topology::ring(4).unwrap(), 1).with_directory(1),
+            2,
+        ),
+        (
+            FabricConfig::new(Topology::fat_tree(2, 2).unwrap(), 1).with_directory(3),
+            2,
+        ),
+    ];
+    for (config, expected) in fabrics {
+        let name = config.topology.name().to_owned();
+        let mut engine = QueryEngine::for_fabric(&config, 1..=4).expect("fabric builds");
+        pin_threshold_study(&mut engine, expected, &name);
+        assert_eq!(engine.stats().templates_built, 1);
+    }
+}
+
+/// The MESI family: the richest automata in the suite, and therefore the
+/// hardest instances — the 2×2 mesh witness at capacity 2 must come back
+/// byte-identical at every worker count, and the with-VC, ring and torus
+/// thresholds must not move.
+#[test]
+fn portfolio_agrees_with_sequential_on_the_mesi_family() {
+    let mesh = MeshConfig::new(2, 2, 1)
+        .with_directory(1, 1)
+        .with_protocol(ProtocolKind::Mesi);
+    let system = build_mesh_for_sweep(&mesh, 4).expect("valid mesh");
+    let mut engine = QueryEngine::on(system, 1..=4);
+    pin_threshold_study(&mut engine, 3, "MESI 2x2 mesh");
+
+    // Message-class planes drop the threshold to 1 — in every mode.
+    let system = build_mesh_for_sweep(&mesh.with_virtual_channels(true), 2).expect("valid mesh");
+    let mut engine = QueryEngine::on(system, 1..=2);
+    pin_threshold_study(&mut engine, 1, "MESI 2x2 mesh with VCs");
+
+    // MESI on the wraparound topologies.
+    let ring = FabricConfig::new(Topology::ring(4).expect("ring"), 1)
+        .with_directory(1)
+        .with_protocol(ProtocolKind::Mesi);
+    let mut engine = QueryEngine::for_fabric(&ring, 1..=4).expect("fabric builds");
+    pin_threshold_study(&mut engine, 2, "MESI ring");
+}
+
+/// A portfolio engine can flip between sequential and racing mid-session
+/// on one persistent solver without perturbing any answer.
+#[test]
+fn flipping_portfolio_mid_session_changes_no_answer() {
+    let config = FabricConfig::new(Topology::mesh(2, 2).unwrap(), 1).with_directory(3);
+    let mut engine = QueryEngine::for_fabric(&config, 1..=4).expect("fabric builds");
+    let mut reference = Vec::new();
+    for cap in 1..=4usize {
+        reference.push(engine.check(&Query::new().capacity(cap)).verdict().clone());
+    }
+    for (flip, workers) in [(0usize, 4usize), (1, 1), (2, 8), (3, 1)] {
+        engine.set_portfolio(workers);
+        for (cap, reference) in (1..=4usize).zip(reference.iter()) {
+            let verdict = engine.check(&Query::new().capacity(cap)).verdict().clone();
+            assert_eq!(&verdict, reference, "flip {flip} capacity {cap}");
+        }
+    }
+    // The whole zig-zag reused the one template and its learnt state.
+    assert_eq!(engine.stats().templates_built, 1);
+}
+
+/// Stress variant for the release-mode CI lane: cold engines per worker
+/// count (no shared learnt state), the MESI torus threshold, a 3×3 mesh
+/// without invariant strengthening (the hardest satisfiable instances the
+/// suite knows) at 8 workers, and the explicit-state explorer
+/// cross-checking a deadlock verdict in parallel mode.
+#[test]
+#[ignore = "stress test: run in release (cargo test --release -- --ignored)"]
+fn portfolio_stress_matches_sequential_on_hard_instances() {
+    // Cold-start identity on the MESI torus, per worker count.
+    let torus = FabricConfig::new(Topology::torus(2, 2).expect("torus"), 1)
+        .with_directory(3)
+        .with_protocol(ProtocolKind::Mesi);
+    for workers in workers_under_test() {
+        let mut engine = QueryEngine::for_fabric(&torus, 1..=4).expect("fabric builds");
+        engine.set_portfolio(workers);
+        assert_eq!(
+            engine.minimal_capacity(&Query::new()).minimal_queue_size,
+            Some(3),
+            "MESI torus threshold cold at {workers} workers"
+        );
+    }
+
+    let config = FabricConfig::new(Topology::mesh(3, 3).unwrap(), 1).with_directory(4);
+    let mut sequential = QueryEngine::for_fabric(&config, 1..=2).expect("fabric builds");
+    let mut portfolio = QueryEngine::for_fabric(&config, 1..=2).expect("fabric builds");
+    portfolio.set_portfolio(8);
+    for cap in 1..=2usize {
+        for invariants in [true, false] {
+            let query = Query::new().capacity(cap).invariants(invariants);
+            let expect = sequential.check(&query).verdict().clone();
+            let got = portfolio.check(&query).verdict().clone();
+            assert_eq!(
+                got, expect,
+                "3x3 mesh capacity {cap} invariants {invariants}"
+            );
+        }
+    }
+
+    // Explorer leg: the parallel frontier proves the same deadlock the
+    // sequential one does on a fabric small enough to exhaust.
+    let mut net = Network::new();
+    let p = net.intern(Packet::kind("p"));
+    let src = net.add_source("src", vec![p]);
+    let q = net.add_queue("q", 4);
+    let dead = net.add_dead_sink("dead");
+    net.connect(src, 0, q, 0);
+    net.connect(q, 0, dead, 0);
+    let system = System::new(net);
+    let reference = explore(&system, &ExplorerConfig::default());
+    let parallel = explore_parallel(&system, &ExplorerConfig::default(), 8);
+    assert_eq!(parallel.states_explored, reference.states_explored);
+    assert_eq!(
+        parallel.deadlocks.is_empty(),
+        reference.deadlocks.is_empty()
+    );
+}
